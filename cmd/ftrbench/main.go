@@ -1,0 +1,106 @@
+// Command ftrbench regenerates every table and figure of the paper at
+// the configured scale, writing one text file (and optionally CSV) per
+// experiment into an output directory, plus an index summarizing the
+// run. This is the one-shot "reproduce the evaluation section" tool.
+//
+// Usage:
+//
+//	ftrbench [-out results] [-n 16384] [-trials 5] [-msgs 100] [-seed 1] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ftrbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out    = fs.String("out", "results", "output directory")
+		n      = fs.Int("n", 0, "network size override (0 = per-experiment default)")
+		trials = fs.Int("trials", 0, "trials override")
+		msgs   = fs.Int("msgs", 0, "messages override")
+		seed   = fs.Uint64("seed", 0, "rng seed (0 = 1)")
+		csv    = fs.Bool("csv", false, "also write CSV files")
+		only   = fs.String("only", "", "comma-separated experiment ids (default: all)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(stderr, "ftrbench:", err)
+		return 1
+	}
+	ids := experiments.IDs()
+	if *only != "" {
+		ids = strings.Split(*only, ",")
+	}
+	params := experiments.Params{N: *n, Trials: *trials, Msgs: *msgs, Seed: *seed}
+
+	var index strings.Builder
+	fmt.Fprintf(&index, "ftrbench run %s\n", time.Now().Format(time.RFC3339))
+	fmt.Fprintf(&index, "params: %+v\n\n", params)
+	failed := 0
+	for _, id := range ids {
+		e, err := experiments.Get(strings.TrimSpace(id))
+		if err != nil {
+			fmt.Fprintln(stderr, "ftrbench:", err)
+			failed++
+			continue
+		}
+		start := time.Now()
+		fmt.Fprintf(stdout, "running %-28s", e.ID)
+		table, err := e.Run(params)
+		if err != nil {
+			fmt.Fprintf(stdout, " ERROR: %v\n", err)
+			fmt.Fprintf(&index, "%-28s ERROR: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		elapsed := time.Since(start).Round(time.Millisecond)
+		fmt.Fprintf(stdout, " ok (%s)\n", elapsed)
+		fmt.Fprintf(&index, "%-28s ok  %-10s %s\n", e.ID, elapsed, e.Artifact)
+
+		base := strings.ReplaceAll(e.ID, ".", "_")
+		if err := writeTable(filepath.Join(*out, base+".txt"), table.String()); err != nil {
+			fmt.Fprintln(stderr, "ftrbench:", err)
+			return 1
+		}
+		if *csv {
+			var b strings.Builder
+			if err := table.WriteCSV(&b); err == nil {
+				if err := writeTable(filepath.Join(*out, base+".csv"), b.String()); err != nil {
+					fmt.Fprintln(stderr, "ftrbench:", err)
+					return 1
+				}
+			}
+		}
+	}
+	if err := writeTable(filepath.Join(*out, "INDEX.txt"), index.String()); err != nil {
+		fmt.Fprintln(stderr, "ftrbench:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "wrote %s/\n", *out)
+	if failed > 0 {
+		fmt.Fprintf(stderr, "ftrbench: %d experiment(s) failed\n", failed)
+		return 1
+	}
+	return 0
+}
+
+func writeTable(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesResults(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut strings.Builder
+	code := run([]string{
+		"-out", dir,
+		"-only", "table1.nofail.detb,fig5b",
+		"-n", "512", "-trials", "1", "-msgs", "20",
+		"-csv",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	for _, f := range []string{
+		"table1_nofail_detb.txt", "table1_nofail_detb.csv",
+		"fig5b.txt", "fig5b.csv", "INDEX.txt",
+	} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing output file %s: %v", f, err)
+		}
+	}
+	index, err := os.ReadFile(filepath.Join(dir, "INDEX.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(index), "table1.nofail.detb") {
+		t.Errorf("index missing experiment entry:\n%s", index)
+	}
+	if !strings.Contains(out.String(), "ok") {
+		t.Errorf("stdout missing progress:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownOnly(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut strings.Builder
+	code := run([]string{"-out", dir, "-only", "nope"}, &out, &errOut)
+	if code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown id") {
+		t.Errorf("stderr = %q", errOut.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-zzz"}, &out, &errOut); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+}

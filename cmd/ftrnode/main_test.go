@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+// The demo is an end-to-end smoke of the TCP overlay: nodes start,
+// join, store, crash, heal, and verify — any protocol regression shows
+// up here as an error.
+func TestDemoSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP demo")
+	}
+	if err := demo(8, 1024, 4, 8, 0.25, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDemoNoCrashes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP demo")
+	}
+	if err := demo(4, 256, 3, 4, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+// Command ftrsim runs one reproduction experiment from the registry and
+// prints its table.
+//
+// Usage:
+//
+//	ftrsim -list
+//	ftrsim -exp fig6a [-n 131072] [-links 17] [-trials 1000] [-msgs 100] [-seed 1] [-csv]
+//
+// Defaults are scaled for quick runs; the flags restore the paper's
+// scale (Figure 6 used n=2^17, 1000 simulations of 100 messages).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ftrsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list   = fs.Bool("list", false, "list experiment ids and exit")
+		exp    = fs.String("exp", "", "experiment id to run (see -list)")
+		n      = fs.Int("n", 0, "network size (0 = experiment default)")
+		links  = fs.Int("links", 0, "long links per node (0 = lg n)")
+		trials = fs.Int("trials", 0, "independent networks (0 = experiment default)")
+		msgs   = fs.Int("msgs", 0, "searches per network (0 = experiment default)")
+		seed   = fs.Uint64("seed", 0, "rng seed (0 = 1)")
+		csv    = fs.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		w := tabwriter.NewWriter(stdout, 0, 4, 2, ' ', 0)
+		for _, id := range experiments.IDs() {
+			e, err := experiments.Get(id)
+			if err != nil {
+				fmt.Fprintln(stderr, "ftrsim:", err)
+				return 1
+			}
+			fmt.Fprintf(w, "%s\t%s\n", e.ID, e.Artifact)
+		}
+		if err := w.Flush(); err != nil {
+			fmt.Fprintln(stderr, "ftrsim:", err)
+			return 1
+		}
+		return 0
+	}
+	if *exp == "" {
+		fmt.Fprintln(stderr, "ftrsim: -exp required (or -list); e.g. ftrsim -exp fig6a")
+		return 2
+	}
+	table, err := experiments.Run(*exp, experiments.Params{
+		N: *n, Links: *links, Trials: *trials, Msgs: *msgs, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "ftrsim:", err)
+		return 1
+	}
+	if *csv {
+		err = table.WriteCSV(stdout)
+	} else {
+		err = table.WriteText(stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "ftrsim:", err)
+		return 1
+	}
+	return 0
+}

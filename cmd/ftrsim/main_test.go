@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	for _, id := range []string{"fig6a", "table1.nofail.l1", "ext.byzantine"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("list output missing %q", id)
+		}
+	}
+}
+
+func TestRunMissingExp(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "-exp required") {
+		t.Errorf("stderr = %q", errOut.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-exp", "nope"}, &out, &errOut); code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown id") {
+		t.Errorf("stderr = %q", errOut.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-bogus"}, &out, &errOut); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+}
+
+func TestRunExperimentTextAndCSV(t *testing.T) {
+	args := []string{"-exp", "table1.nofail.detb", "-n", "512", "-trials", "1", "-msgs", "20"}
+	var text, errOut strings.Builder
+	if code := run(args, &text, &errOut); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(text.String(), "base b") {
+		t.Errorf("text output missing header:\n%s", text.String())
+	}
+	var csv strings.Builder
+	if code := run(append(args, "-csv"), &csv, &errOut); code != 0 {
+		t.Fatalf("csv exit = %d", code)
+	}
+	if !strings.HasPrefix(csv.String(), "base b,") {
+		t.Errorf("csv output wrong:\n%s", csv.String())
+	}
+}

@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "Fault-tolerant
+// Routing in Peer-to-peer Systems" (Aspnes, Diamadi, Shah; PODC 2002).
+//
+// The library lives under internal/ (see internal/core for the facade),
+// executables under cmd/ (ftrsim, ftrbench, ftrnode), runnable examples
+// under examples/, and the per-table/figure benchmark harness in
+// bench_test.go. DESIGN.md maps every paper artifact to the module and
+// bench target that regenerates it; EXPERIMENTS.md records paper-vs-
+// measured results.
+package repro

@@ -1,0 +1,77 @@
+// Faulttolerance: reproduces the headline experiment (Figure 6) at
+// demo scale and prints the comparison the paper draws in §6 — how the
+// three dead-end strategies degrade as more of the network dies, plus
+// the adversarial interval-failure case the random model never hits.
+//
+//	go run ./examples/faulttolerance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/rng"
+	"repro/internal/route"
+	"repro/internal/sim"
+)
+
+func main() {
+	const n = 1 << 13
+	fmt.Printf("Figure-6-style sweep at n=%d (paper: n=2^17)\n\n", n)
+	fmt.Printf("%-8s %-28s %-28s %-28s\n", "p(fail)", "terminate", "random re-route", "backtracking")
+	for _, p := range []float64{0, 0.2, 0.4, 0.6, 0.8} {
+		fmt.Printf("%-8.1f", p)
+		for _, policy := range []core.SearchOptions{
+			{DeadEnd: core.Terminate},
+			{DeadEnd: core.RandomReroute},
+			{DeadEnd: core.Backtrack},
+		} {
+			nw, err := core.New(core.Config{Nodes: n, Seed: 21})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if _, err := nw.FailNodes(p); err != nil {
+				log.Fatal(err)
+			}
+			var stats sim.SearchStats
+			for i := 0; i < 300; i++ {
+				r, err := nw.RandomSearch(policy)
+				if err != nil {
+					log.Fatal(err)
+				}
+				stats.Record(r)
+			}
+			cell := fmt.Sprintf("fail=%.3f hops=%.1f", stats.FailedFraction(), stats.MeanHops())
+			fmt.Printf(" %-28s", cell)
+		}
+		fmt.Println()
+	}
+
+	// Beyond the paper: adversarial contiguous failure. Random
+	// failures leave the short-link chain mostly intact; a contiguous
+	// dead interval is the worst case for it, and long links are the
+	// only way across.
+	fmt.Println("\nadversarial contiguous failure (512-node dead interval):")
+	nw, err := core.New(core.Config{Nodes: n, Seed: 22})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := nw.Graph()
+	src := rng.New(23)
+	failure.FailInterval(g, core.Point(1000), 512)
+	for _, opt := range []core.SearchOptions{
+		{DeadEnd: core.Terminate},
+		{DeadEnd: core.Backtrack},
+	} {
+		r := route.New(g, opt)
+		stats, err := sim.MeasureSearches(g, r, src, 300)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-16v failed %.3f, mean %.1f hops\n",
+			opt.DeadEnd, stats.FailedFraction(), stats.MeanHops())
+	}
+	fmt.Println("(long links jump the gap, so even a contiguous wall rarely stops a search)")
+}

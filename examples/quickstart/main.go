@@ -1,0 +1,110 @@
+// Quickstart: build the paper's overlay, route a few messages, damage
+// the network, and watch greedy routing with backtracking survive.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/mathx"
+	"repro/internal/viz"
+)
+
+func main() {
+	// A 16384-node network with the paper's defaults: ring metric
+	// space, lg n = 14 long links per node drawn from the inverse
+	// power-law distribution with exponent 1.
+	nw, err := core.New(core.Config{Nodes: 1 << 14, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := nw.Stats()
+	fmt.Printf("built network: %d nodes, %d long links (%.1f per node)\n",
+		st.Nodes, st.LongLinks, st.MeanDegree)
+
+	// Route between fixed endpoints, tracing the path.
+	res, err := nw.Search(17, 9000, core.SearchOptions{TracePath: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("search 17 -> 9000: delivered=%v in %d hops (ring distance %d)\n",
+		res.Delivered, res.Hops, 9000-17-(1<<13))
+	fmt.Printf("  path over the ring: %s\n", viz.RingPath(nw.Stats().Nodes, res.Path, 72))
+
+	// Long-link length distribution (the 1/d law, log-bucketed).
+	fmt.Println("  link-length distribution (log buckets, probability mass):")
+	fmt.Print(indent(viz.HistogramBars(linkLengthLogHistogram(nw), 8, 40), "    "))
+
+	// The §6 workload: random searches.
+	total, hops := 100, 0
+	hopSeries := make([]float64, 0, 100)
+	for i := 0; i < total; i++ {
+		r, err := nw.RandomSearch(core.SearchOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		hops += r.Hops
+		hopSeries = append(hopSeries, float64(r.Hops))
+	}
+	fmt.Printf("100 random searches, mean %.1f hops (theory: O(log²n/ℓ) ≈ %.0f)\n",
+		float64(hops)/float64(total), 14.0)
+	fmt.Printf("  per-search hops: %s\n", viz.Sparkline(hopSeries))
+
+	// Crash half the network and search with each recovery strategy.
+	crashed, err := nw.FailNodes(0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncrashed %d nodes (50%%); comparing dead-end strategies:\n", crashed)
+	for _, policy := range []struct {
+		name string
+		opt  core.SearchOptions
+	}{
+		{"terminate", core.SearchOptions{DeadEnd: core.Terminate}},
+		{"random re-route", core.SearchOptions{DeadEnd: core.RandomReroute}},
+		{"backtracking", core.SearchOptions{DeadEnd: core.Backtrack}},
+	} {
+		delivered, hops := 0, 0
+		for i := 0; i < total; i++ {
+			r, err := nw.RandomSearch(policy.opt)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if r.Delivered {
+				delivered++
+				hops += r.Hops
+			}
+		}
+		mean := 0.0
+		if delivered > 0 {
+			mean = float64(hops) / float64(delivered)
+		}
+		fmt.Printf("  %-16s delivered %3d/100, mean %.1f hops\n", policy.name, delivered, mean)
+	}
+}
+
+// linkLengthLogHistogram rebuckets the network's link lengths into
+// powers of two for compact display.
+func linkLengthLogHistogram(nw *core.Network) *mathx.Histogram {
+	g := nw.Graph()
+	h := mathx.NewLogHistogram(g.Size())
+	for p := 0; p < g.Size(); p++ {
+		for _, lk := range g.Long(core.Point(p)) {
+			h.Add(g.Space().Distance(core.Point(p), lk.To))
+		}
+	}
+	return h
+}
+
+// indent prefixes every line of s.
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = prefix + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -1,0 +1,219 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func TestLemma1IntegralClosedForm(t *testing.T) {
+	// µ(z) = z/c gives ∫₁^x c/z dz = c·ln x.
+	const c = 7.0
+	got, err := Lemma1Integral(math.E, func(z float64) float64 { return z / c })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-c) > 0.01 {
+		t.Errorf("integral = %v, want %v", got, c)
+	}
+}
+
+func TestLemma1IntegralConstantSpeed(t *testing.T) {
+	// µ(z) = 2 gives (x0-1)/2.
+	got, err := Lemma1Integral(9, func(z float64) float64 { return 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-4) > 1e-6 {
+		t.Errorf("integral = %v, want 4", got)
+	}
+}
+
+func TestLemma1IntegralValidation(t *testing.T) {
+	if _, err := Lemma1Integral(0.5, func(z float64) float64 { return 1 }); err == nil {
+		t.Error("x0 < 1 should error")
+	}
+	if _, err := Lemma1Integral(5, func(z float64) float64 { return 0 }); err == nil {
+		t.Error("zero mu should error")
+	}
+	if _, err := Lemma1Integral(5, func(z float64) float64 { return -1 }); err == nil {
+		t.Error("negative mu should error")
+	}
+	got, err := Lemma1Integral(1, func(z float64) float64 { return 1 })
+	if err != nil || got != 0 {
+		t.Errorf("degenerate integral = %v, %v", got, err)
+	}
+}
+
+func TestSingleLinkBoundMatchesLemma1(t *testing.T) {
+	// Theorem 12's proof: T(n) ≤ ∫ with µ_z = z/(2H_n), which
+	// integrates to 2H_n·ln n ≈ 2H_n² (the theorem states O(H_n²) via
+	// the discrete sum Σ 2H_n/k = 2H_n²).
+	const n = 1 << 14
+	integral, err := Lemma1Integral(float64(n), SingleLinkExpectedDrop(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := 2 * mathx.Harmonic(n) * math.Log(n)
+	if math.Abs(integral-closed)/closed > 0.02 {
+		t.Errorf("integral %v vs closed form %v", integral, closed)
+	}
+	if SingleLinkUpperBound(n) < integral*0.9 {
+		t.Errorf("discrete bound %v should be within ~10%% of integral %v",
+			SingleLinkUpperBound(n), integral)
+	}
+}
+
+func TestSingleLinkUpperBoundGrowth(t *testing.T) {
+	// 2H_n² grows like 2ln²n: check the ratio at two sizes.
+	b10 := SingleLinkUpperBound(1 << 10)
+	b20 := SingleLinkUpperBound(1 << 20)
+	// ln²(2^20)/ln²(2^10) = 4.
+	if ratio := b20 / b10; ratio < 3 || ratio > 4.5 {
+		t.Errorf("bound ratio = %v, want ≈ 4 with harmonic corrections", ratio)
+	}
+}
+
+func TestMultiLinkUpperBound(t *testing.T) {
+	const n = 1 << 16
+	// Doubling ℓ halves the bound.
+	b1 := MultiLinkUpperBound(n, 4)
+	b2 := MultiLinkUpperBound(n, 8)
+	if math.Abs(b1/b2-2) > 1e-9 {
+		t.Errorf("ℓ scaling broken: %v / %v", b1, b2)
+	}
+	if MultiLinkUpperBound(n, 0) != MultiLinkUpperBound(n, 1) {
+		t.Error("links < 1 should clamp to 1")
+	}
+}
+
+func TestDeterministicUpperBound(t *testing.T) {
+	if DeterministicUpperBound(1<<14, 2) != 14 {
+		t.Errorf("log_2(2^14) = %v", DeterministicUpperBound(1<<14, 2))
+	}
+	if DeterministicUpperBound(1000, 10) != 3 {
+		t.Errorf("log_10(1000) = %v", DeterministicUpperBound(1000, 10))
+	}
+}
+
+func TestLinkFailureUpperBound(t *testing.T) {
+	const n, l = 1 << 14, 14
+	base := MultiLinkUpperBound(n, l)
+	half, err := LinkFailureUpperBound(n, l, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(half-2*base) > 1e-9 {
+		t.Errorf("p=0.5 should double the bound: %v vs %v", half, base)
+	}
+	if _, err := LinkFailureUpperBound(n, l, 0); err == nil {
+		t.Error("p=0 should error")
+	}
+	if _, err := LinkFailureUpperBound(n, l, 1.5); err == nil {
+		t.Error("p>1 should error")
+	}
+}
+
+func TestDetLinkFailureUpperBound(t *testing.T) {
+	const n, b = 1 << 14, 2
+	full, err := DetLinkFailureUpperBound(n, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weak, err := DetLinkFailureUpperBound(n, b, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weak <= full {
+		t.Error("lower p must weaken the bound")
+	}
+	if _, err := DetLinkFailureUpperBound(n, b, 0); err == nil {
+		t.Error("p=0 should error")
+	}
+}
+
+func TestNodeFailureUpperBound(t *testing.T) {
+	const n, l = 1 << 14, 14
+	b0, err := NodeFailureUpperBound(n, l, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b0-MultiLinkUpperBound(n, l)) > 1e-9 {
+		t.Error("p=0 should reduce to the failure-free bound")
+	}
+	bHalf, err := NodeFailureUpperBound(n, l, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bHalf-2*b0) > 1e-9 {
+		t.Error("p=0.5 should double the bound")
+	}
+	if _, err := NodeFailureUpperBound(n, l, 1); err == nil {
+		t.Error("p=1 should error")
+	}
+}
+
+func TestBinomialNodesUpperBound(t *testing.T) {
+	if BinomialNodesUpperBound(1024) != SingleLinkUpperBound(1024) {
+		t.Error("Theorem 17: binomial nodes match the failure-free bound")
+	}
+}
+
+func TestLargeLBound(t *testing.T) {
+	if got := LargeLBound(1<<20, 1<<10); math.Abs(got-2) > 1e-9 {
+		t.Errorf("log n/log ℓ = %v, want 2", got)
+	}
+	if LargeLBound(16, 1) != LargeLBound(16, 2) {
+		t.Error("links < 2 should clamp")
+	}
+}
+
+func TestTheorem10LowerBoundShape(t *testing.T) {
+	// One-sided bound exceeds two-sided (denominator ℓ vs ℓ²).
+	n := 1 << 20
+	one := Theorem10LowerBound(n, 8, true)
+	two := Theorem10LowerBound(n, 8, false)
+	if one <= two {
+		t.Errorf("one-sided %v should exceed two-sided %v", one, two)
+	}
+	// More links can only weaken the bound.
+	if Theorem10LowerBound(n, 4, true) < Theorem10LowerBound(n, 16, true) {
+		t.Error("bound should decrease in ℓ")
+	}
+	// Bound grows with n.
+	if Theorem10LowerBound(1<<24, 4, true) <= Theorem10LowerBound(1<<12, 4, true) {
+		t.Error("bound should grow with n")
+	}
+	// Degenerate inputs return the trivial bound.
+	if Theorem10LowerBound(2, 4, true) != 1 || Theorem10LowerBound(1<<20, 0, true) != 1 {
+		t.Error("degenerate inputs should return 1")
+	}
+}
+
+func TestAsymptoticLowerBound(t *testing.T) {
+	n := 1 << 20
+	one := AsymptoticLowerBound(n, 4, true)
+	two := AsymptoticLowerBound(n, 4, false)
+	// Two-sided divides by ℓ² instead of ℓ: exactly 4x smaller here.
+	if math.Abs(one/two-4) > 1e-9 {
+		t.Errorf("ratio = %v, want 4", one/two)
+	}
+	if AsymptoticLowerBound(4, 1, true) != 1 {
+		t.Error("tiny n should return 1")
+	}
+}
+
+// The consistency check the experiments rely on: the lower bound never
+// exceeds the upper bound for the same model.
+func TestBoundsAreOrdered(t *testing.T) {
+	for _, n := range []int{1 << 10, 1 << 14, 1 << 17} {
+		for _, l := range []int{1, 4, 14} {
+			lo := Theorem10LowerBound(n, l, true)
+			hi := MultiLinkUpperBound(n, l)
+			if lo > hi {
+				t.Errorf("n=%d ℓ=%d: lower %v exceeds upper %v", n, l, lo, hi)
+			}
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package analysis
+
+// Empirical validation of the Karp–Upfal–Wigderson machinery (Lemma 1):
+// simulate nonincreasing Markov chains with known expected drops and
+// check the measured absorption times never exceed the integral bound.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/rng"
+)
+
+// simulateChain runs a chain from x0 where one step from state x drops
+// by a random amount with E[drop | x] = mu(x), until the state is <= 1.
+// drawDrop supplies the random drop given x and must have mean mu(x).
+func simulateChain(x0 float64, drawDrop func(x float64, src *rng.Source) float64, src *rng.Source) int {
+	x := x0
+	steps := 0
+	for x > 1 && steps < 1_000_000 {
+		x -= drawDrop(x, src)
+		steps++
+	}
+	return steps
+}
+
+// Multiplicative chain: drop = x/2 with probability 1/(2H) ... modeled
+// directly as the greedy-routing abstraction: with probability q jump
+// halfway to the target, else move one unit. µ(x) ≈ q·x/2 + (1−q).
+func TestLemma1BoundsMultiplicativeChain(t *testing.T) {
+	const q = 0.2
+	mu := func(z float64) float64 { return q*z/2 + (1 - q) }
+	bound, err := Lemma1Integral(1024, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(1)
+	var total int
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		total += simulateChain(1024, func(x float64, s *rng.Source) float64 {
+			if s.Bool(q) {
+				return x / 2
+			}
+			return 1
+		}, src)
+	}
+	mean := float64(total) / trials
+	if mean > bound {
+		t.Errorf("measured absorption %v exceeds KUW bound %v", mean, bound)
+	}
+	// The bound should also be reasonably tight for this chain (within
+	// a small constant factor), otherwise the comparison is vacuous.
+	if bound > 8*mean {
+		t.Errorf("KUW bound %v is uselessly loose vs measured %v", bound, mean)
+	}
+}
+
+// Unit-step chain: drop = 1 always; µ = 1; T(x0) = x0 − 1 exactly.
+func TestLemma1ExactForUnitSteps(t *testing.T) {
+	bound, err := Lemma1Integral(500, func(z float64) float64 { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(2)
+	steps := simulateChain(500, func(x float64, s *rng.Source) float64 { return 1 }, src)
+	if steps != 499 {
+		t.Fatalf("unit chain took %d steps", steps)
+	}
+	if math.Abs(bound-499) > 1 {
+		t.Errorf("bound = %v, want ≈ 499", bound)
+	}
+}
+
+// The paper's own instance: µ_k = k/(2H_n) (Theorem 12's drop bound for
+// single-link greedy routing). The simulated chain with exactly that
+// drop must respect the 2H_n·ln n integral.
+func TestLemma1PaperInstance(t *testing.T) {
+	const n = 1 << 12
+	h2 := 2 * mathx.Harmonic(n)
+	bound, err := Lemma1Integral(n, SingleLinkExpectedDrop(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(3)
+	var total int
+	const trials = 1000
+	for i := 0; i < trials; i++ {
+		// Drop uniform in [0, 2·µ(x)] so the mean is µ(x) = x/(2H_n).
+		total += simulateChain(n, func(x float64, s *rng.Source) float64 {
+			return s.Float64() * 2 * x / h2
+		}, src)
+	}
+	mean := float64(total) / trials
+	if mean > bound {
+		t.Errorf("measured %v exceeds bound %v", mean, bound)
+	}
+	if mean < bound/10 {
+		t.Errorf("bound %v more than 10x looser than measured %v — suspicious", bound, mean)
+	}
+}

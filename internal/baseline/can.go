@@ -1,0 +1,62 @@
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/metric"
+	"repro/internal/rng"
+)
+
+// CAN models the content-addressable network of §3 with a fully
+// populated 2-dimensional torus of zones: every node knows only its 2d
+// adjacent zone owners and routes greedily, giving the paper-quoted
+// O(d·n^{1/d}) delivery time (here d = 2, so O(√n)).
+type CAN struct {
+	grid *metric.Grid2D
+}
+
+// NewCAN returns a CAN over a side×side zone grid.
+func NewCAN(side int) (*CAN, error) {
+	if side < 2 {
+		return nil, fmt.Errorf("baseline: CAN needs side >= 2, got %d", side)
+	}
+	grid, err := metric.NewGrid2D(side)
+	if err != nil {
+		return nil, err
+	}
+	return &CAN{grid: grid}, nil
+}
+
+// Name returns "can".
+func (c *CAN) Name() string { return "can" }
+
+// Nodes returns side².
+func (c *CAN) Nodes() int { return c.grid.Size() }
+
+// Route performs greedy routing over zone adjacency only.
+func (c *CAN) Route(_ *rng.Source, from, to int) Result {
+	cur := metric.Point(from)
+	target := metric.Point(to)
+	hops := 0
+	for cur != target {
+		best := cur
+		bestD := c.grid.Distance(cur, target)
+		x, y := c.grid.Coords(cur)
+		for _, q := range []metric.Point{
+			c.grid.PointAt(x+1, y), c.grid.PointAt(x-1, y),
+			c.grid.PointAt(x, y+1), c.grid.PointAt(x, y-1),
+		} {
+			if d := c.grid.Distance(q, target); d < bestD {
+				best, bestD = q, d
+			}
+		}
+		if best == cur {
+			return Result{Delivered: false, Hops: hops, Messages: hops}
+		}
+		cur = best
+		hops++
+	}
+	return Result{Delivered: true, Hops: hops, Messages: hops}
+}
+
+var _ Router = (*CAN)(nil)

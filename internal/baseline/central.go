@@ -1,0 +1,42 @@
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Central models a Napster-style central index (§3): every lookup is
+// one round trip to the server plus the direct transfer, independent of
+// n. ServerUp lets experiments demonstrate the single point of failure
+// the paper criticizes: with the server down, every lookup fails.
+type Central struct {
+	n        int
+	ServerUp bool
+}
+
+// NewCentral returns a central-index system over n nodes with the
+// server initially up.
+func NewCentral(n int) (*Central, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("baseline: central index needs n >= 2, got %d", n)
+	}
+	return &Central{n: n, ServerUp: true}, nil
+}
+
+// Name returns "central".
+func (c *Central) Name() string { return "central" }
+
+// Nodes returns the node count.
+func (c *Central) Nodes() int { return c.n }
+
+// Route asks the server for the owner (1 message), then contacts the
+// owner (1 message).
+func (c *Central) Route(_ *rng.Source, from, to int) Result {
+	if !c.ServerUp {
+		return Result{Delivered: false, Hops: 0, Messages: 1}
+	}
+	return Result{Delivered: true, Hops: 2, Messages: 2}
+}
+
+var _ Router = (*Central)(nil)

@@ -1,0 +1,65 @@
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/mathx"
+	"repro/internal/metric"
+	"repro/internal/rng"
+)
+
+// Chord models the Chord DHT of §3 on a fully populated identifier
+// circle of n = 2^m points: node p keeps a finger to the first node at
+// or after p + 2^(i−1) for i = 1..m, and routes greedily clockwise to
+// the farthest finger that does not pass the target. With every
+// identifier occupied the i-th finger is exactly p + 2^(i−1), giving
+// the textbook O(log n) delivery time.
+type Chord struct {
+	ring   *metric.Ring
+	m      int
+	failed *aliveSet // nil until FailNodes is called
+}
+
+// NewChord returns a Chord instance over 2^m identifiers.
+func NewChord(m int) (*Chord, error) {
+	if m < 1 || m > 30 {
+		return nil, fmt.Errorf("baseline: chord needs m in [1,30], got %d", m)
+	}
+	ring, err := metric.NewRing(1 << uint(m))
+	if err != nil {
+		return nil, err
+	}
+	return &Chord{ring: ring, m: m}, nil
+}
+
+// Name returns "chord".
+func (c *Chord) Name() string { return "chord" }
+
+// Nodes returns 2^m.
+func (c *Chord) Nodes() int { return c.ring.Size() }
+
+// Route performs the Chord lookup: repeatedly jump to the farthest
+// finger that does not overshoot the target clockwise. Once failures
+// have been injected, fingers to dead nodes are skipped and a hop with
+// no live admissible finger dead-ends.
+func (c *Chord) Route(_ *rng.Source, from, to int) Result {
+	if c.failed != nil {
+		return c.routeWithFailures(from, to)
+	}
+	cur := metric.Point(from)
+	target := metric.Point(to)
+	hops := 0
+	for cur != target {
+		remaining := c.ring.ClockwiseDistance(cur, target)
+		// Largest power of two not exceeding the remaining distance.
+		jump := 1 << uint(mathx.ILog2(remaining))
+		cur = c.ring.Add(cur, jump)
+		hops++
+		if hops > c.ring.Size() {
+			return Result{Delivered: false, Hops: hops, Messages: hops}
+		}
+	}
+	return Result{Delivered: true, Hops: hops, Messages: hops}
+}
+
+var _ Router = (*Chord)(nil)

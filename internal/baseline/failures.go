@@ -1,0 +1,126 @@
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/metric"
+	"repro/internal/rng"
+)
+
+// FailureInjector is implemented by baselines that support node
+// crashes, enabling the fault-tolerance comparison the paper motivates
+// in §3: structured systems like Chord make no performance guarantees
+// between failures and repair, while the random-graph overlay degrades
+// gracefully.
+type FailureInjector interface {
+	// FailNodes crashes an exact fraction of the live nodes, never
+	// touching protected ids, and returns the number crashed.
+	FailNodes(fraction float64, src *rng.Source, protect ...int) (int, error)
+	// Alive reports whether node id survives.
+	Alive(id int) bool
+}
+
+// aliveSet is the shared crash bookkeeping.
+type aliveSet struct {
+	dead  []bool
+	nDead int
+}
+
+func newAliveSet(n int) *aliveSet { return &aliveSet{dead: make([]bool, n)} }
+
+func (a *aliveSet) alive(id int) bool { return id >= 0 && id < len(a.dead) && !a.dead[id] }
+
+func (a *aliveSet) failFraction(fraction float64, src *rng.Source, protect ...int) (int, error) {
+	if fraction < 0 || fraction > 1 {
+		return 0, fmt.Errorf("baseline: fraction %v outside [0,1]", fraction)
+	}
+	protected := make(map[int]bool, len(protect))
+	for _, p := range protect {
+		protected[p] = true
+	}
+	candidates := make([]int, 0, len(a.dead))
+	for id := range a.dead {
+		if !a.dead[id] && !protected[id] {
+			candidates = append(candidates, id)
+		}
+	}
+	target := int(fraction * float64(len(a.dead)-a.nDead))
+	if target > len(candidates) {
+		target = len(candidates)
+	}
+	for i := 0; i < target; i++ {
+		j := i + src.Intn(len(candidates)-i)
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+		a.dead[candidates[i]] = true
+		a.nDead++
+	}
+	return target, nil
+}
+
+// --- Chord under failures ---------------------------------------------
+
+// FailNodes implements FailureInjector.
+func (c *Chord) FailNodes(fraction float64, src *rng.Source, protect ...int) (int, error) {
+	if c.failed == nil {
+		c.failed = newAliveSet(c.Nodes())
+	}
+	return c.failed.failFraction(fraction, src, protect...)
+}
+
+// Alive implements FailureInjector.
+func (c *Chord) Alive(id int) bool {
+	return c.failed == nil || c.failed.alive(id)
+}
+
+// routeWithFailures is Chord routing without stabilization: at each hop
+// take the farthest LIVE finger that does not overshoot the target
+// clockwise; dead-end (and fail) when every admissible finger is dead.
+func (c *Chord) routeWithFailures(from, to int) Result {
+	cur := metric.Point(from)
+	target := metric.Point(to)
+	hops := 0
+	for cur != target {
+		remaining := c.ring.ClockwiseDistance(cur, target)
+		next := cur
+		for i := c.m - 1; i >= 0; i-- {
+			jump := 1 << uint(i)
+			if jump > remaining {
+				continue
+			}
+			cand := c.ring.Add(cur, jump)
+			if c.Alive(int(cand)) {
+				next = cand
+				break
+			}
+		}
+		if next == cur {
+			return Result{Delivered: false, Hops: hops, Messages: hops}
+		}
+		cur = next
+		hops++
+		if hops > c.ring.Size() {
+			return Result{Delivered: false, Hops: hops, Messages: hops}
+		}
+	}
+	return Result{Delivered: true, Hops: hops, Messages: hops}
+}
+
+// --- Kleinberg under failures ------------------------------------------
+
+// FailNodes implements FailureInjector.
+func (k *Kleinberg) FailNodes(fraction float64, src *rng.Source, protect ...int) (int, error) {
+	if k.failed == nil {
+		k.failed = newAliveSet(k.Nodes())
+	}
+	return k.failed.failFraction(fraction, src, protect...)
+}
+
+// Alive implements FailureInjector.
+func (k *Kleinberg) Alive(id int) bool {
+	return k.failed == nil || k.failed.alive(id)
+}
+
+var (
+	_ FailureInjector = (*Chord)(nil)
+	_ FailureInjector = (*Kleinberg)(nil)
+)

@@ -1,0 +1,128 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestChordFailNodes(t *testing.T) {
+	c, err := NewChord(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(1)
+	crashed, err := c.FailNodes(0.5, src, 0, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crashed != 512 {
+		t.Errorf("crashed = %d, want 512", crashed)
+	}
+	if !c.Alive(0) || !c.Alive(512) {
+		t.Error("protected nodes were crashed")
+	}
+	if _, err := c.FailNodes(-1, src); err == nil {
+		t.Error("invalid fraction should error")
+	}
+}
+
+func TestChordDegradesUnderFailure(t *testing.T) {
+	src := rng.New(2)
+	c, err := NewChord(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.FailNodes(0.5, src); err != nil {
+		t.Fatal(err)
+	}
+	failed, total := 0, 0
+	for i := 0; i < 300; i++ {
+		from := src.Intn(c.Nodes())
+		to := src.Intn(c.Nodes())
+		if !c.Alive(from) || !c.Alive(to) || from == to {
+			continue
+		}
+		total++
+		if !c.Route(src, from, to).Delivered {
+			failed++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no usable endpoint pairs")
+	}
+	frac := float64(failed) / float64(total)
+	// Chord without stabilization should visibly degrade at 50% dead:
+	// its route to the target's vicinity runs through exact finger
+	// positions (compare: the paper's backtracking stays near 0.04).
+	if frac < 0.1 {
+		t.Errorf("chord failed frac = %v; expected heavy degradation without repair", frac)
+	}
+}
+
+func TestChordAliveDefault(t *testing.T) {
+	c, err := NewChord(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Alive(5) {
+		t.Error("all nodes alive before FailNodes")
+	}
+	// Routing unchanged before failures.
+	if !c.Route(rng.New(1), 0, 63).Delivered {
+		t.Error("failure-free chord should deliver")
+	}
+}
+
+func TestKleinbergFailNodes(t *testing.T) {
+	src := rng.New(3)
+	k, err := NewKleinberg(32, 1, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed, err := k.FailNodes(0.3, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crashed != 307 {
+		t.Errorf("crashed = %d", crashed)
+	}
+	failed, total := 0, 0
+	for i := 0; i < 300; i++ {
+		from := src.Intn(k.Nodes())
+		to := src.Intn(k.Nodes())
+		if !k.Alive(from) || !k.Alive(to) || from == to {
+			continue
+		}
+		total++
+		if !k.Route(src, from, to).Delivered {
+			failed++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no usable endpoint pairs")
+	}
+	if failed == 0 {
+		t.Error("kleinberg with 30% dead and q=1 should sometimes dead-end")
+	}
+	if float64(failed)/float64(total) > 0.95 {
+		t.Error("kleinberg should still deliver sometimes")
+	}
+}
+
+func TestAliveSetExhaustion(t *testing.T) {
+	a := newAliveSet(4)
+	crashed, err := a.failFraction(1, rng.New(4), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crashed != 3 {
+		t.Errorf("crashed = %d, want 3 (one protected)", crashed)
+	}
+	if !a.alive(2) || a.alive(0) && a.alive(1) && a.alive(3) {
+		t.Error("wrong nodes crashed")
+	}
+	if a.alive(-1) || a.alive(4) {
+		t.Error("out of range must not be alive")
+	}
+}

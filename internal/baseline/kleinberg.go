@@ -1,0 +1,116 @@
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/metric"
+	"repro/internal/rng"
+)
+
+// Kleinberg models the small-world construction of Kleinberg [5] that
+// the paper builds on: nodes on a side×side torus, each with its four
+// grid neighbours plus q long-range contacts drawn with probability
+// proportional to d^(-2) (the critical exponent for two dimensions),
+// routed with two-sided greedy forwarding on L1 distance.
+type Kleinberg struct {
+	grid   *metric.Grid2D
+	long   [][]metric.Point // long contacts per node
+	failed *aliveSet        // nil until FailNodes is called
+}
+
+// NewKleinberg builds a torus of side×side nodes with q long-range
+// contacts per node, using src for the random construction.
+func NewKleinberg(side, q int, src *rng.Source) (*Kleinberg, error) {
+	if side < 2 {
+		return nil, fmt.Errorf("baseline: kleinberg needs side >= 2, got %d", side)
+	}
+	if q < 0 {
+		return nil, fmt.Errorf("baseline: negative contact count %d", q)
+	}
+	grid, err := metric.NewGrid2D(side)
+	if err != nil {
+		return nil, err
+	}
+	k := &Kleinberg{grid: grid, long: make([][]metric.Point, grid.Size())}
+	// P(contact at L1 distance d) ∝ (#points at distance d)·d^(-2).
+	// On a torus the shell at distance d holds ~4d points for
+	// d < side/2, so the distance marginal is ∝ 4/d: harmonic again.
+	maxD := side / 2
+	if maxD < 1 {
+		maxD = 1
+	}
+	for p := 0; p < grid.Size(); p++ {
+		contacts := make([]metric.Point, 0, q)
+		for j := 0; j < q; j++ {
+			d := rng.SampleHarmonic(src, maxD)
+			contacts = append(contacts, k.randomAtDistance(metric.Point(p), d, src))
+		}
+		k.long[p] = contacts
+	}
+	return k, nil
+}
+
+// randomAtDistance picks a near-uniform point on the L1 shell of radius
+// d around p.
+func (k *Kleinberg) randomAtDistance(p metric.Point, d int, src *rng.Source) metric.Point {
+	px, py := k.grid.Coords(p)
+	dx := src.Intn(2*d+1) - d // dx ∈ [-d, d]
+	rest := d - abs(dx)
+	dy := rest
+	if rest > 0 && src.Bool(0.5) {
+		dy = -rest
+	}
+	return k.grid.PointAt(px+dx, py+dy)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Name returns "kleinberg".
+func (k *Kleinberg) Name() string { return "kleinberg" }
+
+// Nodes returns side².
+func (k *Kleinberg) Nodes() int { return k.grid.Size() }
+
+// Route performs greedy L1 routing using grid neighbours and long
+// contacts.
+func (k *Kleinberg) Route(_ *rng.Source, from, to int) Result {
+	cur := metric.Point(from)
+	target := metric.Point(to)
+	hops := 0
+	for cur != target {
+		best := cur
+		bestD := k.grid.Distance(cur, target)
+		consider := func(q metric.Point) {
+			if !k.Alive(int(q)) {
+				return
+			}
+			if d := k.grid.Distance(q, target); d < bestD {
+				best, bestD = q, d
+			}
+		}
+		x, y := k.grid.Coords(cur)
+		consider(k.grid.PointAt(x+1, y))
+		consider(k.grid.PointAt(x-1, y))
+		consider(k.grid.PointAt(x, y+1))
+		consider(k.grid.PointAt(x, y-1))
+		for _, q := range k.long[cur] {
+			consider(q)
+		}
+		if best == cur {
+			return Result{Delivered: false, Hops: hops, Messages: hops}
+		}
+		cur = best
+		hops++
+		if hops > k.grid.Size() {
+			return Result{Delivered: false, Hops: hops, Messages: hops}
+		}
+	}
+	return Result{Delivered: true, Hops: hops, Messages: hops}
+}
+
+var _ Router = (*Kleinberg)(nil)

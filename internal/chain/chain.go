@@ -1,0 +1,314 @@
+// Package chain implements the combinatorial machinery behind the
+// paper's lower bound (§4.2): the single-point greedy trajectory chain
+// X^t, the aggregate interval chain S^t that tracks all starting points
+// at once, and the boundary-point analysis of Lemma 7.
+//
+// The package exists to make the proof's objects runnable: tests verify
+// Lemma 4 (the aggregate chain faithfully represents the single-point
+// chain), Lemma 5 (aggregate states stay intervals of one sign), and
+// Lemma 6 (the interval rarely shrinks by a large ratio in one step) by
+// direct simulation, turning the paper's most technical section into
+// checked code.
+//
+// Model (§4.2.2): node x has outgoing links to x−δ for each δ in its
+// offset set ∆, drawn fresh at every visit from a common distribution;
+// ±1 are always present. One-sided routing moves to the node x−∆i with
+// the smallest non-negative label; two-sided to the label with the
+// smallest absolute value.
+package chain
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// OffsetDist draws offset sets ∆. Implementations must always include
+// +1 and −1 (the short links).
+type OffsetDist interface {
+	// Sample returns the offsets of a fresh node, in any order.
+	// The slice may be reused by the caller.
+	Sample(src *rng.Source) []int
+	// ExpectedSize returns E[|∆|] = ℓ, used by the Lemma 6 bound.
+	ExpectedSize() float64
+}
+
+// BernoulliDist includes each offset δ independently with probability
+// p(δ) — the product-form distribution §4.2.2 assumes for the two-sided
+// bound: symmetric about 0, unimodal, p(±1) = 1.
+type BernoulliDist struct {
+	// Probs maps |δ| ≥ 2 to inclusion probability; ±1 are implicit.
+	// The same probability applies to +δ and −δ (symmetry).
+	Probs map[int]float64
+}
+
+// NewHarmonicBernoulli returns the paper's motivating instance:
+// p(δ) = c/|δ| for 2 ≤ |δ| ≤ max, scaled so the expected number of long
+// links per side is links/2. Inclusion probabilities are capped at 1.
+func NewHarmonicBernoulli(max, links int) (*BernoulliDist, error) {
+	if max < 2 {
+		return nil, fmt.Errorf("chain: max offset must be >= 2, got %d", max)
+	}
+	if links < 0 {
+		return nil, fmt.Errorf("chain: negative link count %d", links)
+	}
+	var h float64
+	for d := 2; d <= max; d++ {
+		h += 1 / float64(d)
+	}
+	c := float64(links) / 2 / h
+	probs := make(map[int]float64, max-1)
+	for d := 2; d <= max; d++ {
+		p := c / float64(d)
+		if p > 1 {
+			p = 1
+		}
+		probs[d] = p
+	}
+	return &BernoulliDist{Probs: probs}, nil
+}
+
+// Sample implements OffsetDist.
+func (b *BernoulliDist) Sample(src *rng.Source) []int {
+	out := []int{1, -1}
+	// Deterministic iteration order for reproducibility.
+	ds := make([]int, 0, len(b.Probs))
+	for d := range b.Probs {
+		ds = append(ds, d)
+	}
+	sort.Ints(ds)
+	for _, d := range ds {
+		p := b.Probs[d]
+		if src.Bool(p) {
+			out = append(out, d)
+		}
+		if src.Bool(p) {
+			out = append(out, -d)
+		}
+	}
+	return out
+}
+
+// ExpectedSize implements OffsetDist.
+func (b *BernoulliDist) ExpectedSize() float64 {
+	e := 2.0
+	for _, p := range b.Probs {
+		e += 2 * p
+	}
+	return e
+}
+
+// Sidedness selects the greedy variant (§4.2.1).
+type Sidedness int
+
+const (
+	// OneSided never moves past the target at 0.
+	OneSided Sidedness = iota + 1
+	// TwoSided minimizes |label|, ties broken toward the positive
+	// side.
+	TwoSided
+)
+
+// Step applies the §4.2.1 successor function s(x, ∆): from label x
+// (target at 0), with offset set delta, return the next label.
+func Step(x int, delta []int, side Sidedness) int {
+	best := x
+	bestAbs := abs(x)
+	for _, d := range delta {
+		y := x - d
+		if side == OneSided {
+			// Never pass 0: candidates must satisfy 0 <= y < x for
+			// positive x (symmetrically for negative).
+			if x > 0 && (y < 0 || y >= x) {
+				continue
+			}
+			if x < 0 && (y > 0 || y <= x) {
+				continue
+			}
+		}
+		a := abs(y)
+		if a < bestAbs || (a == bestAbs && y > best) {
+			best, bestAbs = y, a
+		}
+	}
+	return best
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Trajectory runs the single-point chain X^t from start until it
+// reaches 0 or maxSteps elapse, returning the number of steps taken and
+// whether 0 was reached.
+func Trajectory(start int, dist OffsetDist, side Sidedness, src *rng.Source, maxSteps int) (steps int, reached bool) {
+	x := start
+	for t := 0; t < maxSteps; t++ {
+		if x == 0 {
+			return t, true
+		}
+		x = Step(x, dist.Sample(src), side)
+	}
+	return maxSteps, x == 0
+}
+
+// Interval is an aggregate state: the contiguous set {Lo..Hi} of
+// same-sign labels (§4.2.3). Lo <= Hi always; the zero state is
+// {0..0}.
+type Interval struct {
+	Lo, Hi int
+}
+
+// Size returns |S| = Hi − Lo + 1.
+func (iv Interval) Size() int { return iv.Hi - iv.Lo + 1 }
+
+// IsTarget reports the absorbing state {0}.
+func (iv Interval) IsTarget() bool { return iv.Lo == 0 && iv.Hi == 0 }
+
+// Validate checks the §4.2.3 state invariant: a single-sign interval.
+func (iv Interval) Validate() error {
+	if iv.Lo > iv.Hi {
+		return fmt.Errorf("chain: interval [%d,%d] inverted", iv.Lo, iv.Hi)
+	}
+	if iv.Lo < 0 && iv.Hi > 0 {
+		return fmt.Errorf("chain: interval [%d,%d] mixes signs", iv.Lo, iv.Hi)
+	}
+	return nil
+}
+
+// AggregateStep performs one transition of the aggregate chain S^t
+// (equation (14)): draw one ∆, split S into the subranges that share a
+// successor-and-sign, pick a subrange with probability proportional to
+// its size, and move it. It returns the new interval.
+func AggregateStep(s Interval, dist OffsetDist, side Sidedness, src *rng.Source) (Interval, error) {
+	if err := s.Validate(); err != nil {
+		return s, err
+	}
+	if s.IsTarget() {
+		return s, nil
+	}
+	delta := dist.Sample(src)
+	// Group the points of S by (offset taken, successor sign) — the
+	// subranges S_{∆iσ} of §4.2.3. The greedy rule is deterministic
+	// given ∆, so each point lands in exactly one group; contiguity
+	// (Lemma 5) would let us track only endpoints, but grouping
+	// explicitly keeps the code checkable against the paper.
+	type gk struct {
+		di   int
+		sign int
+	}
+	byGroup := make(map[gk][]int)
+	for x := s.Lo; x <= s.Hi; x++ {
+		if x == 0 {
+			continue
+		}
+		next := Step(x, delta, side)
+		di := x - next // the offset actually taken
+		byGroup[gk{di: di, sign: sign(next)}] = append(byGroup[gk{di: di, sign: sign(next)}], x)
+	}
+	if len(byGroup) == 0 {
+		return Interval{}, nil // S was exactly {0}
+	}
+	// Select a group ∝ size.
+	total := 0
+	keys := make([]gk, 0, len(byGroup))
+	for k := range byGroup {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].di != keys[j].di {
+			return keys[i].di < keys[j].di
+		}
+		return keys[i].sign < keys[j].sign
+	})
+	for _, k := range keys {
+		total += len(byGroup[k])
+	}
+	r := src.Intn(total)
+	var chosen gk
+	for _, k := range keys {
+		if r < len(byGroup[k]) {
+			chosen = k
+			break
+		}
+		r -= len(byGroup[k])
+	}
+	members := byGroup[chosen]
+	// S^{t+1} = S_{∆iσ} − ∆i: shift every member by the common offset.
+	lo, hi := members[0]-chosen.di, members[0]-chosen.di
+	for _, x := range members[1:] {
+		y := x - chosen.di
+		if y < lo {
+			lo = y
+		}
+		if y > hi {
+			hi = y
+		}
+	}
+	next := Interval{Lo: lo, Hi: hi}
+	if err := next.Validate(); err != nil {
+		return next, err
+	}
+	return next, nil
+}
+
+func sign(v int) int {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// AggregateRun iterates the aggregate chain from {1..n} until the
+// target absorbs it or maxSteps elapse, returning the trajectory of
+// interval sizes (|S^0|, |S^1|, …).
+func AggregateRun(n int, dist OffsetDist, side Sidedness, src *rng.Source, maxSteps int) ([]int, error) {
+	s := Interval{Lo: 1, Hi: n}
+	sizes := []int{s.Size()}
+	for t := 0; t < maxSteps && !s.IsTarget(); t++ {
+		var err error
+		s, err = AggregateStep(s, dist, side, src)
+		if err != nil {
+			return sizes, err
+		}
+		sizes = append(sizes, s.Size())
+	}
+	return sizes, nil
+}
+
+// BoundaryPoints computes the β set of Lemma 7 for a fixed ∆: the
+// midpoints β_i = ⌈(∆_i + ∆_{i+1})/2⌉ over consecutive positive
+// offsets, and the mirrored ⌊·⌋ midpoints over negative offsets. These
+// are the only points (besides the offsets themselves and min(S)) where
+// the greedy successor function can split an interval.
+func BoundaryPoints(delta []int) []int {
+	pos := make([]int, 0, len(delta))
+	neg := make([]int, 0, len(delta))
+	for _, d := range delta {
+		if d > 0 {
+			pos = append(pos, d)
+		} else if d < 0 {
+			neg = append(neg, d)
+		}
+	}
+	sort.Ints(pos)
+	sort.Sort(sort.Reverse(sort.IntSlice(neg))) // −1, −2, …
+	var beta []int
+	for i := 0; i+1 < len(pos); i++ {
+		sum := pos[i] + pos[i+1]
+		beta = append(beta, (sum+1)/2) // ceil for positives
+	}
+	for i := 0; i+1 < len(neg); i++ {
+		sum := neg[i] + neg[i+1]
+		beta = append(beta, -((-sum + 1) / 2)) // floor for negatives
+	}
+	return beta
+}

@@ -1,0 +1,306 @@
+package chain
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func harmonic(t testing.TB, max, links int) *BernoulliDist {
+	t.Helper()
+	d, err := NewHarmonicBernoulli(max, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewHarmonicBernoulliValidation(t *testing.T) {
+	if _, err := NewHarmonicBernoulli(1, 4); err == nil {
+		t.Error("max < 2 should error")
+	}
+	if _, err := NewHarmonicBernoulli(16, -1); err == nil {
+		t.Error("negative links should error")
+	}
+}
+
+func TestBernoulliSampleAlwaysHasShortLinks(t *testing.T) {
+	d := harmonic(t, 64, 4)
+	src := rng.New(1)
+	for i := 0; i < 100; i++ {
+		delta := d.Sample(src)
+		has1, hasM1 := false, false
+		for _, o := range delta {
+			if o == 1 {
+				has1 = true
+			}
+			if o == -1 {
+				hasM1 = true
+			}
+		}
+		if !has1 || !hasM1 {
+			t.Fatalf("∆ = %v missing ±1", delta)
+		}
+	}
+}
+
+func TestBernoulliExpectedSize(t *testing.T) {
+	d := harmonic(t, 256, 6)
+	src := rng.New(2)
+	var total int
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		total += len(d.Sample(src))
+	}
+	got := float64(total) / draws
+	want := d.ExpectedSize()
+	if math.Abs(got-want) > 0.1 {
+		t.Errorf("empirical E|∆| = %v, declared %v", got, want)
+	}
+	// Construction: ~links long offsets plus the two short ones.
+	if want < 6 || want > 9 {
+		t.Errorf("ExpectedSize = %v, want ≈ links+2 = 8", want)
+	}
+}
+
+func TestStepOneSidedNeverPasses(t *testing.T) {
+	f := func(xx uint16, seed uint64) bool {
+		x := int(xx%1000) + 1
+		d := BernoulliDist{Probs: map[int]float64{2: 0.5, 7: 0.5, 30: 0.5}}
+		delta := d.Sample(rng.New(seed))
+		y := Step(x, delta, OneSided)
+		return y >= 0 && y < x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStepTwoSidedMinimizesAbs(t *testing.T) {
+	// x=10, offsets {1,-1,12}: candidates 9, 11, -2. Two-sided picks
+	// -2 (|−2| < |9|); one-sided refuses to pass 0 and picks 9.
+	delta := []int{1, -1, 12}
+	if got := Step(10, delta, TwoSided); got != -2 {
+		t.Errorf("two-sided Step = %d, want -2", got)
+	}
+	if got := Step(10, delta, OneSided); got != 9 {
+		t.Errorf("one-sided Step = %d, want 9", got)
+	}
+}
+
+func TestStepExactHit(t *testing.T) {
+	delta := []int{1, -1, 10}
+	if got := Step(10, delta, TwoSided); got != 0 {
+		t.Errorf("Step = %d, want exact hit 0", got)
+	}
+	if got := Step(10, delta, OneSided); got != 0 {
+		t.Errorf("one-sided Step = %d, want 0", got)
+	}
+}
+
+func TestTrajectoryReachesTarget(t *testing.T) {
+	d := harmonic(t, 512, 6)
+	src := rng.New(3)
+	steps, reached := Trajectory(500, d, TwoSided, src, 100000)
+	if !reached {
+		t.Fatal("±1 links guarantee eventual arrival")
+	}
+	if steps <= 0 || steps > 600 {
+		t.Errorf("steps = %d; greedy should be far below the distance bound", steps)
+	}
+}
+
+func TestTrajectoryOneSided(t *testing.T) {
+	d := harmonic(t, 512, 6)
+	src := rng.New(4)
+	if _, reached := Trajectory(300, d, OneSided, src, 100000); !reached {
+		t.Fatal("one-sided trajectory should arrive")
+	}
+	if steps, reached := Trajectory(0, d, OneSided, src, 10); !reached || steps != 0 {
+		t.Error("starting at the target is a zero-step trajectory")
+	}
+}
+
+// Lemma 5: aggregate states remain single-sign intervals under both
+// sidedness variants.
+func TestAggregateStatesStayIntervals(t *testing.T) {
+	d := harmonic(t, 256, 4)
+	for _, side := range []Sidedness{OneSided, TwoSided} {
+		src := rng.New(5)
+		s := Interval{Lo: 1, Hi: 200}
+		for step := 0; step < 500 && !s.IsTarget(); step++ {
+			var err error
+			s, err = AggregateStep(s, d, side, src)
+			if err != nil {
+				t.Fatalf("side %v step %d: %v", side, step, err)
+			}
+		}
+	}
+}
+
+// Lemma 4: the aggregate chain represents the single-point chain — the
+// expected absorption time from a uniform start matches the expected
+// absorption time of the aggregate chain within sampling error.
+func TestAggregateMatchesSinglePoint(t *testing.T) {
+	const n = 128
+	d := harmonic(t, n, 4)
+
+	// Single-point: mean steps from uniform random start.
+	src := rng.New(6)
+	var singleTotal int
+	const trials = 800
+	for i := 0; i < trials; i++ {
+		start := src.Intn(n) + 1
+		steps, reached := Trajectory(start, d, OneSided, src, 100000)
+		if !reached {
+			t.Fatal("trajectory did not arrive")
+		}
+		singleTotal += steps
+	}
+	singleMean := float64(singleTotal) / trials
+
+	// Aggregate: mean steps until {1..n} collapses to {0}.
+	src2 := rng.New(7)
+	var aggTotal int
+	for i := 0; i < trials; i++ {
+		sizes, err := AggregateRun(n, d, OneSided, src2, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aggTotal += len(sizes) - 1
+	}
+	aggMean := float64(aggTotal) / trials
+
+	if math.Abs(singleMean-aggMean) > 0.25*singleMean {
+		t.Errorf("Lemma 4 violated beyond noise: single-point mean %v vs aggregate mean %v",
+			singleMean, aggMean)
+	}
+}
+
+// Lemma 6: Pr[|S^{t+1}| <= |S^t|/a] <= 3ℓ/a. Verified empirically at
+// a = 8.
+func TestLemma6ShrinkProbability(t *testing.T) {
+	const n, a = 512, 8.0
+	d := harmonic(t, n, 4)
+	src := rng.New(8)
+	bigDrops, steps := 0, 0
+	for trial := 0; trial < 300; trial++ {
+		s := Interval{Lo: 1, Hi: n}
+		for !s.IsTarget() && s.Size() > 8 {
+			prev := s.Size()
+			var err error
+			s, err = AggregateStep(s, d, OneSided, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			steps++
+			if float64(s.Size()) <= float64(prev)/a {
+				bigDrops++
+			}
+		}
+	}
+	bound := 3 * d.ExpectedSize() / a
+	got := float64(bigDrops) / float64(steps)
+	if got > bound {
+		t.Errorf("Lemma 6 violated: empirical big-drop rate %v exceeds 3ℓ/a = %v", got, bound)
+	}
+}
+
+// Lemma 7 (via BoundaryPoints): the minimum elements of the subranges
+// S_{∆iσ} are covered by {min(S)} ∪ {∆i} ∪ {∆i+1} ∪ {βi, βi+1}.
+func TestBoundaryPointsCoverSplits(t *testing.T) {
+	d := BernoulliDist{Probs: map[int]float64{3: 1, 9: 1, 27: 1}}
+	src := rng.New(9)
+	delta := d.Sample(src) // deterministic: all offsets present
+	beta := BoundaryPoints(delta)
+	allowed := map[int]bool{}
+	for _, v := range delta {
+		allowed[v] = true
+		allowed[v+1] = true
+	}
+	for _, b := range beta {
+		allowed[b] = true
+		allowed[b+1] = true
+	}
+	const lo, hi = 1, 100
+	allowed[lo] = true
+	// Compute the subrange minima directly.
+	type gk struct{ di, sign int }
+	mins := map[gk]int{}
+	for x := lo; x <= hi; x++ {
+		next := Step(x, delta, TwoSided)
+		k := gk{di: x - next, sign: sign(next)}
+		if m, ok := mins[k]; !ok || x < m {
+			mins[k] = x
+		}
+	}
+	for k, m := range mins {
+		if !allowed[m] {
+			t.Errorf("subrange %+v has min %d not covered by Lemma 7's candidate set %v ∪ ∆=%v",
+				k, m, beta, delta)
+		}
+	}
+}
+
+func TestBoundaryPointsSymmetry(t *testing.T) {
+	beta := BoundaryPoints([]int{1, -1, 5, -5, 11, -11})
+	// Positive midpoints: ceil((1+5)/2)=3, ceil((5+11)/2)=8.
+	// Negative: floor((-1-5)/2)=-3, floor((-5-11)/2)=-8.
+	want := map[int]bool{3: true, 8: true, -3: true, -8: true}
+	if len(beta) != 4 {
+		t.Fatalf("beta = %v", beta)
+	}
+	for _, b := range beta {
+		if !want[b] {
+			t.Errorf("unexpected boundary point %d in %v", b, beta)
+		}
+	}
+}
+
+func TestIntervalValidate(t *testing.T) {
+	if err := (Interval{Lo: 3, Hi: 1}).Validate(); err == nil {
+		t.Error("inverted interval should fail")
+	}
+	if err := (Interval{Lo: -2, Hi: 2}).Validate(); err == nil {
+		t.Error("mixed-sign interval should fail")
+	}
+	if err := (Interval{Lo: 0, Hi: 0}).Validate(); err != nil {
+		t.Error("target interval should validate")
+	}
+	if !(Interval{Lo: 0, Hi: 0}).IsTarget() {
+		t.Error("IsTarget wrong")
+	}
+}
+
+// The punchline of §4.2: measured one-sided routing time from a uniform
+// start grows at least like the Theorem 10 integrand predicts — here we
+// simply check the time grows superlinearly in lg n (i.e. ~log²),
+// which separates it from the O(log n) of Chord-style structures.
+func TestLowerBoundGrowth(t *testing.T) {
+	means := map[int]float64{}
+	for _, n := range []int{64, 512, 4096} {
+		d := harmonic(t, n, 4)
+		src := rng.New(10)
+		var total int
+		const trials = 300
+		for i := 0; i < trials; i++ {
+			start := src.Intn(n) + 1
+			steps, reached := Trajectory(start, d, OneSided, src, 1000000)
+			if !reached {
+				t.Fatal("no arrival")
+			}
+			total += steps
+		}
+		means[n] = float64(total) / trials
+	}
+	// lg n grows 6→9→12; if T were Θ(log n) the ratios would be 1.5
+	// and 1.33; log² predicts 2.25 and 1.78. Demand clearly more than
+	// linear-in-log growth.
+	r1 := means[512] / means[64]
+	r2 := means[4096] / means[512]
+	if r1 < 1.7 || r2 < 1.5 {
+		t.Errorf("growth ratios %v, %v too small for a log² law (means: %v)", r1, r2, means)
+	}
+}

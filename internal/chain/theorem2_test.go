@@ -1,0 +1,84 @@
+package chain
+
+// Empirical verification of the Theorem 2 machinery on the aggregate
+// chain: the quantity Y_t = T(X_t) (zeroed after any long jump) must
+// satisfy E[Y_t − Y_{t+1}] ≤ εY_0 + (1−ε) — the submartingale drift
+// bound (equation (13)) from which the lower bound follows.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// tFunc evaluates the T(x) integral of Theorem 2 for the aggregate
+// chain with f(S) = ln|S|, using the constant m_z = ln a as a valid
+// (if crude) speed bound: each short step shrinks ln|S| by less than
+// ln a by definition of the conditioning, so 1/m_z = 1/ln a underesti-
+// mates the time only up to the theorem's own slack.
+func tFunc(size int, lna float64) float64 {
+	if size <= 1 {
+		return 0
+	}
+	return math.Log(float64(size)) / lna
+}
+
+func TestTheorem2DriftBound(t *testing.T) {
+	const n = 1 << 10
+	d := harmonic(t, n, 4)
+	ell := d.ExpectedSize()
+	a := 3 * ell * math.Pow(math.Log(n), 3)
+	lna := math.Log(a)
+	eps := 3 * ell / a // Lemma 6's bound on the long-jump probability
+
+	src := rng.New(21)
+	y0 := tFunc(n, lna)
+	var driftSum float64
+	var steps int
+	const trials = 400
+	for trial := 0; trial < trials; trial++ {
+		s := Interval{Lo: 1, Hi: n}
+		longJumped := false
+		y := y0
+		for !s.IsTarget() && y > 0 {
+			prev := s.Size()
+			var err error
+			s, err = AggregateStep(s, d, OneSided, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var yNext float64
+			if longJumped || float64(prev)/float64(s.Size()) >= a {
+				longJumped = true
+				yNext = 0
+			} else {
+				yNext = tFunc(s.Size(), lna)
+			}
+			driftSum += y - yNext
+			steps++
+			y = yNext
+		}
+	}
+	meanDrift := driftSum / float64(steps)
+	bound := eps*y0 + (1 - eps)
+	if meanDrift > bound*1.05 { // 5% sampling slack
+		t.Errorf("mean one-step drift %v exceeds Theorem 2 bound %v", meanDrift, bound)
+	}
+	// And the resulting lower bound must hold: E[τ] ≥ Y0/(εY0+(1−ε)).
+	// Measure τ directly.
+	src2 := rng.New(22)
+	var tauSum int
+	for trial := 0; trial < trials; trial++ {
+		sizes, err := AggregateRun(n, d, OneSided, src2, 1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tauSum += len(sizes) - 1
+	}
+	meanTau := float64(tauSum) / trials
+	lower := y0 / (eps*y0 + (1 - eps))
+	if meanTau < lower {
+		t.Errorf("measured E[tau] = %v below the Theorem 2 lower bound %v", meanTau, lower)
+	}
+}

@@ -1,0 +1,314 @@
+// Package construct implements the dynamic graph-construction heuristic
+// of §5 of the paper.
+//
+// Nodes (points of the metric space) arrive one at a time. An arriving
+// point v:
+//
+//  1. draws its outgoing long links from the inverse power-law
+//     distribution with exponent 1, redirecting any link aimed at an
+//     absent point to the nearest present one (the "basin of
+//     attraction" rule);
+//  2. estimates how many incoming links it "should" have by drawing
+//     from a Poisson distribution with rate ℓ;
+//  3. selects that many earlier points, again ∝ 1/d, and asks each for
+//     an incoming link.
+//
+// A solicited node u with long links at distances d₁…d_k accepts the
+// request from v at distance d_{k+1} with probability
+// p_{k+1}/Σ_{j=1..k+1} p_j (p_i = 1/d_i), and on acceptance redirects
+// one of its existing links to v — chosen with probability
+// p_i/Σ_{j=1..k} p_j (strategy InverseDistance, the paper's default,
+// after Sarshar et al.) or simply its oldest link (strategy Oldest, the
+// alternative §5 reports performs nearly as well). The same machinery
+// regenerates links when a node departs.
+package construct
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/metric"
+	"repro/internal/rng"
+)
+
+// ReplacementStrategy selects which existing link a solicited node
+// redirects toward a newcomer.
+type ReplacementStrategy int
+
+const (
+	// InverseDistance redirects link i with probability proportional
+	// to 1/d_i — the paper's strategy, preserving the power-law
+	// invariant in expectation.
+	InverseDistance ReplacementStrategy = iota + 1
+	// Oldest redirects the link with the smallest creation sequence
+	// number.
+	Oldest
+)
+
+// String returns the strategy name used in experiment output.
+func (s ReplacementStrategy) String() string {
+	switch s {
+	case InverseDistance:
+		return "inverse-distance"
+	case Oldest:
+		return "oldest-link"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Config parameterizes the builder.
+type Config struct {
+	// Links is ℓ, the number of outgoing long links per node.
+	Links int
+	// Strategy defaults to InverseDistance when zero.
+	Strategy ReplacementStrategy
+}
+
+func (c Config) withDefaults() Config {
+	if c.Strategy == 0 {
+		c.Strategy = InverseDistance
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Links < 0 {
+		return fmt.Errorf("construct: negative link count %d", c.Links)
+	}
+	switch c.withDefaults().Strategy {
+	case InverseDistance, Oldest:
+		return nil
+	default:
+		return fmt.Errorf("construct: unknown replacement strategy %d", c.Strategy)
+	}
+}
+
+// Builder grows and shrinks an overlay incrementally. It is not safe
+// for concurrent use.
+type Builder struct {
+	g   *graph.Graph
+	cfg Config
+	src *rng.Source
+	// inLinks is a reverse index: inLinks[v] lists nodes that (as of
+	// the last time we touched them) held a long link to v. Entries go
+	// stale when links are redirected elsewhere; readers re-verify
+	// against the graph, so staleness only costs a skipped scan entry.
+	inLinks map[metric.Point][]metric.Point
+}
+
+// NewBuilder returns a Builder over an initially empty space.
+func NewBuilder(space metric.Space1D, cfg Config, src *rng.Source) (*Builder, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Builder{
+		g:       graph.NewEmpty(space),
+		cfg:     cfg.withDefaults(),
+		src:     src,
+		inLinks: make(map[metric.Point][]metric.Point),
+	}, nil
+}
+
+// Graph exposes the overlay under construction. Callers may route over
+// it and inject failures, but must not add or remove nodes behind the
+// Builder's back.
+func (b *Builder) Graph() *graph.Graph { return b.g }
+
+// Size returns the number of nodes currently present.
+func (b *Builder) Size() int { return b.g.AliveCount() }
+
+// Add runs the §5 arrival protocol for point p.
+func (b *Builder) Add(p metric.Point) error {
+	if err := b.g.AddNode(p); err != nil {
+		return err
+	}
+	// (1) Outgoing links.
+	for k := 0; k < b.cfg.Links; k++ {
+		if to, ok := b.sampleExisting(p); ok {
+			if err := b.addLink(p, to); err != nil {
+				return err
+			}
+		}
+	}
+	// (2) Estimate the in-degree this node "should" have.
+	want := b.src.Poisson(float64(b.cfg.Links))
+	// (3) Solicit that many earlier points for incoming links.
+	for k := 0; k < want; k++ {
+		u, ok := b.sampleExisting(p)
+		if !ok {
+			break
+		}
+		if err := b.solicit(u, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Remove runs the departure protocol: the node leaves, and every node
+// that held a long link to it redraws that link (the §5 heuristic
+// "can be used for regeneration of links when a node crashes").
+func (b *Builder) Remove(p metric.Point) error {
+	holders := b.inLinks[p]
+	delete(b.inLinks, p)
+	if err := b.g.RemoveNode(p); err != nil {
+		return err
+	}
+	for _, u := range holders {
+		if !b.g.Exists(u) {
+			continue
+		}
+		for i, lk := range b.g.Long(u) {
+			if lk.To != p {
+				continue
+			}
+			// Redraw this link from the distribution.
+			to, ok := b.sampleExisting(u)
+			if !ok {
+				continue
+			}
+			if err := b.g.ReplaceLong(u, i, to); err != nil {
+				return err
+			}
+			b.inLinks[to] = append(b.inLinks[to], u)
+		}
+	}
+	return nil
+}
+
+// sampleExisting draws a link target for node p: a point sampled from
+// the inverse power law, redirected to the nearest present node other
+// than p itself. ok is false when p is the only node.
+func (b *Builder) sampleExisting(p metric.Point) (metric.Point, bool) {
+	const retries = 8
+	for i := 0; i < retries; i++ {
+		target, ok := graph.SamplePaperTarget(b.g.Space(), p, b.src)
+		if !ok {
+			return 0, false
+		}
+		q, ok := b.nearestOther(target, p)
+		if ok {
+			return q, true
+		}
+	}
+	return 0, false
+}
+
+// nearestOther returns the present point nearest to target, excluding
+// self. When the basin lands exactly on self, the closest present point
+// on either side of self is used instead.
+func (b *Builder) nearestOther(target, self metric.Point) (metric.Point, bool) {
+	q, ok := b.g.NearestExisting(target)
+	if !ok {
+		return 0, false
+	}
+	if q != self {
+		return q, true
+	}
+	left, okL := b.g.ShortNeighbor(self, -1)
+	right, okR := b.g.ShortNeighbor(self, +1)
+	sp := b.g.Space()
+	switch {
+	case okL && okR:
+		if sp.Distance(left, target) <= sp.Distance(right, target) {
+			return left, true
+		}
+		return right, true
+	case okL:
+		return left, true
+	case okR:
+		return right, true
+	default:
+		return 0, false
+	}
+}
+
+// addLink records a long link and indexes it.
+func (b *Builder) addLink(from, to metric.Point) error {
+	if err := b.g.AddLong(from, to); err != nil {
+		return err
+	}
+	b.inLinks[to] = append(b.inLinks[to], from)
+	return nil
+}
+
+// solicit asks node u to redirect one of its links to newcomer v,
+// applying the acceptance and replacement probabilities of §5.
+func (b *Builder) solicit(u, v metric.Point) error {
+	if u == v {
+		return nil
+	}
+	sp := b.g.Space()
+	pNew := 1 / float64(sp.Distance(u, v))
+	long := b.g.Long(u)
+
+	// A node still below its link budget simply adds the link: in the
+	// paper's steady state every node owns exactly ℓ links, so the
+	// replacement rule assumes a full set; topping up first preserves
+	// that invariant during early growth.
+	if len(long) < b.cfg.Links {
+		return b.addLink(u, v)
+	}
+	if len(long) == 0 {
+		return nil
+	}
+
+	sum := pNew
+	for _, lk := range long {
+		sum += 1 / float64(sp.Distance(u, lk.To))
+	}
+	if !b.src.Bool(pNew / sum) {
+		return nil // u declines to redirect
+	}
+
+	// Choose the victim link.
+	victim := -1
+	switch b.cfg.Strategy {
+	case Oldest:
+		var oldest int64
+		for i, lk := range long {
+			if victim == -1 || lk.Seq < oldest {
+				victim, oldest = i, lk.Seq
+			}
+		}
+	default: // InverseDistance
+		var mass float64
+		for _, lk := range long {
+			mass += 1 / float64(sp.Distance(u, lk.To))
+		}
+		r := b.src.Float64() * mass
+		for i, lk := range long {
+			r -= 1 / float64(sp.Distance(u, lk.To))
+			if r <= 0 {
+				victim = i
+				break
+			}
+		}
+		if victim == -1 {
+			victim = len(long) - 1
+		}
+	}
+	if err := b.g.ReplaceLong(u, victim, v); err != nil {
+		return err
+	}
+	b.inLinks[v] = append(b.inLinks[v], u)
+	return nil
+}
+
+// Grow builds a complete overlay by adding every point of the space in
+// a uniformly random arrival order. It is the setup used by Figure 5
+// and Figure 7's "constructed network".
+func Grow(space metric.Space1D, cfg Config, src *rng.Source) (*graph.Graph, error) {
+	b, err := NewBuilder(space, cfg, src)
+	if err != nil {
+		return nil, err
+	}
+	for _, i := range src.Perm(space.Size()) {
+		if err := b.Add(metric.Point(i)); err != nil {
+			return nil, err
+		}
+	}
+	return b.Graph(), nil
+}

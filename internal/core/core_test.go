@@ -1,0 +1,215 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/construct"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	cfg, err := Config{Nodes: 1024}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Links != 10 {
+		t.Errorf("default links = %d, want lg 1024 = 10", cfg.Links)
+	}
+	if cfg.Exponent != 1 {
+		t.Errorf("default exponent = %v, want 1", cfg.Exponent)
+	}
+	cfg, err = Config{Nodes: 16, Exponent: ExponentUniform}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Exponent != 0 {
+		t.Errorf("uniform exponent = %v, want 0 internally", cfg.Exponent)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Nodes: 1}); err == nil {
+		t.Error("single node should error")
+	}
+	if _, err := New(Config{Nodes: 16, Links: -1}); err == nil {
+		t.Error("negative links should error")
+	}
+	if _, err := New(Config{Nodes: 16, Construction: Heuristic, Exponent: 2}); err == nil {
+		t.Error("heuristic with exponent != 1 should error")
+	}
+}
+
+func TestIdealNetworkSearch(t *testing.T) {
+	nw, err := New(Config{Nodes: 1 << 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := nw.Search(3, 700, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Delivered {
+		t.Error("failure-free search should deliver")
+	}
+	if res.Hops <= 0 || res.Hops > 100 {
+		t.Errorf("hops = %d", res.Hops)
+	}
+	st := nw.Stats()
+	if st.Nodes != 1024 || st.Alive != 1024 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.MeanDegree != 10 {
+		t.Errorf("mean degree = %v, want 10", st.MeanDegree)
+	}
+	if nw.Config().Links != 10 {
+		t.Error("resolved config not exposed")
+	}
+}
+
+func TestRandomSearchWorkload(t *testing.T) {
+	nw, err := New(Config{Nodes: 512, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		res, err := nw.RandomSearch(SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Delivered {
+			t.Fatal("failure-free random search failed")
+		}
+	}
+}
+
+func TestLineSpace(t *testing.T) {
+	nw, err := New(Config{Nodes: 256, Space: Line, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := nw.Search(0, 255, SearchOptions{Sidedness: OneSided})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Delivered {
+		t.Error("line one-sided search failed")
+	}
+}
+
+func TestFailureInjection(t *testing.T) {
+	nw, err := New(Config{Nodes: 1000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed, err := nw.FailNodes(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crashed != 300 || nw.Alive() != 700 {
+		t.Errorf("crashed %d, alive %d", crashed, nw.Alive())
+	}
+	down, err := nw.FailLinks(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if down == 0 {
+		t.Error("expected some links down")
+	}
+	more, err := nw.FailNodesProb(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if more == 0 {
+		t.Error("expected some probabilistic crashes")
+	}
+	// Searches still mostly work with backtracking.
+	delivered := 0
+	for i := 0; i < 50; i++ {
+		res, err := nw.RandomSearch(SearchOptions{DeadEnd: Backtrack})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Delivered {
+			delivered++
+		}
+	}
+	if delivered < 25 {
+		t.Errorf("only %d/50 delivered under moderate damage", delivered)
+	}
+}
+
+func TestHeuristicNetworkChurn(t *testing.T) {
+	nw, err := New(Config{Nodes: 256, Construction: Heuristic, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Alive() != 256 {
+		t.Fatalf("alive = %d", nw.Alive())
+	}
+	// Churn through the facade.
+	if err := nw.RemoveNode(17); err != nil {
+		t.Fatal(err)
+	}
+	if nw.Alive() != 255 {
+		t.Errorf("alive after removal = %d", nw.Alive())
+	}
+	if err := nw.AddNode(17); err != nil {
+		t.Fatal(err)
+	}
+	if nw.Alive() != 256 {
+		t.Errorf("alive after re-add = %d", nw.Alive())
+	}
+	res, err := nw.RandomSearch(SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Delivered {
+		t.Error("search over churned heuristic network failed")
+	}
+}
+
+func TestHeuristicReplacementStrategy(t *testing.T) {
+	nw, err := New(Config{
+		Nodes:        128,
+		Construction: Heuristic,
+		Replacement:  construct.Oldest,
+		Seed:         6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.RandomSearch(SearchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdealNetworkRejectsChurn(t *testing.T) {
+	nw, err := New(Config{Nodes: 64, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.AddNode(3); err == nil {
+		t.Error("ideal network AddNode should error")
+	}
+	if err := nw.RemoveNode(3); err == nil {
+		t.Error("ideal network RemoveNode should error")
+	}
+}
+
+func TestDeterministicReproducibility(t *testing.T) {
+	build := func() (Stats, Result) {
+		nw, err := New(Config{Nodes: 512, Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := nw.Search(1, 400, SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nw.Stats(), res
+	}
+	s1, r1 := build()
+	s2, r2 := build()
+	if s1 != s2 || r1.Hops != r2.Hops || r1.Delivered != r2.Delivered {
+		t.Error("same seed should rebuild the identical network")
+	}
+}

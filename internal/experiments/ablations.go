@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/construct"
+	"repro/internal/failure"
+	"repro/internal/graph"
+	"repro/internal/mathx"
+	"repro/internal/metric"
+	"repro/internal/rng"
+	"repro/internal/route"
+	"repro/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:          "ablation.replacement",
+		Artifact:    "§5 design choice: inverse-distance vs oldest-link replacement",
+		Description: "grow networks under both strategies; compare distribution error and routing",
+		Run: func(p Params) (*sim.Table, error) {
+			p = p.withDefaults(1<<12, 3, 100)
+			links := p.lgLinks()
+			t := sim.NewTable(fmt.Sprintf("Replacement strategy ablation (n=%d, l=%d)", p.N, links),
+				"strategy", "max abs error vs ideal", "failed frac @ p=0.5", "mean hops @ p=0.5")
+			for _, strat := range []construct.ReplacementStrategy{construct.InverseDistance, construct.Oldest} {
+				strat := strat
+				maxD := (p.N - 1) / 2
+				probs := make([]float64, maxD+1)
+				var mu sync.Mutex
+				stats, err := sim.Run(p.Seed, p.Trials, p.Workers, func(trial int, src *rng.Source) (sim.SearchStats, error) {
+					ring, err := metric.NewRing(p.N)
+					if err != nil {
+						return sim.SearchStats{}, err
+					}
+					g, err := construct.Grow(ring, construct.Config{Links: links, Strategy: strat}, src)
+					if err != nil {
+						return sim.SearchStats{}, err
+					}
+					h := g.LinkLengthHistogram()
+					mu.Lock()
+					for d := 1; d <= maxD; d++ {
+						probs[d] += h.Probability(d-1) / float64(p.Trials)
+					}
+					mu.Unlock()
+					if _, err := failure.FailNodesFraction(g, 0.5, src); err != nil {
+						return sim.SearchStats{}, err
+					}
+					r := route.New(g, route.Options{DeadEnd: route.Backtrack})
+					return sim.MeasureSearches(g, r, src, p.Msgs)
+				})
+				if err != nil {
+					return nil, err
+				}
+				hm := mathx.Harmonic(maxD)
+				worst := 0.0
+				for d := 1; d <= maxD; d++ {
+					if e := math.Abs(probs[d] - 1/(float64(d)*hm)); e > worst {
+						worst = e
+					}
+				}
+				t.AddValues(strat.String(), worst, stats.FailedFraction(), stats.MeanHops())
+			}
+			return t, nil
+		},
+	})
+
+	register(Experiment{
+		ID:          "ablation.backtrack",
+		Artifact:    "§6 design choice: backtracking memory size (paper fixes 5)",
+		Description: "sweep backtrack history length at 50% node failure",
+		Run: func(p Params) (*sim.Table, error) {
+			p = p.withDefaults(1<<13, 5, 100)
+			links := p.lgLinks()
+			t := sim.NewTable(fmt.Sprintf("Backtrack memory ablation (n=%d, l=%d, p=0.5)", p.N, links),
+				"memory", "failed frac", "mean hops", "backtracks/search")
+			for _, mem := range []int{1, 2, 5, 10, 20} {
+				mem := mem
+				stats, err := measureIdeal(p, p.N, links,
+					route.Options{DeadEnd: route.Backtrack, BacktrackMemory: mem},
+					func(g *graph.Graph, src *rng.Source) error {
+						_, err := failure.FailNodesFraction(g, 0.5, src)
+						return err
+					})
+				if err != nil {
+					return nil, err
+				}
+				t.AddValues(mem, stats.FailedFraction(), stats.MeanHops(),
+					float64(stats.Backtracks)/float64(stats.Searches))
+			}
+			return t, nil
+		},
+	})
+
+	register(Experiment{
+		ID:          "ablation.sidedness",
+		Artifact:    "§4.2 models: one-sided vs two-sided greedy routing",
+		Description: "compare hop counts of the two lower-bound models, no failures",
+		Run: func(p Params) (*sim.Table, error) {
+			p = p.withDefaults(1<<14, 5, 100)
+			t := sim.NewTable(fmt.Sprintf("Sidedness ablation (n=%d)", p.N),
+				"links", "two-sided hops", "one-sided hops", "one/two ratio")
+			for _, l := range sweepLinks(p.lgLinks()) {
+				two, err := measureIdeal(p, p.N, l, route.Options{Sidedness: route.TwoSided}, nil)
+				if err != nil {
+					return nil, err
+				}
+				one, err := measureIdeal(p, p.N, l, route.Options{Sidedness: route.OneSided}, nil)
+				if err != nil {
+					return nil, err
+				}
+				ratio := 0.0
+				if two.MeanHops() > 0 {
+					ratio = one.MeanHops() / two.MeanHops()
+				}
+				t.AddValues(l, two.MeanHops(), one.MeanHops(), ratio)
+			}
+			return t, nil
+		},
+	})
+
+	register(Experiment{
+		ID:          "ablation.exponent",
+		Artifact:    "link-distribution exponent sweep (Kleinberg-style sensitivity)",
+		Description: "exponent 1 should minimize hops, matching the lower-bound optimality claim",
+		Run: func(p Params) (*sim.Table, error) {
+			p = p.withDefaults(1<<13, 5, 100)
+			links := p.lgLinks()
+			t := sim.NewTable(fmt.Sprintf("Exponent ablation (n=%d, l=%d)", p.N, links),
+				"exponent", "mean hops")
+			for _, exp := range []float64{0, 0.5, 1, 1.5, 2} {
+				exp := exp
+				stats, err := sim.Run(p.Seed, p.Trials, p.Workers, func(trial int, src *rng.Source) (sim.SearchStats, error) {
+					ring, err := metric.NewRing(p.N)
+					if err != nil {
+						return sim.SearchStats{}, err
+					}
+					g, err := graph.BuildIdeal(ring, graph.BuildConfig{Links: links, Exponent: exp}, src)
+					if err != nil {
+						return sim.SearchStats{}, err
+					}
+					r := route.New(g, route.Options{})
+					return sim.MeasureSearches(g, r, src, p.Msgs)
+				})
+				if err != nil {
+					return nil, err
+				}
+				t.AddValues(exp, stats.MeanHops())
+			}
+			return t, nil
+		},
+	})
+
+	register(Experiment{
+		ID:          "theory",
+		Artifact:    "Table 1 cross-check: measured hop counts vs upper and lower bounds",
+		Description: "evaluate the analysis package formulas against simulation",
+		Run: func(p Params) (*sim.Table, error) {
+			p = p.withDefaults(1<<14, 5, 100)
+			t := sim.NewTable(fmt.Sprintf("Theory vs measurement (n=%d)", p.N),
+				"config", "measured hops", "lower bound", "upper bound", "within bounds")
+			configs := []struct {
+				name  string
+				links int
+				side  route.Sidedness
+			}{
+				{"l=1 two-sided", 1, route.TwoSided},
+				{"l=4 two-sided", 4, route.TwoSided},
+				{"l=lg n two-sided", p.lgLinks(), route.TwoSided},
+				{"l=lg n one-sided", p.lgLinks(), route.OneSided},
+			}
+			for _, cfg := range configs {
+				cfg := cfg
+				stats, err := measureIdeal(p, p.N, cfg.links,
+					route.Options{Sidedness: cfg.side, DirectedOnly: true}, nil)
+				if err != nil {
+					return nil, err
+				}
+				oneSided := cfg.side == route.OneSided
+				lower := analysis.Theorem10LowerBound(p.N, cfg.links, oneSided)
+				var upper float64
+				if cfg.links == 1 {
+					upper = analysis.SingleLinkUpperBound(p.N)
+				} else {
+					upper = analysis.MultiLinkUpperBound(p.N, cfg.links)
+				}
+				measured := stats.MeanHops()
+				t.AddValues(cfg.name, measured, lower, upper,
+					measured >= lower*0.1 && measured <= upper)
+			}
+			return t, nil
+		},
+	})
+}

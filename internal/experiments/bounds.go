@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "table1.bounds",
+		Artifact: "Table 1 itself: every bound evaluated from the analysis formulas",
+		Description: "no simulation — the paper's summary table regenerated from the " +
+			"closed forms, at the configured n and ℓ",
+		Run: func(p Params) (*sim.Table, error) {
+			p = p.withDefaults(1<<17, 1, 1) // paper quotes n=2^17 in §6
+			n := p.N
+			l := p.lgLinks()
+			const b = 2
+			t := sim.NewTable(fmt.Sprintf("Table 1 bounds (n=%d, l=%d, b=%d, p=0.5 where applicable)", n, l, b),
+				"model", "links", "upper bound", "lower bound")
+
+			linkFail, err := analysis.LinkFailureUpperBound(n, l, 0.5)
+			if err != nil {
+				return nil, err
+			}
+			detLinkFail, err := analysis.DetLinkFailureUpperBound(n, b, 0.5)
+			if err != nil {
+				return nil, err
+			}
+			nodeFail, err := analysis.NodeFailureUpperBound(n, l, 0.5)
+			if err != nil {
+				return nil, err
+			}
+			rows := []struct {
+				model string
+				links string
+				upper float64
+				lower float64
+			}{
+				{"no failures", "1",
+					analysis.SingleLinkUpperBound(n),
+					analysis.Theorem10LowerBound(n, 1, false)},
+				{"no failures", fmt.Sprintf("[1, lg n]=%d", l),
+					analysis.MultiLinkUpperBound(n, l),
+					analysis.Theorem10LowerBound(n, l, true)},
+				{"no failures (deterministic)", fmt.Sprintf("(lg n, n^c], b=%d", b),
+					analysis.DeterministicUpperBound(n, b),
+					analysis.LargeLBound(n, l)},
+				{"Pr[link present]=0.5", fmt.Sprintf("%d", l), linkFail, 0},
+				{"Pr[link present]=0.5 (deterministic)", fmt.Sprintf("b=%d", b), detLinkFail, 0},
+				{"Pr[node present]=0.5 (binomial)", "1",
+					analysis.BinomialNodesUpperBound(n), 0},
+				{"Pr[node fails]=0.5 (Thm 18)", fmt.Sprintf("%d", l), nodeFail, 0},
+			}
+			for _, r := range rows {
+				lowerCell := "-" // the paper leaves these cells blank
+				if r.lower > 0 {
+					lowerCell = sim.F(r.lower)
+				}
+				t.Add(r.model, r.links, sim.F(r.upper), lowerCell)
+			}
+			return t, nil
+		},
+	})
+}

@@ -1,0 +1,120 @@
+// Package experiments implements every reproduction experiment from
+// DESIGN.md: one entry per paper table row, figure, and ablation. The
+// same registry backs cmd/ftrsim (run one experiment), cmd/ftrbench
+// (regenerate everything), and the root-level Go benchmarks.
+//
+// Default parameters are scaled so the full suite completes in minutes
+// on a laptop; Params lets callers restore the paper's scale (n = 2^17,
+// 1000 trials × 100 messages for Figure 6).
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Params tunes an experiment run. Zero values select per-experiment
+// defaults.
+type Params struct {
+	// N is the network size (nodes / grid points).
+	N int
+	// Links is ℓ; 0 selects the experiment's default (usually lg n).
+	Links int
+	// Trials is the number of independently built networks.
+	Trials int
+	// Msgs is the number of searches per network.
+	Msgs int
+	// Seed drives all randomness; equal seeds reproduce results
+	// exactly.
+	Seed uint64
+	// Workers bounds parallelism; 0 uses GOMAXPROCS.
+	Workers int
+}
+
+func (p Params) withDefaults(n, trials, msgs int) Params {
+	if p.N == 0 {
+		p.N = n
+	}
+	if p.Trials == 0 {
+		p.Trials = trials
+	}
+	if p.Msgs == 0 {
+		p.Msgs = msgs
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.Workers == 0 {
+		p.Workers = runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// lgLinks returns ℓ defaulted to lg n, as in the paper's simulations.
+func (p Params) lgLinks() int {
+	if p.Links > 0 {
+		return p.Links
+	}
+	lg := 0
+	for v := p.N; v > 1; v >>= 1 {
+		lg++
+	}
+	if lg < 1 {
+		lg = 1
+	}
+	return lg
+}
+
+// Experiment is one reproducible artifact: a paper table row, figure,
+// or ablation.
+type Experiment struct {
+	// ID is the stable identifier used on the command line and in
+	// DESIGN.md's experiment index.
+	ID string
+	// Artifact names the paper artifact this regenerates.
+	Artifact string
+	// Description summarizes the workload.
+	Description string
+	// Run executes the experiment.
+	Run func(Params) (*sim.Table, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// IDs returns all experiment ids in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Get returns the experiment registered under id.
+func Get(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("experiments: unknown id %q (see IDs())", id)
+	}
+	return e, nil
+}
+
+// Run executes the experiment registered under id.
+func Run(id string, p Params) (*sim.Table, error) {
+	e, err := Get(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(p)
+}

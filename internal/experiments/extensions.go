@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/failure"
+	"repro/internal/graph"
+	"repro/internal/highdim"
+	"repro/internal/keyspace"
+	"repro/internal/metric"
+	"repro/internal/rng"
+	"repro/internal/route"
+	"repro/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "ext.2d",
+		Artifact: "§7 future work: the design in a 2-D metric space",
+		Description: "exponent sweep and failure sweep on a torus; exponent d=2 is the " +
+			"asymptotic optimum (its win over lower exponents emerges beyond laptop n)",
+		Run: func(p Params) (*sim.Table, error) {
+			p = p.withDefaults(1<<12, 3, 150)
+			side := int(math.Sqrt(float64(p.N)))
+			if side < 8 {
+				side = 8
+			}
+			links := p.lgLinks()
+			t := sim.NewTable(fmt.Sprintf("2-D extension (side=%d, n=%d, l=%d)", side, side*side, links),
+				"config", "mean hops", "failed frac")
+
+			measure := func(label string, exponent, failFrac float64, backtrack bool) error {
+				stats, err := sim.Run(p.Seed, p.Trials, p.Workers, func(trial int, src *rng.Source) (sim.SearchStats, error) {
+					g, err := highdim.Build(highdim.Config{Side: side, Links: links, Exponent: exponent}, src)
+					if err != nil {
+						return sim.SearchStats{}, err
+					}
+					if failFrac > 0 {
+						if _, err := g.FailFraction(failFrac, src); err != nil {
+							return sim.SearchStats{}, err
+						}
+					}
+					var s sim.SearchStats
+					for i := 0; i < p.Msgs; i++ {
+						from, ok1 := g.RandomAlive(src)
+						to, ok2 := g.RandomAlive(src)
+						if !ok1 || !ok2 || from == to {
+							continue
+						}
+						res, err := g.Route(from, to, highdim.RouteOptions{Backtrack: backtrack})
+						if err != nil {
+							return s, err
+						}
+						s.Record(route.Result{Delivered: res.Delivered, Hops: res.Hops})
+					}
+					return s, nil
+				})
+				if err != nil {
+					return err
+				}
+				t.AddValues(label, stats.MeanHops(), stats.FailedFraction())
+				return nil
+			}
+
+			for _, exp := range []float64{1, 2, 3, highdim.ExponentUniform} {
+				label := fmt.Sprintf("exponent %g, no failures", exp)
+				if exp == highdim.ExponentUniform {
+					label = "uniform targets, no failures"
+				}
+				if err := measure(label, exp, 0, false); err != nil {
+					return nil, err
+				}
+			}
+			for _, f := range []float64{0.3, 0.5} {
+				if err := measure(fmt.Sprintf("exponent 2, %g failed, terminate", f), 2, f, false); err != nil {
+					return nil, err
+				}
+				if err := measure(fmt.Sprintf("exponent 2, %g failed, backtrack", f), 2, f, true); err != nil {
+					return nil, err
+				}
+			}
+			return t, nil
+		},
+	})
+
+	register(Experiment{
+		ID:       "ext.byzantine",
+		Artifact: "§7 future work: robustness against Byzantine (message-dropping) nodes",
+		Description: "malicious nodes silently drop traffic; Valiant-style redundant routing " +
+			"through random relays recovers deliverability",
+		Run: func(p Params) (*sim.Table, error) {
+			p = p.withDefaults(1<<13, 3, 150)
+			links := p.lgLinks()
+			t := sim.NewTable(fmt.Sprintf("Byzantine extension (n=%d, l=%d)", p.N, links),
+				"p(malicious)", "direct success", "2 copies", "4 copies")
+			for _, prob := range []float64{0, 0.05, 0.1, 0.2, 0.3} {
+				prob := prob
+				row := make([]float64, 3)
+				for ci, copies := range []int{1, 2, 4} {
+					copies := copies
+					stats, err := sim.Run(p.Seed, p.Trials, p.Workers, func(trial int, src *rng.Source) (sim.SearchStats, error) {
+						ring, err := metric.NewRing(p.N)
+						if err != nil {
+							return sim.SearchStats{}, err
+						}
+						g, err := graph.BuildIdeal(ring, graph.PaperConfig(links), src)
+						if err != nil {
+							return sim.SearchStats{}, err
+						}
+						if _, err := failure.MarkMalicious(g, prob, src); err != nil {
+							return sim.SearchStats{}, err
+						}
+						r := route.New(g, route.Options{})
+						var s sim.SearchStats
+						for i := 0; i < p.Msgs; i++ {
+							from, ok1 := honestNode(g, src)
+							to, ok2 := honestNode(g, src)
+							if !ok1 || !ok2 || from == to {
+								continue
+							}
+							res, err := r.RouteRedundant(src, from, to, copies)
+							if err != nil {
+								return s, err
+							}
+							s.Record(res)
+						}
+						return s, nil
+					})
+					if err != nil {
+						return nil, err
+					}
+					row[ci] = 1 - stats.FailedFraction()
+				}
+				t.AddValues(prob, row[0], row[1], row[2])
+			}
+			return t, nil
+		},
+	})
+}
+
+func init() {
+	register(Experiment{
+		ID:       "ext.physical",
+		Artifact: "§2 / Figure 1: physical machines vs virtual points under failure",
+		Description: "machines own many hashed points; crashing machines (correlated point " +
+			"deaths) should look identical to independent point failures — the hash " +
+			"de-correlates failures, which is what makes §6's model faithful",
+		Run: func(p Params) (*sim.Table, error) {
+			p = p.withDefaults(1<<13, 3, 150)
+			const resourcesPerMachine = 16
+			links := p.lgLinks()
+			t := sim.NewTable(
+				fmt.Sprintf("Physical vs virtual failures (n=%d, %d resources/machine)", p.N, resourcesPerMachine),
+				"fraction dead", "failed frac (machine crashes)", "failed frac (independent points)")
+			for _, frac := range []float64{0.2, 0.4, 0.6} {
+				frac := frac
+				row := make([]float64, 2)
+				for mode := 0; mode < 2; mode++ {
+					mode := mode
+					stats, err := sim.Run(p.Seed, p.Trials, p.Workers, func(trial int, src *rng.Source) (sim.SearchStats, error) {
+						mapping, err := keyspace.NewMapping(p.N)
+						if err != nil {
+							return sim.SearchStats{}, err
+						}
+						machines := p.N / resourcesPerMachine / 2 // half-full space
+						for mID := 0; mID < machines; mID++ {
+							for r := 0; r < resourcesPerMachine; r++ {
+								key := keyspace.Key(fmt.Sprintf("t%d-m%d-r%d", trial, mID, r))
+								// Skip collisions: the space is half
+								// empty, so a retry-free skip only
+								// shaves a few resources.
+								_, _ = mapping.Add(keyspace.PhysID(mID), key)
+							}
+						}
+						ring, err := metric.NewRing(p.N)
+						if err != nil {
+							return sim.SearchStats{}, err
+						}
+						g, err := graph.BuildIdealWithPresence(ring, graph.PaperConfig(links),
+							mapping.PresenceMask(), src)
+						if err != nil {
+							return sim.SearchStats{}, err
+						}
+						if mode == 0 {
+							// Crash whole machines until the desired
+							// fraction of points is dead.
+							targetDead := int(frac * float64(g.AliveCount()))
+							dead := 0
+							for _, mID := range src.Perm(machines) {
+								if dead >= targetDead {
+									break
+								}
+								for _, pt := range mapping.FailPhysical(keyspace.PhysID(mID)) {
+									if g.Fail(pt) {
+										dead++
+									}
+								}
+							}
+						} else {
+							if _, err := failure.FailNodesFraction(g, frac, src); err != nil {
+								return sim.SearchStats{}, err
+							}
+						}
+						r := route.New(g, route.Options{DeadEnd: route.Backtrack})
+						return sim.MeasureSearches(g, r, src, p.Msgs)
+					})
+					if err != nil {
+						return nil, err
+					}
+					row[mode] = stats.FailedFraction()
+				}
+				t.AddValues(frac, row[0], row[1])
+			}
+			return t, nil
+		},
+	})
+}
+
+// honestNode draws a random live, non-malicious node.
+func honestNode(g *graph.Graph, src *rng.Source) (metric.Point, bool) {
+	for i := 0; i < 256; i++ {
+		p, ok := g.RandomAlive(src)
+		if !ok {
+			return 0, false
+		}
+		if !g.Malicious(p) {
+			return p, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/construct"
+	"repro/internal/failure"
+	"repro/internal/graph"
+	"repro/internal/mathx"
+	"repro/internal/metric"
+	"repro/internal/rng"
+	"repro/internal/route"
+	"repro/internal/sim"
+)
+
+// derivedDistribution grows `trials` networks with the §5 heuristic and
+// returns the averaged empirical link-length probability for every
+// distance, together with the space's max distance.
+func derivedDistribution(p Params, n, links, trials int) ([]float64, int, error) {
+	maxD := (n - 1) / 2
+	probs := make([]float64, maxD+1)
+	var mu sync.Mutex
+
+	_, err := sim.Run(p.Seed, trials, p.Workers, func(trial int, src *rng.Source) (sim.SearchStats, error) {
+		ring, err := metric.NewRing(n)
+		if err != nil {
+			return sim.SearchStats{}, err
+		}
+		g, err := construct.Grow(ring, construct.Config{Links: links}, src)
+		if err != nil {
+			return sim.SearchStats{}, err
+		}
+		h := g.LinkLengthHistogram()
+		mu.Lock()
+		for d := 1; d <= maxD; d++ {
+			probs[d] += h.Probability(d-1) / float64(trials)
+		}
+		mu.Unlock()
+		return sim.SearchStats{}, nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return probs, maxD, nil
+}
+
+// fig5Distances picks the log-spaced sample distances reported in the
+// Figure 5 tables.
+func fig5Distances(maxD int) []int {
+	ds := []int{}
+	for d := 1; d <= maxD; d *= 2 {
+		ds = append(ds, d)
+	}
+	if ds[len(ds)-1] != maxD {
+		ds = append(ds, maxD)
+	}
+	return ds
+}
+
+func init() {
+	register(Experiment{
+		ID:          "fig5a",
+		Artifact:    "Figure 5(a): derived vs ideal link-length distribution",
+		Description: "grow networks with the §5 heuristic; compare P(link length) to 1/(d·H)",
+		Run: func(p Params) (*sim.Table, error) {
+			p = p.withDefaults(1<<12, 5, 0) // paper: n=2^14, 14 links, 10 networks
+			links := p.lgLinks()
+			trials := p.Trials
+			probs, maxD, err := derivedDistribution(p, p.N, links, trials)
+			if err != nil {
+				return nil, err
+			}
+			hm := mathx.Harmonic(maxD)
+			t := sim.NewTable(fmt.Sprintf("Figure 5(a) (n=%d, l=%d, %d networks)", p.N, links, trials),
+				"link length", "derived P", "ideal P", "ratio")
+			for _, d := range fig5Distances(maxD) {
+				ideal := 1 / (float64(d) * hm)
+				ratio := 0.0
+				if ideal > 0 {
+					ratio = probs[d] / ideal
+				}
+				t.AddValues(d, probs[d], ideal, ratio)
+			}
+			return t, nil
+		},
+	})
+
+	register(Experiment{
+		ID:          "fig5b",
+		Artifact:    "Figure 5(b): absolute error of the derived distribution",
+		Description: "same networks as fig5a; |derived − ideal| per distance, plus the maximum",
+		Run: func(p Params) (*sim.Table, error) {
+			p = p.withDefaults(1<<12, 5, 0)
+			links := p.lgLinks()
+			probs, maxD, err := derivedDistribution(p, p.N, links, p.Trials)
+			if err != nil {
+				return nil, err
+			}
+			hm := mathx.Harmonic(maxD)
+			t := sim.NewTable(fmt.Sprintf("Figure 5(b) (n=%d, l=%d)", p.N, links),
+				"link length", "abs error")
+			worst, worstD := 0.0, 0
+			for d := 1; d <= maxD; d++ {
+				e := math.Abs(probs[d] - 1/(float64(d)*hm))
+				if e > worst {
+					worst, worstD = e, d
+				}
+			}
+			for _, d := range fig5Distances(maxD) {
+				t.AddValues(d, math.Abs(probs[d]-1/(float64(d)*hm)))
+			}
+			t.Add("max", sim.F(worst))
+			t.Add("argmax", sim.F(worstD))
+			return t, nil
+		},
+	})
+
+	register(Experiment{
+		ID:          "fig6a",
+		Artifact:    "Figure 6(a): fraction of failed searches vs fraction of failed nodes",
+		Description: "three dead-end strategies on an ideal network under mass node failure",
+		Run:         func(p Params) (*sim.Table, error) { return figure6(p, false) },
+	})
+
+	register(Experiment{
+		ID:          "fig6b",
+		Artifact:    "Figure 6(b): mean delivery time of successful searches",
+		Description: "same sweep as fig6a, reporting hops of delivered messages",
+		Run:         func(p Params) (*sim.Table, error) { return figure6(p, true) },
+	})
+
+	register(Experiment{
+		ID:          "fig7",
+		Artifact:    "Figure 7: failed searches, heuristic-built vs ideal network",
+		Description: "compare §5-constructed networks to directly sampled ones under node failure",
+		Run: func(p Params) (*sim.Table, error) {
+			p = p.withDefaults(1<<12, 3, 100) // paper: 16384 nodes, 10 nets, 1000 msgs
+			links := p.lgLinks()
+			t := sim.NewTable(fmt.Sprintf("Figure 7 (n=%d, l=%d)", p.N, links),
+				"p(node fail)", "constructed failed frac", "ideal failed frac",
+				"constructed stderr", "ideal stderr")
+			for _, prob := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9} {
+				prob := prob
+				row := make([]float64, 2)
+				stderrs := make([]float64, 2)
+				for i, heuristic := range []bool{true, false} {
+					heuristic := heuristic
+					trialStats, err := sim.RunDetailed(p.Seed+uint64(i), p.Trials, p.Workers,
+						func(trial int, src *rng.Source) (sim.SearchStats, error) {
+							ring, err := metric.NewRing(p.N)
+							if err != nil {
+								return sim.SearchStats{}, err
+							}
+							var g *graph.Graph
+							if heuristic {
+								g, err = construct.Grow(ring, construct.Config{Links: links}, src)
+							} else {
+								g, err = graph.BuildIdeal(ring, graph.PaperConfig(links), src)
+							}
+							if err != nil {
+								return sim.SearchStats{}, err
+							}
+							if _, err := failure.FailNodesFraction(g, prob, src); err != nil {
+								return sim.SearchStats{}, err
+							}
+							r := route.New(g, route.Options{DeadEnd: route.Terminate})
+							return sim.MeasureSearches(g, r, src, p.Msgs)
+						})
+					if err != nil {
+						return nil, err
+					}
+					iv := sim.FailedFractionInterval(trialStats)
+					row[i] = iv.Mean
+					stderrs[i] = iv.StdErr
+				}
+				t.AddValues(prob, row[0], row[1], stderrs[0], stderrs[1])
+			}
+			return t, nil
+		},
+	})
+}
+
+// figure6 runs the §6 failure sweep. When meanHops is false it reports
+// the failed-search fraction (Figure 6a); when true, the mean delivery
+// time of successful searches (Figure 6b).
+func figure6(p Params, meanHops bool) (*sim.Table, error) {
+	p = p.withDefaults(1<<14, 5, 100) // paper: n=2^17, 1000 sims x 100 msgs
+	links := p.lgLinks()
+	strategies := []route.DeadEndPolicy{route.Terminate, route.RandomReroute, route.Backtrack}
+	metricName := "failed frac"
+	if meanHops {
+		metricName = "mean hops"
+	}
+	t := sim.NewTable(
+		fmt.Sprintf("Figure 6 [%s] (n=%d, l=%d, %d trials x %d msgs)", metricName, p.N, links, p.Trials, p.Msgs),
+		"p(node fail)", "terminate", "random-reroute", "backtracking")
+	for _, prob := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8} {
+		prob := prob
+		row := make([]float64, len(strategies))
+		for si, strat := range strategies {
+			strat := strat
+			stats, err := sim.Run(p.Seed, p.Trials, p.Workers, func(trial int, src *rng.Source) (sim.SearchStats, error) {
+				ring, err := metric.NewRing(p.N)
+				if err != nil {
+					return sim.SearchStats{}, err
+				}
+				g, err := graph.BuildIdeal(ring, graph.PaperConfig(links), src)
+				if err != nil {
+					return sim.SearchStats{}, err
+				}
+				if _, err := failure.FailNodesFraction(g, prob, src); err != nil {
+					return sim.SearchStats{}, err
+				}
+				r := route.New(g, route.Options{DeadEnd: strat})
+				return sim.MeasureSearches(g, r, src, p.Msgs)
+			})
+			if err != nil {
+				return nil, err
+			}
+			if meanHops {
+				row[si] = stats.MeanHops()
+			} else {
+				row[si] = stats.FailedFraction()
+			}
+		}
+		t.AddValues(prob, row[0], row[1], row[2])
+	}
+	return t, nil
+}

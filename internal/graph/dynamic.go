@@ -1,0 +1,66 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/metric"
+)
+
+// NewEmpty returns a graph over space in which no grid point hosts a
+// node yet. Nodes arrive later through AddNode — the starting state of
+// the §5 incremental construction.
+func NewEmpty(space metric.Space1D) *Graph {
+	return &Graph{space: space, nodes: make([]node, space.Size())}
+}
+
+// AddNode marks point p as hosting a live node. It returns an error if
+// p is out of range or already hosts a node.
+func (g *Graph) AddNode(p metric.Point) error {
+	if !g.inRange(p) {
+		return fmt.Errorf("graph: AddNode(%d) out of range [0,%d)", p, len(g.nodes))
+	}
+	if g.nodes[p].exists {
+		return fmt.Errorf("graph: node %d already exists", p)
+	}
+	g.nodes[p].exists = true
+	g.nodes[p].failed = false
+	g.aliveCount++
+	return nil
+}
+
+// RemoveNode deletes the node at p entirely: its outgoing long links are
+// dropped and the point stops hosting a node (unlike Fail, which models
+// a crash that leaves the point occupied but dead). Links from other
+// nodes toward p become dangling; ForEachNeighbor already hides them,
+// and the construction heuristic repairs them. It returns an error if p
+// hosts no node.
+func (g *Graph) RemoveNode(p metric.Point) error {
+	if !g.inRange(p) || !g.nodes[p].exists {
+		return fmt.Errorf("graph: RemoveNode(%d): no such node", p)
+	}
+	if !g.nodes[p].failed {
+		g.aliveCount--
+	}
+	// Drop the reverse-index entries of p's outgoing links so the
+	// index does not accumulate dead references under churn.
+	for i, lk := range g.nodes[p].long {
+		if lk.Up {
+			g.dropRev(lk.To, revRef{from: p, idx: i})
+		}
+	}
+	// Take every incoming link down: the connection to a departed
+	// node is gone for good. The slot stays in its owner's link list
+	// (pointing at the vacated point, down) until the §5 repair
+	// redirects it — so a later arrival at the same point does not
+	// silently resurrect stale connections.
+	for _, ref := range g.nodes[p].rev {
+		if g.inRange(ref.from) && ref.idx < len(g.nodes[ref.from].long) {
+			lk := &g.nodes[ref.from].long[ref.idx]
+			if lk.To == p {
+				lk.Up = false
+			}
+		}
+	}
+	g.nodes[p] = node{}
+	return nil
+}

@@ -1,0 +1,414 @@
+// Package graph implements the paper's overlay structure: nodes embedded
+// at the grid points of a one-dimensional metric space, each connected
+// to its immediate neighbours (short links, always present per §4.3.3)
+// and to a set of long-distance links drawn from a configurable
+// distribution.
+//
+// The graph is a value-type store of links plus liveness bookkeeping;
+// the routing algorithms live in package route, failure models in
+// package failure, and the dynamic construction heuristic of §5 in
+// package construct.
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/mathx"
+	"repro/internal/metric"
+	"repro/internal/rng"
+)
+
+// Link is a directed long-distance link. Up distinguishes a link that
+// exists in the overlay from one whose underlying connection has failed
+// (§4.3.3's independent link-failure model). Seq records creation order
+// for the "replace oldest link" strategy of §5.
+type Link struct {
+	To  metric.Point
+	Up  bool
+	Seq int64
+}
+
+type node struct {
+	exists    bool // the point hosts a node at all (§4.3.4.1 binomial model)
+	failed    bool // the node crashed after the graph was built
+	malicious bool // Byzantine: alive but silently drops messages
+	long      []Link
+	// rev indexes incoming long links: each entry names a node whose
+	// long link at the given slot points here. Entries can go stale
+	// (the slot redirected elsewhere); readers re-validate against the
+	// forward link, so staleness is harmless.
+	rev []revRef
+}
+
+// revRef locates one incoming long link: nodes[from].long[idx].
+type revRef struct {
+	from metric.Point
+	idx  int
+}
+
+// Graph is an overlay network over a one-dimensional metric space.
+// It is not safe for concurrent mutation; experiment code builds one
+// graph per goroutine.
+type Graph struct {
+	space      metric.Space1D
+	nodes      []node
+	aliveCount int
+	seq        int64
+}
+
+// New returns a graph over space in which every grid point hosts a node
+// and no long links exist yet.
+func New(space metric.Space1D) *Graph {
+	g := &Graph{space: space, nodes: make([]node, space.Size())}
+	for i := range g.nodes {
+		g.nodes[i].exists = true
+	}
+	g.aliveCount = len(g.nodes)
+	return g
+}
+
+// NewWithPresence returns a graph in which point i hosts a node exactly
+// when present[i] is true (the binomially-distributed node model of
+// §4.3.4.1). It returns an error if len(present) != space.Size() or if
+// no point is present.
+func NewWithPresence(space metric.Space1D, present []bool) (*Graph, error) {
+	if len(present) != space.Size() {
+		return nil, fmt.Errorf("graph: presence mask has %d entries for space of size %d",
+			len(present), space.Size())
+	}
+	g := &Graph{space: space, nodes: make([]node, space.Size())}
+	for i, p := range present {
+		g.nodes[i].exists = p
+		if p {
+			g.aliveCount++
+		}
+	}
+	if g.aliveCount == 0 {
+		return nil, fmt.Errorf("graph: presence mask admits no nodes")
+	}
+	return g, nil
+}
+
+// Space returns the underlying metric space.
+func (g *Graph) Space() metric.Space1D { return g.space }
+
+// Size returns the number of grid points (present or not).
+func (g *Graph) Size() int { return g.space.Size() }
+
+// Exists reports whether point p hosts a node (failed or not).
+func (g *Graph) Exists(p metric.Point) bool {
+	return g.inRange(p) && g.nodes[p].exists
+}
+
+// Alive reports whether point p hosts a live node.
+func (g *Graph) Alive(p metric.Point) bool {
+	return g.inRange(p) && g.nodes[p].exists && !g.nodes[p].failed
+}
+
+// AliveCount returns the number of live nodes.
+func (g *Graph) AliveCount() int { return g.aliveCount }
+
+func (g *Graph) inRange(p metric.Point) bool { return p >= 0 && int(p) < len(g.nodes) }
+
+// Fail marks the node at p as crashed. Failing an absent or already
+// failed node is a no-op. It returns true if the node transitioned from
+// alive to failed.
+func (g *Graph) Fail(p metric.Point) bool {
+	if !g.Alive(p) {
+		return false
+	}
+	g.nodes[p].failed = true
+	g.aliveCount--
+	return true
+}
+
+// Revive clears the failed flag of the node at p. It returns true if
+// the node transitioned from failed to alive.
+func (g *Graph) Revive(p metric.Point) bool {
+	if !g.inRange(p) || !g.nodes[p].exists || !g.nodes[p].failed {
+		return false
+	}
+	g.nodes[p].failed = false
+	g.aliveCount++
+	return true
+}
+
+// SetMalicious marks the live node at p as Byzantine: it participates
+// in the overlay (others link and route to it) but silently drops every
+// message it receives. Used by the §7-motivated robustness extension.
+func (g *Graph) SetMalicious(p metric.Point, malicious bool) error {
+	if !g.Alive(p) {
+		return fmt.Errorf("graph: SetMalicious(%d): not a live node", p)
+	}
+	g.nodes[p].malicious = malicious
+	return nil
+}
+
+// Malicious reports whether p hosts a Byzantine node.
+func (g *Graph) Malicious(p metric.Point) bool {
+	return g.inRange(p) && g.nodes[p].malicious
+}
+
+// AddLong appends a long-distance link from p to to. Self-links are
+// rejected with an error; duplicate links are permitted (the paper's
+// randomized strategy samples with replacement, Theorem 13).
+func (g *Graph) AddLong(p, to metric.Point) error {
+	if !g.inRange(p) || !g.inRange(to) {
+		return fmt.Errorf("graph: link %d->%d out of range [0,%d)", p, to, len(g.nodes))
+	}
+	if p == to {
+		return fmt.Errorf("graph: self-link at %d", p)
+	}
+	g.seq++
+	g.nodes[p].long = append(g.nodes[p].long, Link{To: to, Up: true, Seq: g.seq})
+	g.nodes[to].rev = append(g.nodes[to].rev, revRef{from: p, idx: len(g.nodes[p].long) - 1})
+	return nil
+}
+
+// Long returns the long-link slice of p. The caller must not mutate it;
+// use ReplaceLong or SetLongUp for modifications.
+func (g *Graph) Long(p metric.Point) []Link {
+	if !g.inRange(p) {
+		return nil
+	}
+	return g.nodes[p].long
+}
+
+// ReplaceLong redirects p's i-th long link to point to, stamping a fresh
+// sequence number. It is the primitive behind §5's link-redirection
+// heuristic.
+func (g *Graph) ReplaceLong(p metric.Point, i int, to metric.Point) error {
+	if !g.inRange(p) || i < 0 || i >= len(g.nodes[p].long) {
+		return fmt.Errorf("graph: ReplaceLong(%d, %d) out of range", p, i)
+	}
+	if p == to || !g.inRange(to) {
+		return fmt.Errorf("graph: invalid redirect target %d for node %d", to, p)
+	}
+	g.dropRev(g.nodes[p].long[i].To, revRef{from: p, idx: i})
+	g.seq++
+	g.nodes[p].long[i] = Link{To: to, Up: true, Seq: g.seq}
+	g.nodes[to].rev = append(g.nodes[to].rev, revRef{from: p, idx: i})
+	return nil
+}
+
+// dropRev removes one reverse-index entry, if present.
+func (g *Graph) dropRev(at metric.Point, ref revRef) {
+	if !g.inRange(at) {
+		return
+	}
+	rev := g.nodes[at].rev
+	for i, r := range rev {
+		if r == ref {
+			rev[i] = rev[len(rev)-1]
+			g.nodes[at].rev = rev[:len(rev)-1]
+			return
+		}
+	}
+}
+
+// SetLongUp sets the Up flag of p's i-th long link (link-failure
+// injection), keeping the reverse index in step: only up links are
+// indexed.
+func (g *Graph) SetLongUp(p metric.Point, i int, up bool) error {
+	if !g.inRange(p) || i < 0 || i >= len(g.nodes[p].long) {
+		return fmt.Errorf("graph: SetLongUp(%d, %d) out of range", p, i)
+	}
+	lk := &g.nodes[p].long[i]
+	if lk.Up == up {
+		return nil
+	}
+	lk.Up = up
+	ref := revRef{from: p, idx: i}
+	if up {
+		g.nodes[lk.To].rev = append(g.nodes[lk.To].rev, ref)
+	} else {
+		g.dropRev(lk.To, ref)
+	}
+	return nil
+}
+
+// ShortNeighbor returns the nearest present node in direction dir
+// (+1/−1) from p, skipping absent grid points, along with whether one
+// exists. Short links bind each node to the closest *present* node on
+// either side, so in the binomial-presence model the short chain skips
+// holes.
+func (g *Graph) ShortNeighbor(p metric.Point, dir int) (metric.Point, bool) {
+	cur := p
+	for i := 0; i < g.Size(); i++ {
+		q, ok := g.space.Step(cur, dir)
+		if !ok {
+			return 0, false // line boundary
+		}
+		if q == p {
+			return 0, false // wrapped all the way around
+		}
+		if g.nodes[q].exists {
+			return q, true
+		}
+		cur = q
+	}
+	return 0, false
+}
+
+// ForEachOutNeighbor invokes fn for every outgoing overlay neighbour of
+// p: the two short neighbours (always up, per the paper's assumption
+// that immediate links never fail) and every long link that is up. fn
+// receives the neighbouring point; absent points never appear.
+// Neighbour liveness is NOT filtered here — routing decides what to do
+// with dead neighbours. This is the directed model analyzed in §4.
+func (g *Graph) ForEachOutNeighbor(p metric.Point, fn func(q metric.Point)) {
+	if !g.inRange(p) || !g.nodes[p].exists {
+		return
+	}
+	left, okL := g.ShortNeighbor(p, -1)
+	if okL {
+		fn(left)
+	}
+	if right, okR := g.ShortNeighbor(p, +1); okR && (!okL || right != left) {
+		fn(right)
+	}
+	for _, lk := range g.nodes[p].long {
+		if lk.Up && g.nodes[lk.To].exists {
+			fn(lk.To)
+		}
+	}
+}
+
+// ForEachNeighbor invokes fn for every physical neighbour of p: the
+// outgoing set of ForEachOutNeighbor plus every node holding an up long
+// link INTO p. A long link is a network connection, and §5's protocol
+// has link targets participate in link management, so both endpoints
+// know each other; the §6 simulations route over this symmetric
+// neighbour set. In-links can repeat out-links; fn may be called more
+// than once per point (greedy selection is idempotent, so callers don't
+// care).
+func (g *Graph) ForEachNeighbor(p metric.Point, fn func(q metric.Point)) {
+	g.ForEachOutNeighbor(p, fn)
+	if !g.inRange(p) || !g.nodes[p].exists {
+		return
+	}
+	for _, ref := range g.nodes[p].rev {
+		if !g.inRange(ref.from) || !g.nodes[ref.from].exists || ref.from == p {
+			continue
+		}
+		long := g.nodes[ref.from].long
+		// Re-validate: the slot must still point here and be up.
+		if ref.idx < len(long) && long[ref.idx].To == p && long[ref.idx].Up {
+			fn(ref.from)
+		}
+	}
+}
+
+// NearestExisting returns the present point closest to target (the
+// "basin of attraction" rule of §5: a link aimed at an absent point
+// connects to the nearest present one). Ties break toward the lower
+// side. ok is false only if no node exists at all.
+func (g *Graph) NearestExisting(target metric.Point) (metric.Point, bool) {
+	if !g.inRange(target) {
+		return 0, false
+	}
+	if g.nodes[target].exists {
+		return target, true
+	}
+	left, okL := g.ShortNeighbor(target, -1)
+	right, okR := g.ShortNeighbor(target, +1)
+	switch {
+	case okL && okR:
+		if g.space.Distance(left, target) <= g.space.Distance(right, target) {
+			return left, true
+		}
+		return right, true
+	case okL:
+		return left, true
+	case okR:
+		return right, true
+	}
+	return 0, false
+}
+
+// RandomAlive returns a uniformly random live node, or ok=false when
+// none are alive. It rejects dead points by resampling, which is fast
+// whenever a constant fraction of nodes are alive; a linear fallback
+// guards the near-extinct case.
+func (g *Graph) RandomAlive(src *rng.Source) (metric.Point, bool) {
+	if g.aliveCount == 0 {
+		return 0, false
+	}
+	if g.aliveCount*8 >= len(g.nodes) {
+		for {
+			p := metric.Point(src.Intn(len(g.nodes)))
+			if g.Alive(p) {
+				return p, true
+			}
+		}
+	}
+	k := src.Intn(g.aliveCount)
+	for i := range g.nodes {
+		if g.nodes[i].exists && !g.nodes[i].failed {
+			if k == 0 {
+				return metric.Point(i), true
+			}
+			k--
+		}
+	}
+	return 0, false
+}
+
+// LinkLengthHistogram accumulates the metric length of every long link
+// (up or down) into a linear histogram with one bucket per distance.
+// Figure 5 plots exactly this.
+func (g *Graph) LinkLengthHistogram() *mathx.Histogram {
+	maxD := g.space.Size() // safe upper bound for both line and ring
+	h := mathx.NewHistogram(maxD)
+	for p := range g.nodes {
+		for _, lk := range g.nodes[p].long {
+			h.Add(g.space.Distance(metric.Point(p), lk.To))
+		}
+	}
+	return h
+}
+
+// AvgOutDegree returns the mean number of long links per existing node.
+func (g *Graph) AvgOutDegree() float64 {
+	var links, nodes int
+	for p := range g.nodes {
+		if g.nodes[p].exists {
+			nodes++
+			links += len(g.nodes[p].long)
+		}
+	}
+	if nodes == 0 {
+		return 0
+	}
+	return float64(links) / float64(nodes)
+}
+
+// InDegree returns the number of up long links pointing at p from
+// existing nodes. For the ideal construction this is approximately
+// Poisson(l)-distributed — the very assumption §5's arrival protocol
+// makes when a newcomer estimates how many in-links it "should" have.
+func (g *Graph) InDegree(p metric.Point) int {
+	if !g.inRange(p) || !g.nodes[p].exists {
+		return 0
+	}
+	count := 0
+	for _, ref := range g.nodes[p].rev {
+		if !g.inRange(ref.from) || !g.nodes[ref.from].exists || ref.from == p {
+			continue
+		}
+		long := g.nodes[ref.from].long
+		if ref.idx < len(long) && long[ref.idx].To == p && long[ref.idx].Up {
+			count++
+		}
+	}
+	return count
+}
+
+// LongLinkCount returns the total number of long links in the graph.
+func (g *Graph) LongLinkCount() int {
+	var c int
+	for p := range g.nodes {
+		c += len(g.nodes[p].long)
+	}
+	return c
+}

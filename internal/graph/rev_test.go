@@ -1,0 +1,221 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/metric"
+	"repro/internal/rng"
+)
+
+// bruteForceInNeighbors scans every node's forward links to find the up
+// in-neighbours of p — the ground truth the reverse index must match.
+func bruteForceInNeighbors(g *Graph, p metric.Point) map[metric.Point]int {
+	in := map[metric.Point]int{}
+	for i := 0; i < g.Size(); i++ {
+		q := metric.Point(i)
+		if !g.Exists(q) || q == p {
+			continue
+		}
+		for _, lk := range g.Long(q) {
+			if lk.To == p && lk.Up {
+				in[q]++
+			}
+		}
+	}
+	return in
+}
+
+// symmetricNeighborsViaIndex extracts the in-link part of
+// ForEachNeighbor by subtracting the out-neighbour enumeration.
+func symmetricNeighborsViaIndex(g *Graph, p metric.Point) map[metric.Point]int {
+	all := map[metric.Point]int{}
+	g.ForEachNeighbor(p, func(q metric.Point) { all[q]++ })
+	g.ForEachOutNeighbor(p, func(q metric.Point) { all[q]-- })
+	for q, c := range all {
+		if c == 0 {
+			delete(all, q)
+		}
+	}
+	return all
+}
+
+func requireIndexConsistent(t *testing.T, g *Graph, step int) {
+	t.Helper()
+	for i := 0; i < g.Size(); i++ {
+		p := metric.Point(i)
+		if !g.Exists(p) {
+			continue
+		}
+		want := bruteForceInNeighbors(g, p)
+		got := symmetricNeighborsViaIndex(g, p)
+		for q, n := range want {
+			if got[q] != n {
+				t.Fatalf("step %d: node %d in-neighbour %d: index says %d, truth %d",
+					step, p, q, got[q], n)
+			}
+		}
+		for q, n := range got {
+			if want[q] != n {
+				t.Fatalf("step %d: node %d phantom in-neighbour %d (count %d)", step, p, q, n)
+			}
+		}
+	}
+}
+
+// The reverse index must agree with a brute-force scan after any
+// sequence of AddLong / ReplaceLong / SetLongUp / Fail / RemoveNode /
+// AddNode operations.
+func TestReverseIndexInvariantUnderChurn(t *testing.T) {
+	const n = 24
+	sp, err := metric.NewRing(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(sp)
+	src := rng.New(77)
+	for step := 0; step < 600; step++ {
+		p := metric.Point(src.Intn(n))
+		switch src.Intn(6) {
+		case 0: // add a long link from a random existing node
+			if g.Exists(p) {
+				to := metric.Point(src.Intn(n))
+				if to != p {
+					if err := g.AddLong(p, to); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		case 1: // redirect a random link
+			if g.Exists(p) && len(g.Long(p)) > 0 {
+				i := src.Intn(len(g.Long(p)))
+				to := metric.Point(src.Intn(n))
+				if to != p {
+					if err := g.ReplaceLong(p, i, to); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		case 2: // toggle a link's up flag
+			if g.Exists(p) && len(g.Long(p)) > 0 {
+				i := src.Intn(len(g.Long(p)))
+				if err := g.SetLongUp(p, i, src.Bool(0.5)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case 3: // crash / revive
+			if src.Bool(0.5) {
+				g.Fail(p)
+			} else {
+				g.Revive(p)
+			}
+		case 4: // remove the node entirely
+			if g.Exists(p) && g.AliveCount() > 2 {
+				if err := g.RemoveNode(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case 5: // re-add
+			if !g.Exists(p) {
+				if err := g.AddNode(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if step%50 == 0 {
+			requireIndexConsistent(t, g, step)
+		}
+	}
+	requireIndexConsistent(t, g, 600)
+}
+
+func TestDynamicAddRemoveValidation(t *testing.T) {
+	sp, err := metric.NewRing(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewEmpty(sp)
+	if g.AliveCount() != 0 {
+		t.Error("empty graph should have no nodes")
+	}
+	if err := g.AddNode(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddNode(3); err == nil {
+		t.Error("duplicate AddNode should error")
+	}
+	if err := g.AddNode(99); err == nil {
+		t.Error("out-of-range AddNode should error")
+	}
+	if err := g.RemoveNode(5); err == nil {
+		t.Error("removing a missing node should error")
+	}
+	if err := g.RemoveNode(3); err != nil {
+		t.Fatal(err)
+	}
+	if g.AliveCount() != 0 || g.Exists(3) {
+		t.Error("RemoveNode did not clear the node")
+	}
+}
+
+func TestRemoveFailedNodeKeepsAliveCount(t *testing.T) {
+	sp, err := metric.NewRing(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(sp)
+	g.Fail(1)
+	if g.AliveCount() != 3 {
+		t.Fatal("setup")
+	}
+	if err := g.RemoveNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if g.AliveCount() != 3 {
+		t.Errorf("removing an already-failed node must not change alive count: %d", g.AliveCount())
+	}
+}
+
+// Symmetric routing sees an in-link even when the only link between two
+// nodes is directed the other way.
+func TestForEachNeighborSeesInLinks(t *testing.T) {
+	sp, err := metric.NewRing(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(sp)
+	if err := g.AddLong(5, 20); err != nil {
+		t.Fatal(err)
+	}
+	seen := false
+	g.ForEachNeighbor(20, func(q metric.Point) {
+		if q == 5 {
+			seen = true
+		}
+	})
+	if !seen {
+		t.Error("node 20 should see in-neighbour 5")
+	}
+	// But the directed enumeration must not.
+	seen = false
+	g.ForEachOutNeighbor(20, func(q metric.Point) {
+		if q == 5 {
+			seen = true
+		}
+	})
+	if seen {
+		t.Error("out enumeration must not include in-links")
+	}
+	// Downing the link hides it from both sides.
+	if err := g.SetLongUp(5, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	seen = false
+	g.ForEachNeighbor(20, func(q metric.Point) {
+		if q == 5 {
+			seen = true
+		}
+	})
+	if seen {
+		t.Error("down in-link should be hidden")
+	}
+}

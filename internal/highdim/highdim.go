@@ -1,0 +1,300 @@
+// Package highdim lifts the paper's design to a two-dimensional metric
+// space — the first direction §7 names for future work ("whether
+// similar strategies would work for higher-dimensional spaces").
+//
+// Nodes occupy the grid points of a side×side torus. Each node keeps
+// its four grid neighbours (the 2-D analogue of the ±1 short links)
+// plus ℓ long links whose *target* is drawn with probability
+// proportional to d(u,v)^(−exponent) under L1 distance. For a
+// d-dimensional grid the harmonic exponent is d (Kleinberg), so 2 is
+// the natural default here, and the exponent sweep experiment verifies
+// the optimum empirically.
+//
+// Routing mirrors package route: two-sided greedy over live neighbours,
+// with the same Terminate/Backtrack dead-end strategies, so the §6
+// failure experiments can be replayed in 2-D.
+package highdim
+
+import (
+	"fmt"
+
+	"repro/internal/metric"
+	"repro/internal/rng"
+)
+
+// Config parameterizes a 2-D overlay.
+type Config struct {
+	// Side is the torus side length (n = Side²).
+	Side int
+	// Links is ℓ, the long links per node.
+	Links int
+	// Exponent of the link distribution; zero defaults to 2, the
+	// harmonic exponent for two dimensions. Use ExponentUniform for a
+	// uniform target distribution.
+	Exponent float64
+}
+
+// ExponentUniform requests link targets uniform over the torus (the
+// internal meaning of exponent 0, which Config treats as "default").
+const ExponentUniform = -1
+
+func (c Config) withDefaults() Config {
+	switch c.Exponent {
+	case 0:
+		c.Exponent = 2
+	case ExponentUniform:
+		c.Exponent = 0
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Side < 2 {
+		return fmt.Errorf("highdim: side must be >= 2, got %d", c.Side)
+	}
+	if c.Links < 0 {
+		return fmt.Errorf("highdim: negative link count %d", c.Links)
+	}
+	return nil
+}
+
+// Graph2D is the paper's overlay on a torus.
+type Graph2D struct {
+	grid       *metric.Grid2D
+	long       [][]metric.Point
+	failed     []bool
+	aliveCount int
+}
+
+// Build constructs the 2-D overlay. The distance marginal of a link is
+// shell(d)·d^(−exponent) where shell(d) ≈ 4d is the number of points on
+// the L1 sphere of radius d; the target is then uniform on that shell.
+func Build(cfg Config, src *rng.Source) (*Graph2D, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	grid, err := metric.NewGrid2D(cfg.Side)
+	if err != nil {
+		return nil, err
+	}
+	maxD := cfg.Side / 2
+	if maxD < 1 {
+		maxD = 1
+	}
+	// Distance sampler: P(d) ∝ 4d·d^(−exponent) = 4·d^(1−exponent).
+	dist, err := rng.NewPowerLawSampler(maxD, cfg.Exponent-1)
+	if err != nil {
+		return nil, err
+	}
+	g := &Graph2D{
+		grid:       grid,
+		long:       make([][]metric.Point, grid.Size()),
+		failed:     make([]bool, grid.Size()),
+		aliveCount: grid.Size(),
+	}
+	for p := 0; p < grid.Size(); p++ {
+		links := make([]metric.Point, 0, cfg.Links)
+		for j := 0; j < cfg.Links; j++ {
+			d := dist.Sample(src)
+			links = append(links, g.randomAtDistance(metric.Point(p), d, src))
+		}
+		g.long[p] = links
+	}
+	return g, nil
+}
+
+// randomAtDistance picks a near-uniform point on the L1 shell of radius
+// d around p.
+func (g *Graph2D) randomAtDistance(p metric.Point, d int, src *rng.Source) metric.Point {
+	px, py := g.grid.Coords(p)
+	dx := src.Intn(2*d+1) - d
+	rest := d - abs(dx)
+	dy := rest
+	if rest > 0 && src.Bool(0.5) {
+		dy = -rest
+	}
+	return g.grid.PointAt(px+dx, py+dy)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Size returns the number of grid points.
+func (g *Graph2D) Size() int { return g.grid.Size() }
+
+// Grid returns the underlying torus.
+func (g *Graph2D) Grid() *metric.Grid2D { return g.grid }
+
+// Alive reports whether p is a live node.
+func (g *Graph2D) Alive(p metric.Point) bool {
+	return p >= 0 && int(p) < len(g.failed) && !g.failed[p]
+}
+
+// AliveCount returns the number of live nodes.
+func (g *Graph2D) AliveCount() int { return g.aliveCount }
+
+// FailFraction crashes an exact fraction of the live nodes uniformly.
+func (g *Graph2D) FailFraction(fraction float64, src *rng.Source) (int, error) {
+	if fraction < 0 || fraction > 1 {
+		return 0, fmt.Errorf("highdim: fraction %v outside [0,1]", fraction)
+	}
+	candidates := make([]metric.Point, 0, g.aliveCount)
+	for p := range g.failed {
+		if !g.failed[p] {
+			candidates = append(candidates, metric.Point(p))
+		}
+	}
+	target := int(fraction * float64(g.aliveCount))
+	if target > len(candidates) {
+		target = len(candidates)
+	}
+	for i := 0; i < target; i++ {
+		j := i + src.Intn(len(candidates)-i)
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+		g.failed[candidates[i]] = true
+	}
+	g.aliveCount -= target
+	return target, nil
+}
+
+// RandomAlive returns a uniformly random live node.
+func (g *Graph2D) RandomAlive(src *rng.Source) (metric.Point, bool) {
+	if g.aliveCount == 0 {
+		return 0, false
+	}
+	if g.aliveCount*8 >= len(g.failed) {
+		for {
+			p := metric.Point(src.Intn(len(g.failed)))
+			if !g.failed[p] {
+				return p, true
+			}
+		}
+	}
+	k := src.Intn(g.aliveCount)
+	for p := range g.failed {
+		if !g.failed[p] {
+			if k == 0 {
+				return metric.Point(p), true
+			}
+			k--
+		}
+	}
+	return 0, false
+}
+
+// forEachNeighbor enumerates the four grid neighbours plus long links.
+func (g *Graph2D) forEachNeighbor(p metric.Point, fn func(q metric.Point)) {
+	x, y := g.grid.Coords(p)
+	fn(g.grid.PointAt(x+1, y))
+	fn(g.grid.PointAt(x-1, y))
+	fn(g.grid.PointAt(x, y+1))
+	fn(g.grid.PointAt(x, y-1))
+	for _, q := range g.long[p] {
+		if q != p {
+			fn(q)
+		}
+	}
+}
+
+// Result mirrors route.Result for the 2-D router.
+type Result struct {
+	Delivered  bool
+	Hops       int
+	Backtracks int
+}
+
+// RouteOptions configures a 2-D search.
+type RouteOptions struct {
+	// Backtrack enables the §6 backtracking strategy with the given
+	// memory; zero memory with Backtrack true uses the paper's 5.
+	Backtrack bool
+	Memory    int
+	// MaxHops caps the search; zero picks 4·side + 64.
+	MaxHops int
+}
+
+// Route performs a greedy search from a live node to a live target.
+func (g *Graph2D) Route(from, to metric.Point, opt RouteOptions) (Result, error) {
+	if !g.Alive(from) || !g.Alive(to) {
+		return Result{}, fmt.Errorf("highdim: endpoints must be live nodes")
+	}
+	if opt.MaxHops == 0 {
+		opt.MaxHops = 4*g.grid.Side() + 64
+	}
+	if opt.Backtrack && opt.Memory == 0 {
+		opt.Memory = 5
+	}
+	var res Result
+	if opt.Backtrack {
+		g.routeBacktrack(&res, from, to, opt)
+		return res, nil
+	}
+	cur := from
+	for cur != to {
+		if res.Hops >= opt.MaxHops {
+			return res, nil
+		}
+		next, ok := g.bestNeighbor(cur, to, nil)
+		if !ok {
+			return res, nil
+		}
+		cur = next
+		res.Hops++
+	}
+	res.Delivered = true
+	return res, nil
+}
+
+func (g *Graph2D) bestNeighbor(cur, to metric.Point, tried map[metric.Point]bool) (metric.Point, bool) {
+	best := cur
+	bestD := g.grid.Distance(cur, to)
+	found := false
+	g.forEachNeighbor(cur, func(q metric.Point) {
+		if !g.Alive(q) || tried[q] {
+			return
+		}
+		if d := g.grid.Distance(q, to); d < bestD {
+			best, bestD, found = q, d, true
+		}
+	})
+	return best, found
+}
+
+func (g *Graph2D) routeBacktrack(res *Result, cur, to metric.Point, opt RouteOptions) {
+	type frame struct {
+		at    metric.Point
+		tried map[metric.Point]bool
+	}
+	history := []frame{{at: cur, tried: map[metric.Point]bool{}}}
+	for cur != to {
+		if res.Hops >= opt.MaxHops {
+			return
+		}
+		top := &history[len(history)-1]
+		next, ok := g.bestNeighbor(cur, to, top.tried)
+		if ok {
+			top.tried[next] = true
+			cur = next
+			res.Hops++
+			history = append(history, frame{at: cur, tried: map[metric.Point]bool{}})
+			if len(history) > opt.Memory {
+				history = history[1:]
+			}
+			continue
+		}
+		if len(history) <= 1 {
+			return
+		}
+		history = history[:len(history)-1]
+		cur = history[len(history)-1].at
+		res.Hops++
+		res.Backtracks++
+	}
+	res.Delivered = true
+}

@@ -1,0 +1,189 @@
+// Package metric defines the metric spaces into which the overlay
+// embeds resources and nodes (§2 of the paper).
+//
+// The paper's analysis lives on a one-dimensional space: nodes occupy
+// grid points of a real line (Line) or of a circle (Ring, distances
+// measured along the circumference, as in Chord). A two-dimensional
+// torus (Grid2D) is provided for the Kleinberg small-world baseline.
+//
+// Points are identified with integers in [0, Size); a Space knows how to
+// measure distances and enumerate the points at a given distance, which
+// is all the routing and construction layers need.
+package metric
+
+import "fmt"
+
+// Point identifies a grid point of a metric space. For one-dimensional
+// spaces it is the coordinate itself; Grid2D packs (x, y) as x*side+y.
+type Point int
+
+// Space is a finite metric space over points [0, Size).
+type Space interface {
+	// Size returns the number of grid points.
+	Size() int
+	// Distance returns the metric distance between two points.
+	Distance(a, b Point) int
+	// Contains reports whether p is a valid point of the space.
+	Contains(p Point) bool
+	// Name returns a short identifier used in experiment output.
+	Name() string
+}
+
+// Line is the paper's primary space: points 0..n-1 on the real line with
+// d(a, b) = |a − b|. A line has boundaries, which makes one-sided greedy
+// routing natural near them (§4.2.1).
+type Line struct {
+	n int
+}
+
+// NewLine returns a line with n grid points. It returns an error if
+// n < 1.
+func NewLine(n int) (*Line, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("metric: line needs n >= 1, got %d", n)
+	}
+	return &Line{n: n}, nil
+}
+
+// Size returns the number of grid points.
+func (l *Line) Size() int { return l.n }
+
+// Contains reports whether p lies on the line.
+func (l *Line) Contains(p Point) bool { return p >= 0 && int(p) < l.n }
+
+// Distance returns |a − b|.
+func (l *Line) Distance(a, b Point) int {
+	d := int(a) - int(b)
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// Name returns "line".
+func (l *Line) Name() string { return "line" }
+
+// Ring is the circular variant: n points on a circle with distance
+// measured along the shorter arc, as in Chord's identifier circle. The
+// ring has no boundary, so two-sided greedy routing is the natural
+// model.
+type Ring struct {
+	n int
+}
+
+// NewRing returns a ring with n grid points. It returns an error if
+// n < 1.
+func NewRing(n int) (*Ring, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("metric: ring needs n >= 1, got %d", n)
+	}
+	return &Ring{n: n}, nil
+}
+
+// Size returns the number of grid points.
+func (r *Ring) Size() int { return r.n }
+
+// Contains reports whether p lies on the ring.
+func (r *Ring) Contains(p Point) bool { return p >= 0 && int(p) < r.n }
+
+// Distance returns min(|a−b|, n−|a−b|).
+func (r *Ring) Distance(a, b Point) int {
+	d := int(a) - int(b)
+	if d < 0 {
+		d = -d
+	}
+	if alt := r.n - d; alt < d {
+		return alt
+	}
+	return d
+}
+
+// Name returns "ring".
+func (r *Ring) Name() string { return "ring" }
+
+// Add returns the point at offset delta clockwise from p (mod n).
+func (r *Ring) Add(p Point, delta int) Point {
+	v := (int(p) + delta) % r.n
+	if v < 0 {
+		v += r.n
+	}
+	return Point(v)
+}
+
+// ClockwiseDistance returns the distance travelling only clockwise from
+// a to b (the one-sided distance Chord uses).
+func (r *Ring) ClockwiseDistance(a, b Point) int {
+	d := (int(b) - int(a)) % r.n
+	if d < 0 {
+		d += r.n
+	}
+	return d
+}
+
+// Grid2D is a side×side torus with Manhattan (L1) distance; the space of
+// Kleinberg's small-world construction, used by the baseline package.
+type Grid2D struct {
+	side int
+}
+
+// NewGrid2D returns a torus with side*side points. It returns an error
+// if side < 1.
+func NewGrid2D(side int) (*Grid2D, error) {
+	if side < 1 {
+		return nil, fmt.Errorf("metric: grid needs side >= 1, got %d", side)
+	}
+	return &Grid2D{side: side}, nil
+}
+
+// Size returns side².
+func (g *Grid2D) Size() int { return g.side * g.side }
+
+// Side returns the torus side length.
+func (g *Grid2D) Side() int { return g.side }
+
+// Contains reports whether p is on the torus.
+func (g *Grid2D) Contains(p Point) bool { return p >= 0 && int(p) < g.Size() }
+
+// Coords unpacks p into (x, y).
+func (g *Grid2D) Coords(p Point) (x, y int) { return int(p) / g.side, int(p) % g.side }
+
+// PointAt packs (x, y) into a Point, reducing coordinates mod side.
+func (g *Grid2D) PointAt(x, y int) Point {
+	x %= g.side
+	if x < 0 {
+		x += g.side
+	}
+	y %= g.side
+	if y < 0 {
+		y += g.side
+	}
+	return Point(x*g.side + y)
+}
+
+// Distance returns the L1 torus distance.
+func (g *Grid2D) Distance(a, b Point) int {
+	ax, ay := g.Coords(a)
+	bx, by := g.Coords(b)
+	return g.axisDist(ax, bx) + g.axisDist(ay, by)
+}
+
+func (g *Grid2D) axisDist(a, b int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if alt := g.side - d; alt < d {
+		return alt
+	}
+	return d
+}
+
+// Name returns "grid2d".
+func (g *Grid2D) Name() string { return "grid2d" }
+
+// Interface compliance checks.
+var (
+	_ Space = (*Line)(nil)
+	_ Space = (*Ring)(nil)
+	_ Space = (*Grid2D)(nil)
+)

@@ -1,0 +1,187 @@
+package metric
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineBasics(t *testing.T) {
+	if _, err := NewLine(0); err == nil {
+		t.Error("NewLine(0) should error")
+	}
+	l, err := NewLine(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Size() != 10 || l.Name() != "line" {
+		t.Error("line accessors wrong")
+	}
+	if !l.Contains(0) || !l.Contains(9) || l.Contains(10) || l.Contains(-1) {
+		t.Error("Contains wrong")
+	}
+	if l.Distance(3, 7) != 4 || l.Distance(7, 3) != 4 || l.Distance(5, 5) != 0 {
+		t.Error("Distance wrong")
+	}
+}
+
+func TestRingBasics(t *testing.T) {
+	if _, err := NewRing(0); err == nil {
+		t.Error("NewRing(0) should error")
+	}
+	r, err := NewRing(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Distance(0, 9) != 1 {
+		t.Errorf("ring d(0,9) = %d, want 1", r.Distance(0, 9))
+	}
+	if r.Distance(0, 5) != 5 {
+		t.Errorf("ring d(0,5) = %d, want 5", r.Distance(0, 5))
+	}
+	if r.Distance(2, 8) != 4 {
+		t.Errorf("ring d(2,8) = %d, want 4", r.Distance(2, 8))
+	}
+	if r.Name() != "ring" || r.Size() != 10 {
+		t.Error("ring accessors wrong")
+	}
+}
+
+func TestRingAdd(t *testing.T) {
+	r, err := NewRing(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Add(8, 3) != 1 {
+		t.Errorf("Add(8,3) = %d", r.Add(8, 3))
+	}
+	if r.Add(2, -5) != 7 {
+		t.Errorf("Add(2,-5) = %d", r.Add(2, -5))
+	}
+	if r.Add(0, -10) != 0 {
+		t.Errorf("Add(0,-10) = %d", r.Add(0, -10))
+	}
+}
+
+func TestRingClockwiseDistance(t *testing.T) {
+	r, err := NewRing(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ClockwiseDistance(8, 2) != 4 {
+		t.Errorf("cw(8,2) = %d", r.ClockwiseDistance(8, 2))
+	}
+	if r.ClockwiseDistance(2, 8) != 6 {
+		t.Errorf("cw(2,8) = %d", r.ClockwiseDistance(2, 8))
+	}
+	if r.ClockwiseDistance(5, 5) != 0 {
+		t.Errorf("cw(5,5) = %d", r.ClockwiseDistance(5, 5))
+	}
+}
+
+// Metric axioms, property-checked for all three spaces.
+func TestMetricAxioms(t *testing.T) {
+	line, err := NewLine(257)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := NewRing(257)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := NewGrid2D(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range []Space{line, ring, grid} {
+		sp := sp
+		f := func(aa, bb, cc uint16) bool {
+			n := sp.Size()
+			a := Point(int(aa) % n)
+			b := Point(int(bb) % n)
+			c := Point(int(cc) % n)
+			dab := sp.Distance(a, b)
+			dba := sp.Distance(b, a)
+			dac := sp.Distance(a, c)
+			dcb := sp.Distance(c, b)
+			switch {
+			case dab != dba: // symmetry
+				return false
+			case dab < 0: // non-negativity
+				return false
+			case a == b && dab != 0: // identity
+				return false
+			case a != b && dab == 0:
+				return false
+			case dab > dac+dcb: // triangle inequality
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("%s violates metric axioms: %v", sp.Name(), err)
+		}
+	}
+}
+
+func TestRingDistanceBounded(t *testing.T) {
+	r, err := NewRing(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(aa, bb uint16) bool {
+		a := Point(int(aa) % 100)
+		b := Point(int(bb) % 100)
+		return r.Distance(a, b) <= 50
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error("ring distance must be at most n/2:", err)
+	}
+}
+
+func TestGrid2D(t *testing.T) {
+	if _, err := NewGrid2D(0); err == nil {
+		t.Error("NewGrid2D(0) should error")
+	}
+	g, err := NewGrid2D(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 16 || g.Side() != 4 || g.Name() != "grid2d" {
+		t.Error("grid accessors wrong")
+	}
+	p := g.PointAt(1, 2)
+	x, y := g.Coords(p)
+	if x != 1 || y != 2 {
+		t.Errorf("coords round-trip = (%d,%d)", x, y)
+	}
+	// Wrap-around distances on the torus.
+	if d := g.Distance(g.PointAt(0, 0), g.PointAt(3, 3)); d != 2 {
+		t.Errorf("torus d((0,0),(3,3)) = %d, want 2", d)
+	}
+	if d := g.Distance(g.PointAt(0, 0), g.PointAt(2, 2)); d != 4 {
+		t.Errorf("torus d((0,0),(2,2)) = %d, want 4", d)
+	}
+	if g.PointAt(-1, -1) != g.PointAt(3, 3) {
+		t.Error("PointAt must reduce negative coords")
+	}
+}
+
+func TestLineVsRingRelation(t *testing.T) {
+	// Ring distance never exceeds line distance on identical coordinates.
+	l, err := NewLine(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRing(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(aa, bb uint16) bool {
+		a := Point(int(aa) % 64)
+		b := Point(int(bb) % 64)
+		return r.Distance(a, b) <= l.Distance(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

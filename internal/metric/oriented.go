@@ -1,0 +1,67 @@
+package metric
+
+// Space1D is a one-dimensional space (Line or Ring) that supports the
+// short-link structure of the paper: every node is connected to its
+// immediate neighbour on either side. Step exposes that structure, and
+// Between supplies the orientation test one-sided greedy routing needs
+// (§4.2.1: a one-sided router never traverses a link that would take it
+// past its target).
+type Space1D interface {
+	Space
+	// Step returns the point one grid step from p in direction dir
+	// (+1 or −1) and whether such a point exists (a line has
+	// boundaries; a ring does not).
+	Step(p Point, dir int) (Point, bool)
+	// Between reports whether q lies on the segment travelled when
+	// routing from p toward t without passing t — excluding p itself,
+	// including t. One-sided greedy routing restricts its candidate
+	// next hops to points with Between(p, q, t) == true.
+	Between(p, q, t Point) bool
+}
+
+// Step on a line fails at the boundaries.
+func (l *Line) Step(p Point, dir int) (Point, bool) {
+	q := Point(int(p) + sign(dir))
+	if !l.Contains(q) {
+		return 0, false
+	}
+	return q, true
+}
+
+// Between on a line: q strictly between p and t, or equal to t.
+func (l *Line) Between(p, q, t Point) bool {
+	if q == p {
+		return false
+	}
+	if p <= t {
+		return p < q && q <= t
+	}
+	return t <= q && q < p
+}
+
+// Step on a ring always succeeds, wrapping modulo n.
+func (r *Ring) Step(p Point, dir int) (Point, bool) {
+	return r.Add(p, sign(dir)), true
+}
+
+// Between on a ring: one-sided routing travels only clockwise (as in
+// Chord); q qualifies when it lies strictly inside the clockwise arc
+// from p to t, or equals t.
+func (r *Ring) Between(p, q, t Point) bool {
+	if q == p {
+		return false
+	}
+	return r.ClockwiseDistance(p, q) <= r.ClockwiseDistance(p, t)
+}
+
+func sign(d int) int {
+	if d < 0 {
+		return -1
+	}
+	return 1
+}
+
+var (
+	_ Space1D = (*Line)(nil)
+	_ Space1D = (*Ring)(nil)
+)

@@ -1,0 +1,140 @@
+package overlay
+
+import (
+	"context"
+	"sort"
+
+	"repro/internal/metric"
+)
+
+// Key handoff: ownership of a key follows the node nearest its hashed
+// point, so membership changes move data. A gracefully departing node
+// pushes its whole store to its successor (LeaveWithHandoff); a joining
+// node pulls the keys it now owns from the previous owner
+// (PullOwnedKeys). Crash losses remain — that is replication's job.
+
+// OpTransfer carries a batch of key/value pairs to be adopted by the
+// receiving node.
+const OpTransfer Op = "transfer"
+
+// encodePairs flattens a key/value map into the wire form
+// ["k1","v1","k2","v2",…] (sorted by key for determinism), which keeps
+// the Request struct free of nested message types; batches are small —
+// at most one node's store.
+func encodePairs(kv map[string]string) []string {
+	keys := make([]string, 0, len(kv))
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	flat := make([]string, 0, 2*len(kv))
+	for _, k := range keys {
+		flat = append(flat, k, kv[k])
+	}
+	return flat
+}
+
+// handleTransfer adopts the flattened pairs in req.Pairs.
+func (n *Node) handleTransfer(req Request) Response {
+	if len(req.Pairs)%2 != 0 {
+		return Response{OK: false}
+	}
+	n.mu.Lock()
+	for i := 0; i+1 < len(req.Pairs); i += 2 {
+		n.store[req.Pairs[i]] = req.Pairs[i+1]
+	}
+	n.stats.keysAdopted.Add(uint64(len(req.Pairs) / 2))
+	n.mu.Unlock()
+	return Response{OK: true}
+}
+
+// LeaveWithHandoff transfers the local store to the departing node's
+// neighbours before leaving, so graceful departures lose no data. Keys
+// are split by proximity: after the departure each key's new owner is
+// whichever side is nearer its hashed point, so that is where it goes.
+func (n *Node) LeaveWithHandoff(ctx context.Context) {
+	ring := n.cfg.Ring
+	n.mu.RLock()
+	left, right := n.left, n.right
+	toLeft := map[string]string{}
+	toRight := map[string]string{}
+	for k, v := range n.store {
+		point := HashKey(k, ring)
+		dl, dr := ring.Distance(left, point), ring.Distance(right, point)
+		switch {
+		case left == n.id:
+			toRight[k] = v
+		case right == n.id:
+			toLeft[k] = v
+		case dl < dr:
+			toLeft[k] = v
+		case dr < dl:
+			toRight[k] = v
+		default:
+			// Exact tie (the key's point is the departing node's own
+			// position, or the precise midpoint): future lookups may
+			// resolve to either side depending on the querier, so
+			// both sides get a copy.
+			toLeft[k] = v
+			toRight[k] = v
+		}
+	}
+	n.mu.RUnlock()
+	if left != n.id && len(toLeft) > 0 {
+		_, _ = n.call(ctx, left, Request{Op: OpTransfer, Pairs: encodePairs(toLeft)})
+	}
+	if right != n.id && len(toRight) > 0 {
+		_, _ = n.call(ctx, right, Request{Op: OpTransfer, Pairs: encodePairs(toRight)})
+	}
+	n.Leave(ctx)
+}
+
+// PullOwnedKeys asks the named peer (typically the successor discovered
+// during Join) for the keys whose hashed points this node is now
+// closest to, adopting them locally. It returns the number of keys
+// adopted.
+func (n *Node) PullOwnedKeys(ctx context.Context, from metric.Point) (int, error) {
+	resp, err := n.call(ctx, from, Request{Op: OpClaimKeys})
+	if err != nil {
+		return 0, err
+	}
+	if len(resp.Pairs)%2 != 0 {
+		return 0, nil
+	}
+	n.mu.Lock()
+	for i := 0; i+1 < len(resp.Pairs); i += 2 {
+		n.store[resp.Pairs[i]] = resp.Pairs[i+1]
+	}
+	adopted := len(resp.Pairs) / 2
+	n.stats.keysAdopted.Add(uint64(adopted))
+	n.mu.Unlock()
+	return adopted, nil
+}
+
+// OpClaimKeys asks a node to yield the keys the *requesting* node is
+// now nearer to (by ring distance to the key's hashed point).
+const OpClaimKeys Op = "claim-keys"
+
+// handleClaimKeys computes which locally stored keys are closer to the
+// requester than to us, removes them from the local store, and returns
+// them.
+func (n *Node) handleClaimKeys(req Request) Response {
+	claimant := metric.Point(req.From)
+	ring := n.cfg.Ring
+	if !ring.Contains(claimant) || claimant == n.id {
+		return Response{OK: false}
+	}
+	n.mu.Lock()
+	yield := map[string]string{}
+	for k, v := range n.store {
+		point := HashKey(k, ring)
+		if ring.Distance(claimant, point) < ring.Distance(n.id, point) {
+			yield[k] = v
+		}
+	}
+	for k := range yield {
+		delete(n.store, k)
+	}
+	n.mu.Unlock()
+	return Response{OK: true, Pairs: encodePairs(yield)}
+}

@@ -1,0 +1,199 @@
+package overlay
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metric"
+	"repro/internal/transport"
+)
+
+func TestLeaveWithHandoffPreservesData(t *testing.T) {
+	tr := transport.NewInMem(60)
+	cfg := testConfig(t, 256, 4)
+	points := []metric.Point{0, 64, 128, 192}
+	c := buildCluster(t, tr, cfg, points)
+	defer c.Close()
+	ctx := context.Background()
+	c.MaintainAll(ctx)
+
+	writer, _ := c.Node(0)
+	// Find keys owned by node 64 so the handoff matters.
+	owned := []string{}
+	for i := 0; len(owned) < 3 && i < 4096; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if owner, _, err := writer.Lookup(ctx, HashKey(k, cfg.Ring)); err == nil && owner == 64 {
+			owned = append(owned, k)
+		}
+	}
+	if len(owned) < 3 {
+		t.Fatal("could not find keys owned by node 64")
+	}
+	for _, k := range owned {
+		if _, err := writer.Put(ctx, k, "v-"+k); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Graceful departure with handoff: node 64's store moves to its
+	// successor (128).
+	n64, _ := c.Node(64)
+	n64.LeaveWithHandoff(ctx)
+	// Manual cluster bookkeeping since we bypassed RemoveNode.
+	delete(cMembers(c), 64)
+	c.MaintainAll(ctx)
+
+	for _, k := range owned {
+		v, ok, err := writer.Get(ctx, k)
+		if err != nil {
+			t.Fatalf("get %q after handoff: %v", k, err)
+		}
+		if !ok || v != "v-"+k {
+			t.Errorf("key %q lost in graceful departure: %q, %v", k, v, ok)
+		}
+	}
+}
+
+// cMembers exposes the cluster map for test bookkeeping after direct
+// node departures.
+func cMembers(c *Cluster) map[metric.Point]*Node { return c.nodes }
+
+func TestPullOwnedKeysOnJoin(t *testing.T) {
+	tr := transport.NewInMem(61)
+	cfg := testConfig(t, 256, 4)
+	c := buildCluster(t, tr, cfg, []metric.Point{0, 128})
+	defer c.Close()
+	ctx := context.Background()
+	c.MaintainAll(ctx)
+
+	// Store keys; with only two nodes, each owns roughly half the ring.
+	writer, _ := c.Node(0)
+	stored := []string{}
+	for i := 0; i < 32; i++ {
+		k := fmt.Sprintf("pull-%d", i)
+		if _, err := writer.Put(ctx, k, "v-"+k); err != nil {
+			t.Fatal(err)
+		}
+		stored = append(stored, k)
+	}
+
+	// A newcomer lands at 64 and pulls what it now owns from both
+	// existing nodes.
+	n64, err := c.AddNode(ctx, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.MaintainAll(ctx)
+	adopted := 0
+	for _, peer := range []metric.Point{0, 128} {
+		got, err := n64.PullOwnedKeys(ctx, peer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		adopted += got
+	}
+	if adopted == 0 {
+		t.Fatal("newcomer adopted no keys; expected to own some of the ring")
+	}
+	// Every key must still resolve, now possibly at the newcomer.
+	for _, k := range stored {
+		v, ok, err := writer.Get(ctx, k)
+		if err != nil || !ok || v != "v-"+k {
+			t.Errorf("key %q unreadable after rebalance: %q %v %v", k, v, ok, err)
+		}
+	}
+	// The adopted keys must live at 64 and be the ones 64 is closest to.
+	if n64.StoreSize() != adopted {
+		t.Errorf("store size %d != adopted %d", n64.StoreSize(), adopted)
+	}
+}
+
+func TestHandleTransferRejectsOddPairs(t *testing.T) {
+	tr := transport.NewInMem(62)
+	cfg := testConfig(t, 64, 2)
+	n, err := NewNode(0, cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if resp := n.handleTransfer(Request{Pairs: []string{"only-key"}}); resp.OK {
+		t.Error("odd pair list must be rejected")
+	}
+	if resp := n.handleTransfer(Request{Pairs: []string{"k", "v"}}); !resp.OK {
+		t.Error("even pair list must be accepted")
+	}
+	if n.StoreSize() != 1 {
+		t.Error("transfer not stored")
+	}
+}
+
+func TestHandleClaimKeysValidation(t *testing.T) {
+	tr := transport.NewInMem(63)
+	cfg := testConfig(t, 64, 2)
+	n, err := NewNode(5, cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if resp := n.handleClaimKeys(Request{From: 5}); resp.OK {
+		t.Error("self-claim must be rejected")
+	}
+	if resp := n.handleClaimKeys(Request{From: 9999}); resp.OK {
+		t.Error("out-of-ring claim must be rejected")
+	}
+}
+
+// Concurrent clients, maintenance and membership changes must be
+// data-race free (validated under -race) and never corrupt stores.
+func TestConcurrentClientOperations(t *testing.T) {
+	tr := transport.NewInMem(64)
+	cfg := testConfig(t, 512, 4)
+	cfg.CallTimeout = 2 * time.Second
+	points := []metric.Point{0, 64, 128, 192, 256, 320, 384, 448}
+	c := buildCluster(t, tr, cfg, points)
+	defer c.Close()
+	ctx := context.Background()
+	c.MaintainAll(ctx)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			node, _ := c.Node(points[w])
+			for i := 0; i < 25; i++ {
+				k := fmt.Sprintf("w%d-k%d", w, i)
+				if _, err := node.Put(ctx, k, "v"); err != nil {
+					errs <- fmt.Errorf("put %s: %w", k, err)
+					return
+				}
+				if _, _, err := node.Get(ctx, k); err != nil {
+					errs <- fmt.Errorf("get %s: %w", k, err)
+					return
+				}
+			}
+		}()
+	}
+	// Maintenance churns concurrently.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			for _, p := range points {
+				if n, ok := c.Node(p); ok {
+					n.MaintainOnce(ctx)
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,50 @@
+package overlay
+
+import "sync/atomic"
+
+// Metrics is a snapshot of a node's operation counters, for
+// observability in examples, demos, and load investigations.
+type Metrics struct {
+	// RequestsServed counts transport requests handled, by outcome.
+	RequestsServed uint64
+	RequestErrors  uint64
+	// LookupsStarted counts client-side lookups initiated here
+	// (iterative and recursive).
+	LookupsStarted uint64
+	// ForwardsServed counts OpForward requests relayed through this
+	// node.
+	ForwardsServed uint64
+	// LongLinkRepairs counts long links redrawn by maintenance.
+	LongLinkRepairs uint64
+	// ShortLinkChanges counts short-link updates from any source
+	// (announcements, stabilization, departures).
+	ShortLinkChanges uint64
+	// KeysAdopted counts keys received via transfer or claim pulls.
+	KeysAdopted uint64
+}
+
+// counters is the node-internal atomic representation.
+type counters struct {
+	requestsServed   atomic.Uint64
+	requestErrors    atomic.Uint64
+	lookupsStarted   atomic.Uint64
+	forwardsServed   atomic.Uint64
+	longLinkRepairs  atomic.Uint64
+	shortLinkChanges atomic.Uint64
+	keysAdopted      atomic.Uint64
+}
+
+// Metrics returns a consistent-enough snapshot of the node's counters
+// (each counter is read atomically; cross-counter skew is possible and
+// harmless for observability).
+func (n *Node) Metrics() Metrics {
+	return Metrics{
+		RequestsServed:   n.stats.requestsServed.Load(),
+		RequestErrors:    n.stats.requestErrors.Load(),
+		LookupsStarted:   n.stats.lookupsStarted.Load(),
+		ForwardsServed:   n.stats.forwardsServed.Load(),
+		LongLinkRepairs:  n.stats.longLinkRepairs.Load(),
+		ShortLinkChanges: n.stats.shortLinkChanges.Load(),
+		KeysAdopted:      n.stats.keysAdopted.Load(),
+	}
+}

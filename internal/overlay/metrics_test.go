@@ -1,0 +1,74 @@
+package overlay
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/metric"
+	"repro/internal/transport"
+)
+
+func TestMetricsCountOperations(t *testing.T) {
+	tr := transport.NewInMem(70)
+	cfg := testConfig(t, 256, 3)
+	points := []metric.Point{0, 64, 128, 192}
+	c := buildCluster(t, tr, cfg, points)
+	defer c.Close()
+	ctx := context.Background()
+	c.MaintainAll(ctx)
+
+	n0, _ := c.Node(0)
+	before := n0.Metrics()
+	if _, _, err := n0.Lookup(ctx, 130); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := n0.LookupRecursive(ctx, 130); err != nil {
+		t.Fatal(err)
+	}
+	after := n0.Metrics()
+	if after.LookupsStarted != before.LookupsStarted+2 {
+		t.Errorf("lookups = %d, want +2", after.LookupsStarted-before.LookupsStarted)
+	}
+	// Someone on the path served requests.
+	var served uint64
+	for _, p := range points {
+		node, _ := c.Node(p)
+		served += node.Metrics().RequestsServed
+	}
+	if served == 0 {
+		t.Error("no node served any requests despite lookups")
+	}
+
+	// Transfer adoption is counted.
+	n64, _ := c.Node(64)
+	if resp := n64.handleTransfer(Request{Pairs: []string{"k", "v", "k2", "v2"}}); !resp.OK {
+		t.Fatal("transfer rejected")
+	}
+	if got := n64.Metrics().KeysAdopted; got != 2 {
+		t.Errorf("keys adopted = %d, want 2", got)
+	}
+
+	// Garbage requests count as errors.
+	if _, err := n64.handle([]byte("not json")); err == nil {
+		t.Fatal("garbage should error")
+	}
+	if n64.Metrics().RequestErrors == 0 {
+		t.Error("request error not counted")
+	}
+}
+
+func TestMetricsShortLinkChanges(t *testing.T) {
+	tr := transport.NewInMem(71)
+	cfg := testConfig(t, 64, 2)
+	n, err := NewNode(0, cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if !n.considerNeighbor(5) {
+		t.Fatal("first neighbour should be accepted")
+	}
+	if n.Metrics().ShortLinkChanges == 0 {
+		t.Error("short-link change not counted")
+	}
+}

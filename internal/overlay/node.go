@@ -1,0 +1,721 @@
+package overlay
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"repro/internal/metric"
+	"repro/internal/rng"
+	"repro/internal/transport"
+)
+
+// Config parameterizes a Node.
+type Config struct {
+	// Ring is the shared identifier space; all nodes of one network
+	// must agree on its size.
+	Ring *metric.Ring
+	// Links is ℓ, the long-link budget.
+	Links int
+	// Seed drives this node's randomness (link sampling, solicit
+	// decisions).
+	Seed uint64
+	// MaintenanceInterval is the period of the self-healing loop;
+	// zero disables background maintenance (tests drive it manually
+	// with MaintainOnce).
+	MaintenanceInterval time.Duration
+	// CallTimeout bounds each RPC; zero defaults to 2s.
+	CallTimeout time.Duration
+	// MaxHops bounds iterative lookups; zero defaults to 8·lg²n + 64.
+	MaxHops int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CallTimeout == 0 {
+		c.CallTimeout = 2 * time.Second
+	}
+	if c.MaxHops == 0 {
+		n := c.Ring.Size()
+		lg := 1
+		for v := n; v > 1; v >>= 1 {
+			lg++
+		}
+		c.MaxHops = 8*lg*lg + 64
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Ring == nil {
+		return errors.New("overlay: nil ring")
+	}
+	if c.Links < 0 {
+		return fmt.Errorf("overlay: negative link budget %d", c.Links)
+	}
+	return nil
+}
+
+// Node is one live overlay participant.
+type Node struct {
+	cfg   Config
+	id    metric.Point
+	tr    transport.Transport
+	stop  func() // transport unregister
+	done  chan struct{}
+	wg    sync.WaitGroup
+	srcMu sync.Mutex
+	src   *rng.Source
+
+	mu    sync.RWMutex
+	left  metric.Point // nearest known node counter-clockwise
+	right metric.Point // nearest known node clockwise
+	long  []metric.Point
+	store map[string]string
+
+	stats counters
+}
+
+// NewNode creates a node with identifier id and starts serving requests
+// on tr. The node starts isolated (its short links point at itself);
+// call Join to enter an existing network, or use it as the bootstrap
+// node of a new one. Close must be called to release the transport
+// registration and stop the maintenance loop.
+func NewNode(id metric.Point, cfg Config, tr transport.Transport) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Ring.Contains(id) {
+		return nil, fmt.Errorf("overlay: id %d outside ring of size %d", id, cfg.Ring.Size())
+	}
+	n := &Node{
+		cfg:   cfg.withDefaults(),
+		id:    id,
+		tr:    tr,
+		done:  make(chan struct{}),
+		src:   rng.New(cfg.Seed ^ uint64(id)*0x9E3779B97F4A7C15),
+		left:  id,
+		right: id,
+		store: make(map[string]string),
+	}
+	stop, err := tr.Listen(transport.NodeID(id), n.handle)
+	if err != nil {
+		return nil, fmt.Errorf("overlay: node %d: %w", id, err)
+	}
+	n.stop = stop
+	if cfg.MaintenanceInterval > 0 {
+		n.wg.Add(1)
+		go n.maintenanceLoop()
+	}
+	return n, nil
+}
+
+// ID returns the node's identifier (its metric-space point).
+func (n *Node) ID() metric.Point { return n.id }
+
+// Close stops the maintenance loop and unregisters from the transport.
+// It is idempotent only in effect — call it exactly once.
+func (n *Node) Close() {
+	close(n.done)
+	n.wg.Wait()
+	n.stop()
+}
+
+// Neighbors returns the node's current short links and a copy of its
+// long links.
+func (n *Node) Neighbors() (left, right metric.Point, long []metric.Point) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	long = make([]metric.Point, len(n.long))
+	copy(long, n.long)
+	return n.left, n.right, long
+}
+
+// StoreSize returns the number of keys stored locally.
+func (n *Node) StoreSize() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.store)
+}
+
+// HashKey maps a resource key to a point of the ring (the paper's
+// h : K → V), using FNV-1a.
+func HashKey(key string, ring *metric.Ring) metric.Point {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return metric.Point(h.Sum64() % uint64(ring.Size()))
+}
+
+// --- server side -----------------------------------------------------
+
+func (n *Node) handle(reqBytes []byte) ([]byte, error) {
+	req, err := decodeRequest(reqBytes)
+	if err != nil {
+		n.stats.requestErrors.Add(1)
+		return nil, fmt.Errorf("overlay: bad request: %w", err)
+	}
+	n.stats.requestsServed.Add(1)
+	var resp Response
+	switch req.Op {
+	case OpPing:
+		resp.OK = true
+	case OpNearest:
+		resp = n.handleNearest(req)
+	case OpNeighborInfo:
+		n.mu.RLock()
+		resp = Response{OK: true, Left: int64(n.left), Right: int64(n.right)}
+		n.mu.RUnlock()
+	case OpNewNeighbor:
+		subject := metric.Point(req.From)
+		if req.HasSubject {
+			subject = metric.Point(req.Subject)
+		}
+		resp.OK = n.considerNeighbor(subject)
+	case OpReplaceNeighbor:
+		resp.OK = n.replaceNeighbor(metric.Point(req.From), metric.Point(req.Subject))
+	case OpSolicit:
+		resp.Accepted = n.handleSolicit(metric.Point(req.From))
+	case OpPut:
+		n.mu.Lock()
+		n.store[req.Key] = req.Value
+		n.mu.Unlock()
+		resp.OK = true
+	case OpGet:
+		n.mu.RLock()
+		v, ok := n.store[req.Key]
+		n.mu.RUnlock()
+		resp.Found, resp.Value, resp.OK = ok, v, true
+	case OpForward:
+		n.stats.forwardsServed.Add(1)
+		fresp, err := n.handleForward(req)
+		if err != nil {
+			n.stats.requestErrors.Add(1)
+			return nil, err
+		}
+		resp = fresp
+	case OpTransfer:
+		resp = n.handleTransfer(req)
+	case OpClaimKeys:
+		resp = n.handleClaimKeys(req)
+	default:
+		n.stats.requestErrors.Add(1)
+		return nil, fmt.Errorf("overlay: unknown op %q", req.Op)
+	}
+	return encodeResponse(resp)
+}
+
+// handleNearest implements greedy next-hop selection over the node's
+// current link set, excluding the nodes the querier reported dead.
+func (n *Node) handleNearest(req Request) Response {
+	target := metric.Point(req.Target)
+	excluded := make(map[metric.Point]bool, len(req.Exclude))
+	for _, e := range req.Exclude {
+		excluded[metric.Point(e)] = true
+	}
+	ring := n.cfg.Ring
+	n.mu.RLock()
+	candidates := make([]metric.Point, 0, len(n.long)+2)
+	candidates = append(candidates, n.left, n.right)
+	candidates = append(candidates, n.long...)
+	n.mu.RUnlock()
+
+	best := n.id
+	bestD := ring.Distance(n.id, target)
+	for _, c := range candidates {
+		if c == n.id || excluded[c] {
+			continue
+		}
+		if d := ring.Distance(c, target); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	if best == n.id {
+		return Response{OK: true, IsSelf: true}
+	}
+	return Response{OK: true, Next: int64(best)}
+}
+
+// considerNeighbor updates the short links if `from` is closer than the
+// current neighbour on its side. Returns true when a link changed.
+func (n *Node) considerNeighbor(from metric.Point) bool {
+	if from == n.id || !n.cfg.Ring.Contains(from) {
+		return false
+	}
+	ring := n.cfg.Ring
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	changed := false
+	cwNew := ring.ClockwiseDistance(n.id, from)
+	if n.right == n.id || cwNew < ring.ClockwiseDistance(n.id, n.right) {
+		n.right = from
+		changed = true
+	}
+	ccwNew := ring.ClockwiseDistance(from, n.id)
+	if n.left == n.id || ccwNew < ring.ClockwiseDistance(n.left, n.id) {
+		n.left = from
+		changed = true
+	}
+	if changed {
+		n.stats.shortLinkChanges.Add(1)
+	}
+	return changed
+}
+
+// replaceNeighbor swaps departing out of the short links in favour of
+// replacement (used by graceful departure). Returns true when a link
+// changed.
+func (n *Node) replaceNeighbor(departing, replacement metric.Point) bool {
+	if !n.cfg.Ring.Contains(replacement) {
+		return false
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	changed := false
+	if n.left == departing {
+		n.left = replacement
+		changed = true
+	}
+	if n.right == departing {
+		n.right = replacement
+		changed = true
+	}
+	if changed {
+		n.stats.shortLinkChanges.Add(1)
+	}
+	return changed
+}
+
+// handleSolicit applies the §5 link-redirection rule: accept the
+// newcomer with probability p_new/Σp and redirect a victim chosen with
+// probability proportional to 1/d.
+func (n *Node) handleSolicit(from metric.Point) bool {
+	if from == n.id || !n.cfg.Ring.Contains(from) {
+		return false
+	}
+	ring := n.cfg.Ring
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.long) < n.cfg.Links {
+		n.long = append(n.long, from)
+		return true
+	}
+	if len(n.long) == 0 {
+		return false
+	}
+	pNew := 1 / float64(ring.Distance(n.id, from))
+	sum := pNew
+	for _, to := range n.long {
+		sum += 1 / float64(ring.Distance(n.id, to))
+	}
+	n.srcMu.Lock()
+	accept := n.src.Bool(pNew / sum)
+	var roll float64
+	if accept {
+		roll = n.src.Float64()
+	}
+	n.srcMu.Unlock()
+	if !accept {
+		return false
+	}
+	var mass float64
+	for _, to := range n.long {
+		mass += 1 / float64(ring.Distance(n.id, to))
+	}
+	r := roll * mass
+	victim := len(n.long) - 1
+	for i, to := range n.long {
+		r -= 1 / float64(ring.Distance(n.id, to))
+		if r <= 0 {
+			victim = i
+			break
+		}
+	}
+	n.long[victim] = from
+	return true
+}
+
+// --- client side -----------------------------------------------------
+
+func (n *Node) call(ctx context.Context, to metric.Point, req Request) (Response, error) {
+	req.From = int64(n.id)
+	payload, err := encodeRequest(req)
+	if err != nil {
+		return Response{}, err
+	}
+	cctx, cancel := context.WithTimeout(ctx, n.cfg.CallTimeout)
+	defer cancel()
+	respBytes, err := n.tr.Call(cctx, transport.NodeID(to), payload)
+	if err != nil {
+		return Response{}, err
+	}
+	return decodeResponse(respBytes)
+}
+
+// Lookup resolves the live node owning target, starting from this node,
+// using iterative greedy routing with client-side exclusion of dead
+// hops. It returns the owner and the number of hops taken.
+func (n *Node) Lookup(ctx context.Context, target metric.Point) (metric.Point, int, error) {
+	if !n.cfg.Ring.Contains(target) {
+		return 0, 0, fmt.Errorf("overlay: target %d outside ring", target)
+	}
+	n.stats.lookupsStarted.Add(1)
+	cur := n.id
+	hops := 0
+	exclude := make([]int64, 0, 4)
+	for hops < n.cfg.MaxHops {
+		var resp Response
+		var err error
+		if cur == n.id {
+			resp = n.handleNearest(Request{Target: int64(target), Exclude: exclude})
+		} else {
+			resp, err = n.call(ctx, cur, Request{Op: OpNearest, Target: int64(target), Exclude: exclude})
+			if err != nil {
+				return 0, hops, fmt.Errorf("overlay: lookup lost hop %d: %w", cur, err)
+			}
+		}
+		if resp.IsSelf {
+			return cur, hops, nil
+		}
+		next := metric.Point(resp.Next)
+		// Probe the proposed hop; a dead hop is excluded and the
+		// current node re-queried — backtracking at the querier.
+		if _, err := n.call(ctx, next, Request{Op: OpPing}); err != nil {
+			exclude = appendExcluded(exclude, int64(next))
+			hops++
+			continue
+		}
+		cur = next
+		hops++
+	}
+	return 0, hops, fmt.Errorf("overlay: lookup exceeded %d hops", n.cfg.MaxHops)
+}
+
+func appendExcluded(ex []int64, v int64) []int64 {
+	for _, e := range ex {
+		if e == v {
+			return ex
+		}
+	}
+	return append(ex, v)
+}
+
+// Put stores key/value at the owner of the key's point and returns the
+// owner.
+func (n *Node) Put(ctx context.Context, key, value string) (metric.Point, error) {
+	owner, _, err := n.Lookup(ctx, HashKey(key, n.cfg.Ring))
+	if err != nil {
+		return 0, err
+	}
+	if owner == n.id {
+		n.mu.Lock()
+		n.store[key] = value
+		n.mu.Unlock()
+		return owner, nil
+	}
+	resp, err := n.call(ctx, owner, Request{Op: OpPut, Key: key, Value: value})
+	if err != nil {
+		return 0, err
+	}
+	if !resp.OK {
+		return 0, fmt.Errorf("overlay: put rejected by %d", owner)
+	}
+	return owner, nil
+}
+
+// Get retrieves key from the owner of the key's point.
+func (n *Node) Get(ctx context.Context, key string) (string, bool, error) {
+	owner, _, err := n.Lookup(ctx, HashKey(key, n.cfg.Ring))
+	if err != nil {
+		return "", false, err
+	}
+	if owner == n.id {
+		n.mu.RLock()
+		v, ok := n.store[key]
+		n.mu.RUnlock()
+		return v, ok, nil
+	}
+	resp, err := n.call(ctx, owner, Request{Op: OpGet, Key: key})
+	if err != nil {
+		return "", false, err
+	}
+	return resp.Value, resp.Found, nil
+}
+
+// Join enters the network through the bootstrap node `via`: it locates
+// its ring position, wires short links on both sides, draws its ℓ long
+// links from the inverse power-law distribution (resolving each sampled
+// point to its live owner), and solicits Poisson(ℓ) incoming links per
+// §5.
+func (n *Node) Join(ctx context.Context, via metric.Point) error {
+	if via == n.id {
+		return errors.New("overlay: cannot join through self")
+	}
+	// Find our place: the owner of our own point, seen from via.
+	resp, err := n.call(ctx, via, Request{Op: OpNearest, Target: int64(n.id)})
+	if err != nil {
+		return fmt.Errorf("overlay: join via %d: %w", via, err)
+	}
+	owner := via
+	hops := 0
+	for !resp.IsSelf && hops < n.cfg.MaxHops {
+		owner = metric.Point(resp.Next)
+		resp, err = n.call(ctx, owner, Request{Op: OpNearest, Target: int64(n.id)})
+		if err != nil {
+			return fmt.Errorf("overlay: join hop %d: %w", owner, err)
+		}
+		hops++
+	}
+	// Wire short links: adopt the owner's view, then announce.
+	info, err := n.call(ctx, owner, Request{Op: OpNeighborInfo})
+	if err != nil {
+		return err
+	}
+	n.adoptNeighbors(owner, metric.Point(info.Left), metric.Point(info.Right))
+	n.announceSelf(ctx)
+
+	// Draw long links.
+	budget := n.cfg.Links
+	for i := 0; i < budget; i++ {
+		point, ok := n.sampleTargetPoint()
+		if !ok {
+			break
+		}
+		linkOwner, _, err := n.Lookup(ctx, point)
+		if err != nil || linkOwner == n.id {
+			continue
+		}
+		n.mu.Lock()
+		if len(n.long) < budget {
+			n.long = append(n.long, linkOwner)
+		}
+		n.mu.Unlock()
+	}
+
+	// Solicit incoming links (§5 step 2–3).
+	n.srcMu.Lock()
+	want := n.src.Poisson(float64(n.cfg.Links))
+	n.srcMu.Unlock()
+	for i := 0; i < want; i++ {
+		point, ok := n.sampleTargetPoint()
+		if !ok {
+			break
+		}
+		uOwner, _, err := n.Lookup(ctx, point)
+		if err != nil || uOwner == n.id {
+			continue
+		}
+		_, _ = n.call(ctx, uOwner, Request{Op: OpSolicit})
+	}
+	return nil
+}
+
+// adoptNeighbors initializes short links around the owner of our
+// arrival point.
+func (n *Node) adoptNeighbors(owner, ownerLeft, ownerRight metric.Point) {
+	ring := n.cfg.Ring
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	// We sit on one side of owner; the neighbour on the far side
+	// stays owner's.
+	if ring.ClockwiseDistance(owner, n.id) <= ring.ClockwiseDistance(n.id, owner) {
+		// We are clockwise of owner: owner becomes left, owner's old
+		// right becomes our right.
+		n.left = owner
+		n.right = ownerRight
+		if n.right == n.id || !ring.Contains(n.right) {
+			n.right = owner
+		}
+	} else {
+		n.right = owner
+		n.left = ownerLeft
+		if n.left == n.id || !ring.Contains(n.left) {
+			n.left = owner
+		}
+	}
+}
+
+// announceSelf tells both short neighbours we exist.
+func (n *Node) announceSelf(ctx context.Context) {
+	n.mu.RLock()
+	left, right := n.left, n.right
+	n.mu.RUnlock()
+	for _, peer := range []metric.Point{left, right} {
+		if peer != n.id {
+			_, _ = n.call(ctx, peer, Request{Op: OpNewNeighbor})
+		}
+	}
+}
+
+// sampleTargetPoint draws a point at inverse power-law distance from
+// this node.
+func (n *Node) sampleTargetPoint() (metric.Point, bool) {
+	ring := n.cfg.Ring
+	maxD := (ring.Size() - 1) / 2
+	if maxD < 1 {
+		return 0, false
+	}
+	n.srcMu.Lock()
+	d := rng.SampleHarmonic(n.src, maxD)
+	dir := 1
+	if n.src.Bool(0.5) {
+		dir = -1
+	}
+	n.srcMu.Unlock()
+	return ring.Add(n.id, dir*d), true
+}
+
+// --- maintenance -----------------------------------------------------
+
+func (n *Node) maintenanceLoop() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.cfg.MaintenanceInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.done:
+			return
+		case <-ticker.C:
+			ctx, cancel := context.WithTimeout(context.Background(), n.cfg.CallTimeout*4)
+			n.MaintainOnce(ctx)
+			cancel()
+		}
+	}
+}
+
+// MaintainOnce runs one self-healing pass: ping every link and replace
+// dead ones. Dead long links are redrawn from the distribution; short
+// links are tightened to the nearest live node on each side with a
+// Chord-style stabilization walk.
+func (n *Node) MaintainOnce(ctx context.Context) {
+	n.mu.RLock()
+	long := make([]metric.Point, len(n.long))
+	copy(long, n.long)
+	n.mu.RUnlock()
+
+	alive := func(p metric.Point) bool {
+		if p == n.id {
+			return true
+		}
+		_, err := n.call(ctx, p, Request{Op: OpPing})
+		return err == nil
+	}
+
+	// Long links: redraw dead ones.
+	deadIdx := make([]int, 0, 2)
+	for i, to := range long {
+		if !alive(to) {
+			deadIdx = append(deadIdx, i)
+		}
+	}
+	for _, i := range deadIdx {
+		point, ok := n.sampleTargetPoint()
+		if !ok {
+			continue
+		}
+		owner, _, err := n.Lookup(ctx, point)
+		if err != nil || owner == n.id {
+			continue
+		}
+		n.mu.Lock()
+		if i < len(n.long) {
+			n.long[i] = owner
+			n.stats.longLinkRepairs.Add(1)
+		}
+		n.mu.Unlock()
+	}
+
+	// Short links: walk each side to the nearest live node
+	// (Chord-style stabilization), replacing dead neighbours and
+	// tightening stale ones.
+	n.tightenShort(ctx, alive, true)
+	n.tightenShort(ctx, alive, false)
+
+	// Keep neighbours aware of us (heals asymmetric views after churn).
+	n.announceSelf(ctx)
+}
+
+// tightenShort finds the nearest live node in the given direction and
+// installs it as the short link on that side. It seeds a candidate set
+// from every link the node holds, then walks: repeatedly asking the
+// best candidate for its own neighbour facing us, which (as in Chord's
+// stabilization) converges on the true adjacent node even across
+// multi-node gaps, in a single maintenance pass when intermediate
+// pointers are intact.
+func (n *Node) tightenShort(ctx context.Context, alive func(metric.Point) bool, clockwise bool) {
+	ring := n.cfg.Ring
+	dist := func(c metric.Point) int {
+		if clockwise {
+			return ring.ClockwiseDistance(n.id, c)
+		}
+		return ring.ClockwiseDistance(c, n.id)
+	}
+
+	n.mu.RLock()
+	seeds := make([]metric.Point, 0, len(n.long)+2)
+	seeds = append(seeds, n.left, n.right)
+	seeds = append(seeds, n.long...)
+	n.mu.RUnlock()
+
+	var best metric.Point
+	haveBest := false
+	for _, c := range seeds {
+		if c == n.id || !ring.Contains(c) {
+			continue
+		}
+		if (!haveBest || dist(c) < dist(best)) && alive(c) {
+			best, haveBest = c, true
+		}
+	}
+	if !haveBest {
+		// Isolated until someone announces themselves.
+		n.mu.Lock()
+		if clockwise {
+			n.right = n.id
+		} else {
+			n.left = n.id
+		}
+		n.mu.Unlock()
+		return
+	}
+	// Walk toward us: ask the current best for its neighbour on the
+	// side facing us.
+	for i := 0; i < ring.Size(); i++ {
+		info, err := n.call(ctx, best, Request{Op: OpNeighborInfo})
+		if err != nil {
+			break
+		}
+		q := metric.Point(info.Left)
+		if !clockwise {
+			q = metric.Point(info.Right)
+		}
+		if q == best || q == n.id || !ring.Contains(q) || dist(q) >= dist(best) || !alive(q) {
+			break
+		}
+		best = q
+	}
+	n.mu.Lock()
+	if clockwise {
+		n.right = best
+	} else {
+		n.left = best
+	}
+	n.mu.Unlock()
+	_, _ = n.call(ctx, best, Request{Op: OpNewNeighbor})
+}
+
+// Leave gracefully departs: it introduces its two short neighbours to
+// each other so the ring stays closed, then closes the node.
+func (n *Node) Leave(ctx context.Context) {
+	n.mu.RLock()
+	left, right := n.left, n.right
+	n.mu.RUnlock()
+	if left != n.id && right != n.id && left != right {
+		// Splice ourselves out: each side replaces us with the other.
+		_, _ = n.call(ctx, left, Request{Op: OpReplaceNeighbor, Subject: int64(right)})
+		_, _ = n.call(ctx, right, Request{Op: OpReplaceNeighbor, Subject: int64(left)})
+	}
+	n.Close()
+}

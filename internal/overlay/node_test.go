@@ -1,0 +1,394 @@
+package overlay
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/metric"
+	"repro/internal/transport"
+)
+
+func testConfig(t testing.TB, n, links int) Config {
+	t.Helper()
+	ring, err := metric.NewRing(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{Ring: ring, Links: links, Seed: 42}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err == nil {
+		t.Error("nil ring should error")
+	}
+	cfg := testConfig(t, 64, -1)
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative links should error")
+	}
+}
+
+func TestNewNodeValidatesID(t *testing.T) {
+	tr := transport.NewInMem(1)
+	cfg := testConfig(t, 64, 4)
+	if _, err := NewNode(metric.Point(99), cfg, tr); err == nil {
+		t.Error("out-of-ring id should error")
+	}
+}
+
+func TestHashKeyStableAndInRange(t *testing.T) {
+	ring, err := metric.NewRing(1 << 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := HashKey("some-resource", ring)
+	b := HashKey("some-resource", ring)
+	if a != b {
+		t.Error("hash must be deterministic")
+	}
+	if !ring.Contains(a) {
+		t.Error("hash out of range")
+	}
+	if HashKey("other", ring) == a && HashKey("third", ring) == a {
+		t.Error("suspicious collisions")
+	}
+}
+
+func TestSingleNodePutGet(t *testing.T) {
+	tr := transport.NewInMem(2)
+	cfg := testConfig(t, 256, 4)
+	n, err := NewNode(7, cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	ctx := context.Background()
+	owner, err := n.Put(ctx, "k", "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner != 7 {
+		t.Errorf("owner = %d, want self", owner)
+	}
+	v, ok, err := n.Get(ctx, "k")
+	if err != nil || !ok || v != "v" {
+		t.Errorf("get = %q,%v,%v", v, ok, err)
+	}
+	_, ok, err = n.Get(ctx, "missing")
+	if err != nil || ok {
+		t.Errorf("missing key = %v,%v", ok, err)
+	}
+	if n.StoreSize() != 1 {
+		t.Errorf("store size = %d", n.StoreSize())
+	}
+}
+
+func buildCluster(t testing.TB, tr transport.Transport, cfg Config, points []metric.Point) *Cluster {
+	t.Helper()
+	c, err := NewCluster(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, p := range points {
+		if _, err := c.AddNode(ctx, p); err != nil {
+			t.Fatalf("add %d: %v", p, err)
+		}
+	}
+	return c
+}
+
+func TestJoinWiresShortLinks(t *testing.T) {
+	tr := transport.NewInMem(3)
+	cfg := testConfig(t, 64, 2)
+	c := buildCluster(t, tr, cfg, []metric.Point{10, 30, 50})
+	defer c.Close()
+
+	// After the join protocol plus a maintenance round, ring order
+	// should be 10 <-> 30 <-> 50 <-> 10.
+	c.MaintainAll(context.Background())
+	n10, _ := c.Node(10)
+	left, right, _ := n10.Neighbors()
+	if right != 30 || left != 50 {
+		t.Errorf("node 10 neighbors = left %d right %d, want 50/30", left, right)
+	}
+	n30, _ := c.Node(30)
+	left, right, _ = n30.Neighbors()
+	if left != 10 || right != 50 {
+		t.Errorf("node 30 neighbors = left %d right %d, want 10/50", left, right)
+	}
+}
+
+func TestClusterLookupFindsOwner(t *testing.T) {
+	tr := transport.NewInMem(4)
+	cfg := testConfig(t, 256, 4)
+	points := []metric.Point{0, 32, 64, 96, 128, 160, 192, 224}
+	c := buildCluster(t, tr, cfg, points)
+	defer c.Close()
+	c.MaintainAll(context.Background())
+
+	ctx := context.Background()
+	n0, _ := c.Node(0)
+	// Target 100 is closest to node 96.
+	owner, hops, err := n0.Lookup(ctx, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner != 96 {
+		t.Errorf("owner of 100 = %d, want 96", owner)
+	}
+	if hops < 1 {
+		t.Error("lookup across the ring should take hops")
+	}
+	// Target exactly on a node.
+	owner, _, err = n0.Lookup(ctx, 128)
+	if err != nil || owner != 128 {
+		t.Errorf("owner of 128 = %d,%v", owner, err)
+	}
+}
+
+func TestPutGetAcrossCluster(t *testing.T) {
+	tr := transport.NewInMem(5)
+	cfg := testConfig(t, 512, 6)
+	points := make([]metric.Point, 0, 16)
+	for i := 0; i < 16; i++ {
+		points = append(points, metric.Point(i*32))
+	}
+	c := buildCluster(t, tr, cfg, points)
+	defer c.Close()
+	c.MaintainAll(context.Background())
+
+	ctx := context.Background()
+	writer, _ := c.Node(0)
+	keys := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	for _, k := range keys {
+		if _, err := writer.Put(ctx, k, "value-"+k); err != nil {
+			t.Fatalf("put %q: %v", k, err)
+		}
+	}
+	reader, _ := c.Node(256)
+	for _, k := range keys {
+		v, ok, err := reader.Get(ctx, k)
+		if err != nil {
+			t.Fatalf("get %q: %v", k, err)
+		}
+		if !ok || v != "value-"+k {
+			t.Errorf("get %q = %q,%v", k, v, ok)
+		}
+	}
+}
+
+func TestLongLinksDrawnOnJoin(t *testing.T) {
+	tr := transport.NewInMem(6)
+	cfg := testConfig(t, 1024, 5)
+	points := make([]metric.Point, 0, 32)
+	for i := 0; i < 32; i++ {
+		points = append(points, metric.Point(i*32))
+	}
+	c := buildCluster(t, tr, cfg, points)
+	defer c.Close()
+	// Late joiners should have accumulated long links.
+	n, _ := c.Node(points[len(points)-1])
+	_, _, long := n.Neighbors()
+	if len(long) == 0 {
+		t.Error("joiner has no long links")
+	}
+	for _, to := range long {
+		if to == n.ID() {
+			t.Error("self long link")
+		}
+	}
+}
+
+func TestCrashAndSelfHealing(t *testing.T) {
+	tr := transport.NewInMem(7)
+	cfg := testConfig(t, 256, 4)
+	points := []metric.Point{0, 32, 64, 96, 128, 160, 192, 224}
+	c := buildCluster(t, tr, cfg, points)
+	defer c.Close()
+	ctx := context.Background()
+	c.MaintainAll(ctx)
+
+	// Crash two nodes without warning.
+	if err := c.CrashNode(64); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CrashNode(96); err != nil {
+		t.Fatal(err)
+	}
+	// Self-healing rounds.
+	c.MaintainAll(ctx)
+	c.MaintainAll(ctx)
+
+	// The ring must have healed around the gap: node 32's right link
+	// should now be 128.
+	n32, _ := c.Node(32)
+	_, right, _ := n32.Neighbors()
+	if right != 128 {
+		t.Errorf("node 32 right = %d, want 128 after healing", right)
+	}
+	// Lookups across the gap must work again.
+	n0, _ := c.Node(0)
+	owner, _, err := n0.Lookup(ctx, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner != 128 {
+		t.Errorf("owner of 100 after crashes = %d, want 128", owner)
+	}
+}
+
+func TestGracefulLeaveSplicesRing(t *testing.T) {
+	tr := transport.NewInMem(8)
+	cfg := testConfig(t, 128, 3)
+	c := buildCluster(t, tr, cfg, []metric.Point{10, 40, 70, 100})
+	defer c.Close()
+	ctx := context.Background()
+	c.MaintainAll(ctx)
+
+	if err := c.RemoveNode(ctx, 40); err != nil {
+		t.Fatal(err)
+	}
+	n10, _ := c.Node(10)
+	_, right, _ := n10.Neighbors()
+	if right != 70 {
+		t.Errorf("node 10 right = %d, want 70 after graceful leave", right)
+	}
+	// Lookup still resolves.
+	owner, _, err := n10.Lookup(ctx, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner != 40 && owner != 70 && owner != 10 {
+		t.Errorf("owner = %d, want a live node", owner)
+	}
+	if owner == 40 {
+		t.Error("departed node still resolves as owner")
+	}
+}
+
+func TestLookupSurvivesDeadHopExclusion(t *testing.T) {
+	tr := transport.NewInMem(9)
+	cfg := testConfig(t, 256, 4)
+	points := []metric.Point{0, 32, 64, 96, 128, 160, 192, 224}
+	c := buildCluster(t, tr, cfg, points)
+	defer c.Close()
+	ctx := context.Background()
+	c.MaintainAll(ctx)
+
+	// Crash a node but do NOT run maintenance: peers still hold links
+	// to it, so lookups must route around via exclusion.
+	if err := c.CrashNode(128); err != nil {
+		t.Fatal(err)
+	}
+	n0, _ := c.Node(0)
+	owner, _, err := n0.Lookup(ctx, 130)
+	if err != nil {
+		t.Fatalf("lookup should survive a dead hop: %v", err)
+	}
+	if owner == 128 {
+		t.Error("dead node returned as owner")
+	}
+}
+
+func TestNodeOverTCPTransport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP cluster test")
+	}
+	tr := transport.NewTCP()
+	cfg := testConfig(t, 128, 3)
+	c := buildCluster(t, tr, cfg, []metric.Point{5, 37, 70, 101})
+	defer c.Close()
+	ctx := context.Background()
+	c.MaintainAll(ctx)
+
+	n5, _ := c.Node(5)
+	if _, err := n5.Put(ctx, "tcp-key", "tcp-value"); err != nil {
+		t.Fatal(err)
+	}
+	n70, _ := c.Node(70)
+	v, ok, err := n70.Get(ctx, "tcp-key")
+	if err != nil || !ok || v != "tcp-value" {
+		t.Errorf("tcp get = %q,%v,%v", v, ok, err)
+	}
+}
+
+func TestClusterBookkeeping(t *testing.T) {
+	tr := transport.NewInMem(10)
+	cfg := testConfig(t, 64, 2)
+	c := buildCluster(t, tr, cfg, []metric.Point{1, 2})
+	defer c.Close()
+	if c.Size() != 2 || len(c.Nodes()) != 2 {
+		t.Error("size bookkeeping wrong")
+	}
+	if _, err := c.AddNode(context.Background(), 1); err == nil {
+		t.Error("duplicate AddNode should error")
+	}
+	if err := c.RemoveNode(context.Background(), 9); err == nil {
+		t.Error("removing unknown node should error")
+	}
+	if err := c.CrashNode(9); err == nil {
+		t.Error("crashing unknown node should error")
+	}
+	if _, err := c.RandomNode(); err != nil {
+		t.Error(err)
+	}
+	empty, err := NewCluster(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := empty.RandomNode(); err == nil {
+		t.Error("empty cluster RandomNode should error")
+	}
+}
+
+func TestMaintenanceLoopRuns(t *testing.T) {
+	tr := transport.NewInMem(11)
+	ring, err := metric.NewRing(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Ring: ring, Links: 2, Seed: 1, MaintenanceInterval: time.Millisecond}
+	n, err := NewNode(3, cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	n.Close() // must not deadlock with the loop
+}
+
+func TestSolicitTopUpAndRedirect(t *testing.T) {
+	tr := transport.NewInMem(12)
+	cfg := testConfig(t, 256, 2)
+	n, err := NewNode(0, cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	// Below budget: always accepted.
+	if !n.handleSolicit(10) || !n.handleSolicit(20) {
+		t.Error("below-budget solicits should be accepted")
+	}
+	_, _, long := n.Neighbors()
+	if len(long) != 2 {
+		t.Fatalf("long links = %v", long)
+	}
+	// At budget: acceptance is probabilistic; over many very-close
+	// solicitors, some must be accepted (p_new near max).
+	accepted := 0
+	for i := 0; i < 200; i++ {
+		if n.handleSolicit(metric.Point(1 + i%3)) {
+			accepted++
+		}
+	}
+	if accepted == 0 {
+		t.Error("close solicitors should sometimes be accepted")
+	}
+	_, _, long = n.Neighbors()
+	if len(long) != 2 {
+		t.Errorf("budget exceeded: %v", long)
+	}
+	if n.handleSolicit(0) {
+		t.Error("self solicit must be rejected")
+	}
+}

@@ -1,0 +1,79 @@
+package overlay
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/metric"
+)
+
+// Recursive routing: instead of the querier iterating hop by hop
+// (Lookup), the message is forwarded node-to-node and the answer
+// relayed back along the RPC chain — the mode most deployed DHTs use
+// for lower lookup latency. Failure handling moves into the network:
+// each hop locally excludes dead next-hops and retries, a per-hop
+// version of the paper's backtracking.
+
+// LookupRecursive resolves the live node owning target by recursive
+// forwarding. It returns the owner and the number of forward hops.
+func (n *Node) LookupRecursive(ctx context.Context, target metric.Point) (metric.Point, int, error) {
+	if !n.cfg.Ring.Contains(target) {
+		return 0, 0, fmt.Errorf("overlay: target %d outside ring", target)
+	}
+	n.stats.lookupsStarted.Add(1)
+	resp, err := n.forwardLocal(ctx, Request{
+		Op:     OpForward,
+		Target: int64(target),
+		TTL:    n.cfg.MaxHops,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	if !resp.OK {
+		return 0, 0, fmt.Errorf("overlay: recursive lookup of %d found no route", target)
+	}
+	return metric.Point(resp.Next), resp.Hops, nil
+}
+
+// forwardLocal handles one forwarding step at this node: if no live
+// neighbour improves on us, we are the owner; otherwise forward to the
+// best live neighbour, excluding locally observed dead hops.
+func (n *Node) forwardLocal(ctx context.Context, req Request) (Response, error) {
+	if req.TTL <= 0 {
+		return Response{}, fmt.Errorf("overlay: forward TTL exhausted at node %d", n.id)
+	}
+	exclude := append([]int64(nil), req.Exclude...)
+	for attempts := 0; attempts < 8; attempts++ {
+		nearest := n.handleNearest(Request{Target: req.Target, Exclude: exclude})
+		if nearest.IsSelf {
+			return Response{OK: true, Next: int64(n.id), Hops: 0}, nil
+		}
+		next := metric.Point(nearest.Next)
+		resp, err := n.call(ctx, next, Request{
+			Op:     OpForward,
+			Target: req.Target,
+			TTL:    req.TTL - 1,
+		})
+		if err != nil {
+			// Dead or failing hop: exclude it and retry locally — the
+			// recursive analogue of the §6 backtracking step.
+			exclude = appendExcluded(exclude, int64(next))
+			continue
+		}
+		if !resp.OK {
+			exclude = appendExcluded(exclude, int64(next))
+			continue
+		}
+		resp.Hops++
+		return resp, nil
+	}
+	return Response{}, fmt.Errorf("overlay: node %d exhausted forwarding candidates", n.id)
+}
+
+// handleForward is the server-side entry for OpForward requests
+// arriving over the transport.
+func (n *Node) handleForward(req Request) (Response, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.CallTimeout*4)
+	defer cancel()
+	return n.forwardLocal(ctx, req)
+}

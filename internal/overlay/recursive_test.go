@@ -1,0 +1,107 @@
+package overlay
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/metric"
+	"repro/internal/transport"
+)
+
+func TestLookupRecursiveMatchesIterative(t *testing.T) {
+	tr := transport.NewInMem(50)
+	cfg := testConfig(t, 512, 5)
+	points := make([]metric.Point, 0, 16)
+	for i := 0; i < 16; i++ {
+		points = append(points, metric.Point(i*32))
+	}
+	c := buildCluster(t, tr, cfg, points)
+	defer c.Close()
+	ctx := context.Background()
+	c.MaintainAll(ctx)
+
+	n0, _ := c.Node(0)
+	for _, target := range []metric.Point{5, 100, 250, 400, 511} {
+		itOwner, _, err := n0.Lookup(ctx, target)
+		if err != nil {
+			t.Fatalf("iterative lookup %d: %v", target, err)
+		}
+		recOwner, recHops, err := n0.LookupRecursive(ctx, target)
+		if err != nil {
+			t.Fatalf("recursive lookup %d: %v", target, err)
+		}
+		if itOwner != recOwner {
+			t.Errorf("target %d: iterative owner %d, recursive owner %d", target, itOwner, recOwner)
+		}
+		if recHops < 0 {
+			t.Errorf("negative hops %d", recHops)
+		}
+	}
+}
+
+func TestLookupRecursiveSelfOwned(t *testing.T) {
+	tr := transport.NewInMem(51)
+	cfg := testConfig(t, 128, 3)
+	c := buildCluster(t, tr, cfg, []metric.Point{10, 70})
+	defer c.Close()
+	ctx := context.Background()
+	c.MaintainAll(ctx)
+	n10, _ := c.Node(10)
+	owner, hops, err := n10.LookupRecursive(ctx, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner != 10 || hops != 0 {
+		t.Errorf("self-owned lookup = %d in %d hops", owner, hops)
+	}
+}
+
+func TestLookupRecursiveValidatesTarget(t *testing.T) {
+	tr := transport.NewInMem(52)
+	cfg := testConfig(t, 64, 2)
+	n, err := NewNode(0, cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if _, _, err := n.LookupRecursive(context.Background(), 999); err == nil {
+		t.Error("out-of-ring target should error")
+	}
+}
+
+func TestLookupRecursiveRoutesAroundCrash(t *testing.T) {
+	tr := transport.NewInMem(53)
+	cfg := testConfig(t, 256, 4)
+	points := []metric.Point{0, 32, 64, 96, 128, 160, 192, 224}
+	c := buildCluster(t, tr, cfg, points)
+	defer c.Close()
+	ctx := context.Background()
+	c.MaintainAll(ctx)
+
+	// Crash an intermediate node without healing.
+	if err := c.CrashNode(128); err != nil {
+		t.Fatal(err)
+	}
+	n0, _ := c.Node(0)
+	owner, _, err := n0.LookupRecursive(ctx, 130)
+	if err != nil {
+		t.Fatalf("recursive lookup should route around the crash: %v", err)
+	}
+	if owner == 128 {
+		t.Error("crashed node returned as owner")
+	}
+}
+
+func TestForwardTTLExhaustion(t *testing.T) {
+	tr := transport.NewInMem(54)
+	cfg := testConfig(t, 256, 2)
+	points := []metric.Point{0, 64, 128, 192}
+	c := buildCluster(t, tr, cfg, points)
+	defer c.Close()
+	ctx := context.Background()
+	c.MaintainAll(ctx)
+	n0, _ := c.Node(0)
+	if _, err := n0.forwardLocal(ctx, Request{Op: OpForward, Target: 130, TTL: 0}); err == nil {
+		t.Error("TTL 0 must fail")
+	}
+}

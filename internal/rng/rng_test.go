@@ -1,0 +1,205 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("seeds 1 and 2 produced %d equal values out of 100", same)
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Derive(1)
+	c2 := parent.Derive(2)
+	c1again := New(7).Derive(1)
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() != c1again.Uint64() {
+			t.Fatal("Derive is not deterministic")
+		}
+	}
+	// Streams 1 and 2 should differ.
+	c1 = New(7).Derive(1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("derived streams 1 and 2 nearly identical (%d/100 equal)", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(3)
+	for _, n := range []int{1, 2, 3, 10, 1000} {
+		for i := 0; i < 200; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	s := New(11)
+	const n, draws = 8, 80000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 4*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d deviates from %f", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(5)
+	var sum float64
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / draws; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestBool(t *testing.T) {
+	s := New(9)
+	if s.Bool(0) || s.Bool(-1) {
+		t.Error("Bool(<=0) must be false")
+	}
+	if !s.Bool(1) || !s.Bool(1.5) {
+		t.Error("Bool(>=1) must be true")
+	}
+	hits := 0
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	if p := float64(hits) / draws; math.Abs(p-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) frequency = %v", p)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, nn uint8) bool {
+		n := int(nn%64) + 1
+		p := New(seed).Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	s := New(13)
+	for _, lambda := range []float64{1, 5, 14, 50} {
+		const draws = 20000
+		var sum int
+		for i := 0; i < draws; i++ {
+			sum += s.Poisson(lambda)
+		}
+		mean := float64(sum) / draws
+		if math.Abs(mean-lambda) > 4*math.Sqrt(lambda/draws)*math.Sqrt(lambda)+0.2 {
+			t.Errorf("Poisson(%v) mean = %v", lambda, mean)
+		}
+	}
+	if s.Poisson(0) != 0 || s.Poisson(-1) != 0 {
+		t.Error("Poisson(<=0) must be 0")
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := New(17)
+	const draws = 100000
+	var sum, sum2 float64
+	for i := 0; i < draws; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / draws
+	variance := sum2/draws - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v", variance)
+	}
+}
+
+func TestGeometric(t *testing.T) {
+	s := New(23)
+	if s.Geometric(1) != 0 {
+		t.Error("Geometric(1) must be 0")
+	}
+	const draws = 50000
+	p := 0.25
+	var sum int
+	for i := 0; i < draws; i++ {
+		sum += s.Geometric(p)
+	}
+	mean := float64(sum) / draws
+	want := (1 - p) / p // mean failures before success
+	if math.Abs(mean-want) > 0.1 {
+		t.Errorf("Geometric(%v) mean = %v, want %v", p, mean, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Geometric(0) should panic")
+		}
+	}()
+	s.Geometric(0)
+}

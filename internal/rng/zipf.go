@@ -1,0 +1,64 @@
+package rng
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ZipfSampler draws ranks r in [1, n] with probability proportional to
+// r^(−s) — the classic model of resource popularity in file-sharing
+// workloads (a small set of hot items attracts most queries), used by
+// the examples to generate realistic query streams.
+type ZipfSampler struct {
+	cdf []float64
+	s   float64
+}
+
+// NewZipf returns a sampler over ranks [1, n] with skew s >= 0
+// (s = 0 is uniform; s ≈ 1 matches measured P2P workloads).
+func NewZipf(n int, s float64) (*ZipfSampler, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("rng: zipf needs n >= 1, got %d", n)
+	}
+	if s < 0 {
+		return nil, fmt.Errorf("rng: zipf skew must be >= 0, got %v", s)
+	}
+	cdf := make([]float64, n)
+	total := 0.0
+	for r := 1; r <= n; r++ {
+		total += math.Pow(float64(r), -s)
+		cdf[r-1] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &ZipfSampler{cdf: cdf, s: s}, nil
+}
+
+// N returns the number of ranks.
+func (z *ZipfSampler) N() int { return len(z.cdf) }
+
+// Skew returns the exponent s.
+func (z *ZipfSampler) Skew() float64 { return z.s }
+
+// Sample draws one rank.
+func (z *ZipfSampler) Sample(src *Source) int {
+	u := src.Float64()
+	i := sort.SearchFloat64s(z.cdf, u)
+	if i >= len(z.cdf) {
+		i = len(z.cdf) - 1
+	}
+	return i + 1
+}
+
+// Prob returns the probability mass of rank r.
+func (z *ZipfSampler) Prob(r int) float64 {
+	if r < 1 || r > len(z.cdf) {
+		return 0
+	}
+	if r == 1 {
+		return z.cdf[0]
+	}
+	return z.cdf[r-1] - z.cdf[r-2]
+}

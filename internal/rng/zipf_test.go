@@ -1,0 +1,84 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfValidation(t *testing.T) {
+	if _, err := NewZipf(0, 1); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := NewZipf(10, -1); err == nil {
+		t.Error("negative skew should error")
+	}
+}
+
+func TestZipfUniformWhenSkewZero(t *testing.T) {
+	z, err := NewZipf(8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r <= 8; r++ {
+		if math.Abs(z.Prob(r)-0.125) > 1e-9 {
+			t.Errorf("P(%d) = %v, want 0.125", r, z.Prob(r))
+		}
+	}
+	if z.N() != 8 || z.Skew() != 0 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestZipfSkewConcentratesOnHead(t *testing.T) {
+	z, err := NewZipf(1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With s=1, P(1)/P(2) = 2.
+	if ratio := z.Prob(1) / z.Prob(2); math.Abs(ratio-2) > 1e-9 {
+		t.Errorf("P(1)/P(2) = %v, want 2", ratio)
+	}
+	src := New(1)
+	head := 0
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		if z.Sample(src) <= 10 {
+			head++
+		}
+	}
+	// Top-10 mass under Zipf(1, 1000): H_10/H_1000 ≈ 2.93/7.49 ≈ 0.39.
+	frac := float64(head) / draws
+	if frac < 0.3 || frac > 0.5 {
+		t.Errorf("top-10 mass = %v, want ≈ 0.39", frac)
+	}
+}
+
+func TestZipfProbSumsToOne(t *testing.T) {
+	z, err := NewZipf(100, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for r := 1; r <= 100; r++ {
+		sum += z.Prob(r)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("mass sums to %v", sum)
+	}
+	if z.Prob(0) != 0 || z.Prob(101) != 0 {
+		t.Error("out-of-range mass must be 0")
+	}
+}
+
+func TestZipfSampleInRange(t *testing.T) {
+	z, err := NewZipf(16, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := New(2)
+	for i := 0; i < 5000; i++ {
+		if r := z.Sample(src); r < 1 || r > 16 {
+			t.Fatalf("rank %d out of range", r)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package route
+
+import (
+	"fmt"
+
+	"repro/internal/metric"
+	"repro/internal/rng"
+)
+
+// maliciousOnPath reports whether the search result's message died at a
+// Byzantine node: routing treats malicious nodes as ordinary (their
+// misbehaviour is not locally observable), so a Result that traversed
+// one is converted to a silent failure by the callers below.
+//
+// RouteHonest performs one greedy search and accounts for Byzantine
+// drops: the message dies, unrecoverably, at the first malicious node
+// it visits. Hops up to the drop point are still charged.
+func (r *Router) RouteHonest(source *rng.Source, from, to metric.Point) (Result, error) {
+	res, err := r.routeTraced(source, from, to)
+	if err != nil {
+		return Result{}, err
+	}
+	for i, p := range res.Path {
+		if i == 0 {
+			continue // the (honest) origin
+		}
+		if r.g.Malicious(p) {
+			// Message silently dropped at hop i; the hops after the
+			// drop never happened.
+			return Result{Delivered: false, Hops: i, Reroutes: res.Reroutes}, nil
+		}
+	}
+	res.Path = trimPath(res.Path, r.opt.TracePath)
+	return res, nil
+}
+
+// routeTraced runs Route with path tracing forced on.
+func (r *Router) routeTraced(source *rng.Source, from, to metric.Point) (Result, error) {
+	if r.opt.TracePath {
+		return r.Route(source, from, to)
+	}
+	traced := *r
+	traced.opt.TracePath = true
+	return traced.Route(source, from, to)
+}
+
+func trimPath(path []metric.Point, keep bool) []metric.Point {
+	if keep {
+		return path
+	}
+	return nil
+}
+
+// RouteRedundant sends `copies` redundant copies of a message and
+// succeeds when any of them arrives — the Valiant-style defence against
+// Byzantine drops: copy 1 goes direct; each further copy is first
+// routed to an independent uniformly random live relay and onward from
+// there, so the copies traverse nearly independent paths. Hops counts
+// the total traffic of all copies (the price of redundancy);
+// Reroutes counts relay hand-offs.
+func (r *Router) RouteRedundant(source *rng.Source, from, to metric.Point, copies int) (Result, error) {
+	if copies < 1 {
+		return Result{}, fmt.Errorf("route: need at least one copy, got %d", copies)
+	}
+	var agg Result
+	deliver := func(res Result) {
+		agg.Hops += res.Hops
+		agg.Backtracks += res.Backtracks
+		if res.Delivered {
+			agg.Delivered = true
+		}
+	}
+	direct, err := r.RouteHonest(source, from, to)
+	if err != nil {
+		return Result{}, err
+	}
+	deliver(direct)
+	for c := 1; c < copies; c++ {
+		relay, ok := r.honestishRelay(source, from, to)
+		if !ok {
+			break
+		}
+		agg.Reroutes++
+		leg1, err := r.RouteHonest(source, from, relay)
+		if err != nil {
+			return agg, err
+		}
+		agg.Hops += leg1.Hops
+		agg.Backtracks += leg1.Backtracks
+		if !leg1.Delivered {
+			continue
+		}
+		leg2, err := r.RouteHonest(source, relay, to)
+		if err != nil {
+			return agg, err
+		}
+		deliver(leg2)
+	}
+	return agg, nil
+}
+
+// honestishRelay picks a random live relay distinct from the endpoints.
+// The sender cannot identify Byzantine nodes, so the relay may be
+// malicious — in that case the copy dies at the relay, which the drop
+// accounting in RouteHonest already covers for the first leg's last
+// hop.
+func (r *Router) honestishRelay(source *rng.Source, from, to metric.Point) (metric.Point, bool) {
+	for i := 0; i < 64; i++ {
+		p, ok := r.g.RandomAlive(source)
+		if !ok {
+			return 0, false
+		}
+		if p != from && p != to {
+			return p, true
+		}
+	}
+	return 0, false
+}

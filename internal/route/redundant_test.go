@@ -1,0 +1,172 @@
+package route
+
+import (
+	"testing"
+
+	"repro/internal/failure"
+	"repro/internal/graph"
+	"repro/internal/metric"
+	"repro/internal/rng"
+)
+
+func TestRouteHonestNoMalicious(t *testing.T) {
+	g := buildRing(t, 256, 4, 20)
+	r := New(g, Options{})
+	res, err := r.RouteHonest(rng.New(1), 3, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Delivered {
+		t.Error("honest network should deliver")
+	}
+}
+
+func TestRouteHonestDropsAtMaliciousNode(t *testing.T) {
+	// Short-link-only ring: the route 0 -> 4 is forced through 1,2,3.
+	g := graph.New(mustRing(t, 16))
+	if err := g.SetMalicious(2, true); err != nil {
+		t.Fatal(err)
+	}
+	r := New(g, Options{})
+	res, err := r.RouteHonest(rng.New(2), 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered {
+		t.Error("message through a malicious node must be dropped")
+	}
+	if res.Hops != 2 {
+		t.Errorf("hops = %d, want 2 (died on arrival at node 2)", res.Hops)
+	}
+}
+
+func TestRouteHonestMaliciousTargetDrops(t *testing.T) {
+	g := graph.New(mustRing(t, 16))
+	if err := g.SetMalicious(4, true); err != nil {
+		t.Fatal(err)
+	}
+	r := New(g, Options{})
+	res, err := r.RouteHonest(rng.New(3), 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered {
+		t.Error("a malicious target swallows the message")
+	}
+}
+
+func TestRouteRedundantValidation(t *testing.T) {
+	g := buildRing(t, 64, 2, 21)
+	r := New(g, Options{})
+	if _, err := r.RouteRedundant(rng.New(1), 0, 5, 0); err == nil {
+		t.Error("copies=0 should error")
+	}
+}
+
+func TestRouteRedundantImprovesDelivery(t *testing.T) {
+	const n = 1 << 11
+	g := buildRing(t, n, 11, 22)
+	src := rng.New(23)
+	if _, err := failure.MarkMalicious(g, 0.15, src); err != nil {
+		t.Fatal(err)
+	}
+	r := New(g, Options{})
+	honest := func() (metric.Point, bool) {
+		for i := 0; i < 100; i++ {
+			p, ok := g.RandomAlive(src)
+			if ok && !g.Malicious(p) {
+				return p, true
+			}
+		}
+		return 0, false
+	}
+	direct, redundant := 0, 0
+	const searches = 150
+	for i := 0; i < searches; i++ {
+		from, ok1 := honest()
+		to, ok2 := honest()
+		if !ok1 || !ok2 || from == to {
+			continue
+		}
+		d, err := r.RouteRedundant(src, from, to, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := r.RouteRedundant(src, from, to, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Delivered {
+			direct++
+		}
+		if m.Delivered {
+			redundant++
+		}
+		if m.Delivered && !d.Delivered && m.Reroutes == 0 {
+			t.Error("recovery without relays is impossible for the same rng stream")
+		}
+	}
+	if redundant <= direct {
+		t.Errorf("4 copies delivered %d, direct delivered %d — redundancy should help", redundant, direct)
+	}
+}
+
+func TestRouteRedundantCountsCost(t *testing.T) {
+	g := buildRing(t, 512, 6, 24)
+	r := New(g, Options{})
+	src := rng.New(25)
+	one, err := r.RouteRedundant(src, 3, 400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := r.RouteRedundant(src, 3, 400, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if four.Hops <= one.Hops {
+		t.Errorf("4 copies cost %d hops vs %d — redundancy must cost traffic", four.Hops, one.Hops)
+	}
+	if four.Reroutes != 3 {
+		t.Errorf("reroutes = %d, want 3 relay hand-offs", four.Reroutes)
+	}
+}
+
+func TestMarkMaliciousValidation(t *testing.T) {
+	g := buildRing(t, 64, 2, 26)
+	if _, err := failure.MarkMalicious(g, -0.1, rng.New(1)); err == nil {
+		t.Error("negative probability should error")
+	}
+	marked, err := failure.MarkMalicious(g, 1, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if marked != 64 {
+		t.Errorf("marked = %d, want all", marked)
+	}
+}
+
+func TestSetMaliciousValidation(t *testing.T) {
+	g := buildRing(t, 16, 1, 27)
+	g.Fail(3)
+	if err := g.SetMalicious(3, true); err == nil {
+		t.Error("dead node cannot be marked malicious")
+	}
+	if err := g.SetMalicious(99, true); err == nil {
+		t.Error("out-of-range node cannot be marked malicious")
+	}
+	if g.Malicious(5) {
+		t.Error("unmarked node reported malicious")
+	}
+	if err := g.SetMalicious(5, true); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Malicious(5) {
+		t.Error("marked node not reported malicious")
+	}
+	if err := g.SetMalicious(5, false); err != nil {
+		t.Fatal(err)
+	}
+	if g.Malicious(5) {
+		t.Error("unmarking failed")
+	}
+}

@@ -1,0 +1,322 @@
+// Package route implements the paper's greedy routing algorithms over an
+// overlay graph (package graph), together with the three dead-end
+// recovery strategies evaluated in §6:
+//
+//  1. Terminate — give up as soon as no live neighbour makes progress.
+//  2. RandomReroute — hand the message to a uniformly random live node
+//     and continue greedily from there (the Valiant-style re-route of
+//     §6, strategy 2).
+//  3. Backtrack — remember the last few visited nodes; when stuck, step
+//     back and take the next-best unexplored neighbour (§6, strategy 3;
+//     the paper fixes the memory at 5 nodes).
+//
+// Both sidedness variants from the lower-bound section (§4.2.1) are
+// supported: two-sided greedy (minimize distance, either direction) and
+// one-sided greedy (never pass the target; on a ring this is Chord-style
+// clockwise-only routing).
+package route
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/mathx"
+	"repro/internal/metric"
+	"repro/internal/rng"
+)
+
+// Sidedness selects the greedy variant of §4.2.1.
+type Sidedness int
+
+const (
+	// TwoSided greedy minimizes metric distance, allowed to overshoot
+	// the target.
+	TwoSided Sidedness = iota + 1
+	// OneSided greedy never traverses a link that would take it past
+	// its target.
+	OneSided
+)
+
+// String returns the variant name.
+func (s Sidedness) String() string {
+	switch s {
+	case TwoSided:
+		return "two-sided"
+	case OneSided:
+		return "one-sided"
+	default:
+		return fmt.Sprintf("sidedness(%d)", int(s))
+	}
+}
+
+// DeadEndPolicy selects what a search does when the current node has no
+// live neighbour closer to the target than itself.
+type DeadEndPolicy int
+
+const (
+	// Terminate fails the search at the first dead end.
+	Terminate DeadEndPolicy = iota + 1
+	// RandomReroute restarts the search from a uniformly random live
+	// node, up to Options.MaxReroutes times.
+	RandomReroute
+	// Backtrack keeps a short history of visited nodes and retries
+	// from the most recent one with an untried neighbour.
+	Backtrack
+)
+
+// String returns the policy name used in experiment output.
+func (p DeadEndPolicy) String() string {
+	switch p {
+	case Terminate:
+		return "terminate"
+	case RandomReroute:
+		return "random-reroute"
+	case Backtrack:
+		return "backtracking"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Options configures a Router.
+type Options struct {
+	// Sidedness defaults to TwoSided when zero.
+	Sidedness Sidedness
+	// DeadEnd defaults to Terminate when zero.
+	DeadEnd DeadEndPolicy
+	// BacktrackMemory is the number of recently visited nodes kept for
+	// the Backtrack policy. Zero defaults to 5, the paper's value.
+	BacktrackMemory int
+	// MaxReroutes bounds RandomReroute restarts. Zero defaults to 1.
+	MaxReroutes int
+	// MaxHops bounds the total hop count of one search; exceeding it
+	// fails the search. Zero defaults to 4·⌈lg n⌉² + 64, comfortably
+	// above the O(log²n) expectation so the cap fires only on
+	// genuinely stuck searches.
+	MaxHops int
+	// DirectedOnly restricts greedy candidates to outgoing links —
+	// the directed model analyzed in §4's bounds. The default
+	// (false) routes over the symmetric physical neighbour set (out-
+	// plus in-links), which is what the §6 simulations measure: a
+	// long link is a network connection both endpoints can use.
+	DirectedOnly bool
+	// TracePath records the visited sequence in Result.Path.
+	TracePath bool
+}
+
+// withDefaults resolves the zero values.
+func (o Options) withDefaults(n int) Options {
+	if o.Sidedness == 0 {
+		o.Sidedness = TwoSided
+	}
+	if o.DeadEnd == 0 {
+		o.DeadEnd = Terminate
+	}
+	if o.BacktrackMemory == 0 {
+		o.BacktrackMemory = 5
+	}
+	if o.MaxReroutes == 0 {
+		o.MaxReroutes = 1
+	}
+	if o.MaxHops == 0 {
+		lg := mathx.ILog2(n) + 1
+		o.MaxHops = 4*lg*lg + 64
+	}
+	return o
+}
+
+// Result reports the outcome of a single search.
+type Result struct {
+	// Delivered is true when the message reached the target.
+	Delivered bool
+	// Hops is the number of overlay edges traversed, counting forward
+	// moves, backtracking moves and re-route jumps alike.
+	Hops int
+	// Reroutes counts RandomReroute restarts actually taken.
+	Reroutes int
+	// Backtracks counts backward moves taken by the Backtrack policy.
+	Backtracks int
+	// Path is the visited sequence, only when Options.TracePath.
+	Path []metric.Point
+}
+
+// Router executes greedy searches over a fixed graph. A Router is
+// immutable after creation and safe for concurrent use as long as the
+// underlying graph is not mutated and each goroutine uses its own
+// rng.Source.
+type Router struct {
+	g   *graph.Graph
+	opt Options
+}
+
+// New returns a Router over g with the given options (zero values take
+// the paper's defaults).
+func New(g *graph.Graph, opt Options) *Router {
+	return &Router{g: g, opt: opt.withDefaults(g.Size())}
+}
+
+// Options returns the resolved options.
+func (r *Router) Options() Options { return r.opt }
+
+// Route performs one greedy search from src node `from` to target point
+// `to`. The rng source drives re-route restarts only; plain greedy
+// searches are deterministic given the graph.
+func (r *Router) Route(source *rng.Source, from, to metric.Point) (Result, error) {
+	if !r.g.Alive(from) {
+		return Result{}, fmt.Errorf("route: origin %d is not a live node", from)
+	}
+	if !r.g.Alive(to) {
+		return Result{}, fmt.Errorf("route: target %d is not a live node", to)
+	}
+	var res Result
+	cur := from
+	r.trace(&res, cur)
+
+	switch r.opt.DeadEnd {
+	case Backtrack:
+		r.routeBacktrack(&res, cur, to)
+	default:
+		reroutes := 0
+		for {
+			stuck := r.greedyWalk(&res, &cur, to)
+			if !stuck || res.Delivered {
+				break
+			}
+			if r.opt.DeadEnd != RandomReroute || reroutes >= r.opt.MaxReroutes || res.Hops >= r.opt.MaxHops {
+				break
+			}
+			// Hand the message to a random live node and try again.
+			next, ok := r.g.RandomAlive(source)
+			if !ok {
+				break
+			}
+			reroutes++
+			res.Reroutes++
+			res.Hops++ // the hand-off itself costs a hop
+			cur = next
+			r.trace(&res, cur)
+			if cur == to {
+				res.Delivered = true
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+// greedyWalk advances cur greedily until delivery, a dead end, or the
+// hop cap. It returns true when it stopped at a dead end.
+func (r *Router) greedyWalk(res *Result, cur *metric.Point, to metric.Point) (stuck bool) {
+	for *cur != to {
+		if res.Hops >= r.opt.MaxHops {
+			return false
+		}
+		next, ok := r.bestNeighbor(*cur, to, nil)
+		if !ok {
+			return true
+		}
+		*cur = next
+		res.Hops++
+		r.trace(res, *cur)
+	}
+	res.Delivered = true
+	return false
+}
+
+// bestNeighbor returns the live neighbour of cur that is closest to the
+// target under the configured sidedness and strictly closer than cur
+// itself, skipping any points in `tried`. The second return is false at
+// a dead end.
+//
+// The paper's rule (§6): a node picks its best *live* neighbour; it
+// never forwards to a second choice at the same visit — recovery is the
+// dead-end policy's job. bestNeighbor therefore filters dead nodes
+// (liveness of a neighbour is local knowledge) but returns only the
+// single best candidate.
+func (r *Router) bestNeighbor(cur, to metric.Point, tried map[metric.Point]bool) (metric.Point, bool) {
+	space := r.g.Space()
+	curDist := r.progressDistance(cur, to)
+	best := cur
+	bestDist := curDist
+	found := false
+	forEach := r.g.ForEachNeighbor
+	if r.opt.DirectedOnly {
+		forEach = r.g.ForEachOutNeighbor
+	}
+	forEach(cur, func(q metric.Point) {
+		if !r.g.Alive(q) || tried[q] {
+			return
+		}
+		if r.opt.Sidedness == OneSided && !space.Between(cur, q, to) {
+			return
+		}
+		if d := r.progressDistance(q, to); d < bestDist {
+			best, bestDist, found = q, d, true
+		}
+	})
+	return best, found
+}
+
+// progressDistance is the distance the greedy rule minimizes: metric
+// distance for two-sided routing, clockwise/one-directional distance for
+// one-sided routing on a ring (on a line both coincide because Between
+// already constrains the direction).
+func (r *Router) progressDistance(p, to metric.Point) int {
+	if r.opt.Sidedness == OneSided {
+		if ring, ok := r.g.Space().(*metric.Ring); ok {
+			return ring.ClockwiseDistance(p, to)
+		}
+	}
+	return r.g.Space().Distance(p, to)
+}
+
+// routeBacktrack runs greedy routing with the §6 backtracking strategy:
+// it keeps the last BacktrackMemory visited nodes; at a dead end it
+// returns to the most recently visited of them and takes the next-best
+// neighbour not yet tried from that node.
+func (r *Router) routeBacktrack(res *Result, cur, to metric.Point) {
+	type frame struct {
+		at    metric.Point
+		tried map[metric.Point]bool
+	}
+	history := make([]frame, 0, r.opt.BacktrackMemory+1)
+	push := func(p metric.Point) {
+		history = append(history, frame{at: p, tried: map[metric.Point]bool{}})
+		if len(history) > r.opt.BacktrackMemory {
+			history = history[1:]
+		}
+	}
+	push(cur)
+	for cur != to {
+		if res.Hops >= r.opt.MaxHops {
+			return
+		}
+		top := &history[len(history)-1]
+		next, ok := r.bestNeighbor(cur, to, top.tried)
+		if ok {
+			top.tried[next] = true
+			cur = next
+			res.Hops++
+			r.trace(res, cur)
+			push(cur)
+			continue
+		}
+		// Dead end: drop the stuck node and back up to the most recent
+		// remembered node, charging one hop for the backward move.
+		if len(history) <= 1 {
+			return // nothing left to back into
+		}
+		history = history[:len(history)-1]
+		cur = history[len(history)-1].at
+		res.Hops++
+		res.Backtracks++
+		r.trace(res, cur)
+	}
+	res.Delivered = true
+}
+
+func (r *Router) trace(res *Result, p metric.Point) {
+	if r.opt.TracePath {
+		res.Path = append(res.Path, p)
+	}
+}

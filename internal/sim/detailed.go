@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// RunDetailed is Run, but preserves each trial's statistics instead of
+// folding them together, so callers can attach confidence intervals to
+// experiment tables. Trial i's stats land at index i regardless of the
+// worker count.
+func RunDetailed(seed uint64, trials, workers int, fn TrialFunc) ([]SearchStats, error) {
+	if trials <= 0 {
+		return nil, errors.New("sim: trials must be positive")
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > trials {
+		workers = trials
+	}
+	root := rng.New(seed)
+	out := make([]SearchStats, trials)
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				stats, err := fn(i, root.Derive(uint64(i)))
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				out[i] = stats
+			}
+		}()
+	}
+	for i := 0; i < trials; i++ {
+		mu.Lock()
+		stop := firstErr != nil
+		mu.Unlock()
+		if stop {
+			break
+		}
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// Interval is a mean with a standard error over trials.
+type Interval struct {
+	Mean   float64
+	StdErr float64
+	Trials int
+}
+
+// Lo and Hi return the ±2·stderr bounds (≈95 % under normality).
+func (iv Interval) Lo() float64 { return iv.Mean - 2*iv.StdErr }
+
+// Hi returns the upper ≈95 % bound.
+func (iv Interval) Hi() float64 { return iv.Mean + 2*iv.StdErr }
+
+// FailedFractionInterval aggregates per-trial failed fractions into a
+// mean ± stderr interval.
+func FailedFractionInterval(trials []SearchStats) Interval {
+	return intervalOf(trials, func(s SearchStats) (float64, bool) {
+		if s.Searches == 0 {
+			return 0, false
+		}
+		return s.FailedFraction(), true
+	})
+}
+
+// MeanHopsInterval aggregates per-trial mean delivery times into a mean
+// ± stderr interval; trials with no deliveries are skipped.
+func MeanHopsInterval(trials []SearchStats) Interval {
+	return intervalOf(trials, func(s SearchStats) (float64, bool) {
+		if s.Delivered == 0 {
+			return 0, false
+		}
+		return s.MeanHops(), true
+	})
+}
+
+func intervalOf(trials []SearchStats, metric func(SearchStats) (float64, bool)) Interval {
+	values := make([]float64, 0, len(trials))
+	for _, s := range trials {
+		if v, ok := metric(s); ok {
+			values = append(values, v)
+		}
+	}
+	n := len(values)
+	if n == 0 {
+		return Interval{}
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	mean := sum / float64(n)
+	if n == 1 {
+		return Interval{Mean: mean, Trials: 1}
+	}
+	var ss float64
+	for _, v := range values {
+		d := v - mean
+		ss += d * d
+	}
+	std := math.Sqrt(ss / float64(n-1))
+	return Interval{Mean: mean, StdErr: std / math.Sqrt(float64(n)), Trials: n}
+}

@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Discrete-event churn simulation: the paper's setting has "nodes
+// arrive and depart at a high rate" (§1). EventSim schedules arrivals
+// and departures as Poisson processes over virtual time and drives
+// caller-supplied handlers, so churn experiments can model sustained,
+// overlapping membership change rather than synchronized batch cycles.
+
+// EventKind distinguishes scheduled events.
+type EventKind int
+
+const (
+	// Arrive adds one node.
+	Arrive EventKind = iota + 1
+	// Depart removes one node.
+	Depart
+	// Probe is a measurement tick.
+	Probe
+)
+
+// Event is one scheduled occurrence.
+type Event struct {
+	Time float64
+	Kind EventKind
+}
+
+// eventQueue is a min-heap over event time.
+type eventQueue []Event
+
+func (q eventQueue) Len() int            { return len(q) }
+func (q eventQueue) Less(i, j int) bool  { return q[i].Time < q[j].Time }
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(Event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// ChurnConfig parameterizes an event-driven churn run.
+type ChurnConfig struct {
+	// ArrivalRate and DepartureRate are Poisson intensities (events
+	// per unit virtual time).
+	ArrivalRate   float64
+	DepartureRate float64
+	// ProbeInterval schedules measurement ticks; 0 disables probes.
+	ProbeInterval float64
+	// Horizon is the virtual end time.
+	Horizon float64
+}
+
+// Validate checks the configuration.
+func (c ChurnConfig) Validate() error {
+	if c.ArrivalRate < 0 || c.DepartureRate < 0 {
+		return errors.New("sim: negative churn rate")
+	}
+	if c.Horizon <= 0 {
+		return errors.New("sim: horizon must be positive")
+	}
+	if c.ProbeInterval < 0 {
+		return errors.New("sim: negative probe interval")
+	}
+	return nil
+}
+
+// ChurnHandlers receive the events. A handler returning an error aborts
+// the run. Handlers may be nil to ignore an event kind.
+type ChurnHandlers struct {
+	OnArrive func(t float64) error
+	OnDepart func(t float64) error
+	OnProbe  func(t float64) error
+}
+
+// RunChurn executes the event simulation: exponential inter-event times
+// for arrivals and departures, fixed-interval probes, all merged in
+// time order. It returns the number of events dispatched per kind.
+func RunChurn(cfg ChurnConfig, h ChurnHandlers, src *rng.Source) (map[EventKind]int, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	q := &eventQueue{}
+	heap.Init(q)
+	expo := func(rate float64) float64 {
+		if rate <= 0 {
+			return math.Inf(1)
+		}
+		u := src.Float64()
+		for u == 0 {
+			u = src.Float64()
+		}
+		return -math.Log(u) / rate
+	}
+	if t := expo(cfg.ArrivalRate); t <= cfg.Horizon {
+		heap.Push(q, Event{Time: t, Kind: Arrive})
+	}
+	if t := expo(cfg.DepartureRate); t <= cfg.Horizon {
+		heap.Push(q, Event{Time: t, Kind: Depart})
+	}
+	if cfg.ProbeInterval > 0 && cfg.ProbeInterval <= cfg.Horizon {
+		heap.Push(q, Event{Time: cfg.ProbeInterval, Kind: Probe})
+	}
+
+	counts := map[EventKind]int{}
+	for q.Len() > 0 {
+		ev := heap.Pop(q).(Event)
+		if ev.Time > cfg.Horizon {
+			continue
+		}
+		var handler func(float64) error
+		switch ev.Kind {
+		case Arrive:
+			handler = h.OnArrive
+			if t := ev.Time + expo(cfg.ArrivalRate); t <= cfg.Horizon {
+				heap.Push(q, Event{Time: t, Kind: Arrive})
+			}
+		case Depart:
+			handler = h.OnDepart
+			if t := ev.Time + expo(cfg.DepartureRate); t <= cfg.Horizon {
+				heap.Push(q, Event{Time: t, Kind: Depart})
+			}
+		case Probe:
+			handler = h.OnProbe
+			if t := ev.Time + cfg.ProbeInterval; t <= cfg.Horizon {
+				heap.Push(q, Event{Time: t, Kind: Probe})
+			}
+		}
+		counts[ev.Kind]++
+		if handler != nil {
+			if err := handler(ev.Time); err != nil {
+				return counts, err
+			}
+		}
+	}
+	return counts, nil
+}

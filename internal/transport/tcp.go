@@ -1,0 +1,192 @@
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCP is a Transport over real sockets: every listening node owns a TCP
+// listener; calls open a connection, send one length-prefixed request,
+// and read one length-prefixed response. A shared address registry maps
+// node ids to listen addresses; in a real deployment the registry would
+// be the bootstrap mechanism (static peers, DNS, …), which is out of
+// scope for the paper.
+type TCP struct {
+	mu      sync.RWMutex
+	addrs   map[NodeID]string
+	servers map[NodeID]*tcpServer
+	// DialTimeout bounds connection establishment (default 2s).
+	DialTimeout time.Duration
+}
+
+// NewTCP returns an empty TCP transport registry.
+func NewTCP() *TCP {
+	return &TCP{
+		addrs:       make(map[NodeID]string),
+		servers:     make(map[NodeID]*tcpServer),
+		DialTimeout: 2 * time.Second,
+	}
+}
+
+// maxFrame bounds a single message to 16 MiB, far above anything the
+// overlay protocol sends, guarding against corrupt length prefixes.
+const maxFrame = 16 << 20
+
+type tcpServer struct {
+	ln      net.Listener
+	handler Handler
+	wg      sync.WaitGroup
+	closed  chan struct{}
+}
+
+// Listen implements Transport: it binds a loopback TCP listener for id
+// and serves requests until the returned close function is called.
+func (t *TCP) Listen(id NodeID, h Handler) (func(), error) {
+	if h == nil {
+		return nil, errors.New("transport: nil handler")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, exists := t.servers[id]; exists {
+		return nil, fmt.Errorf("transport: node %d already listening", id)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	srv := &tcpServer{ln: ln, handler: h, closed: make(chan struct{})}
+	t.servers[id] = srv
+	t.addrs[id] = ln.Addr().String()
+	srv.wg.Add(1)
+	go srv.acceptLoop()
+
+	closeFn := func() {
+		t.mu.Lock()
+		delete(t.servers, id)
+		delete(t.addrs, id)
+		t.mu.Unlock()
+		close(srv.closed)
+		_ = srv.ln.Close()
+		srv.wg.Wait()
+	}
+	return closeFn, nil
+}
+
+func (s *tcpServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				// Transient accept error; back off briefly.
+				time.Sleep(5 * time.Millisecond)
+				continue
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *tcpServer) serveConn(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+	req, err := readFrame(conn)
+	if err != nil {
+		return
+	}
+	resp, err := s.handler(req)
+	if err != nil {
+		// Error responses are framed with a 1-byte status prefix.
+		_ = writeFrame(conn, append([]byte{1}, []byte(err.Error())...))
+		return
+	}
+	_ = writeFrame(conn, append([]byte{0}, resp...))
+}
+
+// Addr returns the listen address of node id, for diagnostics.
+func (t *TCP) Addr(id NodeID) (string, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	a, ok := t.addrs[id]
+	return a, ok
+}
+
+// Call implements Transport.
+func (t *TCP) Call(ctx context.Context, to NodeID, req []byte) ([]byte, error) {
+	t.mu.RLock()
+	addr, ok := t.addrs[to]
+	timeout := t.DialTimeout
+	t.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: node %d not registered", ErrUnreachable, to)
+	}
+	d := net.Dialer{Timeout: timeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+	}
+	defer func() { _ = conn.Close() }()
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(deadline)
+	} else {
+		_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+	}
+	if err := writeFrame(conn, req); err != nil {
+		return nil, fmt.Errorf("%w: write: %v", ErrUnreachable, err)
+	}
+	resp, err := readFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("%w: read: %v", ErrUnreachable, err)
+	}
+	if len(resp) == 0 {
+		return nil, errors.New("transport: empty response frame")
+	}
+	if resp[0] != 0 {
+		return nil, fmt.Errorf("transport: remote error: %s", resp[1:])
+	}
+	return resp[1:], nil
+}
+
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+var _ Transport = (*TCP)(nil)

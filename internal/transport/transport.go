@@ -1,0 +1,124 @@
+// Package transport abstracts the request/response messaging layer the
+// live overlay (package overlay) runs on. Two implementations are
+// provided: an in-memory transport for simulating hundreds of nodes in
+// one process (with failure injection), and a TCP transport
+// (length-prefixed JSON over loopback or a real network) demonstrating
+// the same protocol on sockets.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// NodeID identifies an overlay node on a transport. The overlay uses
+// the node's metric-space point as its id.
+type NodeID uint64
+
+// Handler processes one request and returns the response payload.
+// Handlers must be safe for concurrent use.
+type Handler func(req []byte) ([]byte, error)
+
+// ErrUnreachable is returned by Call when the destination is not
+// registered, has closed, or the (injected or real) network dropped the
+// request.
+var ErrUnreachable = errors.New("transport: destination unreachable")
+
+// Transport delivers requests between nodes.
+type Transport interface {
+	// Listen registers h as the handler for node id and returns a
+	// function that unregisters it. Listening twice on one id is an
+	// error.
+	Listen(id NodeID, h Handler) (close func(), err error)
+	// Call sends req to node `to` and waits for its response.
+	Call(ctx context.Context, to NodeID, req []byte) ([]byte, error)
+}
+
+// InMem is a process-local Transport with failure injection. The zero
+// value is not usable; construct with NewInMem.
+type InMem struct {
+	mu       sync.RWMutex
+	handlers map[NodeID]Handler
+	dropProb float64
+	latency  time.Duration
+	rngMu    sync.Mutex
+	src      *rng.Source
+}
+
+// NewInMem returns an in-memory transport. seed drives the drop
+// decisions so failure-injection runs are reproducible.
+func NewInMem(seed uint64) *InMem {
+	return &InMem{handlers: make(map[NodeID]Handler), src: rng.New(seed)}
+}
+
+// SetDropProb makes every subsequent Call fail with probability p.
+func (t *InMem) SetDropProb(p float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.dropProb = p
+}
+
+// SetLatency adds a fixed delay to every Call (0 disables).
+func (t *InMem) SetLatency(d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.latency = d
+}
+
+// Listen implements Transport.
+func (t *InMem) Listen(id NodeID, h Handler) (func(), error) {
+	if h == nil {
+		return nil, errors.New("transport: nil handler")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, exists := t.handlers[id]; exists {
+		return nil, fmt.Errorf("transport: node %d already listening", id)
+	}
+	t.handlers[id] = h
+	return func() {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		delete(t.handlers, id)
+	}, nil
+}
+
+// Call implements Transport.
+func (t *InMem) Call(ctx context.Context, to NodeID, req []byte) ([]byte, error) {
+	t.mu.RLock()
+	h, ok := t.handlers[to]
+	drop := t.dropProb
+	latency := t.latency
+	t.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: node %d", ErrUnreachable, to)
+	}
+	if drop > 0 {
+		t.rngMu.Lock()
+		dropped := t.src.Bool(drop)
+		t.rngMu.Unlock()
+		if dropped {
+			return nil, fmt.Errorf("%w: dropped (injected)", ErrUnreachable)
+		}
+	}
+	if latency > 0 {
+		timer := time.NewTimer(latency)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return h(req)
+}
+
+var _ Transport = (*InMem)(nil)

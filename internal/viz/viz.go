@@ -1,0 +1,127 @@
+// Package viz renders small ASCII visualizations for the examples and
+// CLI output: sparklines of value series, horizontal bar charts of
+// histograms, and ring diagrams of search paths. Pure text, no
+// terminal-control sequences, safe to pipe into files.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/mathx"
+	"repro/internal/metric"
+)
+
+// sparkLevels are the eighth-block glyphs, lowest to highest.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a compact unicode strip, scaling to the
+// observed min/max. Empty input yields an empty string.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkLevels)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkLevels) {
+			idx = len(sparkLevels) - 1
+		}
+		b.WriteRune(sparkLevels[idx])
+	}
+	return b.String()
+}
+
+// Bars renders label/value pairs as a horizontal bar chart of at most
+// `width` characters per bar, scaled to the maximum value.
+func Bars(labels []string, values []float64, width int) string {
+	if len(labels) != len(values) || len(labels) == 0 {
+		return ""
+	}
+	if width < 1 {
+		width = 40
+	}
+	var max float64
+	labelWidth := 0
+	for i, v := range values {
+		if v > max {
+			max = v
+		}
+		if len(labels[i]) > labelWidth {
+			labelWidth = len(labels[i])
+		}
+	}
+	var b strings.Builder
+	for i, v := range values {
+		n := 0
+		if max > 0 {
+			n = int(math.Round(v / max * float64(width)))
+		}
+		fmt.Fprintf(&b, "%-*s %s %v\n", labelWidth, labels[i], strings.Repeat("█", n), v)
+	}
+	return b.String()
+}
+
+// HistogramBars renders the first `buckets` non-empty buckets of a
+// histogram as bars of probability mass.
+func HistogramBars(h *mathx.Histogram, buckets, width int) string {
+	if h == nil || buckets < 1 {
+		return ""
+	}
+	var labels []string
+	var values []float64
+	for i := 0; i < h.Buckets() && len(labels) < buckets; i++ {
+		if h.Count(i) == 0 {
+			continue
+		}
+		labels = append(labels, h.BucketLabel(i))
+		values = append(values, h.Probability(i))
+	}
+	return Bars(labels, values, width)
+}
+
+// RingPath draws a search path over a ring of n points as a fixed-width
+// strip: '·' for untouched regions, '*' for intermediate hops, 'S' for
+// the source and 'T' for the target (overriding hops at the same cell).
+func RingPath(n int, path []metric.Point, width int) string {
+	if n < 1 || width < 3 || len(path) == 0 {
+		return ""
+	}
+	cells := make([]rune, width)
+	for i := range cells {
+		cells[i] = '·'
+	}
+	cell := func(p metric.Point) int {
+		c := int(p) * width / n
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	if len(path) > 2 {
+		for _, p := range path[1 : len(path)-1] {
+			cells[cell(p)] = '*'
+		}
+	}
+	cells[cell(path[0])] = 'S'
+	if len(path) > 1 {
+		cells[cell(path[len(path)-1])] = 'T'
+	}
+	return string(cells)
+}

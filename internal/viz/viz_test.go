@@ -1,0 +1,91 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/metric"
+)
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Error("empty input should render empty")
+	}
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Errorf("length = %d", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Errorf("extremes wrong: %q", s)
+	}
+	// Constant series stays at the floor glyph.
+	flat := []rune(Sparkline([]float64{5, 5, 5}))
+	for _, r := range flat {
+		if r != '▁' {
+			t.Errorf("flat series rendered %q", string(flat))
+		}
+	}
+}
+
+func TestBars(t *testing.T) {
+	if Bars([]string{"a"}, []float64{1, 2}, 10) != "" {
+		t.Error("mismatched lengths should render empty")
+	}
+	out := Bars([]string{"one", "two"}, []float64{1, 2}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "one") || !strings.Contains(lines[1], "██") {
+		t.Errorf("bars output:\n%s", out)
+	}
+	// The max bar should be ~twice the min bar.
+	c1 := strings.Count(lines[0], "█")
+	c2 := strings.Count(lines[1], "█")
+	if c2 != 2*c1 {
+		t.Errorf("bar scaling wrong: %d vs %d", c1, c2)
+	}
+	if Bars([]string{"z"}, []float64{3}, 0) == "" {
+		t.Error("zero width should fall back to default")
+	}
+}
+
+func TestHistogramBars(t *testing.T) {
+	h := mathx.NewLogHistogram(64)
+	for v := 1; v <= 64; v++ {
+		h.Add(v)
+	}
+	out := HistogramBars(h, 3, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 buckets, got %d:\n%s", len(lines), out)
+	}
+	if HistogramBars(nil, 3, 20) != "" || HistogramBars(h, 0, 20) != "" {
+		t.Error("degenerate inputs should render empty")
+	}
+}
+
+func TestRingPath(t *testing.T) {
+	if RingPath(0, nil, 10) != "" || RingPath(10, nil, 10) != "" || RingPath(10, []metric.Point{1}, 2) != "" {
+		t.Error("degenerate inputs should render empty")
+	}
+	out := RingPath(100, []metric.Point{10, 50, 90}, 50)
+	if len([]rune(out)) != 50 {
+		t.Fatalf("width = %d", len([]rune(out)))
+	}
+	if !strings.Contains(out, "S") || !strings.Contains(out, "T") || !strings.Contains(out, "*") {
+		t.Errorf("markers missing: %q", out)
+	}
+	// Single-point path renders just the source marker.
+	solo := RingPath(100, []metric.Point{42}, 50)
+	if strings.Count(solo, "S") != 1 || strings.Contains(solo, "T") {
+		t.Errorf("solo path: %q", solo)
+	}
+	// Two-point path: S and T, no intermediate.
+	pair := RingPath(100, []metric.Point{5, 95}, 50)
+	if !strings.Contains(pair, "S") || !strings.Contains(pair, "T") || strings.Contains(pair, "*") {
+		t.Errorf("pair path: %q", pair)
+	}
+}
