@@ -5,9 +5,13 @@
 //
 //	ftrsim -list
 //	ftrsim -exp fig6a [-n 131072] [-links 17] [-trials 1000] [-msgs 100] [-seed 1] [-csv]
+//	ftrsim -exp fig6a -dim 2 -side 64   # the same sweep on a 64×64 torus
 //
 // Defaults are scaled for quick runs; the flags restore the paper's
 // scale (Figure 6 used n=2^17, 1000 simulations of 100 messages).
+// -dim/-side select the metric space for the dimension-aware
+// experiments (fig6*, fig7, ext.2d); the table header records the
+// space, so text and CSV output carry the dimension.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/experiments"
+	"repro/internal/mathx"
 )
 
 func main() {
@@ -31,6 +36,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		list   = fs.Bool("list", false, "list experiment ids and exit")
 		exp    = fs.String("exp", "", "experiment id to run (see -list)")
 		n      = fs.Int("n", 0, "network size (0 = experiment default)")
+		dim    = fs.Int("dim", 0, "metric-space dimension: 1 = ring, >= 2 = torus (0 = experiment default)")
+		side   = fs.Int("side", 0, "torus side length for -dim >= 2 (0 = derive from -n)")
 		links  = fs.Int("links", 0, "long links per node (0 = lg n)")
 		trials = fs.Int("trials", 0, "independent networks (0 = experiment default)")
 		msgs   = fs.Int("msgs", 0, "searches per network (0 = experiment default)")
@@ -61,14 +68,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "ftrsim: -exp required (or -list); e.g. ftrsim -exp fig6a")
 		return 2
 	}
+	if *dim < 0 || *side < 0 {
+		fmt.Fprintf(stderr, "ftrsim: -dim %d / -side %d must be non-negative\n", *dim, *side)
+		return 2
+	}
+	if *side > 0 && *dim < 2 {
+		fmt.Fprintln(stderr, "ftrsim: -side applies to -dim >= 2 only (1-D networks are sized with -n)")
+		return 2
+	}
+	if *dim >= 2 && *side > 0 && *n > 0 && *n != mathx.IPow(*side, *dim) {
+		fmt.Fprintf(stderr, "ftrsim: -n %d disagrees with -side^(-dim) = %d; drop one of them\n",
+			*n, mathx.IPow(*side, *dim))
+		return 2
+	}
 	table, err := experiments.Run(*exp, experiments.Params{
-		N: *n, Links: *links, Trials: *trials, Msgs: *msgs, Seed: *seed,
+		N: *n, Dim: *dim, Side: *side, Links: *links, Trials: *trials, Msgs: *msgs, Seed: *seed,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "ftrsim:", err)
 		return 1
 	}
 	if *csv {
+		// The title carries the experiment parameters (space,
+		// dimension, n, ℓ); emit it as a comment so CSV consumers keep
+		// a plain header row.
+		if table.Title != "" {
+			fmt.Fprintf(stdout, "# %s\n", table.Title)
+		}
 		err = table.WriteCSV(stdout)
 	} else {
 		err = table.WriteText(stdout)

@@ -44,6 +44,23 @@ func TestRunBadFlag(t *testing.T) {
 	}
 }
 
+func TestRunDim2Sweep(t *testing.T) {
+	args := []string{"-exp", "fig6a", "-dim", "2", "-side", "12", "-trials", "1", "-msgs", "10"}
+	var out1, out2, errOut strings.Builder
+	if code := run(args, &out1, &errOut); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out1.String(), "torus d=2 side=12") {
+		t.Errorf("2-D output must record the space:\n%s", out1.String())
+	}
+	if code := run(args, &out2, &errOut); code != 0 {
+		t.Fatalf("second run exit = %d", code)
+	}
+	if out1.String() != out2.String() {
+		t.Error("seeded 2-D sweep must be deterministic")
+	}
+}
+
 func TestRunExperimentTextAndCSV(t *testing.T) {
 	args := []string{"-exp", "table1.nofail.detb", "-n", "512", "-trials", "1", "-msgs", "20"}
 	var text, errOut strings.Builder
@@ -57,7 +74,7 @@ func TestRunExperimentTextAndCSV(t *testing.T) {
 	if code := run(append(args, "-csv"), &csv, &errOut); code != 0 {
 		t.Fatalf("csv exit = %d", code)
 	}
-	if !strings.HasPrefix(csv.String(), "base b,") {
-		t.Errorf("csv output wrong:\n%s", csv.String())
+	if !strings.HasPrefix(csv.String(), "# ") || !strings.Contains(csv.String(), "\nbase b,") {
+		t.Errorf("csv output must lead with the title comment then the header:\n%s", csv.String())
 	}
 }

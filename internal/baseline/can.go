@@ -12,7 +12,7 @@ import (
 // adjacent zone owners and routes greedily, giving the paper-quoted
 // O(d·n^{1/d}) delivery time (here d = 2, so O(√n)).
 type CAN struct {
-	grid *metric.Grid2D
+	grid *metric.Torus
 }
 
 // NewCAN returns a CAN over a side×side zone grid.
@@ -20,7 +20,7 @@ func NewCAN(side int) (*CAN, error) {
 	if side < 2 {
 		return nil, fmt.Errorf("baseline: CAN needs side >= 2, got %d", side)
 	}
-	grid, err := metric.NewGrid2D(side)
+	grid, err := metric.NewTorus(side, 2)
 	if err != nil {
 		return nil, err
 	}
@@ -41,10 +41,10 @@ func (c *CAN) Route(_ *rng.Source, from, to int) Result {
 	for cur != target {
 		best := cur
 		bestD := c.grid.Distance(cur, target)
-		x, y := c.grid.Coords(cur)
+		x, y := c.grid.Coord(cur, 0), c.grid.Coord(cur, 1)
 		for _, q := range []metric.Point{
-			c.grid.PointAt(x+1, y), c.grid.PointAt(x-1, y),
-			c.grid.PointAt(x, y+1), c.grid.PointAt(x, y-1),
+			c.grid.At(x+1, y), c.grid.At(x-1, y),
+			c.grid.At(x, y+1), c.grid.At(x, y-1),
 		} {
 			if d := c.grid.Distance(q, target); d < bestD {
 				best, bestD = q, d

@@ -13,7 +13,7 @@ import (
 // proportional to d^(-2) (the critical exponent for two dimensions),
 // routed with two-sided greedy forwarding on L1 distance.
 type Kleinberg struct {
-	grid   *metric.Grid2D
+	grid   *metric.Torus
 	long   [][]metric.Point // long contacts per node
 	failed *aliveSet        // nil until FailNodes is called
 }
@@ -27,7 +27,7 @@ func NewKleinberg(side, q int, src *rng.Source) (*Kleinberg, error) {
 	if q < 0 {
 		return nil, fmt.Errorf("baseline: negative contact count %d", q)
 	}
-	grid, err := metric.NewGrid2D(side)
+	grid, err := metric.NewTorus(side, 2)
 	if err != nil {
 		return nil, err
 	}
@@ -53,14 +53,14 @@ func NewKleinberg(side, q int, src *rng.Source) (*Kleinberg, error) {
 // randomAtDistance picks a near-uniform point on the L1 shell of radius
 // d around p.
 func (k *Kleinberg) randomAtDistance(p metric.Point, d int, src *rng.Source) metric.Point {
-	px, py := k.grid.Coords(p)
+	px, py := k.grid.Coord(p, 0), k.grid.Coord(p, 1)
 	dx := src.Intn(2*d+1) - d // dx ∈ [-d, d]
 	rest := d - abs(dx)
 	dy := rest
 	if rest > 0 && src.Bool(0.5) {
 		dy = -rest
 	}
-	return k.grid.PointAt(px+dx, py+dy)
+	return k.grid.At(px+dx, py+dy)
 }
 
 func abs(x int) int {
@@ -93,11 +93,11 @@ func (k *Kleinberg) Route(_ *rng.Source, from, to int) Result {
 				best, bestD = q, d
 			}
 		}
-		x, y := k.grid.Coords(cur)
-		consider(k.grid.PointAt(x+1, y))
-		consider(k.grid.PointAt(x-1, y))
-		consider(k.grid.PointAt(x, y+1))
-		consider(k.grid.PointAt(x, y-1))
+		x, y := k.grid.Coord(cur, 0), k.grid.Coord(cur, 1)
+		consider(k.grid.At(x+1, y))
+		consider(k.grid.At(x-1, y))
+		consider(k.grid.At(x, y+1))
+		consider(k.grid.At(x, y-1))
 		for _, q := range k.long[cur] {
 			consider(q)
 		}

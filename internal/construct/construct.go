@@ -88,9 +88,11 @@ func (c Config) Validate() error {
 // Builder grows and shrinks an overlay incrementally. It is not safe
 // for concurrent use.
 type Builder struct {
-	g   *graph.Graph
-	cfg Config
-	src *rng.Source
+	g       *graph.Graph
+	cfg     Config
+	src     *rng.Source
+	sampler metric.LinkSampler
+	dim     int
 	// inLinks is a reverse index: inLinks[v] lists nodes that (as of
 	// the last time we touched them) held a long link to v. Entries go
 	// stale when links are redirected elsewhere; readers re-verify
@@ -98,17 +100,37 @@ type Builder struct {
 	inLinks map[metric.Point][]metric.Point
 }
 
-// NewBuilder returns a Builder over an initially empty space.
-func NewBuilder(space metric.Space1D, cfg Config, src *rng.Source) (*Builder, error) {
+// NewBuilder returns a Builder over an initially empty space of any
+// dimension. Link targets (and the acceptance/replacement weights of
+// the §5 protocol) use the space's harmonic exponent — 1/d(u,v) in one
+// dimension, 1/d(u,v)^dim in general, after Kleinberg's d-dimensional
+// small-world theorem.
+func NewBuilder(space metric.Space, cfg Config, src *rng.Source) (*Builder, error) {
 	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sampler, err := space.NewLinkSampler(float64(space.Dim()))
+	if err != nil {
 		return nil, err
 	}
 	return &Builder{
 		g:       graph.NewEmpty(space),
 		cfg:     cfg.withDefaults(),
 		src:     src,
+		sampler: sampler,
+		dim:     space.Dim(),
 		inLinks: make(map[metric.Point][]metric.Point),
 	}, nil
+}
+
+// weight returns the §5 link weight of distance d: d^(−dim), the
+// harmonic member of the power-law family for the builder's space.
+func (b *Builder) weight(d int) float64 {
+	w := float64(d)
+	for i := 1; i < b.dim; i++ {
+		w *= float64(d)
+	}
+	return 1 / w
 }
 
 // Graph exposes the overlay under construction. Callers may route over
@@ -184,7 +206,7 @@ func (b *Builder) Remove(p metric.Point) error {
 func (b *Builder) sampleExisting(p metric.Point) (metric.Point, bool) {
 	const retries = 8
 	for i := 0; i < retries; i++ {
-		target, ok := graph.SamplePaperTarget(b.g.Space(), p, b.src)
+		target, ok := b.sampler.Sample(p, b.src)
 		if !ok {
 			return 0, false
 		}
@@ -197,8 +219,9 @@ func (b *Builder) sampleExisting(p metric.Point) (metric.Point, bool) {
 }
 
 // nearestOther returns the present point nearest to target, excluding
-// self. When the basin lands exactly on self, the closest present point
-// on either side of self is used instead.
+// self. When the basin lands exactly on self, the closest present short
+// neighbour of self (scanning −axis before +axis, nearer to target
+// wins) is used instead.
 func (b *Builder) nearestOther(target, self metric.Point) (metric.Point, bool) {
 	q, ok := b.g.NearestExisting(target)
 	if !ok {
@@ -207,22 +230,20 @@ func (b *Builder) nearestOther(target, self metric.Point) (metric.Point, bool) {
 	if q != self {
 		return q, true
 	}
-	left, okL := b.g.ShortNeighbor(self, -1)
-	right, okR := b.g.ShortNeighbor(self, +1)
 	sp := b.g.Space()
-	switch {
-	case okL && okR:
-		if sp.Distance(left, target) <= sp.Distance(right, target) {
-			return left, true
+	best, bestD, found := metric.Point(0), 0, false
+	for axis := 1; axis <= b.dim; axis++ {
+		for _, dir := range [2]int{-axis, +axis} {
+			cand, ok := b.g.ShortNeighbor(self, dir)
+			if !ok || cand == self {
+				continue
+			}
+			if d := sp.Distance(cand, target); !found || d < bestD {
+				best, bestD, found = cand, d, true
+			}
 		}
-		return right, true
-	case okL:
-		return left, true
-	case okR:
-		return right, true
-	default:
-		return 0, false
 	}
+	return best, found
 }
 
 // addLink records a long link and indexes it.
@@ -241,7 +262,7 @@ func (b *Builder) solicit(u, v metric.Point) error {
 		return nil
 	}
 	sp := b.g.Space()
-	pNew := 1 / float64(sp.Distance(u, v))
+	pNew := b.weight(sp.Distance(u, v))
 	long := b.g.Long(u)
 
 	// A node still below its link budget simply adds the link: in the
@@ -257,7 +278,7 @@ func (b *Builder) solicit(u, v metric.Point) error {
 
 	sum := pNew
 	for _, lk := range long {
-		sum += 1 / float64(sp.Distance(u, lk.To))
+		sum += b.weight(sp.Distance(u, lk.To))
 	}
 	if !b.src.Bool(pNew / sum) {
 		return nil // u declines to redirect
@@ -276,11 +297,11 @@ func (b *Builder) solicit(u, v metric.Point) error {
 	default: // InverseDistance
 		var mass float64
 		for _, lk := range long {
-			mass += 1 / float64(sp.Distance(u, lk.To))
+			mass += b.weight(sp.Distance(u, lk.To))
 		}
 		r := b.src.Float64() * mass
 		for i, lk := range long {
-			r -= 1 / float64(sp.Distance(u, lk.To))
+			r -= b.weight(sp.Distance(u, lk.To))
 			if r <= 0 {
 				victim = i
 				break
@@ -300,7 +321,7 @@ func (b *Builder) solicit(u, v metric.Point) error {
 // Grow builds a complete overlay by adding every point of the space in
 // a uniformly random arrival order. It is the setup used by Figure 5
 // and Figure 7's "constructed network".
-func Grow(space metric.Space1D, cfg Config, src *rng.Source) (*graph.Graph, error) {
+func Grow(space metric.Space, cfg Config, src *rng.Source) (*graph.Graph, error) {
 	b, err := NewBuilder(space, cfg, src)
 	if err != nil {
 		return nil, err

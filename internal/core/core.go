@@ -12,6 +12,10 @@
 //	res, err := nw.RandomSearch(core.SearchOptions{})
 //	fmt.Println(res.Delivered, res.Hops)
 //
+// The same facade builds higher-dimensional networks (§7): Config{Dim:
+// 2, Side: 128} embeds the overlay in a 128×128 torus, with every
+// failure model, dead-end strategy, and statistic unchanged.
+//
 // Lower-level building blocks remain available for specialized use:
 // package graph (overlay structure), route (routing policies), failure
 // (damage models), construct (dynamic arrivals/departures), overlay
@@ -26,6 +30,7 @@ import (
 	"repro/internal/construct"
 	"repro/internal/failure"
 	"repro/internal/graph"
+	"repro/internal/mathx"
 	"repro/internal/metric"
 	"repro/internal/rng"
 	"repro/internal/route"
@@ -54,7 +59,8 @@ const (
 	OneSided = route.OneSided
 )
 
-// SpaceKind selects the metric space.
+// SpaceKind selects the 1-D metric space; Config.Dim >= 2 selects a
+// torus instead.
 type SpaceKind int
 
 const (
@@ -78,16 +84,27 @@ const (
 
 // Config parameterizes a Network.
 type Config struct {
-	// Nodes is the number of grid points (and, initially, nodes).
+	// Nodes is the number of grid points (and, initially, nodes). For
+	// Dim >= 2 it may be left zero and is derived as Side^Dim; when
+	// both are given they must agree.
 	Nodes int
+	// Dim is the dimension of the metric space. Zero and 1 select the
+	// paper's 1-D spaces (Ring or Line, per Space); >= 2 selects a
+	// Side^Dim torus, §7's higher-dimensional extension.
+	Dim int
+	// Side is the torus side length, used only when Dim >= 2.
+	Side int
 	// Links is ℓ, the long-link budget per node. Zero defaults to
 	// ⌈lg Nodes⌉, the paper's experimental choice.
 	Links int
 	// Exponent is the link-length distribution exponent. Zero
-	// defaults to 1, the paper's (provably near-optimal) value; set
-	// ExponentUniform for a uniform distribution.
+	// defaults to the space's harmonic exponent — 1 in one dimension
+	// (the paper's provably near-optimal value), Dim in general
+	// (Kleinberg's d-dimensional optimum); set ExponentUniform for a
+	// uniform distribution.
 	Exponent float64
-	// Space selects Ring (default) or Line.
+	// Space selects Ring (default) or Line for 1-D networks. A Dim of
+	// 2 or more requires Ring (tori have no boundary).
 	Space SpaceKind
 	// Construction selects Ideal (default) or Heuristic.
 	Construction Construction
@@ -105,6 +122,29 @@ type Config struct {
 const ExponentUniform = -1
 
 func (c Config) withDefaults() (Config, error) {
+	if c.Dim == 0 {
+		c.Dim = 1
+	}
+	if c.Dim < 1 {
+		return c, fmt.Errorf("core: dimension must be >= 1, got %d", c.Dim)
+	}
+	if c.Dim == 1 {
+		if c.Side != 0 {
+			return c, fmt.Errorf("core: Side applies to Dim >= 2 only; set Nodes for 1-D networks")
+		}
+	} else {
+		if c.Space == Line {
+			return c, fmt.Errorf("core: Line is 1-D only; Dim %d needs the torus (Space: Ring)", c.Dim)
+		}
+		if c.Side < 2 {
+			return c, fmt.Errorf("core: Dim %d needs Side >= 2, got %d", c.Dim, c.Side)
+		}
+		n := mathx.IPow(c.Side, c.Dim)
+		if c.Nodes != 0 && c.Nodes != n {
+			return c, fmt.Errorf("core: Nodes %d disagrees with Side^Dim = %d", c.Nodes, n)
+		}
+		c.Nodes = n
+	}
 	if c.Nodes < 2 {
 		return c, fmt.Errorf("core: need at least 2 nodes, got %d", c.Nodes)
 	}
@@ -118,7 +158,7 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	switch c.Exponent {
 	case 0:
-		c.Exponent = 1
+		c.Exponent = float64(c.Dim)
 	case ExponentUniform:
 		c.Exponent = 0
 	}
@@ -133,22 +173,26 @@ func (c Config) withDefaults() (Config, error) {
 // lower-level route.Router, which is safe over an immutable graph.
 type Network struct {
 	cfg     Config
-	space   metric.Space1D
+	space   metric.Space
 	g       *graph.Graph
 	builder *construct.Builder // non-nil for Heuristic construction
 	src     *rng.Source
 }
 
-// New builds a network per cfg.
+// New builds a network per cfg: a 1-D ring or line, or a d-dimensional
+// torus, all through the same metric.Space pipeline.
 func New(cfg Config) (*Network, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	var space metric.Space1D
-	if cfg.Space == Line {
+	var space metric.Space
+	switch {
+	case cfg.Dim >= 2:
+		space, err = metric.NewTorus(cfg.Side, cfg.Dim)
+	case cfg.Space == Line:
 		space, err = metric.NewLine(cfg.Nodes)
-	} else {
+	default:
 		space, err = metric.NewRing(cfg.Nodes)
 	}
 	if err != nil {
@@ -158,8 +202,8 @@ func New(cfg Config) (*Network, error) {
 	nw := &Network{cfg: cfg, space: space, src: src}
 	switch cfg.Construction {
 	case Heuristic:
-		if cfg.Exponent != 1 {
-			return nil, errors.New("core: heuristic construction supports exponent 1 only (the paper's §5 protocol)")
+		if cfg.Exponent != float64(cfg.Dim) {
+			return nil, errors.New("core: heuristic construction supports the harmonic exponent only (1 in 1-D, dim in general — the paper's §5 protocol)")
 		}
 		b, err := construct.NewBuilder(space, construct.Config{
 			Links:    cfg.Links,
@@ -195,6 +239,9 @@ func (nw *Network) Config() Config { return nw.cfg }
 // custom routing). Callers must not mutate membership behind a
 // Heuristic network's back.
 func (nw *Network) Graph() *graph.Graph { return nw.g }
+
+// Space returns the metric space the network is embedded in.
+func (nw *Network) Space() metric.Space { return nw.space }
 
 // Alive returns the number of live nodes.
 func (nw *Network) Alive() int { return nw.g.AliveCount() }

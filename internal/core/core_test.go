@@ -213,3 +213,99 @@ func TestDeterministicReproducibility(t *testing.T) {
 		t.Error("same seed should rebuild the identical network")
 	}
 }
+
+func TestConfigDimDefaults(t *testing.T) {
+	cfg, err := Config{Dim: 2, Side: 32}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Nodes != 1024 {
+		t.Errorf("derived nodes = %d, want 32^2 = 1024", cfg.Nodes)
+	}
+	if cfg.Links != 10 {
+		t.Errorf("default links = %d, want lg 1024 = 10", cfg.Links)
+	}
+	if cfg.Exponent != 2 {
+		t.Errorf("default exponent = %v, want the 2-D harmonic exponent 2", cfg.Exponent)
+	}
+	if _, err := (Config{Dim: 2}).withDefaults(); err == nil {
+		t.Error("dim 2 without side should error")
+	}
+	if _, err := (Config{Dim: 2, Side: 8, Nodes: 17}).withDefaults(); err == nil {
+		t.Error("nodes disagreeing with side^dim should error")
+	}
+	if _, err := (Config{Dim: 2, Side: 8, Space: Line}).withDefaults(); err == nil {
+		t.Error("line with dim >= 2 should error")
+	}
+	if _, err := (Config{Nodes: 64, Side: 8}).withDefaults(); err == nil {
+		t.Error("side on a 1-D config should error")
+	}
+	if _, err := (Config{Dim: -1, Nodes: 64}).withDefaults(); err == nil {
+		t.Error("negative dim should error")
+	}
+}
+
+func TestTorusNetworkEndToEnd(t *testing.T) {
+	nw, err := New(Config{Dim: 2, Side: 24, Links: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Space().Dim() != 2 || nw.Space().Name() != "torus2d" {
+		t.Errorf("space = %s dim %d", nw.Space().Name(), nw.Space().Dim())
+	}
+	if nw.Stats().Nodes != 576 {
+		t.Errorf("nodes = %d, want 576", nw.Stats().Nodes)
+	}
+	// Healthy torus searches always deliver.
+	for i := 0; i < 50; i++ {
+		res, err := nw.RandomSearch(SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Delivered {
+			t.Fatal("failure-free 2-D search failed")
+		}
+	}
+	// The §6 damage model and recovery strategies run unchanged.
+	if _, err := nw.FailNodes(0.3); err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	for i := 0; i < 50; i++ {
+		res, err := nw.RandomSearch(SearchOptions{DeadEnd: Backtrack})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Delivered {
+			delivered++
+		}
+	}
+	if delivered < 40 {
+		t.Errorf("backtracking delivered only %d/50 after 30%% failures", delivered)
+	}
+	// One-sided routing is undefined on a torus and must error.
+	if _, err := nw.RandomSearch(SearchOptions{Sidedness: OneSided}); err == nil {
+		t.Error("one-sided routing on a torus should error")
+	}
+}
+
+func TestTorusHeuristicConstruction(t *testing.T) {
+	nw, err := New(Config{Dim: 2, Side: 12, Links: 3, Construction: Heuristic, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := nw.RandomSearch(SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Delivered {
+		t.Error("heuristic 2-D network failed a healthy search")
+	}
+	// Membership changes run through the same §5 protocol.
+	if err := nw.RemoveNode(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.AddNode(7); err != nil {
+		t.Fatal(err)
+	}
+}

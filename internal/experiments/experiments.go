@@ -10,17 +10,28 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 
+	"repro/internal/mathx"
+	"repro/internal/metric"
 	"repro/internal/sim"
 )
 
 // Params tunes an experiment run. Zero values select per-experiment
 // defaults.
 type Params struct {
-	// N is the network size (nodes / grid points).
+	// N is the network size (nodes / grid points). For Dim >= 2 it is
+	// resolved to Side^Dim.
 	N int
+	// Dim is the metric-space dimension for the dimension-aware
+	// experiments (fig6*, fig7, ext.2d): 0/1 selects the paper's 1-D
+	// ring, >= 2 a torus of §7's higher-dimensional extension.
+	Dim int
+	// Side is the torus side length for Dim >= 2; 0 derives it from N
+	// as the nearest integer d-th root.
+	Side int
 	// Links is ℓ; 0 selects the experiment's default (usually lg n).
 	Links int
 	// Trials is the number of independently built networks.
@@ -35,8 +46,20 @@ type Params struct {
 }
 
 func (p Params) withDefaults(n, trials, msgs int) Params {
+	if p.Dim == 0 {
+		p.Dim = 1
+	}
 	if p.N == 0 {
 		p.N = n
+	}
+	if p.Dim >= 2 {
+		if p.Side == 0 {
+			p.Side = int(math.Round(math.Pow(float64(p.N), 1/float64(p.Dim))))
+		}
+		if p.Side < 2 {
+			p.Side = 2
+		}
+		p.N = mathx.IPow(p.Side, p.Dim)
 	}
 	if p.Trials == 0 {
 		p.Trials = trials
@@ -51,6 +74,26 @@ func (p Params) withDefaults(n, trials, msgs int) Params {
 		p.Workers = runtime.GOMAXPROCS(0)
 	}
 	return p
+}
+
+// space returns the metric space the (resolved) parameters select: the
+// paper's ring for dimension 1, a torus for dimension >= 2. The
+// dimension-aware experiments build every trial network through this
+// one call, so d = 1 and d >= 2 sweeps share the whole pipeline.
+func (p Params) space() (metric.Space, error) {
+	if p.Dim >= 2 {
+		return metric.NewTorus(p.Side, p.Dim)
+	}
+	return metric.NewRing(p.N)
+}
+
+// spaceDesc names the selected space in table titles, carrying the
+// dimension into text/CSV output.
+func (p Params) spaceDesc() string {
+	if p.Dim >= 2 {
+		return fmt.Sprintf("torus d=%d side=%d", p.Dim, p.Side)
+	}
+	return "ring d=1"
 }
 
 // lgLinks returns ℓ defaulted to lg n, as in the paper's simulations.

@@ -19,7 +19,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1.nofail.l1", "table1.nofail.multi", "table1.nofail.detb",
 		"table1.linkfail.multi", "table1.linkfail.detb",
 		"table1.nodefail.binomial", "table1.nodefail.general",
-		"fig5a", "fig5b", "fig6a", "fig6b", "fig7",
+		"fig5a", "fig5b", "fig6a", "fig6b", "fig6a.d2", "fig6b.d2", "fig7",
 		"ablation.replacement", "ablation.backtrack", "ablation.sidedness",
 		"ablation.exponent", "baselines", "theory",
 		"ext.faultcompare", "ext.2d", "ext.byzantine", "ext.physical",
@@ -79,6 +79,39 @@ func TestExperimentsAreReproducible(t *testing.T) {
 	}
 	if a.String() != b.String() {
 		t.Errorf("same seed produced different tables:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestFig6a2DRunsDeterministically(t *testing.T) {
+	// The §6 node-failure sweep at d=2 must run end-to-end through the
+	// generic pipeline and reproduce exactly under a fixed seed.
+	p := Params{Dim: 2, Side: 16, Trials: 2, Msgs: 30, Seed: 11}
+	a, err := Run("fig6a.d2", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("fig6a.d2", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("same seed produced different 2-D tables:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.Contains(a.Title, "torus d=2 side=16") {
+		t.Errorf("2-D table title must record the space, got %q", a.Title)
+	}
+	// Healthy torus row: no failed searches.
+	first := a.Rows[0]
+	if parseF(t, first[1]) != 0 || parseF(t, first[3]) != 0 {
+		t.Errorf("no failures should mean no failed searches in 2-D: %v", first)
+	}
+	// -dim on the plain fig6a id selects the torus too.
+	c, err := Run("fig6a", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.String() != a.String() {
+		t.Errorf("fig6a -dim 2 and fig6a.d2 must agree:\n%s\nvs\n%s", c, a)
 	}
 }
 

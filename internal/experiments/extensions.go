@@ -2,12 +2,11 @@ package experiments
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/failure"
 	"repro/internal/graph"
-	"repro/internal/highdim"
 	"repro/internal/keyspace"
+	"repro/internal/mathx"
 	"repro/internal/metric"
 	"repro/internal/rng"
 	"repro/internal/route"
@@ -18,43 +17,43 @@ func init() {
 	register(Experiment{
 		ID:       "ext.2d",
 		Artifact: "§7 future work: the design in a 2-D metric space",
-		Description: "exponent sweep and failure sweep on a torus; exponent d=2 is the " +
-			"asymptotic optimum (its win over lower exponents emerges beyond laptop n)",
+		Description: "exponent sweep and failure sweep on a torus through the generic pipeline; " +
+			"exponent d=2 is the asymptotic optimum (its win over lower exponents emerges beyond laptop n)",
 		Run: func(p Params) (*sim.Table, error) {
+			if p.Dim <= 1 {
+				p.Dim = 2
+			}
 			p = p.withDefaults(1<<12, 3, 150)
-			side := int(math.Sqrt(float64(p.N)))
-			if side < 8 {
-				side = 8
+			if p.Side < 8 {
+				p.Side = 8
+				p.N = mathx.IPow(p.Side, p.Dim)
 			}
 			links := p.lgLinks()
-			t := sim.NewTable(fmt.Sprintf("2-D extension (side=%d, n=%d, l=%d)", side, side*side, links),
+			t := sim.NewTable(fmt.Sprintf("2-D extension (%s, n=%d, l=%d)", p.spaceDesc(), p.N, links),
 				"config", "mean hops", "failed frac")
 
+			maxHops := 4*p.Side + 64
 			measure := func(label string, exponent, failFrac float64, backtrack bool) error {
 				stats, err := sim.Run(p.Seed, p.Trials, p.Workers, func(trial int, src *rng.Source) (sim.SearchStats, error) {
-					g, err := highdim.Build(highdim.Config{Side: side, Links: links, Exponent: exponent}, src)
+					sp, err := p.space()
+					if err != nil {
+						return sim.SearchStats{}, err
+					}
+					g, err := graph.BuildIdeal(sp, graph.BuildConfig{Links: links, Exponent: exponent}, src)
 					if err != nil {
 						return sim.SearchStats{}, err
 					}
 					if failFrac > 0 {
-						if _, err := g.FailFraction(failFrac, src); err != nil {
+						if _, err := failure.FailNodesFraction(g, failFrac, src); err != nil {
 							return sim.SearchStats{}, err
 						}
 					}
-					var s sim.SearchStats
-					for i := 0; i < p.Msgs; i++ {
-						from, ok1 := g.RandomAlive(src)
-						to, ok2 := g.RandomAlive(src)
-						if !ok1 || !ok2 || from == to {
-							continue
-						}
-						res, err := g.Route(from, to, highdim.RouteOptions{Backtrack: backtrack})
-						if err != nil {
-							return s, err
-						}
-						s.Record(route.Result{Delivered: res.Delivered, Hops: res.Hops})
+					opt := route.Options{DeadEnd: route.Terminate, MaxHops: maxHops}
+					if backtrack {
+						opt.DeadEnd = route.Backtrack
 					}
-					return s, nil
+					r := route.New(g, opt)
+					return sim.MeasureSearches(g, r, src, p.Msgs)
 				})
 				if err != nil {
 					return err
@@ -63,12 +62,15 @@ func init() {
 				return nil
 			}
 
-			for _, exp := range []float64{1, 2, 3, highdim.ExponentUniform} {
+			const exponentUniform = -1.0
+			for _, exp := range []float64{1, 2, 3, exponentUniform} {
 				label := fmt.Sprintf("exponent %g, no failures", exp)
-				if exp == highdim.ExponentUniform {
+				e := exp
+				if exp == exponentUniform {
 					label = "uniform targets, no failures"
+					e = 0
 				}
-				if err := measure(label, exp, 0, false); err != nil {
+				if err := measure(label, e, 0, false); err != nil {
 					return nil, err
 				}
 			}

@@ -120,25 +120,49 @@ func init() {
 	register(Experiment{
 		ID:          "fig6a",
 		Artifact:    "Figure 6(a): fraction of failed searches vs fraction of failed nodes",
-		Description: "three dead-end strategies on an ideal network under mass node failure",
+		Description: "three dead-end strategies on an ideal network under mass node failure (any -dim)",
 		Run:         func(p Params) (*sim.Table, error) { return figure6(p, false) },
 	})
 
 	register(Experiment{
 		ID:          "fig6b",
 		Artifact:    "Figure 6(b): mean delivery time of successful searches",
-		Description: "same sweep as fig6a, reporting hops of delivered messages",
+		Description: "same sweep as fig6a, reporting hops of delivered messages (any -dim)",
 		Run:         func(p Params) (*sim.Table, error) { return figure6(p, true) },
+	})
+
+	register(Experiment{
+		ID:          "fig6a.d2",
+		Artifact:    "Figure 6(a) replayed on a 2-D torus (§7's higher-dimensional extension)",
+		Description: "the identical node-failure sweep and dead-end strategies, dimension 2",
+		Run: func(p Params) (*sim.Table, error) {
+			if p.Dim <= 1 {
+				p.Dim = 2
+			}
+			return figure6(p, false)
+		},
+	})
+
+	register(Experiment{
+		ID:          "fig6b.d2",
+		Artifact:    "Figure 6(b) replayed on a 2-D torus (§7's higher-dimensional extension)",
+		Description: "mean delivery time of the 2-D node-failure sweep",
+		Run: func(p Params) (*sim.Table, error) {
+			if p.Dim <= 1 {
+				p.Dim = 2
+			}
+			return figure6(p, true)
+		},
 	})
 
 	register(Experiment{
 		ID:          "fig7",
 		Artifact:    "Figure 7: failed searches, heuristic-built vs ideal network",
-		Description: "compare §5-constructed networks to directly sampled ones under node failure",
+		Description: "compare §5-constructed networks to directly sampled ones under node failure (any -dim)",
 		Run: func(p Params) (*sim.Table, error) {
 			p = p.withDefaults(1<<12, 3, 100) // paper: 16384 nodes, 10 nets, 1000 msgs
 			links := p.lgLinks()
-			t := sim.NewTable(fmt.Sprintf("Figure 7 (n=%d, l=%d)", p.N, links),
+			t := sim.NewTable(fmt.Sprintf("Figure 7 (%s, n=%d, l=%d)", p.spaceDesc(), p.N, links),
 				"p(node fail)", "constructed failed frac", "ideal failed frac",
 				"constructed stderr", "ideal stderr")
 			for _, prob := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9} {
@@ -149,15 +173,15 @@ func init() {
 					heuristic := heuristic
 					trialStats, err := sim.RunDetailed(p.Seed+uint64(i), p.Trials, p.Workers,
 						func(trial int, src *rng.Source) (sim.SearchStats, error) {
-							ring, err := metric.NewRing(p.N)
+							sp, err := p.space()
 							if err != nil {
 								return sim.SearchStats{}, err
 							}
 							var g *graph.Graph
 							if heuristic {
-								g, err = construct.Grow(ring, construct.Config{Links: links}, src)
+								g, err = construct.Grow(sp, construct.Config{Links: links}, src)
 							} else {
-								g, err = graph.BuildIdeal(ring, graph.PaperConfig(links), src)
+								g, err = graph.BuildIdeal(sp, graph.PaperConfigFor(sp, links), src)
 							}
 							if err != nil {
 								return sim.SearchStats{}, err
@@ -182,9 +206,11 @@ func init() {
 	})
 }
 
-// figure6 runs the §6 failure sweep. When meanHops is false it reports
-// the failed-search fraction (Figure 6a); when true, the mean delivery
-// time of successful searches (Figure 6b).
+// figure6 runs the §6 failure sweep over the space Params selects —
+// the same harness drives the paper's 1-D ring and the d-dimensional
+// torus replay. When meanHops is false it reports the failed-search
+// fraction (Figure 6a); when true, the mean delivery time of successful
+// searches (Figure 6b).
 func figure6(p Params, meanHops bool) (*sim.Table, error) {
 	p = p.withDefaults(1<<14, 5, 100) // paper: n=2^17, 1000 sims x 100 msgs
 	links := p.lgLinks()
@@ -194,7 +220,8 @@ func figure6(p Params, meanHops bool) (*sim.Table, error) {
 		metricName = "mean hops"
 	}
 	t := sim.NewTable(
-		fmt.Sprintf("Figure 6 [%s] (n=%d, l=%d, %d trials x %d msgs)", metricName, p.N, links, p.Trials, p.Msgs),
+		fmt.Sprintf("Figure 6 [%s] (%s, n=%d, l=%d, %d trials x %d msgs)",
+			metricName, p.spaceDesc(), p.N, links, p.Trials, p.Msgs),
 		"p(node fail)", "terminate", "random-reroute", "backtracking")
 	for _, prob := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8} {
 		prob := prob
@@ -202,11 +229,11 @@ func figure6(p Params, meanHops bool) (*sim.Table, error) {
 		for si, strat := range strategies {
 			strat := strat
 			stats, err := sim.Run(p.Seed, p.Trials, p.Workers, func(trial int, src *rng.Source) (sim.SearchStats, error) {
-				ring, err := metric.NewRing(p.N)
+				sp, err := p.space()
 				if err != nil {
 					return sim.SearchStats{}, err
 				}
-				g, err := graph.BuildIdeal(ring, graph.PaperConfig(links), src)
+				g, err := graph.BuildIdeal(sp, graph.PaperConfigFor(sp, links), src)
 				if err != nil {
 					return sim.SearchStats{}, err
 				}

@@ -26,7 +26,7 @@ func init() {
 				spaceName := spaceName
 				for _, links := range []int{1, p.lgLinks()} {
 					links := links
-					mk := func() (metric.Space1D, error) {
+					mk := func() (metric.Space, error) {
 						if spaceName == "line" {
 							return metric.NewLine(p.N)
 						}

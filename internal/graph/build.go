@@ -16,18 +16,28 @@ type BuildConfig struct {
 	// replacement (Theorem 13).
 	Links int
 	// Exponent is the inverse power-law exponent of the link-length
-	// distribution, used literally: 1 is the paper's distribution
-	// (Pr[d] ∝ 1/d), 0 is uniform, 2 matches Kleinberg's 1-D-inapt
-	// exponent, etc. Exponent 1 uses the O(log) analytic sampler;
-	// other values fall back to a table sampler shared across nodes.
-	// Use PaperConfig to get the paper's defaults.
+	// distribution, used literally: the space's dimension d is the
+	// paper's distribution generalized à la Kleinberg (Pr[v] ∝ 1/d(u,v)
+	// in 1-D), 0 is uniform, etc. How it is sampled is the space's
+	// business (metric.Space.NewLinkSampler); 1-D spaces use an O(log)
+	// analytic sampler for exponent 1 and a shared table otherwise.
+	// Use PaperConfig (1-D) or PaperConfigFor to get the paper's
+	// defaults.
 	Exponent float64
 }
 
-// PaperConfig returns the configuration the paper analyzes: links long
-// links per node drawn from the inverse power law with exponent 1.
+// PaperConfig returns the configuration the paper analyzes in one
+// dimension: links long links per node drawn from the inverse power law
+// with exponent 1.
 func PaperConfig(links int) BuildConfig {
 	return BuildConfig{Links: links, Exponent: 1}
+}
+
+// PaperConfigFor returns the paper's configuration generalized to
+// space: exponent equal to the dimension, the harmonic (routing-optimal)
+// member of the power-law family for any d.
+func PaperConfigFor(space metric.Space, links int) BuildConfig {
+	return BuildConfig{Links: links, Exponent: float64(space.Dim())}
 }
 
 // Validate checks the configuration.
@@ -40,11 +50,10 @@ func (c BuildConfig) Validate() error {
 
 // BuildIdeal constructs the paper's idealized overlay over space: every
 // grid point hosts a node; each node gets cfg.Links long links whose
-// lengths follow the inverse power law with cfg.Exponent, directions
-// chosen by the mass on each side (uniform on a ring; proportional to
-// the harmonic mass of each side on a line, so boundary nodes are
-// handled exactly).
-func BuildIdeal(space metric.Space1D, cfg BuildConfig, src *rng.Source) (*Graph, error) {
+// targets follow the inverse power law with cfg.Exponent (directions
+// chosen by the mass on each side of a 1-D space — so line boundary
+// nodes are handled exactly — and uniformly on a sphere of a torus).
+func BuildIdeal(space metric.Space, cfg BuildConfig, src *rng.Source) (*Graph, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -59,7 +68,7 @@ func BuildIdeal(space metric.Space1D, cfg BuildConfig, src *rng.Source) (*Graph,
 // §4.3.4.1: only present points host nodes, and every link sampled
 // toward an absent point is redirected to the nearest present node (the
 // basin-of-attraction rule), so links connect only existing nodes.
-func BuildIdealWithPresence(space metric.Space1D, cfg BuildConfig, present []bool, src *rng.Source) (*Graph, error) {
+func BuildIdealWithPresence(space metric.Space, cfg BuildConfig, present []bool, src *rng.Source) (*Graph, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -80,21 +89,17 @@ func BuildIdealWithPresence(space metric.Space1D, cfg BuildConfig, present []boo
 	return g, nil
 }
 
-// populateLinks draws cfg.Links long links for every existing node.
-// redirect, when non-nil, maps a sampled target to the point actually
-// linked (or rejects it); the sample is retried a bounded number of
-// times on rejection.
+// populateLinks draws cfg.Links long links for every existing node from
+// the space's target sampler. redirect, when non-nil, maps a sampled
+// target to the point actually linked (or rejects it); the sample is
+// retried a bounded number of times on rejection.
 func populateLinks(g *Graph, cfg BuildConfig, src *rng.Source, redirect func(*Graph, metric.Point, metric.Point) (metric.Point, bool)) error {
 	if cfg.Links == 0 {
 		return nil
 	}
-	var table *rng.PowerLawSampler
-	if cfg.Exponent != 0 && cfg.Exponent != 1 {
-		var err error
-		table, err = rng.NewPowerLawSampler(maxSampleDistance(g.space, 0), cfg.Exponent)
-		if err != nil {
-			return err
-		}
+	sampler, err := g.space.NewLinkSampler(cfg.Exponent)
+	if err != nil {
+		return err
 	}
 	for i := 0; i < g.Size(); i++ {
 		p := metric.Point(i)
@@ -105,7 +110,7 @@ func populateLinks(g *Graph, cfg BuildConfig, src *rng.Source, redirect func(*Gr
 			const retries = 32
 			linked := false
 			for attempt := 0; attempt < retries; attempt++ {
-				target, ok := sampleTarget(g.space, p, cfg.Exponent, table, src)
+				target, ok := sampler.Sample(p, src)
 				if !ok {
 					break
 				}
@@ -123,10 +128,18 @@ func populateLinks(g *Graph, cfg BuildConfig, src *rng.Source, redirect func(*Gr
 			}
 			if !linked && g.AliveCount() > 1 {
 				// Fall back to a short-range link so the degree
-				// invariant holds even in pathological presence masks.
-				if q, ok := g.ShortNeighbor(p, +1); ok {
-					if err := g.AddLong(p, q); err != nil {
-						return err
+				// invariant holds even in pathological presence
+				// masks, scanning every grid direction (a torus row
+				// can be empty while another axis has a neighbour).
+			fallback:
+				for axis := 1; axis <= g.space.Dim(); axis++ {
+					for _, dir := range [2]int{+axis, -axis} {
+						if q, ok := g.ShortNeighbor(p, dir); ok {
+							if err := g.AddLong(p, q); err != nil {
+								return err
+							}
+							break fallback
+						}
 					}
 				}
 			}
@@ -135,128 +148,13 @@ func populateLinks(g *Graph, cfg BuildConfig, src *rng.Source, redirect func(*Gr
 	return nil
 }
 
-// SamplePaperTarget draws one long-link target for node p under the
-// paper's distribution (inverse power law, exponent 1) over the whole
-// space. ok is false when the space has no other point. The dynamic
-// construction heuristic (package construct) uses this to aim both
-// outgoing links and incoming-link requests.
-func SamplePaperTarget(space metric.Space1D, p metric.Point, src *rng.Source) (metric.Point, bool) {
-	return sampleTarget(space, p, 1, nil, src)
-}
-
-// maxSampleDistance returns the largest admissible link distance from a
-// node of the space. On a ring every node sees ⌈(n−1)/2⌉ distinct
-// distances per side; on a line the bound depends on the position, so
-// callers pass pos >= 0 for per-node bounds and 0 for a global bound.
-func maxSampleDistance(space metric.Space1D, _ int) int {
-	n := space.Size()
-	if _, isRing := space.(*metric.Ring); isRing {
-		m := (n - 1) / 2
-		if m < 1 {
-			m = 1
-		}
-		return m
-	}
-	if n-1 < 1 {
-		return 1
-	}
-	return n - 1
-}
-
-// sampleTarget draws one long-link target for node p under the inverse
-// power law Pr[v] ∝ d(p,v)^(-exponent), normalized over all points
-// v ≠ p of the space (§4.3: "each long-distance neighbor v is chosen
-// with probability inversely proportional to the distance between u and
-// v"). ok is false when the space has no other point.
-func sampleTarget(space metric.Space1D, p metric.Point, exponent float64, table *rng.PowerLawSampler, src *rng.Source) (metric.Point, bool) {
-	n := space.Size()
-	if n < 2 {
-		return 0, false
-	}
-	switch s := space.(type) {
-	case *metric.Ring:
-		// By symmetry each side carries equal mass; the (even-n)
-		// antipodal point is reachable from either side, which double
-		// counts a single O(1/n) mass — negligible and unbiased.
-		maxD := (n - 1) / 2
-		if maxD < 1 {
-			maxD = 1
-		}
-		d := sampleDistance(src, maxD, exponent, table)
-		dir := 1
-		if src.Bool(0.5) {
-			dir = -1
-		}
-		return s.Add(p, dir*d), true
-	default:
-		// Line: the left side offers distances 1..p, the right side
-		// 1..n-1-p. Choose the side in proportion to its total mass,
-		// then the distance within the side.
-		left := int(p)
-		right := n - 1 - int(p)
-		if left == 0 && right == 0 {
-			return 0, false
-		}
-		lMass := sideMass(left, exponent, table)
-		rMass := sideMass(right, exponent, table)
-		goLeft := src.Float64()*(lMass+rMass) < lMass
-		if goLeft && left > 0 {
-			return p - metric.Point(sampleDistance(src, left, exponent, table)), true
-		}
-		if right > 0 {
-			return p + metric.Point(sampleDistance(src, right, exponent, table)), true
-		}
-		return p - metric.Point(sampleDistance(src, left, exponent, table)), true
-	}
-}
-
-// sideMass returns the unnormalized probability mass of distances
-// 1..max under the configured exponent.
-func sideMass(max int, exponent float64, table *rng.PowerLawSampler) float64 {
-	if max <= 0 {
-		return 0
-	}
-	if exponent == 1 || table == nil && exponent == 0 {
-		if exponent == 1 {
-			return mathx.Harmonic(max)
-		}
-		return float64(max)
-	}
-	// General exponent: use the table's CDF by rescaling. The table is
-	// normalized over [1, table.Max()]; relative masses are what we
-	// need, so cumulative probability up to max is proportional.
-	var m float64
-	if table != nil {
-		for d := 1; d <= max && d <= table.Max(); d++ {
-			m += table.Prob(d)
-		}
-	}
-	return m
-}
-
-// sampleDistance draws a link length in [1, max].
-func sampleDistance(src *rng.Source, max int, exponent float64, table *rng.PowerLawSampler) int {
-	switch {
-	case exponent == 1:
-		return rng.SampleHarmonic(src, max)
-	case exponent == 0:
-		return src.Intn(max) + 1
-	default:
-		for i := 0; i < 64; i++ {
-			if d := table.Sample(src); d <= max {
-				return d
-			}
-		}
-		return src.Intn(max) + 1
-	}
-}
-
 // BuildDeterministic constructs the deterministic overlay of Theorem 14:
 // with base b, every node links to the points at distances j·b^i for
-// j ∈ 1..b−1 and i ∈ 0..⌈log_b n⌉−1 in both directions (links that
-// would leave a line are dropped). Routing over this graph eliminates
-// one base-b digit of the remaining distance per hop.
-func BuildDeterministic(space metric.Space1D, b int, src *rng.Source) (*Graph, error) {
+// j ∈ 1..b−1 and i ∈ 0..⌈log_b n⌉−1 along both directions of every axis
+// (links that would leave a line are dropped). Routing over this graph
+// eliminates one base-b digit of the remaining per-axis distance per
+// hop.
+func BuildDeterministic(space metric.Space, b int, src *rng.Source) (*Graph, error) {
 	if b < 2 {
 		return nil, fmt.Errorf("graph: deterministic base must be >= 2, got %d", b)
 	}
@@ -272,11 +170,13 @@ func BuildDeterministic(space metric.Space1D, b int, src *rng.Source) (*Graph, e
 				if d >= n {
 					break
 				}
-				for _, dir := range []int{+1, -1} {
-					q, ok := offsetPoint(space, p, dir*d)
-					if ok && q != p {
-						if err := g.AddLong(p, q); err != nil {
-							return nil, err
+				for axis := 1; axis <= space.Dim(); axis++ {
+					for _, dir := range [2]int{+axis, -axis} {
+						q, ok := space.Offset(p, dir, d)
+						if ok && q != p {
+							if err := g.AddLong(p, q); err != nil {
+								return nil, err
+							}
 						}
 					}
 				}
@@ -288,9 +188,9 @@ func BuildDeterministic(space metric.Space1D, b int, src *rng.Source) (*Graph, e
 
 // BuildDeterministicPowers constructs the simplified deterministic
 // overlay of Theorem 16: links at distances b^0, b^1, …, b^⌊log_b n⌋
-// only (both directions). This is the variant the paper analyzes under
-// link failures.
-func BuildDeterministicPowers(space metric.Space1D, b int) (*Graph, error) {
+// only (both directions of every axis). This is the variant the paper
+// analyzes under link failures.
+func BuildDeterministicPowers(space metric.Space, b int) (*Graph, error) {
 	if b < 2 {
 		return nil, fmt.Errorf("graph: deterministic base must be >= 2, got %d", b)
 	}
@@ -299,11 +199,13 @@ func BuildDeterministicPowers(space metric.Space1D, b int) (*Graph, error) {
 	for i := 0; i < n; i++ {
 		p := metric.Point(i)
 		for step := 1; step < n; step *= b {
-			for _, dir := range []int{+1, -1} {
-				q, ok := offsetPoint(space, p, dir*step)
-				if ok && q != p {
-					if err := g.AddLong(p, q); err != nil {
-						return nil, err
+			for axis := 1; axis <= space.Dim(); axis++ {
+				for _, dir := range [2]int{+axis, -axis} {
+					q, ok := space.Offset(p, dir, step)
+					if ok && q != p {
+						if err := g.AddLong(p, q); err != nil {
+							return nil, err
+						}
 					}
 				}
 			}
@@ -313,17 +215,4 @@ func BuildDeterministicPowers(space metric.Space1D, b int) (*Graph, error) {
 		}
 	}
 	return g, nil
-}
-
-// offsetPoint returns the point at signed offset delta from p, when it
-// exists (rings wrap; lines reject out-of-range offsets).
-func offsetPoint(space metric.Space1D, p metric.Point, delta int) (metric.Point, bool) {
-	if r, ok := space.(*metric.Ring); ok {
-		return r.Add(p, delta), true
-	}
-	q := metric.Point(int(p) + delta)
-	if !space.Contains(q) {
-		return 0, false
-	}
-	return q, true
 }

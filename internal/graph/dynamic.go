@@ -9,7 +9,7 @@ import (
 // NewEmpty returns a graph over space in which no grid point hosts a
 // node yet. Nodes arrive later through AddNode — the starting state of
 // the §5 incremental construction.
-func NewEmpty(space metric.Space1D) *Graph {
+func NewEmpty(space metric.Space) *Graph {
 	return &Graph{space: space, nodes: make([]node, space.Size())}
 }
 

@@ -1,7 +1,8 @@
 // Package graph implements the paper's overlay structure: nodes embedded
-// at the grid points of a one-dimensional metric space, each connected
-// to its immediate neighbours (short links, always present per §4.3.3)
-// and to a set of long-distance links drawn from a configurable
+// at the grid points of a metric space (the 1-D line and ring of the
+// paper's analysis, or a d-dimensional torus per §7), each connected to
+// its grid neighbours (short links, always present per §4.3.3 — two per
+// axis) and to a set of long-distance links drawn from a configurable
 // distribution.
 //
 // The graph is a value-type store of links plus liveness bookkeeping;
@@ -46,19 +47,26 @@ type revRef struct {
 	idx  int
 }
 
-// Graph is an overlay network over a one-dimensional metric space.
+// Graph is an overlay network over a metric space of any dimension.
 // It is not safe for concurrent mutation; experiment code builds one
 // graph per goroutine.
 type Graph struct {
-	space      metric.Space1D
+	space      metric.Space
 	nodes      []node
 	aliveCount int
 	seq        int64
+	// nearestMark/nearestQueue are reusable scratch for the d >= 2
+	// NearestExisting BFS (a point is visited when its mark equals
+	// nearestGen). NearestExisting is §5 construction machinery and
+	// shares the Graph's single-goroutine mutation contract.
+	nearestMark  []uint32
+	nearestQueue []metric.Point
+	nearestGen   uint32
 }
 
 // New returns a graph over space in which every grid point hosts a node
 // and no long links exist yet.
-func New(space metric.Space1D) *Graph {
+func New(space metric.Space) *Graph {
 	g := &Graph{space: space, nodes: make([]node, space.Size())}
 	for i := range g.nodes {
 		g.nodes[i].exists = true
@@ -71,7 +79,7 @@ func New(space metric.Space1D) *Graph {
 // when present[i] is true (the binomially-distributed node model of
 // §4.3.4.1). It returns an error if len(present) != space.Size() or if
 // no point is present.
-func NewWithPresence(space metric.Space1D, present []bool) (*Graph, error) {
+func NewWithPresence(space metric.Space, present []bool) (*Graph, error) {
 	if len(present) != space.Size() {
 		return nil, fmt.Errorf("graph: presence mask has %d entries for space of size %d",
 			len(present), space.Size())
@@ -90,7 +98,7 @@ func NewWithPresence(space metric.Space1D, present []bool) (*Graph, error) {
 }
 
 // Space returns the underlying metric space.
-func (g *Graph) Space() metric.Space1D { return g.space }
+func (g *Graph) Space() metric.Space { return g.space }
 
 // Size returns the number of grid points (present or not).
 func (g *Graph) Size() int { return g.space.Size() }
@@ -227,11 +235,11 @@ func (g *Graph) SetLongUp(p metric.Point, i int, up bool) error {
 	return nil
 }
 
-// ShortNeighbor returns the nearest present node in direction dir
-// (+1/−1) from p, skipping absent grid points, along with whether one
-// exists. Short links bind each node to the closest *present* node on
-// either side, so in the binomial-presence model the short chain skips
-// holes.
+// ShortNeighbor returns the nearest present node along the signed axis
+// direction dir (±1..±Dim) from p, skipping absent grid points, along
+// with whether one exists. Short links bind each node to the closest
+// *present* node along every grid direction, so in the
+// binomial-presence model the short chain skips holes.
 func (g *Graph) ShortNeighbor(p metric.Point, dir int) (metric.Point, bool) {
 	cur := p
 	for i := 0; i < g.Size(); i++ {
@@ -251,21 +259,24 @@ func (g *Graph) ShortNeighbor(p metric.Point, dir int) (metric.Point, bool) {
 }
 
 // ForEachOutNeighbor invokes fn for every outgoing overlay neighbour of
-// p: the two short neighbours (always up, per the paper's assumption
-// that immediate links never fail) and every long link that is up. fn
-// receives the neighbouring point; absent points never appear.
-// Neighbour liveness is NOT filtered here — routing decides what to do
-// with dead neighbours. This is the directed model analyzed in §4.
+// p: the short neighbours — two per axis, always up, per the paper's
+// assumption that immediate links never fail — and every long link that
+// is up. fn receives the neighbouring point; absent points never
+// appear. Neighbour liveness is NOT filtered here — routing decides
+// what to do with dead neighbours. This is the directed model analyzed
+// in §4.
 func (g *Graph) ForEachOutNeighbor(p metric.Point, fn func(q metric.Point)) {
 	if !g.inRange(p) || !g.nodes[p].exists {
 		return
 	}
-	left, okL := g.ShortNeighbor(p, -1)
-	if okL {
-		fn(left)
-	}
-	if right, okR := g.ShortNeighbor(p, +1); okR && (!okL || right != left) {
-		fn(right)
+	for axis := 1; axis <= g.space.Dim(); axis++ {
+		neg, okN := g.ShortNeighbor(p, -axis)
+		if okN {
+			fn(neg)
+		}
+		if pos, okP := g.ShortNeighbor(p, +axis); okP && (!okN || pos != neg) {
+			fn(pos)
+		}
 	}
 	for _, lk := range g.nodes[p].long {
 		if lk.Up && g.nodes[lk.To].exists {
@@ -301,8 +312,10 @@ func (g *Graph) ForEachNeighbor(p metric.Point, fn func(q metric.Point)) {
 
 // NearestExisting returns the present point closest to target (the
 // "basin of attraction" rule of §5: a link aimed at an absent point
-// connects to the nearest present one). Ties break toward the lower
-// side. ok is false only if no node exists at all.
+// connects to the nearest present one). In one dimension ties break
+// toward the lower side; in higher dimensions toward the first point
+// reached by a breadth-first expansion that scans −axis before +axis.
+// ok is false only if no node exists at all.
 func (g *Graph) NearestExisting(target metric.Point) (metric.Point, bool) {
 	if !g.inRange(target) {
 		return 0, false
@@ -310,19 +323,58 @@ func (g *Graph) NearestExisting(target metric.Point) (metric.Point, bool) {
 	if g.nodes[target].exists {
 		return target, true
 	}
-	left, okL := g.ShortNeighbor(target, -1)
-	right, okR := g.ShortNeighbor(target, +1)
-	switch {
-	case okL && okR:
-		if g.space.Distance(left, target) <= g.space.Distance(right, target) {
+	if g.space.Dim() == 1 {
+		left, okL := g.ShortNeighbor(target, -1)
+		right, okR := g.ShortNeighbor(target, +1)
+		switch {
+		case okL && okR:
+			if g.space.Distance(left, target) <= g.space.Distance(right, target) {
+				return left, true
+			}
+			return right, true
+		case okL:
 			return left, true
+		case okR:
+			return right, true
 		}
-		return right, true
-	case okL:
-		return left, true
-	case okR:
-		return right, true
+		return 0, false
 	}
+	// d >= 2: breadth-first over unit grid steps. Grid steps are unit
+	// moves under L1, so BFS level k is exactly the sphere of radius k
+	// around the target and the first present point found is nearest.
+	// The mark/queue scratch is reused across calls: §5 construction
+	// invokes this once per sampled link, and a fresh O(n) allocation
+	// each time would dominate the build.
+	if g.nearestMark == nil {
+		g.nearestMark = make([]uint32, len(g.nodes))
+	}
+	g.nearestGen++
+	if g.nearestGen == 0 { // wrapped: stale marks could collide
+		for i := range g.nearestMark {
+			g.nearestMark[i] = 0
+		}
+		g.nearestGen = 1
+	}
+	gen := g.nearestGen
+	queue := g.nearestQueue[:0]
+	g.nearestMark[target] = gen
+	queue = append(queue, target)
+	for head := 0; head < len(queue); head++ {
+		p := queue[head]
+		if g.nodes[p].exists {
+			g.nearestQueue = queue[:0]
+			return p, true
+		}
+		for axis := 1; axis <= g.space.Dim(); axis++ {
+			for _, dir := range [2]int{-axis, +axis} {
+				if q, ok := g.space.Step(p, dir); ok && g.nearestMark[q] != gen {
+					g.nearestMark[q] = gen
+					queue = append(queue, q)
+				}
+			}
+		}
+	}
+	g.nearestQueue = queue[:0]
 	return 0, false
 }
 
@@ -358,7 +410,7 @@ func (g *Graph) RandomAlive(src *rng.Source) (metric.Point, bool) {
 // (up or down) into a linear histogram with one bucket per distance.
 // Figure 5 plots exactly this.
 func (g *Graph) LinkLengthHistogram() *mathx.Histogram {
-	maxD := g.space.Size() // safe upper bound for both line and ring
+	maxD := g.space.Size() // safe upper bound for every space
 	h := mathx.NewHistogram(maxD)
 	for p := range g.nodes {
 		for _, lk := range g.nodes[p].long {

@@ -1,25 +1,25 @@
-// Package highdim lifts the paper's design to a two-dimensional metric
-// space — the first direction §7 names for future work ("whether
-// similar strategies would work for higher-dimensional spaces").
+// Package highdim was the original bolted-on 2-D prototype answering
+// §7's "whether similar strategies would work for higher-dimensional
+// spaces". The dimension-generic metric.Space interface has since
+// absorbed it: metric.Torus embeds any d-dimensional torus, and the
+// ordinary graph/route/failure pipeline builds and routes it exactly
+// like the 1-D ring, so every §6 experiment (failure models, dead-end
+// strategies, the Monte Carlo harness) runs in any dimension.
 //
-// Nodes occupy the grid points of a side×side torus. Each node keeps
-// its four grid neighbours (the 2-D analogue of the ±1 short links)
-// plus ℓ long links whose *target* is drawn with probability
-// proportional to d(u,v)^(−exponent) under L1 distance. For a
-// d-dimensional grid the harmonic exponent is d (Kleinberg), so 2 is
-// the natural default here, and the exponent sweep experiment verifies
-// the optimum empirically.
-//
-// Routing mirrors package route: two-sided greedy over live neighbours,
-// with the same Terminate/Backtrack dead-end strategies, so the §6
-// failure experiments can be replayed in 2-D.
+// Deprecated: this package remains only as a thin compatibility adapter
+// over that pipeline. New code should use metric.NewTorus with
+// graph.BuildIdeal, route.New, and package failure directly — or
+// core.New with Config.Dim/Side for the facade.
 package highdim
 
 import (
 	"fmt"
 
+	"repro/internal/failure"
+	"repro/internal/graph"
 	"repro/internal/metric"
 	"repro/internal/rng"
+	"repro/internal/route"
 )
 
 // Config parameterizes a 2-D overlay.
@@ -59,147 +59,61 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Graph2D is the paper's overlay on a torus.
+// Graph2D adapts the generic overlay pipeline to the historical 2-D
+// API.
+//
+// Deprecated: use graph.Graph over metric.NewTorus(side, 2).
 type Graph2D struct {
-	grid       *metric.Grid2D
-	long       [][]metric.Point
-	failed     []bool
-	aliveCount int
+	grid *metric.Torus
+	g    *graph.Graph
 }
 
-// Build constructs the 2-D overlay. The distance marginal of a link is
-// shell(d)·d^(−exponent) where shell(d) ≈ 4d is the number of points on
-// the L1 sphere of radius d; the target is then uniform on that shell.
+// Build constructs the 2-D overlay through the generic pipeline: the
+// distance marginal of a link is shell(d)·d^(−exponent), with the
+// target exactly uniform on the shell (metric.Torus.NewLinkSampler).
 func Build(cfg Config, src *rng.Source) (*Graph2D, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	grid, err := metric.NewGrid2D(cfg.Side)
+	grid, err := metric.NewTorus(cfg.Side, 2)
 	if err != nil {
 		return nil, err
 	}
-	maxD := cfg.Side / 2
-	if maxD < 1 {
-		maxD = 1
-	}
-	// Distance sampler: P(d) ∝ 4d·d^(−exponent) = 4·d^(1−exponent).
-	dist, err := rng.NewPowerLawSampler(maxD, cfg.Exponent-1)
+	g, err := graph.BuildIdeal(grid, graph.BuildConfig{Links: cfg.Links, Exponent: cfg.Exponent}, src)
 	if err != nil {
 		return nil, err
 	}
-	g := &Graph2D{
-		grid:       grid,
-		long:       make([][]metric.Point, grid.Size()),
-		failed:     make([]bool, grid.Size()),
-		aliveCount: grid.Size(),
-	}
-	for p := 0; p < grid.Size(); p++ {
-		links := make([]metric.Point, 0, cfg.Links)
-		for j := 0; j < cfg.Links; j++ {
-			d := dist.Sample(src)
-			links = append(links, g.randomAtDistance(metric.Point(p), d, src))
-		}
-		g.long[p] = links
-	}
-	return g, nil
-}
-
-// randomAtDistance picks a near-uniform point on the L1 shell of radius
-// d around p.
-func (g *Graph2D) randomAtDistance(p metric.Point, d int, src *rng.Source) metric.Point {
-	px, py := g.grid.Coords(p)
-	dx := src.Intn(2*d+1) - d
-	rest := d - abs(dx)
-	dy := rest
-	if rest > 0 && src.Bool(0.5) {
-		dy = -rest
-	}
-	return g.grid.PointAt(px+dx, py+dy)
-}
-
-func abs(x int) int {
-	if x < 0 {
-		return -x
-	}
-	return x
+	return &Graph2D{grid: grid, g: g}, nil
 }
 
 // Size returns the number of grid points.
-func (g *Graph2D) Size() int { return g.grid.Size() }
+func (g *Graph2D) Size() int { return g.g.Size() }
 
 // Grid returns the underlying torus.
-func (g *Graph2D) Grid() *metric.Grid2D { return g.grid }
+func (g *Graph2D) Grid() *metric.Torus { return g.grid }
+
+// Graph returns the generic overlay this adapter wraps.
+func (g *Graph2D) Graph() *graph.Graph { return g.g }
 
 // Alive reports whether p is a live node.
-func (g *Graph2D) Alive(p metric.Point) bool {
-	return p >= 0 && int(p) < len(g.failed) && !g.failed[p]
-}
+func (g *Graph2D) Alive(p metric.Point) bool { return g.g.Alive(p) }
 
 // AliveCount returns the number of live nodes.
-func (g *Graph2D) AliveCount() int { return g.aliveCount }
+func (g *Graph2D) AliveCount() int { return g.g.AliveCount() }
 
 // FailFraction crashes an exact fraction of the live nodes uniformly.
 func (g *Graph2D) FailFraction(fraction float64, src *rng.Source) (int, error) {
-	if fraction < 0 || fraction > 1 {
-		return 0, fmt.Errorf("highdim: fraction %v outside [0,1]", fraction)
+	n, err := failure.FailNodesFraction(g.g, fraction, src)
+	if err != nil {
+		return 0, fmt.Errorf("highdim: %w", err)
 	}
-	candidates := make([]metric.Point, 0, g.aliveCount)
-	for p := range g.failed {
-		if !g.failed[p] {
-			candidates = append(candidates, metric.Point(p))
-		}
-	}
-	target := int(fraction * float64(g.aliveCount))
-	if target > len(candidates) {
-		target = len(candidates)
-	}
-	for i := 0; i < target; i++ {
-		j := i + src.Intn(len(candidates)-i)
-		candidates[i], candidates[j] = candidates[j], candidates[i]
-		g.failed[candidates[i]] = true
-	}
-	g.aliveCount -= target
-	return target, nil
+	return n, nil
 }
 
 // RandomAlive returns a uniformly random live node.
 func (g *Graph2D) RandomAlive(src *rng.Source) (metric.Point, bool) {
-	if g.aliveCount == 0 {
-		return 0, false
-	}
-	if g.aliveCount*8 >= len(g.failed) {
-		for {
-			p := metric.Point(src.Intn(len(g.failed)))
-			if !g.failed[p] {
-				return p, true
-			}
-		}
-	}
-	k := src.Intn(g.aliveCount)
-	for p := range g.failed {
-		if !g.failed[p] {
-			if k == 0 {
-				return metric.Point(p), true
-			}
-			k--
-		}
-	}
-	return 0, false
-}
-
-// forEachNeighbor enumerates the four grid neighbours plus long links.
-func (g *Graph2D) forEachNeighbor(p metric.Point, fn func(q metric.Point)) {
-	x, y := g.grid.Coords(p)
-	fn(g.grid.PointAt(x+1, y))
-	fn(g.grid.PointAt(x-1, y))
-	fn(g.grid.PointAt(x, y+1))
-	fn(g.grid.PointAt(x, y-1))
-	for _, q := range g.long[p] {
-		if q != p {
-			fn(q)
-		}
-	}
+	return g.g.RandomAlive(src)
 }
 
 // Result mirrors route.Result for the 2-D router.
@@ -219,82 +133,20 @@ type RouteOptions struct {
 	MaxHops int
 }
 
-// Route performs a greedy search from a live node to a live target.
+// Route performs a greedy search from a live node to a live target via
+// the generic router.
 func (g *Graph2D) Route(from, to metric.Point, opt RouteOptions) (Result, error) {
-	if !g.Alive(from) || !g.Alive(to) {
-		return Result{}, fmt.Errorf("highdim: endpoints must be live nodes")
-	}
 	if opt.MaxHops == 0 {
 		opt.MaxHops = 4*g.grid.Side() + 64
 	}
-	if opt.Backtrack && opt.Memory == 0 {
-		opt.Memory = 5
-	}
-	var res Result
+	ropt := route.Options{DeadEnd: route.Terminate, MaxHops: opt.MaxHops}
 	if opt.Backtrack {
-		g.routeBacktrack(&res, from, to, opt)
-		return res, nil
+		ropt.DeadEnd = route.Backtrack
+		ropt.BacktrackMemory = opt.Memory
 	}
-	cur := from
-	for cur != to {
-		if res.Hops >= opt.MaxHops {
-			return res, nil
-		}
-		next, ok := g.bestNeighbor(cur, to, nil)
-		if !ok {
-			return res, nil
-		}
-		cur = next
-		res.Hops++
+	res, err := route.New(g.g, ropt).Route(rng.New(0), from, to)
+	if err != nil {
+		return Result{}, fmt.Errorf("highdim: endpoints must be live nodes: %w", err)
 	}
-	res.Delivered = true
-	return res, nil
-}
-
-func (g *Graph2D) bestNeighbor(cur, to metric.Point, tried map[metric.Point]bool) (metric.Point, bool) {
-	best := cur
-	bestD := g.grid.Distance(cur, to)
-	found := false
-	g.forEachNeighbor(cur, func(q metric.Point) {
-		if !g.Alive(q) || tried[q] {
-			return
-		}
-		if d := g.grid.Distance(q, to); d < bestD {
-			best, bestD, found = q, d, true
-		}
-	})
-	return best, found
-}
-
-func (g *Graph2D) routeBacktrack(res *Result, cur, to metric.Point, opt RouteOptions) {
-	type frame struct {
-		at    metric.Point
-		tried map[metric.Point]bool
-	}
-	history := []frame{{at: cur, tried: map[metric.Point]bool{}}}
-	for cur != to {
-		if res.Hops >= opt.MaxHops {
-			return
-		}
-		top := &history[len(history)-1]
-		next, ok := g.bestNeighbor(cur, to, top.tried)
-		if ok {
-			top.tried[next] = true
-			cur = next
-			res.Hops++
-			history = append(history, frame{at: cur, tried: map[metric.Point]bool{}})
-			if len(history) > opt.Memory {
-				history = history[1:]
-			}
-			continue
-		}
-		if len(history) <= 1 {
-			return
-		}
-		history = history[:len(history)-1]
-		cur = history[len(history)-1].at
-		res.Hops++
-		res.Backtracks++
-	}
-	res.Delivered = true
+	return Result{Delivered: res.Delivered, Hops: res.Hops, Backtracks: res.Backtracks}, nil
 }

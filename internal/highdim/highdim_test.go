@@ -32,8 +32,8 @@ func TestBuildShape(t *testing.T) {
 		t.Errorf("size/alive = %d/%d", g.Size(), g.AliveCount())
 	}
 	for p := 0; p < g.Size(); p++ {
-		if len(g.long[p]) != 3 {
-			t.Fatalf("node %d has %d long links", p, len(g.long[p]))
+		if got := len(g.Graph().Long(metric.Point(p))); got != 3 {
+			t.Fatalf("node %d has %d long links", p, got)
 		}
 	}
 	if g.Grid().Side() != 16 {

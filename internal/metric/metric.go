@@ -1,30 +1,57 @@
 // Package metric defines the metric spaces into which the overlay
-// embeds resources and nodes (§2 of the paper).
+// embeds resources and nodes (§2 of the paper), generalized to
+// arbitrary dimension (§7's first direction for future work).
 //
 // The paper's analysis lives on a one-dimensional space: nodes occupy
 // grid points of a real line (Line) or of a circle (Ring, distances
-// measured along the circumference, as in Chord). A two-dimensional
-// torus (Grid2D) is provided for the Kleinberg small-world baseline.
+// measured along the circumference, as in Chord). Torus lifts the same
+// structure to d dimensions: side^d grid points under wrapped L1
+// (Manhattan) distance, the space of Kleinberg's small-world
+// construction when d = 2.
 //
-// Points are identified with integers in [0, Size); a Space knows how to
-// measure distances and enumerate the points at a given distance, which
-// is all the routing and construction layers need.
+// Points are identified with integers in [0, Size); a Space knows how
+// to measure distances, walk the grid (Step/Offset — the short-link
+// structure), and sample long-link targets from the inverse power-law
+// family (NewLinkSampler), which is everything the graph, routing, and
+// construction layers need. All of them are therefore
+// dimension-agnostic: the same pipeline builds and routes 1-D rings and
+// d-D tori.
 package metric
 
 import "fmt"
 
 // Point identifies a grid point of a metric space. For one-dimensional
-// spaces it is the coordinate itself; Grid2D packs (x, y) as x*side+y.
+// spaces it is the coordinate itself; a Torus packs coordinates
+// lexicographically (for d=2: x*side+y).
 type Point int
 
-// Space is a finite metric space over points [0, Size).
+// Space is a finite metric space over grid points [0, Size). It is the
+// single interface behind which every space — the paper's 1-D line and
+// ring, and the d-dimensional torus of §7 — looks identical to the
+// graph construction, routing, failure, and simulation layers.
 type Space interface {
 	// Size returns the number of grid points.
 	Size() int
+	// Dim returns the dimension d: grid points have up to 2d grid
+	// neighbours, one per signed axis direction.
+	Dim() int
 	// Distance returns the metric distance between two points.
 	Distance(a, b Point) int
 	// Contains reports whether p is a valid point of the space.
 	Contains(p Point) bool
+	// Step returns the point one grid step from p along the signed
+	// axis direction dir ∈ {±1, …, ±Dim} (+a steps axis a forward, −a
+	// backward), and whether such a point exists (a line has
+	// boundaries; rings and tori wrap).
+	Step(p Point, dir int) (Point, bool)
+	// Offset returns the point delta grid steps from p along the
+	// signed axis direction dir, and whether it exists. A negative
+	// delta reverses the direction.
+	Offset(p Point, dir, delta int) (Point, bool)
+	// NewLinkSampler returns a sampler drawing long-link targets v ≠ p
+	// with Pr[v] ∝ d(p, v)^(−exponent) — the inverse power-law family
+	// of §4.3; exponent Dim is the harmonic (routing-optimal) member.
+	NewLinkSampler(exponent float64) (LinkSampler, error)
 	// Name returns a short identifier used in experiment output.
 	Name() string
 }
@@ -47,6 +74,9 @@ func NewLine(n int) (*Line, error) {
 
 // Size returns the number of grid points.
 func (l *Line) Size() int { return l.n }
+
+// Dim returns 1.
+func (l *Line) Dim() int { return 1 }
 
 // Contains reports whether p lies on the line.
 func (l *Line) Contains(p Point) bool { return p >= 0 && int(p) < l.n }
@@ -82,6 +112,9 @@ func NewRing(n int) (*Ring, error) {
 
 // Size returns the number of grid points.
 func (r *Ring) Size() int { return r.n }
+
+// Dim returns 1.
+func (r *Ring) Dim() int { return 1 }
 
 // Contains reports whether p lies on the ring.
 func (r *Ring) Contains(p Point) bool { return p >= 0 && int(p) < r.n }
@@ -120,70 +153,9 @@ func (r *Ring) ClockwiseDistance(a, b Point) int {
 	return d
 }
 
-// Grid2D is a side×side torus with Manhattan (L1) distance; the space of
-// Kleinberg's small-world construction, used by the baseline package.
-type Grid2D struct {
-	side int
-}
-
-// NewGrid2D returns a torus with side*side points. It returns an error
-// if side < 1.
-func NewGrid2D(side int) (*Grid2D, error) {
-	if side < 1 {
-		return nil, fmt.Errorf("metric: grid needs side >= 1, got %d", side)
-	}
-	return &Grid2D{side: side}, nil
-}
-
-// Size returns side².
-func (g *Grid2D) Size() int { return g.side * g.side }
-
-// Side returns the torus side length.
-func (g *Grid2D) Side() int { return g.side }
-
-// Contains reports whether p is on the torus.
-func (g *Grid2D) Contains(p Point) bool { return p >= 0 && int(p) < g.Size() }
-
-// Coords unpacks p into (x, y).
-func (g *Grid2D) Coords(p Point) (x, y int) { return int(p) / g.side, int(p) % g.side }
-
-// PointAt packs (x, y) into a Point, reducing coordinates mod side.
-func (g *Grid2D) PointAt(x, y int) Point {
-	x %= g.side
-	if x < 0 {
-		x += g.side
-	}
-	y %= g.side
-	if y < 0 {
-		y += g.side
-	}
-	return Point(x*g.side + y)
-}
-
-// Distance returns the L1 torus distance.
-func (g *Grid2D) Distance(a, b Point) int {
-	ax, ay := g.Coords(a)
-	bx, by := g.Coords(b)
-	return g.axisDist(ax, bx) + g.axisDist(ay, by)
-}
-
-func (g *Grid2D) axisDist(a, b int) int {
-	d := a - b
-	if d < 0 {
-		d = -d
-	}
-	if alt := g.side - d; alt < d {
-		return alt
-	}
-	return d
-}
-
-// Name returns "grid2d".
-func (g *Grid2D) Name() string { return "grid2d" }
-
 // Interface compliance checks.
 var (
 	_ Space = (*Line)(nil)
 	_ Space = (*Ring)(nil)
-	_ Space = (*Grid2D)(nil)
+	_ Space = (*Torus)(nil)
 )

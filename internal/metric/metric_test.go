@@ -88,11 +88,15 @@ func TestMetricAxioms(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	grid, err := NewGrid2D(16)
+	grid, err := NewTorus(16, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, sp := range []Space{line, ring, grid} {
+	torus3, err := NewTorus(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range []Space{line, ring, grid, torus3} {
 		sp := sp
 		f := func(aa, bb, cc uint16) bool {
 			n := sp.Size()
@@ -138,31 +142,93 @@ func TestRingDistanceBounded(t *testing.T) {
 	}
 }
 
-func TestGrid2D(t *testing.T) {
-	if _, err := NewGrid2D(0); err == nil {
-		t.Error("NewGrid2D(0) should error")
+func TestTorus2D(t *testing.T) {
+	if _, err := NewTorus(0, 2); err == nil {
+		t.Error("NewTorus(0, 2) should error")
 	}
-	g, err := NewGrid2D(4)
+	if _, err := NewTorus(4, 0); err == nil {
+		t.Error("NewTorus(4, 0) should error")
+	}
+	if _, err := NewTorus(1<<20, 4); err == nil {
+		t.Error("oversized torus should error")
+	}
+	g, err := NewTorus(4, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if g.Size() != 16 || g.Side() != 4 || g.Name() != "grid2d" {
-		t.Error("grid accessors wrong")
+	if g.Size() != 16 || g.Side() != 4 || g.Dim() != 2 || g.Name() != "torus2d" {
+		t.Error("torus accessors wrong")
 	}
-	p := g.PointAt(1, 2)
-	x, y := g.Coords(p)
-	if x != 1 || y != 2 {
+	p := g.At(1, 2)
+	if x, y := g.Coord(p, 0), g.Coord(p, 1); x != 1 || y != 2 {
 		t.Errorf("coords round-trip = (%d,%d)", x, y)
 	}
 	// Wrap-around distances on the torus.
-	if d := g.Distance(g.PointAt(0, 0), g.PointAt(3, 3)); d != 2 {
+	if d := g.Distance(g.At(0, 0), g.At(3, 3)); d != 2 {
 		t.Errorf("torus d((0,0),(3,3)) = %d, want 2", d)
 	}
-	if d := g.Distance(g.PointAt(0, 0), g.PointAt(2, 2)); d != 4 {
+	if d := g.Distance(g.At(0, 0), g.At(2, 2)); d != 4 {
 		t.Errorf("torus d((0,0),(2,2)) = %d, want 4", d)
 	}
-	if g.PointAt(-1, -1) != g.PointAt(3, 3) {
-		t.Error("PointAt must reduce negative coords")
+	if g.At(-1, -1) != g.At(3, 3) {
+		t.Error("At must reduce negative coords")
+	}
+}
+
+func TestTorusStepOffset(t *testing.T) {
+	g, err := NewTorus(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := g.At(0, 0, 0)
+	for dir := 1; dir <= 3; dir++ {
+		fwd, ok := g.Step(p, dir)
+		if !ok || g.Distance(p, fwd) != 1 {
+			t.Errorf("Step(+%d) not adjacent", dir)
+		}
+		back, ok := g.Step(fwd, -dir)
+		if !ok || back != p {
+			t.Errorf("Step(-%d) did not invert Step(+%d)", dir, dir)
+		}
+	}
+	if _, ok := g.Step(p, 4); ok {
+		t.Error("axis 4 of a 3-D torus must not exist")
+	}
+	if _, ok := g.Step(p, 0); ok {
+		t.Error("direction 0 must not exist")
+	}
+	// Offsets wrap: 5 steps along any axis return home.
+	for dir := 1; dir <= 3; dir++ {
+		q, ok := g.Offset(p, dir, 5)
+		if !ok || q != p {
+			t.Errorf("Offset(+%d, 5) should wrap home, got %d", dir, q)
+		}
+	}
+	if q, _ := g.Offset(p, -2, 2); q != g.At(0, 3, 0) {
+		t.Errorf("Offset(-2, 2) = %d, want %d", q, g.At(0, 3, 0))
+	}
+	// Coords slice agrees with Coord.
+	c := g.Coords(g.At(1, 2, 3))
+	if len(c) != 3 || c[0] != 1 || c[1] != 2 || c[2] != 3 {
+		t.Errorf("Coords = %v", c)
+	}
+}
+
+func TestTorusDim1MatchesRing(t *testing.T) {
+	tor, err := NewTorus(17, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := NewRing(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(aa, bb uint16) bool {
+		a, b := Point(int(aa)%17), Point(int(bb)%17)
+		return tor.Distance(a, b) == ring.Distance(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
 	}
 }
 

@@ -1,27 +1,45 @@
 package metric
 
-// Space1D is a one-dimensional space (Line or Ring) that supports the
-// short-link structure of the paper: every node is connected to its
-// immediate neighbour on either side. Step exposes that structure, and
-// Between supplies the orientation test one-sided greedy routing needs
-// (§4.2.1: a one-sided router never traverses a link that would take it
-// past its target).
-type Space1D interface {
+// Oriented is implemented by spaces with a global linear orientation —
+// the 1-D line and ring. Between supplies the orientation test
+// one-sided greedy routing needs (§4.2.1: a one-sided router never
+// traverses a link that would take it past its target), and
+// ForwardDistance is the one-directional distance the one-sided greedy
+// rule minimizes (clockwise arc length on a ring, as in Chord; plain
+// distance on a line, where Between already constrains the direction).
+// Higher-dimensional tori have no such orientation and do not implement
+// this interface, so one-sided routing is a 1-D-only policy.
+type Oriented interface {
 	Space
-	// Step returns the point one grid step from p in direction dir
-	// (+1 or −1) and whether such a point exists (a line has
-	// boundaries; a ring does not).
-	Step(p Point, dir int) (Point, bool)
 	// Between reports whether q lies on the segment travelled when
 	// routing from p toward t without passing t — excluding p itself,
 	// including t. One-sided greedy routing restricts its candidate
 	// next hops to points with Between(p, q, t) == true.
 	Between(p, q, t Point) bool
+	// ForwardDistance returns the one-directional distance from a to b.
+	ForwardDistance(a, b Point) int
 }
 
-// Step on a line fails at the boundaries.
+// Space1D is the historical name for the oriented one-dimensional
+// interface.
+//
+// Deprecated: use Oriented (or plain Space — every grid operation the
+// old Space1D carried now lives there).
+type Space1D = Oriented
+
+// Step on a line fails at the boundaries. Only the single axis ±1 is
+// valid.
 func (l *Line) Step(p Point, dir int) (Point, bool) {
-	q := Point(int(p) + sign(dir))
+	return l.Offset(p, dir, 1)
+}
+
+// Offset on a line moves delta steps along ±1, failing when the result
+// leaves the line.
+func (l *Line) Offset(p Point, dir, delta int) (Point, bool) {
+	if dir != 1 && dir != -1 {
+		return 0, false
+	}
+	q := Point(int(p) + dir*delta)
 	if !l.Contains(q) {
 		return 0, false
 	}
@@ -39,9 +57,22 @@ func (l *Line) Between(p, q, t Point) bool {
 	return t <= q && q < p
 }
 
-// Step on a ring always succeeds, wrapping modulo n.
+// ForwardDistance on a line is the plain distance: Between already
+// restricts one-sided candidates to the target's side.
+func (l *Line) ForwardDistance(a, b Point) int { return l.Distance(a, b) }
+
+// Step on a ring always succeeds, wrapping modulo n. Only the single
+// axis ±1 is valid.
 func (r *Ring) Step(p Point, dir int) (Point, bool) {
-	return r.Add(p, sign(dir)), true
+	return r.Offset(p, dir, 1)
+}
+
+// Offset on a ring wraps modulo n.
+func (r *Ring) Offset(p Point, dir, delta int) (Point, bool) {
+	if dir != 1 && dir != -1 {
+		return 0, false
+	}
+	return r.Add(p, dir*delta), true
 }
 
 // Between on a ring: one-sided routing travels only clockwise (as in
@@ -54,14 +85,10 @@ func (r *Ring) Between(p, q, t Point) bool {
 	return r.ClockwiseDistance(p, q) <= r.ClockwiseDistance(p, t)
 }
 
-func sign(d int) int {
-	if d < 0 {
-		return -1
-	}
-	return 1
-}
+// ForwardDistance on a ring is the clockwise arc length.
+func (r *Ring) ForwardDistance(a, b Point) int { return r.ClockwiseDistance(a, b) }
 
 var (
-	_ Space1D = (*Line)(nil)
-	_ Space1D = (*Ring)(nil)
+	_ Oriented = (*Line)(nil)
+	_ Oriented = (*Ring)(nil)
 )

@@ -147,12 +147,20 @@ type Result struct {
 type Router struct {
 	g   *graph.Graph
 	opt Options
+	// oriented is the graph's space when it carries a linear
+	// orientation (1-D line and ring); nil on d-dimensional tori,
+	// where one-sided routing is undefined.
+	oriented metric.Oriented
 }
 
 // New returns a Router over g with the given options (zero values take
 // the paper's defaults).
 func New(g *graph.Graph, opt Options) *Router {
-	return &Router{g: g, opt: opt.withDefaults(g.Size())}
+	r := &Router{g: g, opt: opt.withDefaults(g.Size())}
+	if o, ok := g.Space().(metric.Oriented); ok {
+		r.oriented = o
+	}
+	return r
 }
 
 // Options returns the resolved options.
@@ -167,6 +175,10 @@ func (r *Router) Route(source *rng.Source, from, to metric.Point) (Result, error
 	}
 	if !r.g.Alive(to) {
 		return Result{}, fmt.Errorf("route: target %d is not a live node", to)
+	}
+	if r.opt.Sidedness == OneSided && r.oriented == nil {
+		return Result{}, fmt.Errorf("route: one-sided routing needs an oriented (1-D) space, not %s",
+			r.g.Space().Name())
 	}
 	var res Result
 	cur := from
@@ -234,7 +246,6 @@ func (r *Router) greedyWalk(res *Result, cur *metric.Point, to metric.Point) (st
 // (liveness of a neighbour is local knowledge) but returns only the
 // single best candidate.
 func (r *Router) bestNeighbor(cur, to metric.Point, tried map[metric.Point]bool) (metric.Point, bool) {
-	space := r.g.Space()
 	curDist := r.progressDistance(cur, to)
 	best := cur
 	bestDist := curDist
@@ -247,7 +258,7 @@ func (r *Router) bestNeighbor(cur, to metric.Point, tried map[metric.Point]bool)
 		if !r.g.Alive(q) || tried[q] {
 			return
 		}
-		if r.opt.Sidedness == OneSided && !space.Between(cur, q, to) {
+		if r.opt.Sidedness == OneSided && !r.oriented.Between(cur, q, to) {
 			return
 		}
 		if d := r.progressDistance(q, to); d < bestDist {
@@ -258,14 +269,12 @@ func (r *Router) bestNeighbor(cur, to metric.Point, tried map[metric.Point]bool)
 }
 
 // progressDistance is the distance the greedy rule minimizes: metric
-// distance for two-sided routing, clockwise/one-directional distance for
-// one-sided routing on a ring (on a line both coincide because Between
-// already constrains the direction).
+// distance for two-sided routing, the orientation's forward distance
+// for one-sided routing (clockwise on a ring; on a line both coincide
+// because Between already constrains the direction).
 func (r *Router) progressDistance(p, to metric.Point) int {
-	if r.opt.Sidedness == OneSided {
-		if ring, ok := r.g.Space().(*metric.Ring); ok {
-			return ring.ClockwiseDistance(p, to)
-		}
+	if r.opt.Sidedness == OneSided && r.oriented != nil {
+		return r.oriented.ForwardDistance(p, to)
 	}
 	return r.g.Space().Distance(p, to)
 }
