@@ -3,12 +3,19 @@
 // experiment into an output directory, plus an index summarizing the
 // run. This is the one-shot "reproduce the evaluation section" tool.
 //
+// Besides the per-experiment tables it emits BENCH_load.json, a
+// machine-readable headline of the traffic subsystem (max-load ratio
+// and p99 queueing latency of greedy vs load-aware routing under Zipf
+// traffic) so the bench trajectory of the load scenario family is
+// recorded run over run.
+//
 // Usage:
 //
 //	ftrbench [-out results] [-n 16384] [-trials 5] [-msgs 100] [-seed 1] [-csv]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -18,6 +25,12 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/load"
+	"repro/internal/mathx"
+	"repro/internal/metric"
+	"repro/internal/rng"
+	"repro/internal/route"
 )
 
 func main() {
@@ -89,6 +102,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 	}
+	// The headline rides along with full runs and with load-focused
+	// -only filters; a run narrowed to unrelated experiments should not
+	// pay for two extra traffic simulations.
+	if *only == "" || strings.Contains(*only, "ext.load.") {
+		if err := writeLoadHeadline(filepath.Join(*out, "BENCH_load.json"), *n, *msgs, *seed); err != nil {
+			fmt.Fprintln(stderr, "ftrbench:", err)
+			failed++
+			fmt.Fprintf(&index, "%-28s ERROR: %v\n", "BENCH_load.json", err)
+		} else {
+			fmt.Fprintf(stdout, "wrote BENCH_load.json\n")
+			fmt.Fprintf(&index, "%-28s ok  %-10s %s\n", "BENCH_load.json", "", "traffic headline (greedy vs load-aware)")
+		}
+	}
 	if err := writeTable(filepath.Join(*out, "INDEX.txt"), index.String()); err != nil {
 		fmt.Fprintln(stderr, "ftrbench:", err)
 		return 1
@@ -103,4 +129,91 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 func writeTable(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+// loadHeadline is the BENCH_load.json schema: one seeded Zipf-traffic
+// scenario routed twice — hop-optimal greedy and the congestion-
+// penalized load-aware policy — with the numbers later scaling PRs are
+// measured against. Values are deterministic in (n, messages, seed).
+type loadHeadline struct {
+	Experiment         string  `json:"experiment"`
+	N                  int     `json:"n"`
+	Links              int     `json:"links"`
+	Messages           int     `json:"messages"`
+	Seed               uint64  `json:"seed"`
+	Workload           string  `json:"workload"`
+	MaxLoadGreedy      int     `json:"max_load_greedy"`
+	MaxLoadAware       int     `json:"max_load_aware"`
+	MaxMeanRatioGreedy float64 `json:"max_mean_ratio_greedy"`
+	MaxMeanRatioAware  float64 `json:"max_mean_ratio_aware"`
+	P99LatencyGreedy   float64 `json:"p99_latency_greedy"`
+	P99LatencyAware    float64 `json:"p99_latency_aware"`
+	MeanHopsGreedy     float64 `json:"mean_hops_greedy"`
+	MeanHopsAware      float64 `json:"mean_hops_aware"`
+	MaxQueueDepth      int     `json:"max_queue_depth_greedy"`
+}
+
+// writeLoadHeadline runs the canonical load scenario (Zipf traffic on a
+// healthy ring, backtrack routing) under both policies and writes the
+// JSON headline. Zero n/msgs/seed take the same defaults as the
+// ext.load.* experiments.
+func writeLoadHeadline(path string, n, msgs int, seed uint64) error {
+	if n == 0 {
+		n = 1 << 12
+	}
+	if msgs == 0 {
+		msgs = 1000
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	links := mathx.ILog2(n)
+	if links < 1 {
+		links = 1
+	}
+	ring, err := metric.NewRing(n)
+	if err != nil {
+		return err
+	}
+	g, err := graph.BuildIdeal(ring, graph.PaperConfig(links), rng.New(seed))
+	if err != nil {
+		return err
+	}
+	run := func(penalty float64) (*load.Result, error) {
+		return load.Run(g, load.Zipf(1.0), load.Config{
+			Messages: msgs,
+			Penalty:  penalty,
+			Route:    route.Options{DeadEnd: route.Backtrack},
+		}, seed+1000)
+	}
+	greedy, err := run(0)
+	if err != nil {
+		return err
+	}
+	aware, err := run(1)
+	if err != nil {
+		return err
+	}
+	h := loadHeadline{
+		Experiment:         "load.headline",
+		N:                  n,
+		Links:              links,
+		Messages:           msgs,
+		Seed:               seed,
+		Workload:           greedy.Workload,
+		MaxLoadGreedy:      greedy.MaxLoad,
+		MaxLoadAware:       aware.MaxLoad,
+		MaxMeanRatioGreedy: greedy.MaxMeanRatio(),
+		MaxMeanRatioAware:  aware.MaxMeanRatio(),
+		P99LatencyGreedy:   greedy.LatencyP99,
+		P99LatencyAware:    aware.LatencyP99,
+		MeanHopsGreedy:     greedy.Search.MeanHops(),
+		MeanHopsAware:      aware.Search.MeanHops(),
+		MaxQueueDepth:      greedy.MaxQueueDepth,
+	}
+	buf, err := json.MarshalIndent(h, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }

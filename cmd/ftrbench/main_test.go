@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -12,7 +13,7 @@ func TestRunWritesResults(t *testing.T) {
 	var out, errOut strings.Builder
 	code := run([]string{
 		"-out", dir,
-		"-only", "table1.nofail.detb,fig5b",
+		"-only", "table1.nofail.detb,fig5b,ext.load.workloads",
 		"-n", "512", "-trials", "1", "-msgs", "20",
 		"-csv",
 	}, &out, &errOut)
@@ -21,7 +22,7 @@ func TestRunWritesResults(t *testing.T) {
 	}
 	for _, f := range []string{
 		"table1_nofail_detb.txt", "table1_nofail_detb.csv",
-		"fig5b.txt", "fig5b.csv", "INDEX.txt",
+		"fig5b.txt", "fig5b.csv", "ext_load_workloads.txt", "INDEX.txt",
 	} {
 		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
 			t.Errorf("missing output file %s: %v", f, err)
@@ -36,6 +37,42 @@ func TestRunWritesResults(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "ok") {
 		t.Errorf("stdout missing progress:\n%s", out.String())
+	}
+	var headline map[string]interface{}
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_load.json"))
+	if err != nil {
+		t.Fatalf("missing BENCH_load.json: %v", err)
+	}
+	if err := json.Unmarshal(raw, &headline); err != nil {
+		t.Fatalf("BENCH_load.json is not valid JSON: %v", err)
+	}
+	for _, key := range []string{
+		"max_load_greedy", "max_load_aware",
+		"max_mean_ratio_greedy", "max_mean_ratio_aware",
+		"p99_latency_greedy", "p99_latency_aware",
+	} {
+		if _, ok := headline[key]; !ok {
+			t.Errorf("BENCH_load.json missing %q:\n%s", key, raw)
+		}
+	}
+	if !strings.Contains(string(index), "BENCH_load.json") {
+		t.Errorf("index missing load headline entry:\n%s", index)
+	}
+}
+
+func TestRunOnlySkipsLoadHeadline(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut strings.Builder
+	code := run([]string{
+		"-out", dir,
+		"-only", "fig5b",
+		"-n", "512", "-trials", "1", "-msgs", "20",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "BENCH_load.json")); err == nil {
+		t.Error("a -only run without load experiments should not write BENCH_load.json")
 	}
 }
 

@@ -6,12 +6,16 @@
 //	ftrsim -list
 //	ftrsim -exp fig6a [-n 131072] [-links 17] [-trials 1000] [-msgs 100] [-seed 1] [-csv]
 //	ftrsim -exp fig6a -dim 2 -side 64   # the same sweep on a 64×64 torus
+//	ftrsim -exp ext.load.zipf -workload flood -capacity 2   # traffic & congestion
 //
 // Defaults are scaled for quick runs; the flags restore the paper's
 // scale (Figure 6 used n=2^17, 1000 simulations of 100 messages).
 // -dim/-side select the metric space for the dimension-aware
 // experiments (fig6*, fig7, ext.2d); the table header records the
 // space, so text and CSV output carry the dimension.
+// -workload/-skew/-capacity/-penalty parameterize the ext.load.*
+// traffic experiments (internal/load); their tables are byte-identical
+// for a fixed seed regardless of worker count or machine.
 package main
 
 import (
@@ -33,16 +37,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ftrsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		list   = fs.Bool("list", false, "list experiment ids and exit")
-		exp    = fs.String("exp", "", "experiment id to run (see -list)")
-		n      = fs.Int("n", 0, "network size (0 = experiment default)")
-		dim    = fs.Int("dim", 0, "metric-space dimension: 1 = ring, >= 2 = torus (0 = experiment default)")
-		side   = fs.Int("side", 0, "torus side length for -dim >= 2 (0 = derive from -n)")
-		links  = fs.Int("links", 0, "long links per node (0 = lg n)")
-		trials = fs.Int("trials", 0, "independent networks (0 = experiment default)")
-		msgs   = fs.Int("msgs", 0, "searches per network (0 = experiment default)")
-		seed   = fs.Uint64("seed", 0, "rng seed (0 = 1)")
-		csv    = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		list     = fs.Bool("list", false, "list experiment ids and exit")
+		exp      = fs.String("exp", "", "experiment id to run (see -list)")
+		n        = fs.Int("n", 0, "network size (0 = experiment default)")
+		dim      = fs.Int("dim", 0, "metric-space dimension: 1 = ring, >= 2 = torus (0 = experiment default)")
+		side     = fs.Int("side", 0, "torus side length for -dim >= 2 (0 = derive from -n)")
+		links    = fs.Int("links", 0, "long links per node (0 = lg n)")
+		trials   = fs.Int("trials", 0, "independent networks (0 = experiment default)")
+		msgs     = fs.Int("msgs", 0, "searches per network (0 = experiment default)")
+		seed     = fs.Uint64("seed", 0, "rng seed (0 = 1)")
+		csv      = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		workload = fs.String("workload", "", "traffic pattern for ext.load.* experiments: uniform, zipf, sources, flood (empty = experiment default)")
+		skew     = fs.Float64("skew", 0, "Zipf exponent of skewed workloads (0 = 1.0)")
+		capacity = fs.Float64("capacity", 0, "per-node service capacity in message-hops per virtual tick (0 = 1)")
+		penalty  = fs.Float64("penalty", 0, "congestion-penalty weight of the load-aware policy (0 = 1)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -81,8 +89,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			*n, mathx.IPow(*side, *dim))
 		return 2
 	}
+	if *skew < 0 || *capacity < 0 || *penalty < 0 {
+		fmt.Fprintln(stderr, "ftrsim: -skew, -capacity and -penalty must be non-negative")
+		return 2
+	}
 	table, err := experiments.Run(*exp, experiments.Params{
 		N: *n, Dim: *dim, Side: *side, Links: *links, Trials: *trials, Msgs: *msgs, Seed: *seed,
+		Workload: *workload, Skew: *skew, Capacity: *capacity, Penalty: *penalty,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "ftrsim:", err)

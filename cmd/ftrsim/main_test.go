@@ -61,6 +61,32 @@ func TestRunDim2Sweep(t *testing.T) {
 	}
 }
 
+func TestRunLoadExperiment(t *testing.T) {
+	args := []string{"-exp", "ext.load.zipf", "-n", "512", "-msgs", "80", "-workload", "flood", "-capacity", "2"}
+	var out1, out2, errOut strings.Builder
+	if code := run(args, &out1, &errOut); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	for _, col := range []string{"max load", "mean load", "p99 lat", "flood"} {
+		if !strings.Contains(out1.String(), col) {
+			t.Errorf("load table missing %q:\n%s", col, out1.String())
+		}
+	}
+	if code := run(args, &out2, &errOut); code != 0 {
+		t.Fatalf("second run exit = %d", code)
+	}
+	if out1.String() != out2.String() {
+		t.Error("seeded load experiment must be byte-identical across runs")
+	}
+}
+
+func TestRunRejectsNegativeLoadFlags(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-exp", "ext.load.zipf", "-skew", "-1"}, &out, &errOut); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+}
+
 func TestRunExperimentTextAndCSV(t *testing.T) {
 	args := []string{"-exp", "table1.nofail.detb", "-n", "512", "-trials", "1", "-msgs", "20"}
 	var text, errOut strings.Builder

@@ -7,4 +7,9 @@
 // bench_test.go. DESIGN.md maps every paper artifact to the module and
 // bench target that regenerates it; EXPERIMENTS.md records paper-vs-
 // measured results.
+//
+// Beyond the paper's single-message reproduction, internal/load models
+// sustained traffic: workload generators, a virtual-time queueing
+// simulator over the overlay, and a congestion-penalized load-aware
+// routing policy, surfaced as the ext.load.* experiments.
 package repro

@@ -43,6 +43,19 @@ type Params struct {
 	Seed uint64
 	// Workers bounds parallelism; 0 uses GOMAXPROCS.
 	Workers int
+	// Workload names the traffic generator of the ext.load.*
+	// experiments ("uniform", "zipf", "sources", "flood"); empty
+	// selects each experiment's default.
+	Workload string
+	// Skew is the Zipf exponent of the skewed load workloads; 0
+	// selects the P2P-typical 1.0.
+	Skew float64
+	// Capacity is the per-node service capacity of the load
+	// experiments, in message-hops per virtual tick; 0 selects 1.
+	Capacity float64
+	// Penalty is the congestion-penalty weight of the load-aware
+	// routing policy; 0 selects 1.
+	Penalty float64
 }
 
 func (p Params) withDefaults(n, trials, msgs int) Params {

@@ -1,75 +1,94 @@
-package highdim
+// These tests migrated from the deleted internal/highdim adapter: the
+// same 2-D behavioural guarantees — build shape, delivery, small-world
+// speedup, failure bookkeeping, dead-end recovery — expressed directly
+// against the generic metric.NewTorus + graph + route + failure
+// pipeline the adapter used to wrap.
+package graph_test
 
 import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/failure"
+	"repro/internal/graph"
 	"repro/internal/metric"
 	"repro/internal/rng"
+	"repro/internal/route"
 )
 
-func build(t testing.TB, side, links int, exponent float64, seed uint64) *Graph2D {
+// build2D constructs a side×side torus overlay with the given link
+// count and exponent (0 = uniform targets).
+func build2D(t testing.TB, side, links int, exponent float64, seed uint64) *graph.Graph {
 	t.Helper()
-	g, err := Build(Config{Side: side, Links: links, Exponent: exponent}, rng.New(seed))
+	torus, err := metric.NewTorus(side, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.BuildIdeal(torus, graph.BuildConfig{Links: links, Exponent: exponent}, rng.New(seed))
 	if err != nil {
 		t.Fatal(err)
 	}
 	return g
 }
 
-func TestConfigValidation(t *testing.T) {
-	if _, err := Build(Config{Side: 1, Links: 2}, rng.New(1)); err == nil {
-		t.Error("side 1 should error")
+// route2D runs one two-sided greedy search with the torus-scale hop cap
+// the old adapter applied (4·side + 64).
+func route2D(t testing.TB, g *graph.Graph, from, to metric.Point, backtrack bool) route.Result {
+	t.Helper()
+	side := 0
+	if tor, ok := g.Space().(*metric.Torus); ok {
+		side = tor.Side()
 	}
-	if _, err := Build(Config{Side: 8, Links: -1}, rng.New(1)); err == nil {
-		t.Error("negative links should error")
+	opt := route.Options{DeadEnd: route.Terminate, MaxHops: 4*side + 64}
+	if backtrack {
+		opt.DeadEnd = route.Backtrack
 	}
+	res, err := route.New(g, opt).Route(rng.New(0), from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
 }
 
-func TestBuildShape(t *testing.T) {
-	g := build(t, 16, 3, 0, 1) // exponent defaults to 2
+func TestTorusBuildShape(t *testing.T) {
+	g := build2D(t, 16, 3, 2, 1)
 	if g.Size() != 256 || g.AliveCount() != 256 {
 		t.Errorf("size/alive = %d/%d", g.Size(), g.AliveCount())
 	}
 	for p := 0; p < g.Size(); p++ {
-		if got := len(g.Graph().Long(metric.Point(p))); got != 3 {
+		if got := len(g.Long(metric.Point(p))); got != 3 {
 			t.Fatalf("node %d has %d long links", p, got)
 		}
 	}
-	if g.Grid().Side() != 16 {
-		t.Error("grid accessor wrong")
-	}
 }
 
-func TestRouteAlwaysDeliversNoFailures(t *testing.T) {
-	g := build(t, 32, 2, 2, 2)
+func TestTorusRouteAlwaysDeliversNoFailures(t *testing.T) {
+	g := build2D(t, 32, 2, 2, 2)
+	space := g.Space()
 	src := rng.New(3)
 	for i := 0; i < 100; i++ {
 		from := metric.Point(src.Intn(g.Size()))
 		to := metric.Point(src.Intn(g.Size()))
-		res, err := g.Route(from, to, RouteOptions{})
-		if err != nil {
-			t.Fatal(err)
-		}
+		res := route2D(t, g, from, to, false)
 		if !res.Delivered {
 			t.Fatalf("failure-free 2-D search %d->%d failed", from, to)
 		}
-		if res.Hops > g.Grid().Distance(from, to) {
+		if res.Hops > space.Distance(from, to) {
 			t.Fatalf("greedy exceeded grid distance: %d > %d",
-				res.Hops, g.Grid().Distance(from, to))
+				res.Hops, space.Distance(from, to))
 		}
 	}
 }
 
-func TestRouteValidatesEndpoints(t *testing.T) {
-	g := build(t, 8, 1, 2, 4)
-	if _, err := g.Route(0, 5, RouteOptions{}); err != nil {
+func TestTorusRouteValidatesEndpoints(t *testing.T) {
+	g := build2D(t, 8, 1, 2, 4)
+	r := route.New(g, route.Options{})
+	if _, err := r.Route(rng.New(0), 0, 5); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := g.FailFraction(1.0/64.0, rng.New(5)); err != nil {
+	if _, err := failure.FailNodesFraction(g, 1.0/64.0, rng.New(5)); err != nil {
 		t.Fatal(err)
 	}
-	// Find a dead node.
 	var dead metric.Point = -1
 	for p := 0; p < g.Size(); p++ {
 		if !g.Alive(metric.Point(p)) {
@@ -80,12 +99,12 @@ func TestRouteValidatesEndpoints(t *testing.T) {
 	if dead == -1 {
 		t.Fatal("no node failed")
 	}
-	if _, err := g.Route(dead, 5, RouteOptions{}); err == nil {
+	if _, err := r.Route(rng.New(0), dead, 5); err == nil {
 		t.Error("dead origin should error")
 	}
 }
 
-func TestSmallWorldSpeedup(t *testing.T) {
+func TestTorusSmallWorldSpeedup(t *testing.T) {
 	// With exponent 2, mean hops must beat the torus diameter scale
 	// (Θ(side)) and the too-local exponent 3. The asymptotic win of
 	// exponent 2 over uniform targets only emerges at grid sizes far
@@ -94,17 +113,14 @@ func TestSmallWorldSpeedup(t *testing.T) {
 	// experiment, which records the measured sweep.
 	const side = 48
 	measure := func(exponent float64) float64 {
-		g := build(t, side, 4, exponent, 6)
+		g := build2D(t, side, 4, exponent, 6)
 		src := rng.New(7)
 		total := 0
 		const searches = 150
 		for i := 0; i < searches; i++ {
 			from := metric.Point(src.Intn(g.Size()))
 			to := metric.Point(src.Intn(g.Size()))
-			res, err := g.Route(from, to, RouteOptions{})
-			if err != nil {
-				t.Fatal(err)
-			}
+			res := route2D(t, g, from, to, false)
 			if !res.Delivered {
 				t.Fatal("failure-free search failed")
 			}
@@ -122,16 +138,16 @@ func TestSmallWorldSpeedup(t *testing.T) {
 	}
 }
 
-func TestFailFractionBookkeeping(t *testing.T) {
-	g := build(t, 16, 2, 2, 8)
-	crashed, err := g.FailFraction(0.25, rng.New(9))
+func TestTorusFailFractionBookkeeping(t *testing.T) {
+	g := build2D(t, 16, 2, 2, 8)
+	crashed, err := failure.FailNodesFraction(g, 0.25, rng.New(9))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if crashed != 64 || g.AliveCount() != 192 {
 		t.Errorf("crashed %d, alive %d", crashed, g.AliveCount())
 	}
-	if _, err := g.FailFraction(2, rng.New(9)); err == nil {
+	if _, err := failure.FailNodesFraction(g, 2, rng.New(9)); err == nil {
 		t.Error("invalid fraction should error")
 	}
 	count := 0
@@ -145,33 +161,25 @@ func TestFailFractionBookkeeping(t *testing.T) {
 	}
 }
 
-func TestBacktrackBeatsTerminate2D(t *testing.T) {
+func TestTorusBacktrackBeatsTerminate(t *testing.T) {
 	const side = 32
 	src := rng.New(10)
-	gT := build(t, side, 5, 2, 11)
-	if _, err := gT.FailFraction(0.4, rng.New(12)); err != nil {
+	g := build2D(t, side, 5, 2, 11)
+	if _, err := failure.FailNodesFraction(g, 0.4, rng.New(12)); err != nil {
 		t.Fatal(err)
 	}
 	failedT, failedB := 0, 0
 	const searches = 200
 	for i := 0; i < searches; i++ {
-		from, ok1 := gT.RandomAlive(src)
-		to, ok2 := gT.RandomAlive(src)
+		from, ok1 := g.RandomAlive(src)
+		to, ok2 := g.RandomAlive(src)
 		if !ok1 || !ok2 || from == to {
 			continue
 		}
-		rT, err := gT.Route(from, to, RouteOptions{})
-		if err != nil {
-			t.Fatal(err)
-		}
-		rB, err := gT.Route(from, to, RouteOptions{Backtrack: true})
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !rT.Delivered {
+		if !route2D(t, g, from, to, false).Delivered {
 			failedT++
 		}
-		if !rB.Delivered {
+		if !route2D(t, g, from, to, true).Delivered {
 			failedB++
 		}
 	}
@@ -180,9 +188,9 @@ func TestBacktrackBeatsTerminate2D(t *testing.T) {
 	}
 }
 
-func TestRandomAliveProperty(t *testing.T) {
-	g := build(t, 8, 1, 2, 13)
-	if _, err := g.FailFraction(0.9, rng.New(14)); err != nil {
+func TestTorusRandomAliveProperty(t *testing.T) {
+	g := build2D(t, 8, 1, 2, 13)
+	if _, err := failure.FailNodesFraction(g, 0.9, rng.New(14)); err != nil {
 		t.Fatal(err)
 	}
 	src := rng.New(15)

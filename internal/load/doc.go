@@ -1,0 +1,32 @@
+// Package load models the system under sustained traffic — the
+// production question the paper's single-message experiments leave open:
+// which nodes melt first, and does fault-tolerant greedy routing also
+// balance load?
+//
+// The subsystem has three parts:
+//
+//   - Workload generators (Generator): seeded, dimension-generic sources
+//     of (from, to) lookup pairs — uniform traffic, Zipf-popular hotspot
+//     keys, skewed source populations, and an adversarial single-target
+//     flood.
+//
+//   - A virtual-time queueing simulator (Run): it injects Messages
+//     concurrent lookups into a built graph.Graph at a configurable
+//     rate, routes each one with package route, then replays every hop
+//     against the transit node's FIFO queue under a per-node service
+//     capacity. It reports per-node load (hops serviced), max/mean
+//     load, peak queue depth, and p50/p95/p99 end-to-end latency
+//     alongside the ordinary sim.SearchStats.
+//
+//   - A congestion feedback loop: with Config.Penalty > 0 the router
+//     runs route's congestion-penalized greedy (Options.Congestion),
+//     fed by the loads the simulator has already charged; congestion
+//     snapshots refresh every Config.BatchSize messages, modelling the
+//     stale load information a real system would gossip.
+//
+// Determinism: a run is a pure function of (graph, generator, Config
+// minus Workers, seed). Worker goroutines only parallelize per-message
+// path computation, and every message routes from its own derived rng
+// stream, so results are byte-identical for any Workers value — the
+// property the regression suite pins.
+package load

@@ -1,0 +1,312 @@
+package load
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/metric"
+	"repro/internal/rng"
+	"repro/internal/route"
+	"repro/internal/sim"
+)
+
+// Config parameterizes one traffic run. The zero value of every field
+// selects a sensible default; Workers never affects results, only
+// wall-clock time.
+type Config struct {
+	// Messages is the number of lookups injected. Zero defaults to 256.
+	Messages int
+	// Capacity is the per-node service capacity in message-hops per
+	// virtual tick; a node serves one message every 1/Capacity ticks.
+	// Zero defaults to 1.
+	Capacity float64
+	// Rate is the network-wide injection rate in messages per virtual
+	// tick (message i is injected at tick i/Rate). Zero defaults to 1.
+	Rate float64
+	// Workers bounds path-computation parallelism; zero uses
+	// GOMAXPROCS. Results are byte-identical for every value.
+	Workers int
+	// Route configures the underlying router. TracePath is forced on
+	// (the queue replay needs the visited sequence); Congestion and
+	// CongestionWeight are overwritten when Penalty > 0.
+	Route route.Options
+	// Penalty, when positive, enables load-aware routing: greedy with
+	// congestion-penalized detours (route.Options.Congestion). The
+	// congestion of a node is its charged load divided by the mean
+	// live-node load, times Penalty — so Penalty is the detour budget
+	// in distance units per multiple-of-mean load, independent of how
+	// much traffic has accumulated. Zero keeps the paper's hop-optimal
+	// greedy.
+	Penalty float64
+	// BatchSize is how many messages route against one frozen
+	// congestion snapshot when Penalty > 0 — the staleness of load
+	// information in a real system. Zero defaults to 32.
+	BatchSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Messages == 0 {
+		c.Messages = 256
+	}
+	if c.Capacity == 0 {
+		c.Capacity = 1
+	}
+	if c.Rate == 0 {
+		c.Rate = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 32
+	}
+	return c
+}
+
+// Validate rejects nonsensical configurations.
+func (c Config) Validate() error {
+	if c.Messages < 0 {
+		return fmt.Errorf("load: negative message count %d", c.Messages)
+	}
+	if c.Capacity < 0 || c.Rate < 0 {
+		return fmt.Errorf("load: capacity %g and rate %g must be non-negative", c.Capacity, c.Rate)
+	}
+	if c.Penalty < 0 {
+		return fmt.Errorf("load: negative congestion penalty %g", c.Penalty)
+	}
+	if c.BatchSize < 0 {
+		return fmt.Errorf("load: negative batch size %d", c.BatchSize)
+	}
+	return nil
+}
+
+// Result reports one traffic run: routing outcomes (the familiar
+// sim.SearchStats), the per-node load profile, and the queueing-delay
+// picture of the virtual-time replay.
+type Result struct {
+	// Workload names the generator that produced the traffic.
+	Workload string
+	// Search aggregates the underlying route results exactly as the
+	// single-message experiments do.
+	Search sim.SearchStats
+	// Injected = Delivered + Failed always holds (the conservation
+	// property the tests pin).
+	Injected, Delivered, Failed int
+	// Loads counts message-hop services per grid point (index =
+	// metric.Point; absent or untouched points hold 0).
+	Loads []int
+	// MaxLoad is the hottest node's service count; MeanLoad averages
+	// over the live nodes. Their ratio is the imbalance headline.
+	MaxLoad  int
+	MeanLoad float64
+	// IdleNodes counts live nodes that serviced nothing.
+	IdleNodes int
+	// MaxQueueDepth is the deepest any node's FIFO got (including the
+	// message in service).
+	MaxQueueDepth int
+	// Latency quantiles of delivered messages, in virtual ticks
+	// (nearest-rank on the completion-time distribution). Zero when
+	// nothing was delivered.
+	LatencyMean, LatencyP50, LatencyP95, LatencyP99 float64
+}
+
+// MaxMeanRatio returns MaxLoad/MeanLoad, the load-imbalance headline
+// (1 ≈ perfectly balanced). Zero when no load was charged.
+func (r *Result) MaxMeanRatio() float64 {
+	if r.MeanLoad == 0 {
+		return 0
+	}
+	return float64(r.MaxLoad) / r.MeanLoad
+}
+
+// Run injects cfg.Messages lookups from gen into g and replays them
+// against per-node FIFO queues in virtual time. See the package comment
+// for the model; the run is deterministic in (g, gen, cfg, seed) and
+// independent of cfg.Workers.
+func Run(g *graph.Graph, gen Generator, cfg Config, seed uint64) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	root := rng.New(seed)
+	if err := gen.Bind(g, root.Derive(0)); err != nil {
+		return nil, err
+	}
+
+	// Draw every lookup pair up front from one sequential stream: the
+	// workload is then fixed before any parallelism starts.
+	pairSrc := root.Derive(1)
+	pairs := make([]lookup, cfg.Messages)
+	for i := range pairs {
+		from, to, err := gen.Pair(pairSrc)
+		if err != nil {
+			return nil, err
+		}
+		pairs[i] = lookup{from, to}
+	}
+
+	// Route all messages, in congestion-snapshot batches when the
+	// load-aware policy is on (one batch of everything otherwise).
+	// Message i always routes from stream Derive(16+i), so the paths —
+	// and everything downstream — are independent of worker count.
+	ropt := cfg.Route
+	ropt.TracePath = true
+	if cfg.Penalty > 0 {
+		// The congestion feedback owns these fields (Config.Route's
+		// documented contract); drop any caller-supplied signal so the
+		// first, zero-load batch routes hop-optimally.
+		ropt.Congestion = nil
+		ropt.CongestionWeight = 0
+	}
+	results := make([]route.Result, cfg.Messages)
+	charged := make([]int, g.Size())
+	batch := cfg.Messages
+	if cfg.Penalty > 0 {
+		batch = cfg.BatchSize
+	}
+	for start := 0; start < cfg.Messages; start += batch {
+		end := start + batch
+		if end > cfg.Messages {
+			end = cfg.Messages
+		}
+		opt := ropt
+		if cfg.Penalty > 0 {
+			// The congestion signal is the node's charged load relative
+			// to the mean live-node load of the snapshot — dimensionless,
+			// so the detour pressure stays constant as traffic
+			// accumulates instead of drowning the distance term.
+			snapshot := append([]int(nil), charged...)
+			var total int
+			for i, c := range snapshot {
+				if g.Alive(metric.Point(i)) {
+					total += c
+				}
+			}
+			if total > 0 {
+				scale := cfg.Penalty * float64(g.AliveCount()) / float64(total)
+				opt.Congestion = func(q metric.Point) float64 { return float64(snapshot[q]) * scale }
+				opt.CongestionWeight = 1
+			}
+		}
+		if err := routeRange(g, opt, root, pairs[start:end], results[start:end], start, cfg.Workers); err != nil {
+			return nil, err
+		}
+		for i := start; i < end; i++ {
+			for _, p := range forwarders(results[i]) {
+				charged[p]++
+			}
+		}
+	}
+
+	// Replay against the FIFO queues and assemble the report.
+	msgs := make([]queuedMessage, cfg.Messages)
+	interarrival := 1 / cfg.Rate
+	for i, res := range results {
+		msgs[i] = queuedMessage{
+			inject:    float64(i) * interarrival,
+			path:      forwarders(res),
+			delivered: res.Delivered,
+		}
+	}
+	out := simulateQueues(g.Size(), msgs, 1/cfg.Capacity)
+
+	r := &Result{
+		Workload:      gen.Name(),
+		Injected:      cfg.Messages,
+		Loads:         out.loads,
+		MaxQueueDepth: out.maxQueueDepth,
+	}
+	for _, res := range results {
+		r.Search.Record(res)
+		if res.Delivered {
+			r.Delivered++
+		} else {
+			r.Failed++
+		}
+	}
+	alive := g.AliveCount()
+	var total int
+	for i, l := range out.loads {
+		if l > r.MaxLoad {
+			r.MaxLoad = l
+		}
+		total += l
+		if l == 0 && g.Alive(metric.Point(i)) {
+			r.IdleNodes++
+		}
+	}
+	if alive > 0 {
+		r.MeanLoad = float64(total) / float64(alive)
+	}
+	r.LatencyMean, r.LatencyP50, r.LatencyP95, r.LatencyP99 = latencySummary(out.latencies)
+	return r, nil
+}
+
+// lookup is one (source, destination) pair of the workload.
+type lookup struct{ from, to metric.Point }
+
+// forwarders returns the nodes whose FIFO queues a search occupies: the
+// hop u→v is charged to u, the node doing the routing work. A delivered
+// message therefore charges every visited node except its destination
+// (which consumes the message; its application-level work is not
+// routing load), while a failed search charges everything it touched —
+// the last node too received the message and hunted for a next hop.
+func forwarders(res route.Result) []metric.Point {
+	if res.Delivered && len(res.Path) > 0 {
+		return res.Path[:len(res.Path)-1]
+	}
+	return res.Path
+}
+
+// routeRange routes pairs[i] into results[i] across workers goroutines.
+// offset is the global index of pairs[0], which keys each message's rng
+// stream — the assignment of messages to workers is irrelevant.
+func routeRange(g *graph.Graph, opt route.Options, root *rng.Source, pairs []lookup, results []route.Result, offset, workers int) error {
+	router := route.New(g, opt)
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	if workers <= 1 {
+		for i := range pairs {
+			res, err := router.Route(root.Derive(16+uint64(offset+i)), pairs[i].from, pairs[i].to)
+			if err != nil {
+				return err
+			}
+			results[i] = res
+		}
+		return nil
+	}
+	var (
+		next     int64 = -1
+		firstErr error
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(pairs) {
+					return
+				}
+				res, err := router.Route(root.Derive(16+uint64(offset+i)), pairs[i].from, pairs[i].to)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				results[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

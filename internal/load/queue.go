@@ -1,0 +1,124 @@
+package load
+
+import (
+	"container/heap"
+
+	"repro/internal/metric"
+)
+
+// queuedMessage is one lookup entering the queueing replay: an injection
+// time in virtual ticks, the node sequence its search visited, and
+// whether the search delivered (failed searches still congest every
+// node they touched; only their latency is excluded).
+type queuedMessage struct {
+	inject    float64
+	path      []metric.Point
+	delivered bool
+}
+
+// arrival is one message reaching the next node of its path.
+type arrival struct {
+	time float64
+	msg  int // message index; the deterministic tie-break
+	idx  int // position in the message's path
+}
+
+// arrivalHeap orders arrivals by (time, msg, idx) — a total order, so
+// the replay is independent of insertion order and fully deterministic.
+type arrivalHeap []arrival
+
+func (h arrivalHeap) Len() int { return len(h) }
+func (h arrivalHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	if h[i].msg != h[j].msg {
+		return h[i].msg < h[j].msg
+	}
+	return h[i].idx < h[j].idx
+}
+func (h arrivalHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *arrivalHeap) Push(x interface{}) { *h = append(*h, x.(arrival)) }
+func (h *arrivalHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// nodeQueue tracks one node's FIFO: the virtual time its server frees
+// up, and the finish times of messages still in the system (for queue-
+// depth accounting). finish is consumed front-to-back, so a head index
+// replaces repeated slicing.
+type nodeQueue struct {
+	busyUntil float64
+	finish    []float64
+	head      int
+}
+
+// depthAt drains completed services and returns how many messages are
+// still queued or in service at time t.
+func (q *nodeQueue) depthAt(t float64) int {
+	for q.head < len(q.finish) && q.finish[q.head] <= t {
+		q.head++
+	}
+	if q.head == len(q.finish) {
+		q.finish = q.finish[:0]
+		q.head = 0
+	}
+	return len(q.finish) - q.head
+}
+
+// queueOutcome aggregates one replay.
+type queueOutcome struct {
+	loads         []int     // services charged per grid point
+	maxQueueDepth int       // peak of any node's queue (incl. in service)
+	latencies     []float64 // end-to-end latency of each delivered message
+	services      int       // total message-hops serviced
+}
+
+// simulateQueues replays routed messages against per-node FIFO queues in
+// virtual time. Every node of a message's path serves it for serviceTime
+// ticks, one message at a time; the message leaves node i the instant
+// its service there completes and joins node i+1's queue. A message's
+// latency is the completion of service at its final path node minus its
+// injection time (the caller passes forwarding nodes only, so for a
+// delivered message that completion is the moment it reaches its
+// destination).
+func simulateQueues(size int, msgs []queuedMessage, serviceTime float64) queueOutcome {
+	out := queueOutcome{loads: make([]int, size)}
+	queues := make([]nodeQueue, size)
+	h := make(arrivalHeap, 0, len(msgs))
+	for m, msg := range msgs {
+		if len(msg.path) == 0 {
+			continue
+		}
+		h = append(h, arrival{time: msg.inject, msg: m, idx: 0})
+	}
+	heap.Init(&h)
+	for h.Len() > 0 {
+		a := heap.Pop(&h).(arrival)
+		msg := &msgs[a.msg]
+		node := msg.path[a.idx]
+		q := &queues[node]
+		if depth := q.depthAt(a.time) + 1; depth > out.maxQueueDepth {
+			out.maxQueueDepth = depth
+		}
+		start := a.time
+		if q.busyUntil > start {
+			start = q.busyUntil
+		}
+		finish := start + serviceTime
+		q.busyUntil = finish
+		q.finish = append(q.finish, finish)
+		out.loads[node]++
+		out.services++
+		if a.idx+1 < len(msg.path) {
+			heap.Push(&h, arrival{time: finish, msg: a.msg, idx: a.idx + 1})
+		} else if msg.delivered {
+			out.latencies = append(out.latencies, finish-msg.inject)
+		}
+	}
+	return out
+}

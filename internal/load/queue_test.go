@@ -1,0 +1,99 @@
+package load
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/metric"
+)
+
+func TestSimulateQueuesSingleMessage(t *testing.T) {
+	// One message over three nodes at capacity 1: one tick of service
+	// per node, no queueing, latency 3.
+	msgs := []queuedMessage{{
+		inject:    0,
+		path:      []metric.Point{0, 1, 2},
+		delivered: true,
+	}}
+	out := simulateQueues(4, msgs, 1)
+	if out.services != 3 {
+		t.Errorf("services = %d, want 3", out.services)
+	}
+	for p, want := range []int{1, 1, 1, 0} {
+		if out.loads[p] != want {
+			t.Errorf("loads[%d] = %d, want %d", p, out.loads[p], want)
+		}
+	}
+	if out.maxQueueDepth != 1 {
+		t.Errorf("maxQueueDepth = %d, want 1", out.maxQueueDepth)
+	}
+	if len(out.latencies) != 1 || out.latencies[0] != 3 {
+		t.Errorf("latencies = %v, want [3]", out.latencies)
+	}
+}
+
+func TestSimulateQueuesContention(t *testing.T) {
+	// Two messages injected simultaneously through the same single
+	// node: FIFO order by message id, the second waits a full service.
+	msgs := []queuedMessage{
+		{inject: 0, path: []metric.Point{5}, delivered: true},
+		{inject: 0, path: []metric.Point{5}, delivered: true},
+	}
+	out := simulateQueues(8, msgs, 2)
+	if out.loads[5] != 2 {
+		t.Errorf("loads[5] = %d, want 2", out.loads[5])
+	}
+	if out.maxQueueDepth != 2 {
+		t.Errorf("maxQueueDepth = %d, want 2", out.maxQueueDepth)
+	}
+	want := []float64{2, 4}
+	if len(out.latencies) != 2 || out.latencies[0] != want[0] || out.latencies[1] != want[1] {
+		t.Errorf("latencies = %v, want %v", out.latencies, want)
+	}
+}
+
+func TestSimulateQueuesFailedMessageChargesLoad(t *testing.T) {
+	msgs := []queuedMessage{
+		{inject: 0, path: []metric.Point{1, 2}, delivered: false},
+	}
+	out := simulateQueues(4, msgs, 1)
+	if out.loads[1] != 1 || out.loads[2] != 1 {
+		t.Errorf("failed message should still be charged: %v", out.loads)
+	}
+	if len(out.latencies) != 0 {
+		t.Errorf("failed message must not contribute latency: %v", out.latencies)
+	}
+}
+
+func TestSimulateQueuesIdleServerDrains(t *testing.T) {
+	// Two messages far apart in time never queue behind each other.
+	msgs := []queuedMessage{
+		{inject: 0, path: []metric.Point{3}, delivered: true},
+		{inject: 100, path: []metric.Point{3}, delivered: true},
+	}
+	out := simulateQueues(4, msgs, 1)
+	if out.maxQueueDepth != 1 {
+		t.Errorf("maxQueueDepth = %d, want 1", out.maxQueueDepth)
+	}
+	if out.latencies[1] != 1 {
+		t.Errorf("second latency = %v, want 1 (no waiting)", out.latencies[1])
+	}
+}
+
+func TestLatencySummary(t *testing.T) {
+	mean, p50, p95, p99 := latencySummary(nil)
+	if mean != 0 || p50 != 0 || p95 != 0 || p99 != 0 {
+		t.Error("empty summary should be all zero")
+	}
+	lat := make([]float64, 100)
+	for i := range lat {
+		lat[i] = float64(i + 1) // 1..100
+	}
+	mean, p50, p95, p99 = latencySummary(lat)
+	if math.Abs(mean-50.5) > 1e-9 {
+		t.Errorf("mean = %v, want 50.5", mean)
+	}
+	if p50 != 50 || p95 != 95 || p99 != 99 {
+		t.Errorf("quantiles = %v/%v/%v, want 50/95/99", p50, p95, p99)
+	}
+}

@@ -1,0 +1,85 @@
+package load
+
+import (
+	"sort"
+
+	"repro/internal/mathx"
+	"repro/internal/metric"
+)
+
+// latencySummary returns the mean and the nearest-rank p50/p95/p99 of
+// the given latencies. All zeros on empty input (nothing delivered).
+func latencySummary(latencies []float64) (mean, p50, p95, p99 float64) {
+	if len(latencies) == 0 {
+		return 0, 0, 0, 0
+	}
+	sorted := append([]float64(nil), latencies...)
+	sort.Float64s(sorted)
+	var total float64
+	for _, v := range sorted {
+		total += v
+	}
+	return total / float64(len(sorted)),
+		quantile(sorted, 0.50), quantile(sorted, 0.95), quantile(sorted, 0.99)
+}
+
+// quantile returns the nearest-rank q-quantile of a sorted slice.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// LoadHistogram buckets the per-node service counts into a power-of-two
+// histogram over the loaded nodes (idle nodes are in Result.IdleNodes).
+// Nil when nothing was loaded.
+func (r *Result) LoadHistogram() *mathx.Histogram {
+	if r.MaxLoad == 0 {
+		return nil
+	}
+	h := mathx.NewLogHistogram(r.MaxLoad)
+	for _, l := range r.Loads {
+		if l > 0 {
+			h.Add(l)
+		}
+	}
+	return h
+}
+
+// HottestNodes returns the k most-loaded points, hottest first (load
+// ties break toward the lower point id). Useful for flood diagnostics
+// and the hotspot example.
+func (r *Result) HottestNodes(k int) []metric.Point {
+	type nodeLoad struct {
+		p metric.Point
+		l int
+	}
+	loaded := make([]nodeLoad, 0, k)
+	for i, l := range r.Loads {
+		if l > 0 {
+			loaded = append(loaded, nodeLoad{metric.Point(i), l})
+		}
+	}
+	sort.Slice(loaded, func(i, j int) bool {
+		if loaded[i].l != loaded[j].l {
+			return loaded[i].l > loaded[j].l
+		}
+		return loaded[i].p < loaded[j].p
+	})
+	if k > len(loaded) {
+		k = len(loaded)
+	}
+	out := make([]metric.Point, k)
+	for i := 0; i < k; i++ {
+		out[i] = loaded[i].p
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package load
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/metric"
+	"repro/internal/rng"
+)
+
+// Generator produces the (from, to) lookup pairs of a traffic pattern.
+// Implementations are dimension-generic: they draw from the live nodes
+// of whatever graph they are bound to, so the same workload runs on the
+// paper's ring and on a d-dimensional torus.
+//
+// Bind is called once per run, before any Pair call; Pair draws one
+// lookup. Both consume only the rng sources they are handed, so a
+// generator is deterministic under a fixed seed.
+type Generator interface {
+	// Name identifies the workload in tables and CLI flags.
+	Name() string
+	// Bind prepares the generator for one run over g (collecting live
+	// nodes, shuffling popularity ranks, electing flood targets).
+	Bind(g *graph.Graph, src *rng.Source) error
+	// Pair draws one lookup. from and to are live nodes with from != to.
+	Pair(src *rng.Source) (from, to metric.Point, err error)
+}
+
+// pairRetries bounds the resampling that enforces from != to.
+const pairRetries = 256
+
+// population is the shared Bind machinery: the live nodes of the bound
+// graph plus a popularity permutation mapping Zipf ranks to points
+// (rank 1 = the hottest node).
+type population struct {
+	alive  []metric.Point
+	byRank []metric.Point
+}
+
+func (pop *population) bind(g *graph.Graph, src *rng.Source, ranked bool) error {
+	pop.alive = pop.alive[:0]
+	for i := 0; i < g.Size(); i++ {
+		if p := metric.Point(i); g.Alive(p) {
+			pop.alive = append(pop.alive, p)
+		}
+	}
+	if len(pop.alive) < 2 {
+		return fmt.Errorf("load: need at least two live nodes, have %d", len(pop.alive))
+	}
+	if ranked {
+		pop.byRank = append(pop.byRank[:0], pop.alive...)
+		src.Shuffle(len(pop.byRank), func(i, j int) {
+			pop.byRank[i], pop.byRank[j] = pop.byRank[j], pop.byRank[i]
+		})
+	}
+	return nil
+}
+
+func (pop *population) uniform(src *rng.Source) metric.Point {
+	return pop.alive[src.Intn(len(pop.alive))]
+}
+
+// distinct retries pick until it returns a point different from not.
+func distinct(src *rng.Source, not metric.Point, pick func(*rng.Source) metric.Point) (metric.Point, error) {
+	for i := 0; i < pairRetries; i++ {
+		if p := pick(src); p != not {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("load: could not draw two distinct live nodes")
+}
+
+// uniformGen is all-uniform traffic: both endpoints uniform over the
+// live nodes, the baseline every skewed workload is compared against.
+type uniformGen struct{ pop population }
+
+// Uniform returns the uniform-traffic generator.
+func Uniform() Generator { return &uniformGen{} }
+
+func (u *uniformGen) Name() string { return "uniform" }
+
+func (u *uniformGen) Bind(g *graph.Graph, src *rng.Source) error {
+	return u.pop.bind(g, src, false)
+}
+
+func (u *uniformGen) Pair(src *rng.Source) (metric.Point, metric.Point, error) {
+	from := u.pop.uniform(src)
+	to, err := distinct(src, from, u.pop.uniform)
+	return from, to, err
+}
+
+// zipfGen models hotspot keys: destinations are drawn Zipf(skew) over a
+// random popularity ranking of the live nodes (a few hot resources
+// attract most lookups, the classic file-sharing popularity curve);
+// sources are uniform.
+type zipfGen struct {
+	pop  population
+	skew float64
+	z    *rng.ZipfSampler
+}
+
+// Zipf returns the hotspot-destination generator with the given skew
+// (s = 0 degenerates to uniform; s ≈ 1 matches measured P2P workloads).
+func Zipf(skew float64) Generator { return &zipfGen{skew: skew} }
+
+func (z *zipfGen) Name() string { return fmt.Sprintf("zipf(%g)", z.skew) }
+
+func (z *zipfGen) Bind(g *graph.Graph, src *rng.Source) error {
+	if err := z.pop.bind(g, src, true); err != nil {
+		return err
+	}
+	sampler, err := rng.NewZipf(len(z.pop.byRank), z.skew)
+	if err != nil {
+		return err
+	}
+	z.z = sampler
+	return nil
+}
+
+func (z *zipfGen) Pair(src *rng.Source) (metric.Point, metric.Point, error) {
+	to := z.pop.byRank[z.z.Sample(src)-1]
+	from, err := distinct(src, to, z.pop.uniform)
+	return from, to, err
+}
+
+// skewedSourcesGen models a skewed client population: sources are drawn
+// Zipf(skew) over a random ranking (a few chatty nodes originate most
+// traffic), destinations uniform. Load concentrates around the heavy
+// senders' neighbourhoods instead of a hot key.
+type skewedSourcesGen struct {
+	pop  population
+	skew float64
+	z    *rng.ZipfSampler
+}
+
+// SkewedSources returns the skewed-source-population generator.
+func SkewedSources(skew float64) Generator { return &skewedSourcesGen{skew: skew} }
+
+func (s *skewedSourcesGen) Name() string { return fmt.Sprintf("sources(%g)", s.skew) }
+
+func (s *skewedSourcesGen) Bind(g *graph.Graph, src *rng.Source) error {
+	if err := s.pop.bind(g, src, true); err != nil {
+		return err
+	}
+	sampler, err := rng.NewZipf(len(s.pop.byRank), s.skew)
+	if err != nil {
+		return err
+	}
+	s.z = sampler
+	return nil
+}
+
+func (s *skewedSourcesGen) Pair(src *rng.Source) (metric.Point, metric.Point, error) {
+	from := s.pop.byRank[s.z.Sample(src)-1]
+	to, err := distinct(src, from, s.pop.uniform)
+	return from, to, err
+}
+
+// floodGen is the adversarial workload: every message targets one node
+// (elected uniformly at Bind), sources uniform — a single-target flood
+// that stresses the victim's whole in-neighbourhood.
+type floodGen struct {
+	pop    population
+	target metric.Point
+}
+
+// Flood returns the single-target flood generator.
+func Flood() Generator { return &floodGen{} }
+
+func (f *floodGen) Name() string { return "flood" }
+
+func (f *floodGen) Bind(g *graph.Graph, src *rng.Source) error {
+	if err := f.pop.bind(g, src, false); err != nil {
+		return err
+	}
+	f.target = f.pop.uniform(src)
+	return nil
+}
+
+func (f *floodGen) Pair(src *rng.Source) (metric.Point, metric.Point, error) {
+	from, err := distinct(src, f.target, f.pop.uniform)
+	return from, f.target, err
+}
+
+// NewGenerator resolves a workload by CLI name: "uniform", "zipf",
+// "sources" (skewed source population) or "flood". skew parameterizes
+// the Zipf-based workloads; 0 selects the P2P-typical 1.0.
+func NewGenerator(name string, skew float64) (Generator, error) {
+	if skew == 0 {
+		skew = 1.0
+	}
+	switch name {
+	case "", "uniform":
+		return Uniform(), nil
+	case "zipf", "hotspot":
+		return Zipf(skew), nil
+	case "sources":
+		return SkewedSources(skew), nil
+	case "flood":
+		return Flood(), nil
+	default:
+		return nil, fmt.Errorf("load: unknown workload %q (uniform, zipf, sources, flood)", name)
+	}
+}

@@ -1,0 +1,132 @@
+package regress
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"repro/internal/failure"
+	"repro/internal/graph"
+	"repro/internal/load"
+	"repro/internal/metric"
+	"repro/internal/rng"
+	"repro/internal/route"
+)
+
+// loadFingerprint folds the full per-node load vector into an FNV-1a
+// hash — any change to routing, workload sampling, or queue charging
+// moves it.
+func loadFingerprint(loads []int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, l := range loads {
+		v := uint64(l)
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// histLine renders the log-bucketed load histogram compactly:
+// "bucketLabel=count" for every non-empty bucket.
+func histLine(r *load.Result) string {
+	h := r.LoadHistogram()
+	if h == nil {
+		return "empty"
+	}
+	s := ""
+	for i := 0; i < h.Buckets(); i++ {
+		if c := h.Count(i); c > 0 {
+			if s != "" {
+				s += " "
+			}
+			s += fmt.Sprintf("%s=%d", h.BucketLabel(i), c)
+		}
+	}
+	return s
+}
+
+// runLoadScenarios executes the seeded traffic suite over one damaged
+// ring and returns one line per observation. The golden values pin the
+// whole load pipeline: workload sampling, routing (plain and
+// congestion-penalized), FIFO queue replay, and the quantile summary.
+func runLoadScenarios(t *testing.T) []string {
+	t.Helper()
+	ring, err := metric.NewRing(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.BuildIdeal(ring, graph.PaperConfig(10), rng.New(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := failure.FailNodesFraction(g, 0.2, rng.New(101)); err != nil {
+		t.Fatal(err)
+	}
+
+	var out []string
+	measure := func(label string, gen load.Generator, penalty float64, workers int) {
+		cfg := load.Config{
+			Messages: 400,
+			Workers:  workers,
+			Penalty:  penalty,
+			Route:    route.Options{DeadEnd: route.Backtrack},
+		}
+		r, err := load.Run(g, gen, cfg, 102)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		out = append(out,
+			fmt.Sprintf("%s: injected=%d delivered=%d failed=%d max=%d mean=%.4f depth=%d p50=%.2f p95=%.2f p99=%.2f fp=%#x",
+				label, r.Injected, r.Delivered, r.Failed, r.MaxLoad, r.MeanLoad,
+				r.MaxQueueDepth, r.LatencyP50, r.LatencyP95, r.LatencyP99,
+				loadFingerprint(r.Loads)),
+			fmt.Sprintf("%s: hist %s", label, histLine(r)))
+	}
+
+	measure("zipf/greedy", load.Zipf(1.0), 0, 1)
+	measure("zipf/greedy/w8", load.Zipf(1.0), 0, 8)
+	measure("zipf/aware", load.Zipf(1.0), 1, 1)
+	measure("zipf/aware/w8", load.Zipf(1.0), 1, 8)
+	measure("flood/greedy", load.Flood(), 0, 4)
+	measure("uniform/greedy", load.Uniform(), 0, 4)
+	return out
+}
+
+// goldenLoad holds the values captured when the load subsystem was
+// introduced. Worker-count variants must agree pairwise by
+// construction; the literals pin everything else.
+var goldenLoad = []string{
+	"zipf/greedy: injected=400 delivered=396 failed=4 max=26 mean=2.2780 depth=2 p50=4.00 p95=7.00 p99=9.00 fp=0x7adfb175c75be681",
+	"zipf/greedy: hist 1=227 2-3=282 4-7=142 8-15=21 16-31=4",
+	"zipf/greedy/w8: injected=400 delivered=396 failed=4 max=26 mean=2.2780 depth=2 p50=4.00 p95=7.00 p99=9.00 fp=0x7adfb175c75be681",
+	"zipf/greedy/w8: hist 1=227 2-3=282 4-7=142 8-15=21 16-31=4",
+	"zipf/aware: injected=400 delivered=396 failed=4 max=22 mean=2.3537 depth=2 p50=4.00 p95=8.00 p99=9.00 fp=0xaad29a92609cb8c7",
+	"zipf/aware: hist 1=213 2-3=308 4-7=150 8-15=18 16-31=4",
+	"zipf/aware/w8: injected=400 delivered=396 failed=4 max=22 mean=2.3537 depth=2 p50=4.00 p95=8.00 p99=9.00 fp=0xaad29a92609cb8c7",
+	"zipf/aware/w8: hist 1=213 2-3=308 4-7=150 8-15=18 16-31=4",
+	"flood/greedy: injected=400 delivered=399 failed=1 max=183 mean=2.1939 depth=2 p50=5.00 p95=8.00 p99=9.00 fp=0x5b4af5661f7c69da",
+	"flood/greedy: hist 1=248 2-3=123 4-7=66 8-15=21 16-31=10 32-63=6 64-127=2 128-255=1",
+	"uniform/greedy: injected=400 delivered=397 failed=3 max=17 mean=2.4634 depth=2 p50=4.00 p95=8.00 p99=11.00 fp=0x7fe9c118452df6bd",
+	"uniform/greedy: hist 1=184 2-3=358 4-7=168 8-15=15 16-31=1",
+}
+
+func TestSeededLoadGolden(t *testing.T) {
+	got := runLoadScenarios(t)
+	if len(goldenLoad) == 0 {
+		for _, line := range got {
+			t.Logf("golden: %q,", line)
+		}
+		t.Fatal("goldenLoad is empty; paste the logged lines above")
+	}
+	if len(got) != len(goldenLoad) {
+		t.Fatalf("scenario count changed: got %d, want %d", len(got), len(goldenLoad))
+	}
+	for i := range got {
+		if got[i] != goldenLoad[i] {
+			t.Errorf("scenario %d diverged:\n  got  %s\n  want %s", i, got[i], goldenLoad[i])
+		}
+	}
+}

@@ -100,6 +100,19 @@ type Options struct {
 	// plus in-links), which is what the §6 simulations measure: a
 	// long link is a network connection both endpoints can use.
 	DirectedOnly bool
+	// Congestion, when non-nil, reports a congestion penalty for
+	// forwarding through a node (package load feeds it the hops it has
+	// already charged). Greedy selection then minimizes
+	// distance + CongestionWeight·Congestion(q) over the neighbours
+	// that still make strict metric progress, instead of distance
+	// alone — a congestion-penalized detour that spreads traffic off
+	// hot nodes while preserving the strict-progress guarantee (and
+	// hence termination) of plain greedy. Nil keeps the paper's
+	// hop-optimal rule exactly.
+	Congestion func(q metric.Point) float64
+	// CongestionWeight scales Congestion into distance units; zero
+	// defaults to 1 when Congestion is set.
+	CongestionWeight float64
 	// TracePath records the visited sequence in Result.Path.
 	TracePath bool
 }
@@ -122,6 +135,9 @@ func (o Options) withDefaults(n int) Options {
 		lg := mathx.ILog2(n) + 1
 		o.MaxHops = 4*lg*lg + 64
 	}
+	if o.Congestion != nil && o.CongestionWeight == 0 {
+		o.CongestionWeight = 1
+	}
 	return o
 }
 
@@ -142,8 +158,9 @@ type Result struct {
 
 // Router executes greedy searches over a fixed graph. A Router is
 // immutable after creation and safe for concurrent use as long as the
-// underlying graph is not mutated and each goroutine uses its own
-// rng.Source.
+// underlying graph is not mutated, each goroutine uses its own
+// rng.Source, and Options.Congestion (when set) tolerates concurrent
+// calls.
 type Router struct {
 	g   *graph.Graph
 	opt Options
@@ -245,10 +262,20 @@ func (r *Router) greedyWalk(res *Result, cur *metric.Point, to metric.Point) (st
 // dead-end policy's job. bestNeighbor therefore filters dead nodes
 // (liveness of a neighbour is local knowledge) but returns only the
 // single best candidate.
+//
+// With Options.Congestion set, "best" means the lowest
+// distance + weight·congestion score among the neighbours strictly
+// closer than cur. The candidate set is unchanged, so termination and
+// the per-node dead-end condition match plain greedy, and on a
+// failure-free network delivery is still guaranteed; on a damaged
+// network the penalized walk takes different paths and can hit (or
+// avoid) dead ends plain greedy would not — delivery rates are an
+// empirical matter there, which the experiments measure.
 func (r *Router) bestNeighbor(cur, to metric.Point, tried map[metric.Point]bool) (metric.Point, bool) {
 	curDist := r.progressDistance(cur, to)
 	best := cur
 	bestDist := curDist
+	bestScore := 0.0
 	found := false
 	forEach := r.g.ForEachNeighbor
 	if r.opt.DirectedOnly {
@@ -261,8 +288,19 @@ func (r *Router) bestNeighbor(cur, to metric.Point, tried map[metric.Point]bool)
 		if r.opt.Sidedness == OneSided && !r.oriented.Between(cur, q, to) {
 			return
 		}
-		if d := r.progressDistance(q, to); d < bestDist {
-			best, bestDist, found = q, d, true
+		d := r.progressDistance(q, to)
+		if r.opt.Congestion == nil {
+			if d < bestDist {
+				best, bestDist, found = q, d, true
+			}
+			return
+		}
+		if d >= curDist {
+			return // only strict metric progress keeps greedy loop-free
+		}
+		score := float64(d) + r.opt.CongestionWeight*r.opt.Congestion(q)
+		if !found || score < bestScore {
+			best, bestScore, found = q, score, true
 		}
 	})
 	return best, found

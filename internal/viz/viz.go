@@ -96,6 +96,27 @@ func HistogramBars(h *mathx.Histogram, buckets, width int) string {
 	return Bars(labels, values, width)
 }
 
+// LoadProfile renders a per-node load histogram (e.g.
+// load.Result.LoadHistogram) as a bar chart: one bar per bucket, sized
+// by the number of nodes whose load falls in it, preceded by the
+// idle-node count (load.Result.IdleNodes). Empty when no node carried
+// load.
+func LoadProfile(h *mathx.Histogram, idle, width int) string {
+	if h == nil || h.Total() == 0 {
+		return ""
+	}
+	labels := []string{"idle"}
+	values := []float64{float64(idle)}
+	for i := 0; i < h.Buckets(); i++ {
+		if h.Count(i) == 0 {
+			continue
+		}
+		labels = append(labels, "load "+h.BucketLabel(i))
+		values = append(values, float64(h.Count(i)))
+	}
+	return Bars(labels, values, width)
+}
+
 // RingPath draws a search path over a ring of n points as a fixed-width
 // strip: '·' for untouched regions, '*' for intermediate hops, 'S' for
 // the source and 'T' for the target (overriding hops at the same cell).

@@ -67,6 +67,24 @@ func TestHistogramBars(t *testing.T) {
 	}
 }
 
+func TestLoadProfile(t *testing.T) {
+	if LoadProfile(nil, 0, 20) != "" || LoadProfile(mathx.NewLogHistogram(8), 3, 20) != "" {
+		t.Error("loadless profile should render empty")
+	}
+	// Two idle nodes, two with load 1, one with load 5.
+	h := mathx.NewLogHistogram(5)
+	h.Add(1)
+	h.Add(1)
+	h.Add(5)
+	out := LoadProfile(h, 2, 20)
+	if !strings.Contains(out, "idle") || !strings.Contains(out, "2") {
+		t.Errorf("missing idle line:\n%s", out)
+	}
+	if !strings.Contains(out, "load 1") || !strings.Contains(out, "load 4-7") {
+		t.Errorf("missing load buckets:\n%s", out)
+	}
+}
+
 func TestRingPath(t *testing.T) {
 	if RingPath(0, nil, 10) != "" || RingPath(10, nil, 10) != "" || RingPath(10, []metric.Point{1}, 2) != "" {
 		t.Error("degenerate inputs should render empty")
