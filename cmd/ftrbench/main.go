@@ -2,16 +2,25 @@
 // the configured scale, writing one text file (and optionally CSV) per
 // experiment into an output directory, plus an index summarizing the
 // run. This is the one-shot "reproduce the evaluation section" tool.
+// Any experiment failure or headline write failure makes the run exit
+// nonzero, so CI can gate on it.
 //
-// Besides the per-experiment tables it emits BENCH_load.json, a
-// machine-readable headline of the traffic subsystem (max-load ratio
-// and p99 queueing latency of greedy vs load-aware routing under Zipf
-// traffic) so the bench trajectory of the load scenario family is
-// recorded run over run.
+// Besides the per-experiment tables it emits two machine-readable
+// headlines so the bench trajectory is recorded run over run:
+// BENCH_load.json (max-load ratio and p99 queueing latency of greedy vs
+// load-aware routing under Zipf traffic) and BENCH_saturation.json (the
+// capacity knee — offered rate, knee throughput, and p99 at 80% of the
+// knee — of greedy vs load-aware vs depth-aware routing).
+//
+// -validate checks previously written headline files: they must parse,
+// and no headline metric may be NaN, infinite, or zero. The CI
+// bench-regression job runs ftrbench, then ftrbench -validate, and
+// uploads the headlines as artifacts.
 //
 // Usage:
 //
 //	ftrbench [-out results] [-n 16384] [-trials 5] [-msgs 100] [-seed 1] [-csv]
+//	ftrbench -validate results/BENCH_load.json,results/BENCH_saturation.json
 package main
 
 import (
@@ -19,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -41,16 +51,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ftrbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		out    = fs.String("out", "results", "output directory")
-		n      = fs.Int("n", 0, "network size override (0 = per-experiment default)")
-		trials = fs.Int("trials", 0, "trials override")
-		msgs   = fs.Int("msgs", 0, "messages override")
-		seed   = fs.Uint64("seed", 0, "rng seed (0 = 1)")
-		csv    = fs.Bool("csv", false, "also write CSV files")
-		only   = fs.String("only", "", "comma-separated experiment ids (default: all)")
+		out      = fs.String("out", "results", "output directory")
+		n        = fs.Int("n", 0, "network size override (0 = per-experiment default)")
+		trials   = fs.Int("trials", 0, "trials override")
+		msgs     = fs.Int("msgs", 0, "messages override")
+		seed     = fs.Uint64("seed", 0, "rng seed (0 = 1)")
+		csv      = fs.Bool("csv", false, "also write CSV files")
+		only     = fs.String("only", "", "comma-separated experiment ids (default: all)")
+		validate = fs.String("validate", "", "comma-separated BENCH_*.json files to validate instead of running")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *validate != "" {
+		code := 0
+		for _, path := range strings.Split(*validate, ",") {
+			path = strings.TrimSpace(path)
+			if err := validateHeadline(path); err != nil {
+				fmt.Fprintln(stderr, "ftrbench:", err)
+				code = 1
+				continue
+			}
+			fmt.Fprintf(stdout, "%s ok\n", path)
+		}
+		return code
 	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -94,17 +118,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		if *csv {
 			var b strings.Builder
-			if err := table.WriteCSV(&b); err == nil {
-				if err := writeTable(filepath.Join(*out, base+".csv"), b.String()); err != nil {
-					fmt.Fprintln(stderr, "ftrbench:", err)
-					return 1
-				}
+			if err := table.WriteCSV(&b); err != nil {
+				// A CSV marshalling failure must fail the run, not
+				// silently drop the file.
+				fmt.Fprintln(stderr, "ftrbench:", err)
+				fmt.Fprintf(&index, "%-28s ERROR: %v\n", base+".csv", err)
+				failed++
+			} else if err := writeTable(filepath.Join(*out, base+".csv"), b.String()); err != nil {
+				fmt.Fprintln(stderr, "ftrbench:", err)
+				return 1
 			}
 		}
 	}
-	// The headline rides along with full runs and with load-focused
-	// -only filters; a run narrowed to unrelated experiments should not
-	// pay for two extra traffic simulations.
+	// The headlines ride along with full runs and with matching -only
+	// filters; a run narrowed to unrelated experiments should not pay
+	// for the extra traffic simulations.
 	if *only == "" || strings.Contains(*only, "ext.load.") {
 		if err := writeLoadHeadline(filepath.Join(*out, "BENCH_load.json"), *n, *msgs, *seed); err != nil {
 			fmt.Fprintln(stderr, "ftrbench:", err)
@@ -113,6 +141,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		} else {
 			fmt.Fprintf(stdout, "wrote BENCH_load.json\n")
 			fmt.Fprintf(&index, "%-28s ok  %-10s %s\n", "BENCH_load.json", "", "traffic headline (greedy vs load-aware)")
+		}
+	}
+	if *only == "" || strings.Contains(*only, "ext.saturation.") {
+		if err := writeSaturationHeadline(filepath.Join(*out, "BENCH_saturation.json"), *n, *msgs, *seed); err != nil {
+			fmt.Fprintln(stderr, "ftrbench:", err)
+			failed++
+			fmt.Fprintf(&index, "%-28s ERROR: %v\n", "BENCH_saturation.json", err)
+		} else {
+			fmt.Fprintf(stdout, "wrote BENCH_saturation.json\n")
+			fmt.Fprintf(&index, "%-28s ok  %-10s %s\n", "BENCH_saturation.json", "", "capacity-knee headline (greedy vs load-aware vs depth-aware)")
 		}
 	}
 	if err := writeTable(filepath.Join(*out, "INDEX.txt"), index.String()); err != nil {
@@ -194,7 +232,7 @@ func writeLoadHeadline(path string, n, msgs int, seed uint64) error {
 	if err != nil {
 		return err
 	}
-	h := loadHeadline{
+	return writeJSON(path, loadHeadline{
 		Experiment:         "load.headline",
 		N:                  n,
 		Links:              links,
@@ -210,10 +248,167 @@ func writeLoadHeadline(path string, n, msgs int, seed uint64) error {
 		MeanHopsGreedy:     greedy.Search.MeanHops(),
 		MeanHopsAware:      aware.Search.MeanHops(),
 		MaxQueueDepth:      greedy.MaxQueueDepth,
-	}
-	buf, err := json.MarshalIndent(h, "", "  ")
+	})
+}
+
+func writeJSON(path string, v interface{}) error {
+	buf, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// saturationHeadline is the BENCH_saturation.json schema: the capacity
+// knee of the canonical Zipf-on-a-ring scenario under open-loop Poisson
+// arrivals, located for the paper's hop-optimal greedy and for the
+// load-aware and depth-aware congestion policies. KneeRate is the
+// largest offered load still keeping up, KneeThroughput the delivered
+// rate there, and P99Backoff the tail latency at 80% of the knee — the
+// operating point a production deployment would pick. Values are
+// deterministic in (n, messages, seed).
+type saturationHeadline struct {
+	Experiment          string  `json:"experiment"`
+	N                   int     `json:"n"`
+	Links               int     `json:"links"`
+	Messages            int     `json:"messages"`
+	Seed                uint64  `json:"seed"`
+	Workload            string  `json:"workload"`
+	Model               string  `json:"arrival_model"`
+	KneeRateGreedy      float64 `json:"knee_rate_greedy"`
+	KneeRateAware       float64 `json:"knee_rate_aware"`
+	KneeRateDepth       float64 `json:"knee_rate_depth"`
+	KneeThroughputG     float64 `json:"knee_throughput_greedy"`
+	KneeThroughputAware float64 `json:"knee_throughput_aware"`
+	KneeThroughputDepth float64 `json:"knee_throughput_depth"`
+	P99BackoffGreedy    float64 `json:"p99_at_80pct_knee_greedy"`
+	P99BackoffAware     float64 `json:"p99_at_80pct_knee_aware"`
+	P99BackoffDepth     float64 `json:"p99_at_80pct_knee_depth"`
+}
+
+// writeSaturationHeadline sweeps the canonical scenario (Zipf traffic on
+// a healthy ring, backtrack routing, Poisson arrivals) under the three
+// policies and writes the JSON headline. Zero n/seed take the
+// ext.saturation.* defaults; the message budget defaults to 3·n so the
+// sweep can observe saturation (an explicit -msgs override is respected
+// but small values make the knee a lower bound).
+func writeSaturationHeadline(path string, n, msgs int, seed uint64) error {
+	if n == 0 {
+		n = 1 << 10
+	}
+	if msgs == 0 {
+		msgs = 3 * n
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	links := mathx.ILog2(n)
+	if links < 1 {
+		links = 1
+	}
+	ring, err := metric.NewRing(n)
+	if err != nil {
+		return err
+	}
+	g, err := graph.BuildIdeal(ring, graph.PaperConfig(links), rng.New(seed))
+	if err != nil {
+		return err
+	}
+	h := saturationHeadline{
+		Experiment: "saturation.headline",
+		N:          n,
+		Links:      links,
+		Messages:   msgs,
+		Seed:       seed,
+		Workload:   "zipf(1)",
+		Model:      "poisson",
+	}
+	sweep := func(penalty, depth float64) (knee, thr, p99Backoff float64, err error) {
+		cfg := load.SweepConfig{
+			Config: load.Config{
+				Messages:     msgs,
+				Penalty:      penalty,
+				DepthPenalty: depth,
+				Route:        route.Options{DeadEnd: route.Backtrack},
+			},
+			Model: "poisson",
+		}
+		res, err := load.Sweep(g, load.Zipf(1.0), cfg, seed+2000)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if res.KneePoint() == nil {
+			return 0, 0, 0, fmt.Errorf(
+				"saturation headline: no finite knee (minimum load already unstable at n=%d msgs=%d; raise -msgs)",
+				n, msgs)
+		}
+		backoffCfg := cfg.Config
+		backoffCfg.Arrival = load.Poisson(0.8 * res.Knee)
+		backoff, err := load.Run(g, load.Zipf(1.0), backoffCfg, seed+2000)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		return res.Knee, res.KneeThroughput, backoff.LatencyP99, nil
+	}
+	if h.KneeRateGreedy, h.KneeThroughputG, h.P99BackoffGreedy, err = sweep(0, 0); err != nil {
+		return err
+	}
+	if h.KneeRateAware, h.KneeThroughputAware, h.P99BackoffAware, err = sweep(1, 0); err != nil {
+		return err
+	}
+	if h.KneeRateDepth, h.KneeThroughputDepth, h.P99BackoffDepth, err = sweep(1, 1); err != nil {
+		return err
+	}
+	return writeJSON(path, h)
+}
+
+// headlineKey reports whether a zero value for the given BENCH_*.json
+// field indicates a broken run rather than a legitimate zero (ids,
+// seeds and labels are exempt).
+func headlineKey(k string) bool {
+	for _, marker := range []string{"knee", "max_load", "max_mean", "p99", "mean_hops", "throughput", "queue_depth"} {
+		if strings.Contains(k, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// validateHeadline parses one BENCH_*.json file and rejects NaN,
+// infinite, or zero-valued headline metrics — the CI bench-regression
+// gate. Encoding NaN would already fail at write time (encoding/json
+// rejects it), so the finiteness check guards hand-edited or truncated
+// files.
+func validateHeadline(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var fields map[string]interface{}
+	if err := json.Unmarshal(raw, &fields); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	if _, ok := fields["experiment"].(string); !ok {
+		return fmt.Errorf("%s: missing experiment id", path)
+	}
+	checked := 0
+	for k, v := range fields {
+		f, ok := v.(float64)
+		if !ok {
+			continue
+		}
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("%s: field %q is %v", path, k, f)
+		}
+		if headlineKey(k) {
+			checked++
+			if f == 0 {
+				return fmt.Errorf("%s: headline field %q is zero", path, k)
+			}
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("%s: no headline metrics found", path)
+	}
+	return nil
 }

@@ -74,6 +74,111 @@ func TestRunOnlySkipsLoadHeadline(t *testing.T) {
 	if _, err := os.Stat(filepath.Join(dir, "BENCH_load.json")); err == nil {
 		t.Error("a -only run without load experiments should not write BENCH_load.json")
 	}
+	if _, err := os.Stat(filepath.Join(dir, "BENCH_saturation.json")); err == nil {
+		t.Error("a -only run without saturation experiments should not write BENCH_saturation.json")
+	}
+}
+
+func TestRunWritesSaturationHeadline(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut strings.Builder
+	code := run([]string{
+		"-out", dir,
+		"-only", "ext.saturation.knee",
+		"-n", "512", "-seed", "3",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	path := filepath.Join(dir, "BENCH_saturation.json")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing BENCH_saturation.json: %v", err)
+	}
+	var headline map[string]interface{}
+	if err := json.Unmarshal(raw, &headline); err != nil {
+		t.Fatalf("BENCH_saturation.json is not valid JSON: %v", err)
+	}
+	for _, key := range []string{
+		"knee_rate_greedy", "knee_rate_aware", "knee_rate_depth",
+		"knee_throughput_greedy", "knee_throughput_aware", "knee_throughput_depth",
+		"p99_at_80pct_knee_greedy", "p99_at_80pct_knee_aware", "p99_at_80pct_knee_depth",
+	} {
+		v, ok := headline[key].(float64)
+		if !ok || v <= 0 {
+			t.Errorf("BENCH_saturation.json field %q = %v, want positive number", key, headline[key])
+		}
+	}
+	// The freshly written headline must satisfy the validator the CI
+	// gate runs.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-validate", path}, &out, &errOut); code != 0 {
+		t.Errorf("-validate rejected a fresh headline: %s", errOut.String())
+	}
+}
+
+func TestValidateRejectsBrokenHeadlines(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"missing.json":  "", // not written at all
+		"garbage.json":  "{not json",
+		"zero.json":     `{"experiment":"x","knee_rate_greedy":0}`,
+		"headless.json": `{"experiment":"x","n":512}`,
+		"anon.json":     `{"knee_rate_greedy":1}`,
+	}
+	for name, content := range cases {
+		path := filepath.Join(dir, name)
+		if content != "" {
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var out, errOut strings.Builder
+		if code := run([]string{"-validate", path}, &out, &errOut); code != 1 {
+			t.Errorf("%s: exit = %d, want 1 (stderr %q)", name, code, errOut.String())
+		}
+	}
+	// One bad file fails the whole list even when another is fine.
+	good := filepath.Join(dir, "good.json")
+	if err := os.WriteFile(good, []byte(`{"experiment":"x","knee_rate_greedy":2.5}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"-validate", good}, &out, &errOut); code != 0 {
+		t.Fatalf("good headline rejected: %s", errOut.String())
+	}
+	if code := run([]string{"-validate", good + "," + filepath.Join(dir, "zero.json")}, &out, &errOut); code != 1 {
+		t.Error("a bad file in the list should fail validation")
+	}
+}
+
+func TestRunExitsNonzeroWhenHeadlineWriteFails(t *testing.T) {
+	dir := t.TempDir()
+	// Occupy the headline paths with directories so WriteFile fails.
+	for _, f := range []string{"BENCH_load.json", "BENCH_saturation.json"} {
+		if err := os.MkdirAll(filepath.Join(dir, f), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var out, errOut strings.Builder
+	code := run([]string{
+		"-out", dir,
+		"-only", "ext.load.workloads,ext.saturation.knee",
+		"-n", "512", "-trials", "1", "-msgs", "40",
+	}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 when headline writes fail (stderr %q)", code, errOut.String())
+	}
+	index, err := os.ReadFile(filepath.Join(dir, "INDEX.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"BENCH_load.json", "BENCH_saturation.json"} {
+		if !strings.Contains(string(index), f) {
+			t.Errorf("index missing failed headline %s:\n%s", f, index)
+		}
+	}
 }
 
 func TestRunUnknownOnly(t *testing.T) {

@@ -7,15 +7,22 @@
 //	ftrsim -exp fig6a [-n 131072] [-links 17] [-trials 1000] [-msgs 100] [-seed 1] [-csv]
 //	ftrsim -exp fig6a -dim 2 -side 64   # the same sweep on a 64×64 torus
 //	ftrsim -exp ext.load.zipf -workload flood -capacity 2   # traffic & congestion
+//	ftrsim -exp ext.saturation.knee                         # find the capacity knee
+//	ftrsim -exp ext.saturation.knee -arrival closed -think 4
 //
 // Defaults are scaled for quick runs; the flags restore the paper's
 // scale (Figure 6 used n=2^17, 1000 simulations of 100 messages).
 // -dim/-side select the metric space for the dimension-aware
 // experiments (fig6*, fig7, ext.2d); the table header records the
 // space, so text and CSV output carry the dimension.
-// -workload/-skew/-capacity/-penalty parameterize the ext.load.*
-// traffic experiments (internal/load); their tables are byte-identical
-// for a fixed seed regardless of worker count or machine.
+// -workload/-skew/-capacity/-penalty/-depth parameterize the
+// ext.load.* traffic experiments (internal/load);
+// -arrival/-rate/-clients/-think select the arrival model — open-loop
+// periodic or Poisson at -rate, or a closed loop of -clients with
+// -think ticks between lookups — for both the fixed-rate experiments
+// and the ext.saturation.* sweeps. All traffic tables are
+// byte-identical for a fixed seed regardless of worker count or
+// machine.
 package main
 
 import (
@@ -51,6 +58,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		skew     = fs.Float64("skew", 0, "Zipf exponent of skewed workloads (0 = 1.0)")
 		capacity = fs.Float64("capacity", 0, "per-node service capacity in message-hops per virtual tick (0 = 1)")
 		penalty  = fs.Float64("penalty", 0, "congestion-penalty weight of the load-aware policy (0 = 1)")
+		depth    = fs.Float64("depth", 0, "instantaneous-queue-depth penalty of the depth-aware policy (0 = 1)")
+		arrival  = fs.String("arrival", "", "arrival model for the traffic experiments: periodic, poisson, closed (empty = experiment default)")
+		rate     = fs.Float64("rate", 0, "open-loop injection rate in messages per virtual tick (0 = experiment default)")
+		clients  = fs.Int("clients", 0, "closed-loop client population for -arrival closed (0 = 16)")
+		think    = fs.Float64("think", 0, "closed-loop think time in ticks between a client's lookups")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -89,13 +101,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 			*n, mathx.IPow(*side, *dim))
 		return 2
 	}
-	if *skew < 0 || *capacity < 0 || *penalty < 0 {
-		fmt.Fprintln(stderr, "ftrsim: -skew, -capacity and -penalty must be non-negative")
+	if *skew < 0 || *capacity < 0 || *penalty < 0 || *depth < 0 {
+		fmt.Fprintln(stderr, "ftrsim: -skew, -capacity, -penalty and -depth must be non-negative")
+		return 2
+	}
+	if *rate < 0 || *clients < 0 || *think < 0 {
+		fmt.Fprintln(stderr, "ftrsim: -rate, -clients and -think must be non-negative")
 		return 2
 	}
 	table, err := experiments.Run(*exp, experiments.Params{
 		N: *n, Dim: *dim, Side: *side, Links: *links, Trials: *trials, Msgs: *msgs, Seed: *seed,
 		Workload: *workload, Skew: *skew, Capacity: *capacity, Penalty: *penalty,
+		DepthPenalty: *depth, Arrival: *arrival, Rate: *rate, Clients: *clients, Think: *think,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "ftrsim:", err)

@@ -81,9 +81,36 @@ func TestRunLoadExperiment(t *testing.T) {
 }
 
 func TestRunRejectsNegativeLoadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-exp", "ext.load.zipf", "-skew", "-1"},
+		{"-exp", "ext.load.zipf", "-depth", "-1"},
+		{"-exp", "ext.saturation.knee", "-rate", "-2"},
+		{"-exp", "ext.saturation.knee", "-clients", "-3"},
+		{"-exp", "ext.saturation.knee", "-think", "-0.5"},
+	} {
+		var out, errOut strings.Builder
+		if code := run(args, &out, &errOut); code != 2 {
+			t.Errorf("%v: exit = %d, want 2", args, code)
+		}
+	}
+}
+
+func TestRunSaturationExperiment(t *testing.T) {
+	// The knee sweep through the CLI, with the arrival family switched
+	// to the closed-loop model via -arrival/-clients/-think.
+	args := []string{"-exp", "ext.saturation.knee", "-n", "256", "-msgs", "768",
+		"-arrival", "closed", "-think", "2"}
 	var out, errOut strings.Builder
-	if code := run([]string{"-exp", "ext.load.zipf", "-skew", "-1"}, &out, &errOut); code != 2 {
-		t.Errorf("exit = %d, want 2", code)
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"offered", "throughput", "KNEE", "p99 lat"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("saturation table missing %q:\n%s", want, out.String())
+		}
+	}
+	if code := run([]string{"-exp", "ext.saturation.knee", "-arrival", "bogus"}, &out, &errOut); code != 1 {
+		t.Errorf("unknown arrival model should fail the experiment, got exit %d", code)
 	}
 }
 

@@ -56,6 +56,23 @@ type Params struct {
 	// Penalty is the congestion-penalty weight of the load-aware
 	// routing policy; 0 selects 1.
 	Penalty float64
+	// DepthPenalty is the instantaneous-queue-depth penalty of the
+	// depth-aware routing policy; 0 selects 1 where that policy runs.
+	DepthPenalty float64
+	// Arrival names the arrival model of the traffic experiments
+	// ("periodic", "poisson", "closed"); empty selects each
+	// experiment's default (fixed-rate for ext.load.*, Poisson for the
+	// ext.saturation.* sweeps).
+	Arrival string
+	// Rate is the open-loop injection rate in messages per tick; 0
+	// selects 1 for the fixed-rate experiments and the sweep's own
+	// bracket for ext.saturation.*.
+	Rate float64
+	// Clients is the closed-loop client population; 0 selects 16.
+	Clients int
+	// Think is the closed-loop think time in ticks between a client's
+	// lookups.
+	Think float64
 }
 
 func (p Params) withDefaults(n, trials, msgs int) Params {

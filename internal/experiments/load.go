@@ -62,13 +62,26 @@ func buildLoadGraph(sc loadScenario, p Params, seed uint64) (*graph.Graph, error
 }
 
 // loadConfig resolves the shared load.Config from Params.
-func loadConfig(p Params) load.Config {
-	return load.Config{
-		Messages: p.Msgs,
-		Capacity: p.Capacity,
-		Workers:  p.Workers,
-		Route:    route.Options{DeadEnd: route.Backtrack},
+// -arrival/-rate/-clients/-think reshape the injection process of any
+// traffic experiment; empty Arrival with zero Rate keeps the fixed-rate
+// default.
+func loadConfig(p Params) (load.Config, error) {
+	cfg := load.Config{
+		Messages:     p.Msgs,
+		Capacity:     p.Capacity,
+		Rate:         p.Rate,
+		Workers:      p.Workers,
+		DepthPenalty: p.DepthPenalty,
+		Route:        route.Options{DeadEnd: route.Backtrack},
 	}
+	if p.Arrival != "" {
+		arr, err := load.NewArrival(p.Arrival, p.Rate, p.Clients, p.Think)
+		if err != nil {
+			return load.Config{}, err
+		}
+		cfg.Arrival = arr
+	}
+	return cfg, nil
 }
 
 // workloadFor resolves Params.Workload with a per-experiment default.
@@ -109,7 +122,11 @@ func init() {
 				if err != nil {
 					return nil, err
 				}
-				r, err := load.Run(g, gen, loadConfig(p), p.Seed+uint64(1000+i))
+				cfg, err := loadConfig(p)
+				if err != nil {
+					return nil, err
+				}
+				r, err := load.Run(g, gen, cfg, p.Seed+uint64(1000+i))
 				if err != nil {
 					return nil, err
 				}
@@ -144,7 +161,11 @@ func init() {
 			for i, gen := range []load.Generator{
 				load.Uniform(), load.Zipf(skew), load.SkewedSources(skew), load.Flood(),
 			} {
-				r, err := load.Run(g, gen, loadConfig(p), p.Seed+uint64(2000+i))
+				cfg, err := loadConfig(p)
+				if err != nil {
+					return nil, err
+				}
+				r, err := load.Run(g, gen, cfg, p.Seed+uint64(2000+i))
 				if err != nil {
 					return nil, err
 				}
@@ -188,7 +209,10 @@ func init() {
 					if err != nil {
 						return nil, err
 					}
-					cfg := loadConfig(p)
+					cfg, err := loadConfig(p)
+					if err != nil {
+						return nil, err
+					}
 					policy := "greedy"
 					if aware {
 						cfg.Penalty = penalty

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSaturationExperimentsRegistered pins the ext.saturation.* ids the
+// CLI and bench harness depend on.
+func TestSaturationExperimentsRegistered(t *testing.T) {
+	for _, id := range []string{
+		"ext.saturation.knee", "ext.saturation.policies", "ext.saturation.failed",
+	} {
+		if _, err := Get(id); err != nil {
+			t.Errorf("missing experiment %s: %v", id, err)
+		}
+	}
+}
+
+// TestSaturationKneeTable runs the knee sweep at a reduced scale and
+// checks its shape: a curve of ascending offered loads per scenario, at
+// least one unstable point, and a KNEE summary row.
+func TestSaturationKneeTable(t *testing.T) {
+	table, err := Run("ext.saturation.knee", Params{N: 512, Msgs: 1536, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := table.String()
+	for _, want := range []string{"ring healthy", "torus healthy", "KNEE", "UNSTABLE", "stable"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("knee table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestSaturationKneeDeterministicAcrossWorkers extends the traffic
+// determinism contract to the sweep driver: byte-identical tables for
+// any worker count.
+func TestSaturationKneeDeterministicAcrossWorkers(t *testing.T) {
+	small := Params{N: 512, Msgs: 1200, Seed: 7}
+	var want string
+	for _, workers := range []int{1, 4} {
+		p := small
+		p.Workers = workers
+		table, err := Run("ext.saturation.knee", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := table.String()
+		if want == "" {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Errorf("workers=%d output diverged:\n%s\nvs workers=1:\n%s", workers, got, want)
+		}
+	}
+}
+
+// TestDepthAwareKneeOnFailedTorus is the acceptance criterion: on the
+// 30%-failed torus scenario of ext.saturation.failed (its default
+// parameters), the depth-aware policy's knee throughput must be at
+// least plain greedy's.
+func TestDepthAwareKneeOnFailedTorus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale sweep skipped in -short mode")
+	}
+	p := Params{}.withDefaults(1<<10, 1, 0)
+	sc := loadScenario{"torus 30% failed", 2, 0.3}
+	const scenarioIdx = 1 // the torus row of ext.saturation.failed
+	greedy, err := runSweep(sc, p, saturationPolicy{name: "greedy"}, scenarioIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	depth, err := runSweep(sc, p, saturationPolicy{"depth-aware", 1, 1}, scenarioIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedy.KneeThroughput <= 0 {
+		t.Fatalf("greedy knee throughput %v, want positive", greedy.KneeThroughput)
+	}
+	if depth.KneeThroughput < greedy.KneeThroughput {
+		t.Errorf("depth-aware knee throughput %.4f < greedy %.4f",
+			depth.KneeThroughput, greedy.KneeThroughput)
+	}
+}

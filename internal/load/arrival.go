@@ -1,0 +1,184 @@
+package load
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Injection schedules message Msg to enter the network at virtual time
+// Time.
+type Injection struct {
+	Msg  int
+	Time float64
+}
+
+// Arrival models when messages enter the network. Open-loop models fix
+// every injection time before the replay starts, so the offered load is
+// independent of how the system copes — the regime where a saturated
+// network builds unbounded queues. The closed-loop model injects a
+// client's next lookup only after its previous one completed, so the
+// offered load self-limits as latency grows — the interactive-population
+// regime.
+//
+// Prime is called exactly once per run with the message count and a
+// dedicated rng stream; it returns the injections known up front (all of
+// them for open-loop models, one per client for closed-loop). Completed
+// notifies the model that a message left the system — its last service
+// finished, delivered or not — and returns the injection that completion
+// unlocks, if any. Both hooks are consulted only from the
+// single-threaded queue replay and draw randomness only from the Prime
+// stream, so the worker-count independence contract of Run is preserved
+// by construction.
+type Arrival interface {
+	// Name identifies the model in tables and CLI flags.
+	Name() string
+	// Prime returns the injections known before the replay starts.
+	Prime(n int, src *rng.Source) []Injection
+	// Completed reports message msg leaving the system at virtual time
+	// at; it returns a newly unlocked injection (ok = false when none).
+	// The returned time must not precede at.
+	Completed(msg int, at float64) (inj Injection, ok bool)
+}
+
+// periodicArrival is the fixed-rate open-loop baseline: message i enters
+// at exactly i/rate ticks, the deterministic injection the traffic
+// subsystem shipped with.
+type periodicArrival struct{ rate float64 }
+
+// Periodic returns the deterministic open-loop model injecting one
+// message every 1/rate ticks. The rate must be positive; Run rejects
+// the model otherwise.
+func Periodic(rate float64) Arrival { return &periodicArrival{rate: rate} }
+
+func (p *periodicArrival) validate() error {
+	if p.rate <= 0 {
+		return fmt.Errorf("load: periodic arrival rate %g must be positive", p.rate)
+	}
+	return nil
+}
+
+func (p *periodicArrival) Name() string { return fmt.Sprintf("periodic(%g)", p.rate) }
+
+func (p *periodicArrival) Prime(n int, _ *rng.Source) []Injection {
+	interarrival := 1 / p.rate
+	out := make([]Injection, n)
+	for i := range out {
+		out[i] = Injection{Msg: i, Time: float64(i) * interarrival}
+	}
+	return out
+}
+
+func (p *periodicArrival) Completed(int, float64) (Injection, bool) { return Injection{}, false }
+
+// poissonArrival is the open-loop Poisson process: exponential
+// interarrivals at offered rate λ, the memoryless arrivals classical
+// queueing results assume. Burstier than periodic at the same λ, so the
+// capacity knee sits slightly lower.
+type poissonArrival struct{ rate float64 }
+
+// Poisson returns the open-loop Poisson-process model at offered rate λ
+// messages per tick. The rate must be positive; Run rejects the model
+// otherwise.
+func Poisson(rate float64) Arrival { return &poissonArrival{rate: rate} }
+
+func (p *poissonArrival) validate() error {
+	if p.rate <= 0 {
+		return fmt.Errorf("load: poisson arrival rate %g must be positive", p.rate)
+	}
+	return nil
+}
+
+func (p *poissonArrival) Name() string { return fmt.Sprintf("poisson(%g)", p.rate) }
+
+func (p *poissonArrival) Prime(n int, src *rng.Source) []Injection {
+	out := make([]Injection, n)
+	t := 0.0
+	for i := range out {
+		// Inverse-CDF exponential draw; Float64 is in [0,1), so the
+		// argument of Log stays in (0,1] and the draw finite.
+		t += -math.Log(1-src.Float64()) / p.rate
+		out[i] = Injection{Msg: i, Time: t}
+	}
+	return out
+}
+
+func (p *poissonArrival) Completed(int, float64) (Injection, bool) { return Injection{}, false }
+
+// closedLoop models an interactive population: client c injects message
+// i (with c = i mod clients), waits for it to complete, thinks for
+// think ticks, then injects message i+clients. All clients start at
+// tick 0; the (time, msg) heap order of the replay keeps simultaneous
+// starts deterministic.
+type closedLoop struct {
+	clients int
+	think   float64
+	n       int // message count of the current run, set by Prime
+}
+
+// ClosedLoop returns the N-client/think-time closed-loop model. clients
+// must be positive and think non-negative; Run rejects the model
+// otherwise.
+func ClosedLoop(clients int, think float64) Arrival {
+	return &closedLoop{clients: clients, think: think}
+}
+
+func (c *closedLoop) validate() error {
+	if c.clients <= 0 || c.think < 0 {
+		return fmt.Errorf("load: closed loop needs positive clients (%d) and non-negative think (%g)",
+			c.clients, c.think)
+	}
+	return nil
+}
+
+func (c *closedLoop) Name() string { return fmt.Sprintf("closed(%d,%g)", c.clients, c.think) }
+
+func (c *closedLoop) Prime(n int, _ *rng.Source) []Injection {
+	c.n = n
+	k := c.clients
+	if k > n {
+		k = n
+	}
+	out := make([]Injection, k)
+	for i := range out {
+		out[i] = Injection{Msg: i}
+	}
+	return out
+}
+
+func (c *closedLoop) Completed(msg int, at float64) (Injection, bool) {
+	next := msg + c.clients
+	if next >= c.n {
+		return Injection{}, false
+	}
+	return Injection{Msg: next, Time: at + c.think}, true
+}
+
+// NewArrival resolves an arrival model by CLI name: "periodic" (or
+// empty: the fixed-rate default) and "poisson" are open-loop at the
+// given rate; "closed" is the closed-loop model with the given client
+// count and think time. Zero rate selects 1 message per tick, zero
+// clients 16.
+func NewArrival(name string, rate float64, clients int, think float64) (Arrival, error) {
+	if rate == 0 {
+		rate = 1
+	}
+	if clients == 0 {
+		clients = 16
+	}
+	if rate < 0 || clients < 0 || think < 0 {
+		return nil, fmt.Errorf("load: arrival rate %g, clients %d and think %g must be non-negative",
+			rate, clients, think)
+	}
+	switch name {
+	case "", "periodic":
+		return Periodic(rate), nil
+	case "poisson", "open":
+		return Poisson(rate), nil
+	case "closed", "closed-loop":
+		return ClosedLoop(clients, think), nil
+	default:
+		return nil, fmt.Errorf("load: unknown arrival model %q (periodic, poisson, closed)", name)
+	}
+}

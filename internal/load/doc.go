@@ -1,32 +1,51 @@
 // Package load models the system under sustained traffic — the
 // production question the paper's single-message experiments leave open:
-// which nodes melt first, and does fault-tolerant greedy routing also
-// balance load?
+// which nodes melt first, at what offered load does the network stop
+// keeping up, and does fault-tolerant greedy routing also balance load?
 //
-// The subsystem has three parts:
+// The subsystem has four parts:
 //
 //   - Workload generators (Generator): seeded, dimension-generic sources
 //     of (from, to) lookup pairs — uniform traffic, Zipf-popular hotspot
 //     keys, skewed source populations, and an adversarial single-target
 //     flood.
 //
-//   - A virtual-time queueing simulator (Run): it injects Messages
-//     concurrent lookups into a built graph.Graph at a configurable
-//     rate, routes each one with package route, then replays every hop
-//     against the transit node's FIFO queue under a per-node service
-//     capacity. It reports per-node load (hops serviced), max/mean
-//     load, peak queue depth, and p50/p95/p99 end-to-end latency
-//     alongside the ordinary sim.SearchStats.
+//   - Arrival models (Arrival): when those lookups enter the network.
+//     Periodic and Poisson are open-loop — every injection time is fixed
+//     up front at offered rate λ, so a saturated network builds
+//     unbounded queues. ClosedLoop models N clients with think time,
+//     whose offered load self-limits as latency grows.
 //
-//   - A congestion feedback loop: with Config.Penalty > 0 the router
-//     runs route's congestion-penalized greedy (Options.Congestion),
-//     fed by the loads the simulator has already charged; congestion
-//     snapshots refresh every Config.BatchSize messages, modelling the
-//     stale load information a real system would gossip.
+//   - A virtual-time queueing simulator (Run): it injects Messages
+//     lookups into a built graph.Graph under the arrival model, routes
+//     each one with package route, then replays every hop against the
+//     transit node's FIFO queue under a per-node service capacity. It
+//     reports per-node load (hops serviced), max/mean load, peak queue
+//     depth, p50/p95/p99 end-to-end latency, makespan and delivered
+//     throughput alongside the ordinary sim.SearchStats.
+//
+//   - A saturation sweep (Sweep): repeated runs at stepped-then-bisected
+//     load hunting the capacity knee — the largest offered load at which
+//     queues still drain (delivered throughput tracks λ) and the p99
+//     tail stays bounded. The sweep reports the whole
+//     latency-vs-throughput curve (viz.ThroughputLatency plots it) plus
+//     the knee, per routing policy.
+//
+// Two congestion feedback loops connect routing to queueing. With
+// Config.Penalty > 0 the router runs route's congestion-penalized greedy
+// (Options.Congestion) fed by the cumulative loads the simulator has
+// already charged. With Config.DepthPenalty > 0 the signal additionally
+// includes each node's instantaneous queue depth, probed by replaying
+// the traffic routed so far — the backlog right now, which is what
+// matters near saturation. Both snapshots refresh every Config.BatchSize
+// messages, modelling the stale load information a real system would
+// gossip.
 //
 // Determinism: a run is a pure function of (graph, generator, Config
 // minus Workers, seed). Worker goroutines only parallelize per-message
-// path computation, and every message routes from its own derived rng
-// stream, so results are byte-identical for any Workers value — the
-// property the regression suite pins.
+// path computation, every message routes from its own derived rng
+// stream, and arrival schedules are drawn from one sequential stream
+// before routing starts, so results are byte-identical for any Workers
+// value — the property the regression suite pins for Run and Sweep
+// alike.
 package load

@@ -25,7 +25,12 @@ type Config struct {
 	Capacity float64
 	// Rate is the network-wide injection rate in messages per virtual
 	// tick (message i is injected at tick i/Rate). Zero defaults to 1.
+	// Ignored when Arrival is non-nil.
 	Rate float64
+	// Arrival selects the arrival model feeding the queue replay; nil
+	// defaults to the fixed-rate open-loop model Periodic(Rate). Poisson
+	// and ClosedLoop select the saturation-sweep arrival regimes.
+	Arrival Arrival
 	// Workers bounds path-computation parallelism; zero uses
 	// GOMAXPROCS. Results are byte-identical for every value.
 	Workers int
@@ -41,9 +46,19 @@ type Config struct {
 	// much traffic has accumulated. Zero keeps the paper's hop-optimal
 	// greedy.
 	Penalty float64
+	// DepthPenalty, when positive, adds an instantaneous-queue-depth
+	// term to the congestion signal: a candidate node costs an extra
+	// DepthPenalty distance units per message sitting in its queue when
+	// the batch's congestion snapshot was taken. Where Penalty reacts to
+	// cumulative charged load, DepthPenalty reacts to the backlog right
+	// now — the signal that matters near saturation. Both compose (and
+	// compose with any dead-end policy, since the congestion-penalized
+	// greedy preserves strict metric progress).
+	DepthPenalty float64
 	// BatchSize is how many messages route against one frozen
-	// congestion snapshot when Penalty > 0 — the staleness of load
-	// information in a real system. Zero defaults to 32.
+	// congestion snapshot when Penalty or DepthPenalty is positive —
+	// the staleness of load information in a real system. Zero defaults
+	// to 32.
 	BatchSize int
 }
 
@@ -66,16 +81,19 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Validate rejects nonsensical configurations.
+// Validate rejects nonsensical configurations. It checks a resolved
+// configuration: zero-valued fields mean "use the default" to Run, which
+// resolves them before validating, so a zero Capacity or Rate here is an
+// error, not a default.
 func (c Config) Validate() error {
 	if c.Messages < 0 {
 		return fmt.Errorf("load: negative message count %d", c.Messages)
 	}
-	if c.Capacity < 0 || c.Rate < 0 {
-		return fmt.Errorf("load: capacity %g and rate %g must be non-negative", c.Capacity, c.Rate)
+	if c.Capacity <= 0 || c.Rate <= 0 {
+		return fmt.Errorf("load: capacity %g and rate %g must be positive", c.Capacity, c.Rate)
 	}
-	if c.Penalty < 0 {
-		return fmt.Errorf("load: negative congestion penalty %g", c.Penalty)
+	if c.Penalty < 0 || c.DepthPenalty < 0 {
+		return fmt.Errorf("load: congestion penalties %g/%g must be non-negative", c.Penalty, c.DepthPenalty)
 	}
 	if c.BatchSize < 0 {
 		return fmt.Errorf("load: negative batch size %d", c.BatchSize)
@@ -89,6 +107,8 @@ func (c Config) Validate() error {
 type Result struct {
 	// Workload names the generator that produced the traffic.
 	Workload string
+	// Arrival names the arrival model that timed the injections.
+	Arrival string
 	// Search aggregates the underlying route results exactly as the
 	// single-message experiments do.
 	Search sim.SearchStats
@@ -111,6 +131,14 @@ type Result struct {
 	// (nearest-rank on the completion-time distribution). Zero when
 	// nothing was delivered.
 	LatencyMean, LatencyP50, LatencyP95, LatencyP99 float64
+	// Makespan is the virtual time at which the last service completed;
+	// LastInject is the time of the final injection. Their difference
+	// is how long the network needed to drain its backlog once
+	// injections stopped.
+	Makespan, LastInject float64
+	// Throughput is delivered messages per virtual tick of Makespan —
+	// the y-axis the saturation sweeps plot the knee on.
+	Throughput float64
 }
 
 // MaxMeanRatio returns MaxLoad/MeanLoad, the load-imbalance headline
@@ -148,13 +176,32 @@ func Run(g *graph.Graph, gen Generator, cfg Config, seed uint64) (*Result, error
 		pairs[i] = lookup{from, to}
 	}
 
-	// Route all messages, in congestion-snapshot batches when the
-	// load-aware policy is on (one batch of everything otherwise).
+	// Resolve the arrival model and draw its schedule from one
+	// dedicated sequential stream, fixing the injection times (and, for
+	// Poisson, their randomness) before any parallelism starts.
+	arr := cfg.Arrival
+	if arr == nil {
+		arr = Periodic(cfg.Rate)
+	}
+	// Config.Validate covers Rate but not a caller-supplied Arrival;
+	// the built-in models know how to reject their own bad parameters
+	// (a non-positive rate would prime Inf/NaN injection times).
+	if v, ok := arr.(interface{ validate() error }); ok {
+		if err := v.validate(); err != nil {
+			return nil, err
+		}
+	}
+	primed := arr.Prime(cfg.Messages, root.Derive(2))
+	serviceTime := 1 / cfg.Capacity
+
+	// Route all messages, in congestion-snapshot batches when a
+	// congestion-aware policy is on (one batch of everything otherwise).
 	// Message i always routes from stream Derive(16+i), so the paths —
 	// and everything downstream — are independent of worker count.
+	aware := cfg.Penalty > 0 || cfg.DepthPenalty > 0
 	ropt := cfg.Route
 	ropt.TracePath = true
-	if cfg.Penalty > 0 {
+	if aware {
 		// The congestion feedback owns these fields (Config.Route's
 		// documented contract); drop any caller-supplied signal so the
 		// first, zero-load batch routes hop-optimally.
@@ -162,9 +209,10 @@ func Run(g *graph.Graph, gen Generator, cfg Config, seed uint64) (*Result, error
 		ropt.CongestionWeight = 0
 	}
 	results := make([]route.Result, cfg.Messages)
+	msgs := make([]queuedMessage, cfg.Messages)
 	charged := make([]int, g.Size())
 	batch := cfg.Messages
-	if cfg.Penalty > 0 {
+	if aware {
 		batch = cfg.BatchSize
 	}
 	for start := 0; start < cfg.Messages; start += batch {
@@ -173,21 +221,39 @@ func Run(g *graph.Graph, gen Generator, cfg Config, seed uint64) (*Result, error
 			end = cfg.Messages
 		}
 		opt := ropt
-		if cfg.Penalty > 0 {
-			// The congestion signal is the node's charged load relative
-			// to the mean live-node load of the snapshot — dimensionless,
-			// so the detour pressure stays constant as traffic
-			// accumulates instead of drowning the distance term.
+		if aware && start > 0 {
+			// The cumulative congestion signal is the node's charged
+			// load relative to the mean live-node load of the snapshot —
+			// dimensionless, so the detour pressure stays constant as
+			// traffic accumulates instead of drowning the distance term.
 			snapshot := append([]int(nil), charged...)
-			var total int
-			for i, c := range snapshot {
-				if g.Alive(metric.Point(i)) {
-					total += c
+			var loadScale float64
+			if cfg.Penalty > 0 {
+				var total int
+				for i, c := range snapshot {
+					if g.Alive(metric.Point(i)) {
+						total += c
+					}
+				}
+				if total > 0 {
+					loadScale = cfg.Penalty * float64(g.AliveCount()) / float64(total)
 				}
 			}
-			if total > 0 {
-				scale := cfg.Penalty * float64(g.AliveCount()) / float64(total)
-				opt.Congestion = func(q metric.Point) float64 { return float64(snapshot[q]) * scale }
+			// The instantaneous signal replays the traffic routed so far
+			// and probes each node's queue depth as this batch begins.
+			var depth []int
+			if cfg.DepthPenalty > 0 {
+				depth = depthSnapshot(g.Size(), msgs, primed, arr, serviceTime, start)
+			}
+			if loadScale > 0 || depth != nil {
+				depthPenalty := cfg.DepthPenalty
+				opt.Congestion = func(q metric.Point) float64 {
+					s := float64(snapshot[q]) * loadScale
+					if depth != nil {
+						s += depthPenalty * float64(depth[q])
+					}
+					return s
+				}
 				opt.CongestionWeight = 1
 			}
 		}
@@ -195,29 +261,24 @@ func Run(g *graph.Graph, gen Generator, cfg Config, seed uint64) (*Result, error
 			return nil, err
 		}
 		for i := start; i < end; i++ {
-			for _, p := range forwarders(results[i]) {
+			msgs[i] = queuedMessage{path: forwarders(results[i]), delivered: results[i].Delivered}
+			for _, p := range msgs[i].path {
 				charged[p]++
 			}
 		}
 	}
 
 	// Replay against the FIFO queues and assemble the report.
-	msgs := make([]queuedMessage, cfg.Messages)
-	interarrival := 1 / cfg.Rate
-	for i, res := range results {
-		msgs[i] = queuedMessage{
-			inject:    float64(i) * interarrival,
-			path:      forwarders(res),
-			delivered: res.Delivered,
-		}
-	}
-	out := simulateQueues(g.Size(), msgs, 1/cfg.Capacity)
+	out := simulateQueues(g.Size(), msgs, serviceTime, primed, arr.Completed, -1)
 
 	r := &Result{
 		Workload:      gen.Name(),
+		Arrival:       arr.Name(),
 		Injected:      cfg.Messages,
 		Loads:         out.loads,
 		MaxQueueDepth: out.maxQueueDepth,
+		Makespan:      out.makespan,
+		LastInject:    out.lastInject,
 	}
 	for _, res := range results {
 		r.Search.Record(res)
@@ -242,7 +303,50 @@ func Run(g *graph.Graph, gen Generator, cfg Config, seed uint64) (*Result, error
 		r.MeanLoad = float64(total) / float64(alive)
 	}
 	r.LatencyMean, r.LatencyP50, r.LatencyP95, r.LatencyP99 = latencySummary(out.latencies)
+	if out.makespan > 0 {
+		r.Throughput = float64(r.Delivered) / out.makespan
+	}
 	return r, nil
+}
+
+// depthSnapshot estimates each node's instantaneous queue depth at the
+// moment message `start` is about to be routed: it replays the traffic
+// routed so far (messages [0, start)) and probes the queues at that
+// batch's injection time. For open-loop models — every message primed up
+// front — the probe is message start's scheduled time; for closed-loop
+// it is the latest injection the prefix replay produced, found by a
+// first untimed replay. The prefix replay is an estimate, not the final
+// replay's exact prefix (later messages can interleave), which models
+// the staleness of queue-depth gossip in a real system; what matters is
+// that it is a pure function of already-routed traffic, keeping Run
+// deterministic and worker-count independent.
+//
+// Cost: replaying the prefix at every batch makes a depth-aware Run
+// O(Messages²/BatchSize) heap operations overall (double that on the
+// closed-loop branch, which needs a first replay to learn the probe
+// time) — about 100 ms at the default scales, paid only when
+// DepthPenalty > 0.
+func depthSnapshot(size int, msgs []queuedMessage, primed []Injection, arr Arrival, serviceTime float64, start int) []int {
+	initial := make([]Injection, 0, start)
+	for _, inj := range primed {
+		if inj.Msg < start {
+			initial = append(initial, inj)
+		}
+	}
+	completed := func(m int, at float64) (Injection, bool) {
+		next, ok := arr.Completed(m, at)
+		if !ok || next.Msg >= start {
+			return Injection{}, false
+		}
+		return next, true
+	}
+	var probe float64
+	if len(primed) == len(msgs) && start < len(primed) {
+		probe = primed[start].Time
+	} else {
+		probe = simulateQueues(size, msgs, serviceTime, initial, completed, -1).lastInject
+	}
+	return simulateQueues(size, msgs, serviceTime, initial, completed, probe).probeDepths
 }
 
 // lookup is one (source, destination) pair of the workload.

@@ -38,6 +38,15 @@ func buildTorus(t testing.TB, side, links int, seed uint64) *graph.Graph {
 	return g
 }
 
+func damagedTorus(t testing.TB, side, links int, seed uint64, failFrac float64) *graph.Graph {
+	t.Helper()
+	g := buildTorus(t, side, links, seed)
+	if _, err := failure.FailNodesFraction(g, failFrac, rng.New(seed+1)); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
 func TestConservation(t *testing.T) {
 	// injected == delivered + failed must hold on healthy and damaged
 	// networks, for every workload, in 1-D and 2-D.
@@ -189,12 +198,123 @@ func TestConfigValidation(t *testing.T) {
 		{Capacity: -0.5},
 		{Rate: -1},
 		{Penalty: -2},
+		{DepthPenalty: -1},
 		{Penalty: 1, BatchSize: -1},
 	}
 	for i, cfg := range bad {
 		if _, err := Run(g, Uniform(), cfg, 1); err == nil {
 			t.Errorf("config %d should be rejected", i)
 		}
+	}
+	// Validate checks a resolved configuration: zero capacity or rate
+	// means "default" only to Run, which resolves before validating; a
+	// direct Validate call must reject them along with negatives.
+	for i, cfg := range []Config{
+		{Messages: 10, Rate: 1},                 // zero capacity
+		{Messages: 10, Capacity: 1},             // zero rate
+		{Messages: 10, Capacity: -2, Rate: 1},   // negative capacity
+		{Messages: 10, Capacity: 1, Rate: -0.5}, // negative rate
+	} {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate %d: zero/negative capacity or rate should be rejected", i)
+		}
+	}
+	if err := (Config{Messages: 10, Capacity: 1, Rate: 1}).Validate(); err != nil {
+		t.Errorf("resolved config rejected: %v", err)
+	}
+	// Run still treats zeroes as defaults.
+	if _, err := Run(g, Uniform(), Config{Messages: 20}, 1); err != nil {
+		t.Errorf("zero-valued Run config should use defaults: %v", err)
+	}
+}
+
+func TestArrivalModels(t *testing.T) {
+	g := buildRing(t, 256, 8, 30)
+	for _, tc := range []struct {
+		arr  Arrival
+		name string
+	}{
+		{Periodic(2), "periodic(2)"},
+		{Poisson(2), "poisson(2)"},
+		{ClosedLoop(8, 1.5), "closed(8,1.5)"},
+	} {
+		r, err := Run(g, Uniform(), Config{Messages: 200, Arrival: tc.arr}, 31)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if r.Arrival != tc.name {
+			t.Errorf("Arrival = %q, want %q", r.Arrival, tc.name)
+		}
+		if r.Delivered+r.Failed != r.Injected {
+			t.Errorf("%s: conservation broken", tc.name)
+		}
+		if r.Makespan <= 0 || r.Throughput <= 0 {
+			t.Errorf("%s: makespan %v / throughput %v should be positive", tc.name, r.Makespan, r.Throughput)
+		}
+	}
+	// The default arrival is Periodic(Rate): byte-identical results.
+	implicit, err := Run(g, Uniform(), Config{Messages: 200, Rate: 4}, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := Run(g, Uniform(), Config{Messages: 200, Arrival: Periodic(4)}, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(implicit, explicit) {
+		t.Error("Config.Rate and explicit Periodic(Rate) diverged")
+	}
+	// NewArrival resolves CLI names and rejects junk.
+	for _, name := range []string{"", "periodic", "poisson", "closed"} {
+		if _, err := NewArrival(name, 1, 4, 0); err != nil {
+			t.Errorf("NewArrival(%q): %v", name, err)
+		}
+	}
+	if _, err := NewArrival("bogus", 1, 4, 0); err == nil {
+		t.Error("unknown arrival model should error")
+	}
+	// Run must reject degenerate models that would prime Inf/NaN
+	// injection schedules, even when constructed directly.
+	for _, arr := range []Arrival{Periodic(0), Poisson(-1), ClosedLoop(0, 1), ClosedLoop(4, -1)} {
+		if _, err := Run(g, Uniform(), Config{Messages: 20, Arrival: arr}, 1); err == nil {
+			t.Errorf("Run accepted degenerate arrival %s", arr.Name())
+		}
+	}
+	if _, err := NewArrival("poisson", -1, 4, 0); err == nil {
+		t.Error("negative rate should error")
+	}
+	if _, err := NewArrival("closed", 1, 4, -2); err == nil {
+		t.Error("negative think time should error")
+	}
+}
+
+func TestClosedLoopLimitsConcurrency(t *testing.T) {
+	// A closed loop of k clients can never have more than k messages in
+	// flight, so no queue can be deeper than k, regardless of how slow
+	// service is.
+	g := buildRing(t, 256, 8, 32)
+	const clients = 4
+	r, err := Run(g, Uniform(), Config{
+		Messages: 300,
+		Capacity: 0.25, // slow servers: 4 ticks per hop
+		Arrival:  ClosedLoop(clients, 0),
+	}, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MaxQueueDepth > clients {
+		t.Errorf("queue depth %d exceeds the %d-client population", r.MaxQueueDepth, clients)
+	}
+	open, err := Run(g, Uniform(), Config{
+		Messages: 300,
+		Capacity: 0.25,
+		Arrival:  Poisson(64),
+	}, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if open.MaxQueueDepth <= clients {
+		t.Errorf("open loop at high rate should overrun %d (got depth %d)", clients, open.MaxQueueDepth)
 	}
 }
 

@@ -7,9 +7,10 @@ import (
 )
 
 // queuedMessage is one lookup entering the queueing replay: an injection
-// time in virtual ticks, the node sequence its search visited, and
-// whether the search delivered (failed searches still congest every
-// node they touched; only their latency is excluded).
+// time in virtual ticks (assigned by the arrival model during the
+// replay), the node sequence its search visited, and whether the search
+// delivered (failed searches still congest every node they touched; only
+// their latency is excluded).
 type queuedMessage struct {
 	inject    float64
 	path      []metric.Point
@@ -58,7 +59,8 @@ type nodeQueue struct {
 }
 
 // depthAt drains completed services and returns how many messages are
-// still queued or in service at time t.
+// still queued or in service at time t. A service finishing exactly at t
+// has left the system; one arriving exactly at t is in it.
 func (q *nodeQueue) depthAt(t float64) int {
 	for q.head < len(q.finish) && q.finish[q.head] <= t {
 		q.head++
@@ -76,6 +78,10 @@ type queueOutcome struct {
 	maxQueueDepth int       // peak of any node's queue (incl. in service)
 	latencies     []float64 // end-to-end latency of each delivered message
 	services      int       // total message-hops serviced
+	injected      int       // messages the arrival model actually injected
+	lastInject    float64   // latest injection time that occurred
+	makespan      float64   // finish time of the last service
+	probeDepths   []int     // per-node in-system count at the probe time (nil unless probed)
 }
 
 // simulateQueues replays routed messages against per-node FIFO queues in
@@ -86,17 +92,54 @@ type queueOutcome struct {
 // injection time (the caller passes forwarding nodes only, so for a
 // delivered message that completion is the moment it reaches its
 // destination).
-func simulateQueues(size int, msgs []queuedMessage, serviceTime float64) queueOutcome {
+//
+// Injection times come from `initial` — the schedule known up front —
+// plus the `completed` hook: whenever a message's last service finishes
+// (delivered or not), completed is consulted for the injection that
+// completion unlocks. That is the closed-loop feedback path; open-loop
+// models schedule everything in initial and a nil hook is allowed. A
+// message with an empty path occupies no queue: it completes the instant
+// it is injected, still unlocking its successor.
+//
+// A non-negative probe time additionally records, per node, how many
+// messages were in system (queued or in service) at that instant: a
+// service with arrival time ≤ probe and finish > probe counts, matching
+// depthAt's boundary convention.
+func simulateQueues(size int, msgs []queuedMessage, serviceTime float64,
+	initial []Injection, completed func(msg int, at float64) (Injection, bool),
+	probe float64) queueOutcome {
 	out := queueOutcome{loads: make([]int, size)}
-	queues := make([]nodeQueue, size)
-	h := make(arrivalHeap, 0, len(msgs))
-	for m, msg := range msgs {
-		if len(msg.path) == 0 {
-			continue
-		}
-		h = append(h, arrival{time: msg.inject, msg: m, idx: 0})
+	if probe >= 0 {
+		out.probeDepths = make([]int, size)
 	}
-	heap.Init(&h)
+	queues := make([]nodeQueue, size)
+	h := make(arrivalHeap, 0, len(initial))
+	// enqueue admits one injection, chasing chains of path-less messages
+	// (which complete immediately and may unlock further injections).
+	enqueue := func(inj Injection) {
+		for {
+			msgs[inj.Msg].inject = inj.Time
+			out.injected++
+			if inj.Time > out.lastInject {
+				out.lastInject = inj.Time
+			}
+			if len(msgs[inj.Msg].path) > 0 {
+				heap.Push(&h, arrival{time: inj.Time, msg: inj.Msg, idx: 0})
+				return
+			}
+			if completed == nil {
+				return
+			}
+			next, ok := completed(inj.Msg, inj.Time)
+			if !ok {
+				return
+			}
+			inj = next
+		}
+	}
+	for _, inj := range initial {
+		enqueue(inj)
+	}
 	for h.Len() > 0 {
 		a := heap.Pop(&h).(arrival)
 		msg := &msgs[a.msg]
@@ -114,10 +157,23 @@ func simulateQueues(size int, msgs []queuedMessage, serviceTime float64) queueOu
 		q.finish = append(q.finish, finish)
 		out.loads[node]++
 		out.services++
+		if finish > out.makespan {
+			out.makespan = finish
+		}
+		if out.probeDepths != nil && a.time <= probe && probe < finish {
+			out.probeDepths[node]++
+		}
 		if a.idx+1 < len(msg.path) {
 			heap.Push(&h, arrival{time: finish, msg: a.msg, idx: a.idx + 1})
-		} else if msg.delivered {
+			continue
+		}
+		if msg.delivered {
 			out.latencies = append(out.latencies, finish-msg.inject)
+		}
+		if completed != nil {
+			if next, ok := completed(a.msg, finish); ok {
+				enqueue(next)
+			}
 		}
 	}
 	return out

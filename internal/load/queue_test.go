@@ -7,6 +7,17 @@ import (
 	"repro/internal/metric"
 )
 
+// pretimed turns the messages' pre-set inject fields into the up-front
+// schedule simulateQueues expects — the open-loop shape of every test
+// that does not exercise the completion feedback.
+func pretimed(msgs []queuedMessage) []Injection {
+	out := make([]Injection, len(msgs))
+	for i, m := range msgs {
+		out[i] = Injection{Msg: i, Time: m.inject}
+	}
+	return out
+}
+
 func TestSimulateQueuesSingleMessage(t *testing.T) {
 	// One message over three nodes at capacity 1: one tick of service
 	// per node, no queueing, latency 3.
@@ -15,7 +26,7 @@ func TestSimulateQueuesSingleMessage(t *testing.T) {
 		path:      []metric.Point{0, 1, 2},
 		delivered: true,
 	}}
-	out := simulateQueues(4, msgs, 1)
+	out := simulateQueues(4, msgs, 1, pretimed(msgs), nil, -1)
 	if out.services != 3 {
 		t.Errorf("services = %d, want 3", out.services)
 	}
@@ -30,6 +41,12 @@ func TestSimulateQueuesSingleMessage(t *testing.T) {
 	if len(out.latencies) != 1 || out.latencies[0] != 3 {
 		t.Errorf("latencies = %v, want [3]", out.latencies)
 	}
+	if out.makespan != 3 {
+		t.Errorf("makespan = %v, want 3", out.makespan)
+	}
+	if out.injected != 1 || out.lastInject != 0 {
+		t.Errorf("injected = %d at %v, want 1 at 0", out.injected, out.lastInject)
+	}
 }
 
 func TestSimulateQueuesContention(t *testing.T) {
@@ -39,7 +56,7 @@ func TestSimulateQueuesContention(t *testing.T) {
 		{inject: 0, path: []metric.Point{5}, delivered: true},
 		{inject: 0, path: []metric.Point{5}, delivered: true},
 	}
-	out := simulateQueues(8, msgs, 2)
+	out := simulateQueues(8, msgs, 2, pretimed(msgs), nil, -1)
 	if out.loads[5] != 2 {
 		t.Errorf("loads[5] = %d, want 2", out.loads[5])
 	}
@@ -56,7 +73,7 @@ func TestSimulateQueuesFailedMessageChargesLoad(t *testing.T) {
 	msgs := []queuedMessage{
 		{inject: 0, path: []metric.Point{1, 2}, delivered: false},
 	}
-	out := simulateQueues(4, msgs, 1)
+	out := simulateQueues(4, msgs, 1, pretimed(msgs), nil, -1)
 	if out.loads[1] != 1 || out.loads[2] != 1 {
 		t.Errorf("failed message should still be charged: %v", out.loads)
 	}
@@ -71,12 +88,124 @@ func TestSimulateQueuesIdleServerDrains(t *testing.T) {
 		{inject: 0, path: []metric.Point{3}, delivered: true},
 		{inject: 100, path: []metric.Point{3}, delivered: true},
 	}
-	out := simulateQueues(4, msgs, 1)
+	out := simulateQueues(4, msgs, 1, pretimed(msgs), nil, -1)
 	if out.maxQueueDepth != 1 {
 		t.Errorf("maxQueueDepth = %d, want 1", out.maxQueueDepth)
 	}
 	if out.latencies[1] != 1 {
 		t.Errorf("second latency = %v, want 1 (no waiting)", out.latencies[1])
+	}
+}
+
+func TestSimulateQueuesEmpty(t *testing.T) {
+	// No messages at all: the replay must return a zero outcome, not
+	// panic or fabricate services.
+	out := simulateQueues(4, nil, 1, nil, nil, -1)
+	if out.services != 0 || out.maxQueueDepth != 0 || out.injected != 0 {
+		t.Errorf("empty replay produced work: %+v", out)
+	}
+	if out.makespan != 0 || len(out.latencies) != 0 {
+		t.Errorf("empty replay produced time: %+v", out)
+	}
+	// Messages whose searches produced no path (an exhausted graph)
+	// occupy no queues but still count as injected.
+	msgs := []queuedMessage{{inject: 2}, {inject: 5}}
+	out = simulateQueues(4, msgs, 1, pretimed(msgs), nil, -1)
+	if out.services != 0 || out.injected != 2 || out.lastInject != 5 {
+		t.Errorf("path-less messages: services=%d injected=%d last=%v",
+			out.services, out.injected, out.lastInject)
+	}
+}
+
+func TestDepthAtBoundaries(t *testing.T) {
+	// depthAt's convention: a service finishing exactly at t has left;
+	// the count never goes negative, and draining resets the buffer.
+	q := nodeQueue{finish: []float64{1, 2, 2, 4}}
+	for _, tc := range []struct {
+		t    float64
+		want int
+	}{
+		{0, 4},
+		{1 - 1e-12, 4},
+		{1, 3}, // finish == t drains
+		{2, 1}, // both t=2 departures drain together
+		{3.999, 1},
+		{4, 0},
+		{100, 0},
+	} {
+		if got := q.depthAt(tc.t); got != tc.want {
+			t.Errorf("depthAt(%v) = %d, want %d", tc.t, got, tc.want)
+		}
+	}
+	if len(q.finish) != 0 || q.head != 0 {
+		t.Errorf("fully drained queue should reset its buffer: %+v", q)
+	}
+}
+
+func TestSimulateQueuesProbeBoundaries(t *testing.T) {
+	// One message served on node 1 over [0,1), then node 2 over [1,2).
+	// The probe convention matches depthAt: in system when
+	// arrival ≤ probe < finish.
+	msgs := []queuedMessage{{inject: 0, path: []metric.Point{1, 2}, delivered: true}}
+	for _, tc := range []struct {
+		probe float64
+		want  []int
+	}{
+		{0, []int{0, 1, 0, 0}},   // arrival instant counts
+		{0.5, []int{0, 1, 0, 0}}, // mid-service
+		{1, []int{0, 0, 1, 0}},   // finish instant has left node 1, entered node 2
+		{2, []int{0, 0, 0, 0}},   // everything drained
+	} {
+		out := simulateQueues(4, msgs, 1, pretimed(msgs), nil, tc.probe)
+		for p, want := range tc.want {
+			if out.probeDepths[p] != want {
+				t.Errorf("probe %v: depth[%d] = %d, want %d", tc.probe, p, out.probeDepths[p], want)
+			}
+		}
+	}
+	// Without a probe the depth vector stays nil.
+	if out := simulateQueues(4, msgs, 1, pretimed(msgs), nil, -1); out.probeDepths != nil {
+		t.Errorf("unprobed replay allocated probeDepths: %v", out.probeDepths)
+	}
+}
+
+func TestSimulateQueuesClosedLoopFeedback(t *testing.T) {
+	// Two messages chained by a completion hook: message 1 may only
+	// inject once message 0 completes, plus 3 ticks of think time.
+	msgs := []queuedMessage{
+		{path: []metric.Point{0, 1}, delivered: true},
+		{path: []metric.Point{0}, delivered: true},
+	}
+	completed := func(m int, at float64) (Injection, bool) {
+		if m == 0 {
+			return Injection{Msg: 1, Time: at + 3}, true
+		}
+		return Injection{}, false
+	}
+	out := simulateQueues(4, msgs, 1, []Injection{{Msg: 0, Time: 0}}, completed, -1)
+	if out.injected != 2 {
+		t.Fatalf("injected = %d, want 2", out.injected)
+	}
+	// Message 0 completes at 2, message 1 injects at 5 and finishes at 6.
+	if out.lastInject != 5 {
+		t.Errorf("lastInject = %v, want 5", out.lastInject)
+	}
+	if out.makespan != 6 {
+		t.Errorf("makespan = %v, want 6", out.makespan)
+	}
+	if out.maxQueueDepth != 1 {
+		t.Errorf("maxQueueDepth = %d, want 1 (feedback serializes the messages)", out.maxQueueDepth)
+	}
+	// A path-less head message must still unlock its successor, at its
+	// own injection instant.
+	msgs = []queuedMessage{
+		{path: nil, delivered: false},
+		{path: []metric.Point{2}, delivered: true},
+	}
+	out = simulateQueues(4, msgs, 1, []Injection{{Msg: 0, Time: 7}}, completed, -1)
+	if out.injected != 2 || out.lastInject != 10 || out.services != 1 {
+		t.Errorf("path-less chain: injected=%d last=%v services=%d, want 2/10/1",
+			out.injected, out.lastInject, out.services)
 	}
 }
 

@@ -1,0 +1,149 @@
+package load
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/route"
+)
+
+func sweepConfig(messages, workers int) SweepConfig {
+	return SweepConfig{
+		Config: Config{
+			Messages: messages,
+			Workers:  workers,
+			Route:    route.Options{DeadEnd: route.Backtrack},
+		},
+		Model:      "poisson",
+		Bisections: 4,
+	}
+}
+
+func TestSweepFindsFiniteKnee(t *testing.T) {
+	// The acceptance scenario: a seeded 1024-node ring under Zipf
+	// traffic must saturate at a finite, positive offered rate.
+	g := buildRing(t, 1024, 10, 21)
+	res, err := Sweep(g, Zipf(1.0), sweepConfig(3000, 0), 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Saturated {
+		t.Error("sweep never saturated; the knee is only a lower bound")
+	}
+	if res.Knee <= 0 || math.IsInf(res.Knee, 0) {
+		t.Fatalf("knee = %v, want finite and positive", res.Knee)
+	}
+	if res.KneeThroughput <= 0 {
+		t.Errorf("knee throughput = %v, want positive", res.KneeThroughput)
+	}
+	kp := res.KneePoint()
+	if kp == nil {
+		t.Fatal("no knee point recorded")
+	}
+	if kp.Result.LatencyP99 > res.P99Bound {
+		t.Errorf("knee p99 %.2f violates bound %.2f", kp.Result.LatencyP99, res.P99Bound)
+	}
+	// Points ascend in load, and some point above the knee is unstable.
+	unstableAbove := false
+	for i, p := range res.Points {
+		if i > 0 && p.Load <= res.Points[i-1].Load {
+			t.Errorf("points not ascending at %d: %v after %v", i, p.Load, res.Points[i-1].Load)
+		}
+		if !p.Stable && p.Load > res.Knee {
+			unstableAbove = true
+		}
+		if p.Stable && p.Load > res.Knee {
+			t.Errorf("stable point %v above knee %v", p.Load, res.Knee)
+		}
+	}
+	if !unstableAbove {
+		t.Error("no unstable point above the knee")
+	}
+}
+
+func TestSweepWorkerIndependence(t *testing.T) {
+	g := buildRing(t, 512, 9, 23)
+	var want *SweepResult
+	for _, workers := range []int{1, 3, 8} {
+		res, err := Sweep(g, Zipf(1.0), sweepConfig(1200, workers), 24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = res
+			continue
+		}
+		if !reflect.DeepEqual(want, res) {
+			t.Errorf("workers=%d sweep diverged from workers=1", workers)
+		}
+	}
+}
+
+func TestSweepClosedLoop(t *testing.T) {
+	g := buildRing(t, 512, 9, 25)
+	res, err := Sweep(g, Uniform(), SweepConfig{
+		Config: Config{Messages: 300, Route: route.Options{DeadEnd: route.Backtrack}},
+		Model:  "closed",
+		Think:  2,
+		Max:    1 << 10,
+	}, 26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model != "closed" {
+		t.Errorf("model = %q", res.Model)
+	}
+	for _, p := range res.Points {
+		if p.Load != math.Round(p.Load) {
+			t.Errorf("closed-loop load %v is not an integer client count", p.Load)
+		}
+		if p.Result.Injected != 300 {
+			t.Errorf("closed-loop run injected %d, want 300", p.Result.Injected)
+		}
+	}
+	if res.Knee < 1 {
+		t.Errorf("closed-loop knee = %v, want >= 1 client", res.Knee)
+	}
+}
+
+func TestSweepDepthAwareChangesRouting(t *testing.T) {
+	// The depth-aware policy must actually feed the instantaneous-depth
+	// signal into routing: under saturating load its paths (and hence
+	// load profile) diverge from plain greedy's, while delivery stays
+	// conservation-clean.
+	g := damagedTorus(t, 32, 10, 27, 0.3)
+	cfg := Config{
+		Messages:     2000,
+		Arrival:      Poisson(32),
+		Route:        route.Options{DeadEnd: route.Backtrack},
+		DepthPenalty: 1,
+	}
+	depth, err := Run(g, Zipf(1.0), cfg, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := cfg
+	plain.DepthPenalty = 0
+	greedy, err := Run(g, Zipf(1.0), plain, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(depth.Loads, greedy.Loads) {
+		t.Error("depth penalty did not change the load profile")
+	}
+	if depth.Delivered+depth.Failed != depth.Injected {
+		t.Errorf("conservation broken: %d+%d != %d", depth.Delivered, depth.Failed, depth.Injected)
+	}
+	if depth.MaxQueueDepth >= greedy.MaxQueueDepth {
+		t.Errorf("depth-aware peak queue %d should beat greedy %d under overload",
+			depth.MaxQueueDepth, greedy.MaxQueueDepth)
+	}
+}
+
+func TestSweepRejectsEmptyBracket(t *testing.T) {
+	g := buildRing(t, 64, 4, 29)
+	if _, err := Sweep(g, Uniform(), SweepConfig{Min: 8, Max: 2}, 30); err == nil {
+		t.Error("inverted bracket should be rejected")
+	}
+}

@@ -1,0 +1,105 @@
+package regress
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/load"
+	"repro/internal/metric"
+	"repro/internal/rng"
+	"repro/internal/route"
+)
+
+// runSweepScenario executes the seeded saturation sweep — the
+// acceptance scenario, a 1024-node ring under Zipf(1.0) Poisson traffic
+// — and returns one line per evaluated load level plus a knee summary.
+// The golden values pin the whole saturation pipeline: the arrival
+// models' injection schedules, the stability criterion, the bisection
+// trajectory, and the queue replay underneath.
+func runSweepScenario(t *testing.T, workers int) []string {
+	t.Helper()
+	ring, err := metric.NewRing(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.BuildIdeal(ring, graph.PaperConfig(10), rng.New(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := load.SweepConfig{
+		Config: load.Config{
+			Messages: 2048,
+			Workers:  workers,
+			Route:    route.Options{DeadEnd: route.Backtrack},
+		},
+		Model:      "poisson",
+		Bisections: 4,
+	}
+	res, err := load.Sweep(g, load.Zipf(1.0), cfg, 201)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, p := range res.Points {
+		out = append(out, fmt.Sprintf(
+			"load=%.4f stable=%v thr=%.4f p50=%.2f p99=%.2f depth=%d makespan=%.2f fp=%#x",
+			p.Load, p.Stable, p.Result.Throughput, p.Result.LatencyP50,
+			p.Result.LatencyP99, p.Result.MaxQueueDepth, p.Result.Makespan,
+			loadFingerprint(p.Result.Loads)))
+	}
+	out = append(out, fmt.Sprintf("knee=%.4f thr=%.4f p99=%.2f bound=%.2f saturated=%v",
+		res.Knee, res.KneeThroughput, res.KneeP99, res.P99Bound, res.Saturated))
+	return out
+}
+
+// goldenSweep holds the values captured when the saturation subsystem
+// was introduced. Worker-count variants must agree by construction; the
+// literals pin everything else. The load fingerprint repeats across
+// levels by design: without congestion penalties the routed paths do
+// not depend on the injection rate — only the queueing outcome does.
+var goldenSweep = []string{
+	"load=0.5000 stable=true thr=0.5157 p50=4.00 p99=8.00 depth=2 makespan=3971.14 fp=0x503637205fa206f1",
+	"load=1.0000 stable=true thr=1.0301 p50=4.00 p99=8.00 depth=2 makespan=1988.07 fp=0x503637205fa206f1",
+	"load=2.0000 stable=true thr=2.0551 p50=4.00 p99=8.00 depth=2 makespan=996.54 fp=0x503637205fa206f1",
+	"load=4.0000 stable=true thr=4.0893 p50=4.00 p99=8.00 depth=3 makespan=500.82 fp=0x503637205fa206f1",
+	"load=8.0000 stable=true thr=8.0706 p50=4.00 p99=8.00 depth=4 makespan=253.76 fp=0x503637205fa206f1",
+	"load=16.0000 stable=true thr=15.5868 p50=4.00 p99=8.69 depth=7 makespan=131.39 fp=0x503637205fa206f1",
+	"load=20.0000 stable=true thr=18.4183 p50=4.03 p99=9.72 depth=10 makespan=111.19 fp=0x503637205fa206f1",
+	"load=22.0000 stable=true thr=19.1667 p50=4.20 p99=12.28 depth=13 makespan=106.85 fp=0x503637205fa206f1",
+	"load=23.0000 stable=false thr=19.3449 p50=4.32 p99=13.67 depth=16 makespan=105.87 fp=0x503637205fa206f1",
+	"load=24.0000 stable=false thr=19.5283 p50=4.37 p99=15.23 depth=18 makespan=104.87 fp=0x503637205fa206f1",
+	"load=32.0000 stable=false thr=20.0822 p50=4.89 p99=28.95 depth=35 makespan=101.98 fp=0x503637205fa206f1",
+	"knee=22.0000 thr=19.1667 p99=12.28 bound=64.00 saturated=true",
+}
+
+func TestSeededSweepGolden(t *testing.T) {
+	got := runSweepScenario(t, 1)
+	if len(goldenSweep) == 0 {
+		for _, line := range got {
+			t.Logf("golden: %q,", line)
+		}
+		t.Fatal("goldenSweep is empty; paste the logged lines above")
+	}
+	if len(got) != len(goldenSweep) {
+		t.Fatalf("sweep point count changed: got %d, want %d", len(got), len(goldenSweep))
+	}
+	for i := range got {
+		if got[i] != goldenSweep[i] {
+			t.Errorf("sweep line %d diverged:\n  got  %s\n  want %s", i, got[i], goldenSweep[i])
+		}
+	}
+}
+
+func TestSweepWorkerCountInvariance(t *testing.T) {
+	one := runSweepScenario(t, 1)
+	eight := runSweepScenario(t, 8)
+	if len(one) != len(eight) {
+		t.Fatalf("line counts differ: %d vs %d", len(one), len(eight))
+	}
+	for i := range one {
+		if one[i] != eight[i] {
+			t.Errorf("workers=8 line %d diverged:\n  got  %s\n  want %s", i, eight[i], one[i])
+		}
+	}
+}

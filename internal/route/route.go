@@ -101,8 +101,10 @@ type Options struct {
 	// long link is a network connection both endpoints can use.
 	DirectedOnly bool
 	// Congestion, when non-nil, reports a congestion penalty for
-	// forwarding through a node (package load feeds it the hops it has
-	// already charged). Greedy selection then minimizes
+	// forwarding through a node. Package load feeds it the hops it has
+	// already charged (Config.Penalty) and/or the node's instantaneous
+	// queue depth from a replay of the traffic routed so far
+	// (Config.DepthPenalty). Greedy selection then minimizes
 	// distance + CongestionWeight·Congestion(q) over the neighbours
 	// that still make strict metric progress, instead of distance
 	// alone — a congestion-penalized detour that spreads traffic off

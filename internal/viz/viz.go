@@ -117,6 +117,65 @@ func LoadProfile(h *mathx.Histogram, idle, width int) string {
 	return Bars(labels, values, width)
 }
 
+// ThroughputLatency renders a latency-vs-throughput curve (e.g. the
+// points of a load.SweepResult) as a fixed-size ASCII scatter plot:
+// throughput on the x axis, latency on the y axis, one '*' per point.
+// The capacity knee reads as the column where the points turn vertical —
+// throughput stops growing while latency climbs. Axis extents are
+// printed in the margins; mismatched or empty inputs yield "".
+func ThroughputLatency(throughput, latency []float64, width, height int) string {
+	if len(throughput) == 0 || len(throughput) != len(latency) {
+		return ""
+	}
+	if width < 8 {
+		width = 48
+	}
+	if height < 4 {
+		height = 12
+	}
+	maxX, maxY := 0.0, 0.0
+	for i := range throughput {
+		if throughput[i] > maxX {
+			maxX = throughput[i]
+		}
+		if latency[i] > maxY {
+			maxY = latency[i]
+		}
+	}
+	if maxX == 0 || maxY == 0 {
+		return ""
+	}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = make([]rune, width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	for i := range throughput {
+		c := int(throughput[i] / maxX * float64(width-1))
+		r := int(latency[i] / maxY * float64(height-1))
+		grid[height-1-r][c] = '*'
+	}
+	var b strings.Builder
+	for r, row := range grid {
+		switch r {
+		case 0:
+			fmt.Fprintf(&b, "%8.1f |", maxY)
+		case height - 1:
+			fmt.Fprintf(&b, "%8.1f |", 0.0)
+		default:
+			b.WriteString("         |")
+		}
+		b.WriteString(string(row))
+		b.WriteByte('\n')
+	}
+	b.WriteString("         +" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, "          0%*s\n", width-1, fmt.Sprintf("%.1f", maxX))
+	fmt.Fprintf(&b, "          p99 latency (ticks) vs throughput (msgs/tick)\n")
+	return b.String()
+}
+
 // RingPath draws a search path over a ring of n points as a fixed-width
 // strip: '·' for untouched regions, '*' for intermediate hops, 'S' for
 // the source and 'T' for the target (overriding hops at the same cell).

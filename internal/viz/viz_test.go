@@ -107,3 +107,37 @@ func TestRingPath(t *testing.T) {
 		t.Errorf("pair path: %q", pair)
 	}
 }
+
+func TestThroughputLatency(t *testing.T) {
+	if ThroughputLatency(nil, nil, 40, 10) != "" {
+		t.Error("empty input should render empty")
+	}
+	if ThroughputLatency([]float64{1}, []float64{1, 2}, 40, 10) != "" {
+		t.Error("mismatched input should render empty")
+	}
+	if ThroughputLatency([]float64{0}, []float64{0}, 40, 10) != "" {
+		t.Error("all-zero input should render empty")
+	}
+	// A classic knee: throughput grows then plateaus while latency
+	// explodes.
+	thr := []float64{1, 2, 4, 8, 15, 16, 16.5, 16.6}
+	lat := []float64{8, 8, 8, 9, 12, 30, 60, 120}
+	out := ThroughputLatency(thr, lat, 40, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 13 { // 10 grid rows + axis + x labels + caption
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if strings.Count(out, "*") == 0 || strings.Count(out, "*") > len(thr) {
+		t.Errorf("point count off:\n%s", out)
+	}
+	if !strings.Contains(lines[0], "120.0") || !strings.Contains(lines[9], "0.0") {
+		t.Errorf("y-axis extents missing:\n%s", out)
+	}
+	if !strings.Contains(lines[11], "16.6") {
+		t.Errorf("x-axis extent missing:\n%s", out)
+	}
+	// The loaded corner: the max-latency point sits in the top row.
+	if !strings.Contains(lines[0], "*") {
+		t.Errorf("top row should hold the saturated point:\n%s", out)
+	}
+}
