@@ -5,22 +5,26 @@
 // Any experiment failure or headline write failure makes the run exit
 // nonzero, so CI can gate on it.
 //
-// Besides the per-experiment tables it emits two machine-readable
+// Besides the per-experiment tables it emits three machine-readable
 // headlines so the bench trajectory is recorded run over run:
 // BENCH_load.json (max-load ratio and p99 queueing latency of greedy vs
-// load-aware routing under Zipf traffic) and BENCH_saturation.json (the
+// load-aware routing under Zipf traffic), BENCH_saturation.json (the
 // capacity knee — offered rate, knee throughput, and p99 at 80% of the
-// knee — of greedy vs load-aware vs depth-aware routing).
+// knee — of greedy vs load-aware vs depth-aware routing), and
+// BENCH_replica.json (the flood-knee lift of k = 4 hot-key replicas
+// plus cache-on-path over the unreplicated baseline on a 30%-failed
+// torus).
 //
 // -validate checks previously written headline files: they must parse,
-// and no headline metric may be NaN, infinite, or zero. The CI
-// bench-regression job runs ftrbench, then ftrbench -validate, and
-// uploads the headlines as artifacts.
+// no headline metric may be NaN, infinite, or zero, and every knee
+// throughput must be at least the minimal-load baseline recorded
+// alongside it. The CI bench-regression job runs ftrbench, then
+// ftrbench -validate, and uploads the headlines as artifacts.
 //
 // Usage:
 //
 //	ftrbench [-out results] [-n 16384] [-trials 5] [-msgs 100] [-seed 1] [-csv]
-//	ftrbench -validate results/BENCH_load.json,results/BENCH_saturation.json
+//	ftrbench -validate results/BENCH_load.json,results/BENCH_saturation.json,results/BENCH_replica.json
 package main
 
 import (
@@ -35,10 +39,12 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/failure"
 	"repro/internal/graph"
 	"repro/internal/load"
 	"repro/internal/mathx"
 	"repro/internal/metric"
+	"repro/internal/replica"
 	"repro/internal/rng"
 	"repro/internal/route"
 )
@@ -151,6 +157,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		} else {
 			fmt.Fprintf(stdout, "wrote BENCH_saturation.json\n")
 			fmt.Fprintf(&index, "%-28s ok  %-10s %s\n", "BENCH_saturation.json", "", "capacity-knee headline (greedy vs load-aware vs depth-aware)")
+		}
+	}
+	if *only == "" || strings.Contains(*only, "ext.replica.") {
+		if err := writeReplicaHeadline(filepath.Join(*out, "BENCH_replica.json"), *n, *msgs, *seed); err != nil {
+			fmt.Fprintln(stderr, "ftrbench:", err)
+			failed++
+			fmt.Fprintf(&index, "%-28s ERROR: %v\n", "BENCH_replica.json", err)
+		} else {
+			fmt.Fprintf(stdout, "wrote BENCH_replica.json\n")
+			fmt.Fprintf(&index, "%-28s ok  %-10s %s\n", "BENCH_replica.json", "", "flood-knee replication headline (k=1 vs k=4+cache)")
 		}
 	}
 	if err := writeTable(filepath.Join(*out, "INDEX.txt"), index.String()); err != nil {
@@ -281,9 +297,15 @@ type saturationHeadline struct {
 	KneeThroughputG     float64 `json:"knee_throughput_greedy"`
 	KneeThroughputAware float64 `json:"knee_throughput_aware"`
 	KneeThroughputDepth float64 `json:"knee_throughput_depth"`
-	P99BackoffGreedy    float64 `json:"p99_at_80pct_knee_greedy"`
-	P99BackoffAware     float64 `json:"p99_at_80pct_knee_aware"`
-	P99BackoffDepth     float64 `json:"p99_at_80pct_knee_depth"`
+	// The minimal-load throughput of each sweep: a sanity floor the
+	// validator holds the knee throughput to (a knee below it means the
+	// sweep mis-located the capacity).
+	BaselineThroughputG     float64 `json:"baseline_throughput_greedy"`
+	BaselineThroughputAware float64 `json:"baseline_throughput_aware"`
+	BaselineThroughputDepth float64 `json:"baseline_throughput_depth"`
+	P99BackoffGreedy        float64 `json:"p99_at_80pct_knee_greedy"`
+	P99BackoffAware         float64 `json:"p99_at_80pct_knee_aware"`
+	P99BackoffDepth         float64 `json:"p99_at_80pct_knee_depth"`
 }
 
 // writeSaturationHeadline sweeps the canonical scenario (Zipf traffic on
@@ -323,7 +345,7 @@ func writeSaturationHeadline(path string, n, msgs int, seed uint64) error {
 		Workload:   "zipf(1)",
 		Model:      "poisson",
 	}
-	sweep := func(penalty, depth float64) (knee, thr, p99Backoff float64, err error) {
+	sweep := func(penalty, depth float64) (knee, thr, baseline, p99Backoff float64, err error) {
 		cfg := load.SweepConfig{
 			Config: load.Config{
 				Messages:     msgs,
@@ -335,10 +357,10 @@ func writeSaturationHeadline(path string, n, msgs int, seed uint64) error {
 		}
 		res, err := load.Sweep(g, load.Zipf(1.0), cfg, seed+2000)
 		if err != nil {
-			return 0, 0, 0, err
+			return 0, 0, 0, 0, err
 		}
 		if res.KneePoint() == nil {
-			return 0, 0, 0, fmt.Errorf(
+			return 0, 0, 0, 0, fmt.Errorf(
 				"saturation headline: no finite knee (minimum load already unstable at n=%d msgs=%d; raise -msgs)",
 				n, msgs)
 		}
@@ -346,19 +368,134 @@ func writeSaturationHeadline(path string, n, msgs int, seed uint64) error {
 		backoffCfg.Arrival = load.Poisson(0.8 * res.Knee)
 		backoff, err := load.Run(g, load.Zipf(1.0), backoffCfg, seed+2000)
 		if err != nil {
-			return 0, 0, 0, err
+			return 0, 0, 0, 0, err
 		}
-		return res.Knee, res.KneeThroughput, backoff.LatencyP99, nil
+		return res.Knee, res.KneeThroughput, res.Points[0].Result.Throughput, backoff.LatencyP99, nil
 	}
-	if h.KneeRateGreedy, h.KneeThroughputG, h.P99BackoffGreedy, err = sweep(0, 0); err != nil {
+	if h.KneeRateGreedy, h.KneeThroughputG, h.BaselineThroughputG, h.P99BackoffGreedy, err = sweep(0, 0); err != nil {
 		return err
 	}
-	if h.KneeRateAware, h.KneeThroughputAware, h.P99BackoffAware, err = sweep(1, 0); err != nil {
+	if h.KneeRateAware, h.KneeThroughputAware, h.BaselineThroughputAware, h.P99BackoffAware, err = sweep(1, 0); err != nil {
 		return err
 	}
-	if h.KneeRateDepth, h.KneeThroughputDepth, h.P99BackoffDepth, err = sweep(1, 1); err != nil {
+	if h.KneeRateDepth, h.KneeThroughputDepth, h.BaselineThroughputDepth, h.P99BackoffDepth, err = sweep(1, 1); err != nil {
 		return err
 	}
+	return writeJSON(path, h)
+}
+
+// replicaHeadline is the BENCH_replica.json schema: the flood-knee lift
+// of hot-key replication on the acceptance scenario — a 30%-failed 2-D
+// torus under a single-target flood, swept unreplicated (k = 1) and
+// with k = 4 hash-spread replicas plus popularity-triggered
+// cache-on-path, nearest-replica greedy routing throughout. KneeLift is
+// the headline claim (>= 3x); the baseline throughputs are the
+// minimal-load floors the validator checks the knees against. Values
+// are deterministic in (n, messages, seed).
+type replicaHeadline struct {
+	Experiment         string  `json:"experiment"`
+	N                  int     `json:"n"`
+	Side               int     `json:"side"`
+	Links              int     `json:"links"`
+	Messages           int     `json:"messages"`
+	Seed               uint64  `json:"seed"`
+	Workload           string  `json:"workload"`
+	Model              string  `json:"arrival_model"`
+	FailFrac           float64 `json:"fail_frac"`
+	Replicas           int     `json:"replicas"`
+	CacheThreshold     int     `json:"cache_threshold"`
+	CacheCopies        int     `json:"cache_copies"`
+	KneeRateK1         float64 `json:"knee_rate_k1"`
+	KneeRateK4         float64 `json:"knee_rate_k4"`
+	KneeThroughputK1   float64 `json:"knee_throughput_k1"`
+	KneeThroughputK4   float64 `json:"knee_throughput_k4"`
+	BaselineThroughput float64 `json:"baseline_throughput"`
+	KneeLift           float64 `json:"knee_lift"`
+}
+
+// writeReplicaHeadline sweeps the acceptance scenario with and without
+// replication and writes the JSON headline. Zero n/msgs/seed take the
+// ext.replica.flood defaults.
+func writeReplicaHeadline(path string, n, msgs int, seed uint64) error {
+	if n == 0 {
+		n = 1 << 10
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	side := int(math.Round(math.Sqrt(float64(n))))
+	if side < 8 {
+		side = 8
+	}
+	if msgs == 0 {
+		msgs = 3 * side * side
+	}
+	links := mathx.ILog2(side * side)
+	if links < 1 {
+		links = 1
+	}
+	torus, err := metric.NewTorus(side, 2)
+	if err != nil {
+		return err
+	}
+	src := rng.New(seed)
+	g, err := graph.BuildIdeal(torus, graph.PaperConfigFor(torus, links), src)
+	if err != nil {
+		return err
+	}
+	if _, err := failure.FailNodesFraction(g, 0.3, src.Derive(1)); err != nil {
+		return err
+	}
+	h := replicaHeadline{
+		Experiment:     "replica.headline",
+		N:              side * side,
+		Side:           side,
+		Links:          links,
+		Messages:       msgs,
+		Seed:           seed,
+		Workload:       "flood",
+		Model:          "poisson",
+		FailFrac:       0.3,
+		Replicas:       4,
+		CacheThreshold: 16,
+		CacheCopies:    8,
+	}
+	sweep := func(opt *replica.Options) (*load.SweepResult, error) {
+		cfg := load.SweepConfig{
+			Config: load.Config{
+				Messages: msgs,
+				Route:    route.Options{DeadEnd: route.Backtrack},
+			},
+			Model: "poisson",
+		}
+		cfg.Replication = opt
+		res, err := load.Sweep(g, load.Flood(), cfg, seed+3000)
+		if err != nil {
+			return nil, err
+		}
+		if res.KneePoint() == nil {
+			return nil, fmt.Errorf(
+				"replica headline: no finite knee (minimum load already unstable at n=%d msgs=%d; raise -msgs)",
+				n, msgs)
+		}
+		return res, nil
+	}
+	base, err := sweep(nil)
+	if err != nil {
+		return err
+	}
+	repl, err := sweep(&replica.Options{
+		K:              h.Replicas,
+		CacheThreshold: h.CacheThreshold,
+		CacheCopies:    h.CacheCopies,
+	})
+	if err != nil {
+		return err
+	}
+	h.KneeRateK1, h.KneeThroughputK1 = base.Knee, base.KneeThroughput
+	h.KneeRateK4, h.KneeThroughputK4 = repl.Knee, repl.KneeThroughput
+	h.BaselineThroughput = base.Points[0].Result.Throughput
+	h.KneeLift = repl.KneeThroughput / base.KneeThroughput
 	return writeJSON(path, h)
 }
 
@@ -375,10 +512,11 @@ func headlineKey(k string) bool {
 }
 
 // validateHeadline parses one BENCH_*.json file and rejects NaN,
-// infinite, or zero-valued headline metrics — the CI bench-regression
-// gate. Encoding NaN would already fail at write time (encoding/json
-// rejects it), so the finiteness check guards hand-edited or truncated
-// files.
+// infinite, or zero-valued headline metrics, and any knee throughput
+// below the minimal-load baseline recorded next to it — the CI
+// bench-regression gate. Encoding NaN would already fail at write time
+// (encoding/json rejects it), so the finiteness check guards
+// hand-edited or truncated files.
 func validateHeadline(path string) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -406,9 +544,40 @@ func validateHeadline(path string) error {
 				return fmt.Errorf("%s: headline field %q is zero", path, k)
 			}
 		}
+		if err := checkKneeBaseline(fields, k, f); err != nil {
+			return fmt.Errorf("%s: %v", path, err)
+		}
 	}
 	if checked == 0 {
 		return fmt.Errorf("%s: no headline metrics found", path)
+	}
+	return nil
+}
+
+// checkKneeBaseline rejects a knee_throughput_* field that sits below
+// its own sweep's minimal-load throughput: the knee is by definition
+// the largest stable load, so its throughput can never undercut the
+// minimum's — a headline violating that was produced by a broken sweep
+// (or a hand-edited file). The baseline is looked up under the matching
+// suffix (baseline_throughput_<suffix>) or the file-wide
+// baseline_throughput; headlines without a baseline field pass, so
+// older BENCH_load.json-style files stay valid.
+func checkKneeBaseline(fields map[string]interface{}, key string, knee float64) error {
+	const kneePrefix = "knee_throughput"
+	if !strings.HasPrefix(key, kneePrefix) {
+		return nil
+	}
+	baseKey := "baseline_throughput" + strings.TrimPrefix(key, kneePrefix)
+	base, ok := fields[baseKey].(float64)
+	if !ok {
+		base, ok = fields["baseline_throughput"].(float64)
+	}
+	if !ok {
+		return nil
+	}
+	if knee < base {
+		return fmt.Errorf("headline field %q = %g is below its minimal-load baseline %g (%s)",
+			key, knee, base, baseKey)
 	}
 	return nil
 }

@@ -77,6 +77,9 @@ func TestRunOnlySkipsLoadHeadline(t *testing.T) {
 	if _, err := os.Stat(filepath.Join(dir, "BENCH_saturation.json")); err == nil {
 		t.Error("a -only run without saturation experiments should not write BENCH_saturation.json")
 	}
+	if _, err := os.Stat(filepath.Join(dir, "BENCH_replica.json")); err == nil {
+		t.Error("a -only run without replica experiments should not write BENCH_replica.json")
+	}
 }
 
 func TestRunWritesSaturationHeadline(t *testing.T) {
@@ -118,6 +121,45 @@ func TestRunWritesSaturationHeadline(t *testing.T) {
 	}
 }
 
+func TestRunWritesReplicaHeadline(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut strings.Builder
+	code := run([]string{
+		"-out", dir,
+		"-only", "ext.replica.churn",
+		"-n", "400", "-msgs", "900", "-seed", "1",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	path := filepath.Join(dir, "BENCH_replica.json")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing BENCH_replica.json: %v", err)
+	}
+	var headline map[string]interface{}
+	if err := json.Unmarshal(raw, &headline); err != nil {
+		t.Fatalf("BENCH_replica.json is not valid JSON: %v", err)
+	}
+	for _, key := range []string{
+		"knee_rate_k1", "knee_rate_k4",
+		"knee_throughput_k1", "knee_throughput_k4",
+		"baseline_throughput", "knee_lift",
+	} {
+		v, ok := headline[key].(float64)
+		if !ok || v <= 0 {
+			t.Errorf("BENCH_replica.json field %q = %v, want positive number", key, headline[key])
+		}
+	}
+	// The freshly written headline must satisfy the validator the CI
+	// gate runs, including the knee-above-baseline rule.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-validate", path}, &out, &errOut); code != 0 {
+		t.Errorf("-validate rejected a fresh replica headline: %s", errOut.String())
+	}
+}
+
 func TestValidateRejectsBrokenHeadlines(t *testing.T) {
 	dir := t.TempDir()
 	cases := map[string]string{
@@ -126,6 +168,11 @@ func TestValidateRejectsBrokenHeadlines(t *testing.T) {
 		"zero.json":     `{"experiment":"x","knee_rate_greedy":0}`,
 		"headless.json": `{"experiment":"x","n":512}`,
 		"anon.json":     `{"knee_rate_greedy":1}`,
+		// The knee-vs-baseline gate: a knee throughput below the sweep's
+		// own minimal-load throughput is a broken sweep, whether the
+		// baseline is suffix-matched or file-wide.
+		"sunkknee.json":  `{"experiment":"x","knee_throughput_greedy":1.5,"baseline_throughput_greedy":2.0}`,
+		"sunkknee2.json": `{"experiment":"x","knee_throughput_k4":0.4,"baseline_throughput":0.5}`,
 	}
 	for name, content := range cases {
 		path := filepath.Join(dir, name)
@@ -137,6 +184,22 @@ func TestValidateRejectsBrokenHeadlines(t *testing.T) {
 		var out, errOut strings.Builder
 		if code := run([]string{"-validate", path}, &out, &errOut); code != 1 {
 			t.Errorf("%s: exit = %d, want 1 (stderr %q)", name, code, errOut.String())
+		}
+	}
+	// A knee at or above its baseline passes; a headline without any
+	// baseline field is still valid (the older schemas).
+	okCases := map[string]string{
+		"atbase.json": `{"experiment":"x","knee_throughput_greedy":2.0,"baseline_throughput_greedy":2.0}`,
+		"nobase.json": `{"experiment":"x","knee_throughput_greedy":2.0}`,
+	}
+	for name, content := range okCases {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out, errOut strings.Builder
+		if code := run([]string{"-validate", path}, &out, &errOut); code != 0 {
+			t.Errorf("%s: exit = %d, want 0 (stderr %q)", name, code, errOut.String())
 		}
 	}
 	// One bad file fails the whole list even when another is fine.

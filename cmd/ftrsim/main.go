@@ -9,6 +9,8 @@
 //	ftrsim -exp ext.load.zipf -workload flood -capacity 2   # traffic & congestion
 //	ftrsim -exp ext.saturation.knee                         # find the capacity knee
 //	ftrsim -exp ext.saturation.knee -arrival closed -think 4
+//	ftrsim -exp ext.replica.flood -replicas 8               # hot-key replication ladder
+//	ftrsim -exp ext.load.zipf -replicas 4 -cache 25         # replicate any traffic run
 //
 // Defaults are scaled for quick runs; the flags restore the paper's
 // scale (Figure 6 used n=2^17, 1000 simulations of 100 messages).
@@ -20,9 +22,11 @@
 // -arrival/-rate/-clients/-think select the arrival model — open-loop
 // periodic or Poisson at -rate, or a closed loop of -clients with
 // -think ticks between lookups — for both the fixed-rate experiments
-// and the ext.saturation.* sweeps. All traffic tables are
-// byte-identical for a fixed seed regardless of worker count or
-// machine.
+// and the ext.saturation.* sweeps. -replicas/-cache turn on hot-key
+// replication (internal/replica): k static replicas per key and/or
+// popularity-triggered cache-on-path, routed to the nearest live copy.
+// All traffic tables are byte-identical for a fixed seed regardless of
+// worker count or machine.
 package main
 
 import (
@@ -63,6 +67,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rate     = fs.Float64("rate", 0, "open-loop injection rate in messages per virtual tick (0 = experiment default)")
 		clients  = fs.Int("clients", 0, "closed-loop client population for -arrival closed (0 = 16)")
 		think    = fs.Float64("think", 0, "closed-loop think time in ticks between a client's lookups")
+		replicas = fs.Int("replicas", 0, "hot-key replica count k for the traffic experiments (0/1 = no static replication)")
+		cache    = fs.Int("cache", 0, "popularity threshold of cache-on-path replication (0 = experiment default / off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -109,10 +115,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "ftrsim: -rate, -clients and -think must be non-negative")
 		return 2
 	}
+	if *replicas < 0 || *cache < 0 {
+		fmt.Fprintln(stderr, "ftrsim: -replicas and -cache must be non-negative")
+		return 2
+	}
 	table, err := experiments.Run(*exp, experiments.Params{
 		N: *n, Dim: *dim, Side: *side, Links: *links, Trials: *trials, Msgs: *msgs, Seed: *seed,
 		Workload: *workload, Skew: *skew, Capacity: *capacity, Penalty: *penalty,
 		DepthPenalty: *depth, Arrival: *arrival, Rate: *rate, Clients: *clients, Think: *think,
+		Replicas: *replicas, Cache: *cache,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "ftrsim:", err)

@@ -80,6 +80,28 @@ func TestRunLoadExperiment(t *testing.T) {
 	}
 }
 
+func TestRunReplicaExperiment(t *testing.T) {
+	// The churn ladder through the CLI, with the replica count and cache
+	// threshold overridden via -replicas/-cache.
+	args := []string{"-exp", "ext.replica.churn", "-n", "256", "-msgs", "120",
+		"-replicas", "3", "-cache", "20"}
+	var out1, out2, errOut strings.Builder
+	if code := run(args, &out1, &errOut); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"k=3", "delivered", "serving", "max load"} {
+		if !strings.Contains(out1.String(), want) {
+			t.Errorf("replica table missing %q:\n%s", want, out1.String())
+		}
+	}
+	if code := run(args, &out2, &errOut); code != 0 {
+		t.Fatalf("second run exit = %d", code)
+	}
+	if out1.String() != out2.String() {
+		t.Error("seeded replica experiment must be byte-identical across runs")
+	}
+}
+
 func TestRunRejectsNegativeLoadFlags(t *testing.T) {
 	for _, args := range [][]string{
 		{"-exp", "ext.load.zipf", "-skew", "-1"},
@@ -87,6 +109,8 @@ func TestRunRejectsNegativeLoadFlags(t *testing.T) {
 		{"-exp", "ext.saturation.knee", "-rate", "-2"},
 		{"-exp", "ext.saturation.knee", "-clients", "-3"},
 		{"-exp", "ext.saturation.knee", "-think", "-0.5"},
+		{"-exp", "ext.replica.flood", "-replicas", "-2"},
+		{"-exp", "ext.replica.flood", "-cache", "-1"},
 	} {
 		var out, errOut strings.Builder
 		if code := run(args, &out, &errOut); code != 2 {

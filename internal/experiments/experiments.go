@@ -73,6 +73,13 @@ type Params struct {
 	// Think is the closed-loop think time in ticks between a client's
 	// lookups.
 	Think float64
+	// Replicas is the hot-key replica count k of the ext.replica.*
+	// experiments (and, through loadConfig, of any traffic experiment);
+	// 0/1 disables static replication.
+	Replicas int
+	// Cache is the popularity threshold of cache-on-path replication;
+	// 0 disables caching.
+	Cache int
 }
 
 func (p Params) withDefaults(n, trials, msgs int) Params {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/load"
 	"repro/internal/metric"
+	"repro/internal/replica"
 	"repro/internal/rng"
 	"repro/internal/route"
 	"repro/internal/sim"
@@ -73,6 +74,9 @@ func loadConfig(p Params) (load.Config, error) {
 		Workers:      p.Workers,
 		DepthPenalty: p.DepthPenalty,
 		Route:        route.Options{DeadEnd: route.Backtrack},
+	}
+	if p.Replicas > 1 || p.Cache > 0 {
+		cfg.Replication = &replica.Options{K: p.Replicas, CacheThreshold: p.Cache}
 	}
 	if p.Arrival != "" {
 		arr, err := load.NewArrival(p.Arrival, p.Rate, p.Clients, p.Think)

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/load"
+)
+
+// TestReplicaExperimentsRegistered pins the ext.replica.* ids the CLI
+// and bench harness depend on.
+func TestReplicaExperimentsRegistered(t *testing.T) {
+	for _, id := range []string{
+		"ext.replica.flood", "ext.replica.zipf", "ext.replica.churn",
+	} {
+		if _, err := Get(id); err != nil {
+			t.Errorf("missing experiment %s: %v", id, err)
+		}
+	}
+}
+
+// TestReplicaZipfTable runs the placement comparison at a reduced scale
+// and checks its shape: every placement row on both scenarios, and the
+// cache strategy actually placing copies.
+func TestReplicaZipfTable(t *testing.T) {
+	table, err := Run("ext.replica.zipf", Params{N: 512, Msgs: 400, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := table.String()
+	for _, want := range []string{
+		"ring healthy", "torus healthy",
+		"none", "hash", "antipodal", "cache-on-path", "max served",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("zipf replica table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestReplicaChurnDeterministicAcrossWorkers extends the worker
+// invariance contract to the replica pipeline end to end.
+func TestReplicaChurnDeterministicAcrossWorkers(t *testing.T) {
+	small := Params{N: 256, Msgs: 200, Seed: 7}
+	var want string
+	for _, workers := range []int{1, 4} {
+		p := small
+		p.Workers = workers
+		table, err := Run("ext.replica.churn", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := table.String()
+		if want == "" {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Errorf("workers=%d output diverged:\n%s\nvs workers=1:\n%s", workers, got, want)
+		}
+	}
+}
+
+// TestReplicaFloodKneeLift is the acceptance criterion: on the
+// 30%-failed torus scenario of ext.replica.flood (its default
+// parameters), k = 4 replicas with cache-on-path must lift the flood
+// knee throughput at least 3x over the unreplicated baseline.
+func TestReplicaFloodKneeLift(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale sweep skipped in -short mode")
+	}
+	p := Params{}.withDefaults(1<<10, 1, 0)
+	sc := loadScenario{"torus 30% failed", 2, 0.3}
+	const scenarioIdx = 0 // the torus row of ext.replica.flood
+	g, err := buildLoadGraph(sc, p, p.Seed+uint64(scenarioIdx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ladder := floodLadder(p)
+	sweepAt := func(v floodVariant) *load.SweepResult {
+		t.Helper()
+		cfg := sweepConfigFor(p, saturationPolicy{name: "greedy"})
+		cfg.Replication = v.opt
+		res, err := load.Sweep(g, load.Flood(), cfg, p.Seed+uint64(5000+scenarioIdx))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := sweepAt(ladder[0])
+	replicated := sweepAt(ladder[len(ladder)-1])
+	if base.KneeThroughput <= 0 {
+		t.Fatalf("baseline knee throughput %v, want positive", base.KneeThroughput)
+	}
+	lift := replicated.KneeThroughput / base.KneeThroughput
+	if lift < 3 {
+		t.Errorf("k=4+cache flood knee lift %.3f (thr %.3f vs %.3f), want >= 3",
+			lift, replicated.KneeThroughput, base.KneeThroughput)
+	}
+}

@@ -1,0 +1,75 @@
+package load
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/replica"
+)
+
+// FuzzLoadConfigValidate: Validate must never panic, must accept
+// exactly the configurations Run can execute (finite positive capacity
+// and rate, non-negative everything else), and resolving defaults from
+// any non-negative raw config must always yield a valid one — the
+// contract between Config's zero values and Run.
+func FuzzLoadConfigValidate(f *testing.F) {
+	f.Add(256, 1.0, 1.0, 0.0, 0.0, 32, 0, 0, 0)
+	f.Add(0, 0.0, 0.0, 0.0, 0.0, 0, 0, 0, 0)
+	f.Add(-1, 2.0, 0.5, 1.0, 1.0, 8, 4, 16, 8)
+	f.Add(100, math.Inf(1), 1.0, 0.0, 0.0, 0, 0, 0, 0)
+	f.Add(100, 1.0, math.NaN(), 0.0, 0.0, 0, 2, 0, 0)
+	f.Add(100, 1.0, 1.0, -0.5, 0.0, 0, -3, -1, -2)
+	f.Fuzz(func(t *testing.T, messages int, capacity, rate, penalty, depth float64, batch, k, cacheT, cacheC int) {
+		cfg := Config{
+			Messages:     messages,
+			Capacity:     capacity,
+			Rate:         rate,
+			Penalty:      penalty,
+			DepthPenalty: depth,
+			BatchSize:    batch,
+		}
+		if k != 0 || cacheT != 0 || cacheC != 0 {
+			cfg.Replication = &replica.Options{K: k, CacheThreshold: cacheT, CacheCopies: cacheC}
+		}
+		err := cfg.Validate() // must not panic on any input
+
+		finitePos := func(v float64) bool { return v > 0 && !math.IsInf(v, 0) }
+		finiteNonNeg := func(v float64) bool { return v >= 0 && !math.IsInf(v, 0) }
+		valid := messages >= 0 &&
+			finitePos(capacity) && finitePos(rate) &&
+			finiteNonNeg(penalty) && finiteNonNeg(depth) &&
+			batch >= 0 &&
+			(cfg.Replication == nil || (k >= 0 && cacheT >= 0 && cacheC >= 0))
+		if valid && err != nil {
+			t.Fatalf("Validate rejected a valid config %+v: %v", cfg, err)
+		}
+		if !valid && err == nil {
+			t.Fatalf("Validate accepted an invalid config %+v", cfg)
+		}
+
+		// Defaults resolution: any config whose raw fields are
+		// non-negative (zero meaning "default") must resolve valid, and
+		// resolution must be idempotent.
+		defaultable := messages >= 0 &&
+			finiteNonNeg(capacity) && finiteNonNeg(rate) &&
+			finiteNonNeg(penalty) && finiteNonNeg(depth) &&
+			batch >= 0 &&
+			(cfg.Replication == nil || (k >= 0 && cacheT >= 0 && cacheC >= 0))
+		resolved := cfg.withDefaults()
+		if defaultable {
+			if err := resolved.Validate(); err != nil {
+				t.Fatalf("withDefaults broke a defaultable config %+v: %v", cfg, err)
+			}
+		}
+		// Resolution must be idempotent (compare the scalar fields — the
+		// struct itself holds func-typed route options — bitwise, so a
+		// propagated NaN still counts as unchanged).
+		again := resolved.withDefaults()
+		sameF := func(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+		if again.Messages != resolved.Messages || !sameF(again.Capacity, resolved.Capacity) ||
+			!sameF(again.Rate, resolved.Rate) || again.Workers != resolved.Workers ||
+			again.BatchSize != resolved.BatchSize {
+			t.Fatalf("withDefaults not idempotent: %+v vs %+v", resolved, again)
+		}
+	})
+}

@@ -2,12 +2,14 @@ package load
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/metric"
+	"repro/internal/replica"
 	"repro/internal/rng"
 	"repro/internal/route"
 	"repro/internal/sim"
@@ -58,8 +60,20 @@ type Config struct {
 	// BatchSize is how many messages route against one frozen
 	// congestion snapshot when Penalty or DepthPenalty is positive —
 	// the staleness of load information in a real system. Zero defaults
-	// to 32.
+	// to 32. Cache-on-path replication shares the same batching: cached
+	// copies placed during one batch serve traffic from the next.
 	BatchSize int
+	// Replication, when non-nil and enabled (K > 1 or a positive
+	// CacheThreshold), replicates every lookup key through
+	// replica.NewPlacement and routes each message to the nearest live
+	// replica (route.RouteAny). Dead replicas degrade the set toward
+	// plain greedy on the primary; delivered messages feed the
+	// placement's popularity counters at batch boundaries, so
+	// cache-on-path stays deterministic and worker-count independent.
+	Replication *replica.Options
+	// ReplicaSeed seeds the hash-spread placement; zero derives it from
+	// the run seed, so a fixed (cfg, seed) still pins every replica.
+	ReplicaSeed uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +103,17 @@ func (c Config) Validate() error {
 	if c.Messages < 0 {
 		return fmt.Errorf("load: negative message count %d", c.Messages)
 	}
+	for name, v := range map[string]float64{
+		"capacity": c.Capacity, "rate": c.Rate,
+		"penalty": c.Penalty, "depth penalty": c.DepthPenalty,
+	} {
+		// NaN slips through ordered comparisons and an infinite rate or
+		// capacity degenerates the virtual-time replay, so both are
+		// configuration errors, not values to compute with.
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("load: %s %g is not finite", name, v)
+		}
+	}
 	if c.Capacity <= 0 || c.Rate <= 0 {
 		return fmt.Errorf("load: capacity %g and rate %g must be positive", c.Capacity, c.Rate)
 	}
@@ -97,6 +122,11 @@ func (c Config) Validate() error {
 	}
 	if c.BatchSize < 0 {
 		return fmt.Errorf("load: negative batch size %d", c.BatchSize)
+	}
+	if c.Replication != nil {
+		if err := c.Replication.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -109,6 +139,8 @@ type Result struct {
 	Workload string
 	// Arrival names the arrival model that timed the injections.
 	Arrival string
+	// Replication names the replica placement ("" when disabled).
+	Replication string
 	// Search aggregates the underlying route results exactly as the
 	// single-message experiments do.
 	Search sim.SearchStats
@@ -118,6 +150,14 @@ type Result struct {
 	// Loads counts message-hop services per grid point (index =
 	// metric.Point; absent or untouched points hold 0).
 	Loads []int
+	// ServedBy counts, per grid point, the delivered messages that
+	// point consumed — under replication, how the hot key's traffic
+	// fanned out across its replicas (index = metric.Point).
+	ServedBy []int
+	// CachedKeys and CacheCopies report the popularity-triggered
+	// cache placements made during the run (zero without a cache
+	// threshold).
+	CachedKeys, CacheCopies int
 	// MaxLoad is the hottest node's service count; MeanLoad averages
 	// over the live nodes. Their ratio is the imbalance headline.
 	MaxLoad  int
@@ -194,11 +234,30 @@ func Run(g *graph.Graph, gen Generator, cfg Config, seed uint64) (*Result, error
 	primed := arr.Prime(cfg.Messages, root.Derive(2))
 	serviceTime := 1 / cfg.Capacity
 
+	// Resolve the replica placement, if any. The placement is consulted
+	// and fed back only from this goroutine at batch boundaries, so
+	// replica-aware runs keep the worker-count independence contract.
+	var placement *replica.Placement
+	if cfg.Replication != nil && cfg.Replication.Enabled() {
+		rseed := cfg.ReplicaSeed
+		if rseed == 0 {
+			rseed = root.Derive(3).Uint64()
+		}
+		var err error
+		placement, err = replica.NewPlacement(g.Space(), *cfg.Replication, rseed)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	// Route all messages, in congestion-snapshot batches when a
-	// congestion-aware policy is on (one batch of everything otherwise).
-	// Message i always routes from stream Derive(16+i), so the paths —
-	// and everything downstream — are independent of worker count.
+	// congestion-aware policy is on (one batch of everything otherwise;
+	// cache-on-path replication also batches, so copies placed during
+	// one batch serve the next). Message i always routes from stream
+	// Derive(16+i), so the paths — and everything downstream — are
+	// independent of worker count.
 	aware := cfg.Penalty > 0 || cfg.DepthPenalty > 0
+	caching := placement != nil && cfg.Replication.CacheThreshold > 0
 	ropt := cfg.Route
 	ropt.TracePath = true
 	if aware {
@@ -212,7 +271,7 @@ func Run(g *graph.Graph, gen Generator, cfg Config, seed uint64) (*Result, error
 	msgs := make([]queuedMessage, cfg.Messages)
 	charged := make([]int, g.Size())
 	batch := cfg.Messages
-	if aware {
+	if aware || caching {
 		batch = cfg.BatchSize
 	}
 	for start := 0; start < cfg.Messages; start += batch {
@@ -257,13 +316,25 @@ func Run(g *graph.Graph, gen Generator, cfg Config, seed uint64) (*Result, error
 				opt.CongestionWeight = 1
 			}
 		}
-		if err := routeRange(g, opt, root, pairs[start:end], results[start:end], start, cfg.Workers); err != nil {
+		// Freeze this batch's replica sets before any parallelism: the
+		// placement may gain cached copies only between batches.
+		var targets [][]metric.Point
+		if placement != nil {
+			targets = make([][]metric.Point, end-start)
+			for i := start; i < end; i++ {
+				targets[i-start] = placement.Targets(pairs[i].to)
+			}
+		}
+		if err := routeRange(g, opt, root, pairs[start:end], targets, results[start:end], start, cfg.Workers); err != nil {
 			return nil, err
 		}
 		for i := start; i < end; i++ {
 			msgs[i] = queuedMessage{path: forwarders(results[i]), delivered: results[i].Delivered}
 			for _, p := range msgs[i].path {
 				charged[p]++
+			}
+			if caching && results[i].Delivered {
+				placement.Observe(pairs[i].to, results[i].Path)
 			}
 		}
 	}
@@ -276,14 +347,21 @@ func Run(g *graph.Graph, gen Generator, cfg Config, seed uint64) (*Result, error
 		Arrival:       arr.Name(),
 		Injected:      cfg.Messages,
 		Loads:         out.loads,
+		ServedBy:      make([]int, g.Size()),
 		MaxQueueDepth: out.maxQueueDepth,
 		Makespan:      out.makespan,
 		LastInject:    out.lastInject,
+	}
+	if placement != nil {
+		r.Replication = placement.Name()
+		r.CachedKeys = placement.CachedKeys()
+		r.CacheCopies = placement.CachedCopies()
 	}
 	for _, res := range results {
 		r.Search.Record(res)
 		if res.Delivered {
 			r.Delivered++
+			r.ServedBy[res.Target]++
 		} else {
 			r.Failed++
 		}
@@ -367,15 +445,25 @@ func forwarders(res route.Result) []metric.Point {
 
 // routeRange routes pairs[i] into results[i] across workers goroutines.
 // offset is the global index of pairs[0], which keys each message's rng
-// stream — the assignment of messages to workers is irrelevant.
-func routeRange(g *graph.Graph, opt route.Options, root *rng.Source, pairs []lookup, results []route.Result, offset, workers int) error {
+// stream — the assignment of messages to workers is irrelevant. A
+// non-nil targets slice carries each message's frozen replica set;
+// message i then routes to the nearest live member of targets[i]
+// instead of pairs[i].to.
+func routeRange(g *graph.Graph, opt route.Options, root *rng.Source, pairs []lookup, targets [][]metric.Point, results []route.Result, offset, workers int) error {
 	router := route.New(g, opt)
+	routeOne := func(i int) (route.Result, error) {
+		src := root.Derive(16 + uint64(offset+i))
+		if targets != nil {
+			return router.RouteAny(src, pairs[i].from, targets[i])
+		}
+		return router.Route(src, pairs[i].from, pairs[i].to)
+	}
 	if workers > len(pairs) {
 		workers = len(pairs)
 	}
 	if workers <= 1 {
 		for i := range pairs {
-			res, err := router.Route(root.Derive(16+uint64(offset+i)), pairs[i].from, pairs[i].to)
+			res, err := routeOne(i)
 			if err != nil {
 				return err
 			}
@@ -398,7 +486,7 @@ func routeRange(g *graph.Graph, opt route.Options, root *rng.Source, pairs []loo
 				if i >= len(pairs) {
 					return
 				}
-				res, err := router.Route(root.Derive(16+uint64(offset+i)), pairs[i].from, pairs[i].to)
+				res, err := routeOne(i)
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {

@@ -1,0 +1,54 @@
+package load_test
+
+// The property harness (internal/proptest) retrofitted onto the
+// traffic pipeline: random graphs and workloads, the
+// byte-identical-across-workers replay contract. Runs under the CI
+// `go test -run Prop -count=2` determinism step.
+
+import (
+	"testing"
+
+	"repro/internal/load"
+	"repro/internal/proptest"
+	"repro/internal/route"
+)
+
+func TestPropLoadWorkerInvariance(t *testing.T) {
+	for iter := 0; iter < 10; iter++ {
+		gen := proptest.New(uint64(700 + iter))
+		g := gen.Graph(t)
+		wl := gen.Workload()
+		cfg := load.Config{
+			Messages: 150,
+			Penalty:  float64(iter % 2),
+			Route:    route.Options{DeadEnd: route.Backtrack},
+		}
+		res := proptest.CheckWorkerInvariance(t, g, wl, cfg, uint64(800+iter))
+		if t.Failed() {
+			t.Fatalf("iter %d failed (seed %d, workload %s)", iter, 700+iter, wl.Name())
+		}
+		if res.Injected != res.Delivered+res.Failed {
+			t.Fatalf("iter %d: conservation broke", iter)
+		}
+	}
+}
+
+func TestPropArrivalModelsWorkerInvariance(t *testing.T) {
+	for iter := 0; iter < 6; iter++ {
+		gen := proptest.New(uint64(900 + iter))
+		g := gen.Graph(t)
+		cfg := load.Config{Messages: 150, Route: route.Options{DeadEnd: route.Backtrack}}
+		switch iter % 3 {
+		case 0:
+			cfg.Arrival = load.Poisson(2)
+		case 1:
+			cfg.Arrival = load.ClosedLoop(8, 1)
+		default:
+			cfg.Arrival = load.Periodic(4)
+		}
+		proptest.CheckWorkerInvariance(t, g, gen.Workload(), cfg, uint64(950+iter))
+		if t.Failed() {
+			t.Fatalf("iter %d failed (seed %d)", iter, 900+iter)
+		}
+	}
+}

@@ -54,6 +54,33 @@ func (r *Result) LoadHistogram() *mathx.Histogram {
 	return h
 }
 
+// MaxServed returns the largest per-point delivery count — how
+// concentrated the consumption side of the traffic is. Replicating a
+// hot key splits its deliveries across replicas, so MaxServed drops
+// while total deliveries stay put.
+func (r *Result) MaxServed() int {
+	max := 0
+	for _, c := range r.ServedBy {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// ServingPoints returns how many points consumed at least one delivered
+// message — under a flood, the number of replicas actually absorbing
+// the hot key's traffic.
+func (r *Result) ServingPoints() int {
+	n := 0
+	for _, c := range r.ServedBy {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
 // HottestNodes returns the k most-loaded points, hottest first (load
 // ties break toward the lower point id). Useful for flood diagnostics
 // and the hotspot example.

@@ -1,0 +1,131 @@
+package proptest
+
+import (
+	"testing"
+
+	"repro/internal/load"
+	"repro/internal/metric"
+	"repro/internal/replica"
+	"repro/internal/rng"
+	"repro/internal/route"
+)
+
+// TestPropReplicaRoutingInvariants drives nearest-replica routing over
+// random universes: plain and congestion-penalized greedy walks must
+// make strict set-distance progress, and every delivery must end on a
+// live member of its target set.
+func TestPropReplicaRoutingInvariants(t *testing.T) {
+	for iter := 0; iter < 60; iter++ {
+		gen := New(uint64(1000 + iter))
+		g := gen.Graph(t)
+		opt := route.Options{TracePath: true}
+		if iter%3 == 1 {
+			opt.Congestion = func(q metric.Point) float64 { return float64(q % 5) }
+		}
+		if iter%3 == 2 {
+			opt.DirectedOnly = true
+		}
+		r := route.New(g, opt)
+		for i := 0; i < 20; i++ {
+			from := gen.AlivePoint(t, g)
+			targets := gen.Targets(t, g)
+			res, err := r.RouteAny(rng.New(uint64(i)), from, targets)
+			if err != nil {
+				t.Fatalf("iter %d: %v", iter, err)
+			}
+			CheckGreedyProgress(t, g, targets, res)
+			CheckEndpoints(t, g, from, targets, res)
+			if t.Failed() {
+				t.Fatalf("iter %d message %d failed (seed %d)", iter, i, 1000+iter)
+			}
+		}
+	}
+}
+
+// TestPropDeliveredEndpointsAllPolicies extends the endpoint invariant
+// to every dead-end policy (whose paths may move backward, so only the
+// endpoint check applies).
+func TestPropDeliveredEndpointsAllPolicies(t *testing.T) {
+	for iter := 0; iter < 30; iter++ {
+		gen := New(uint64(2000 + iter))
+		g := gen.Graph(t)
+		for _, policy := range []route.DeadEndPolicy{route.Terminate, route.RandomReroute, route.Backtrack} {
+			r := route.New(g, route.Options{DeadEnd: policy, TracePath: true})
+			for i := 0; i < 10; i++ {
+				from := gen.AlivePoint(t, g)
+				targets := gen.Targets(t, g)
+				res, err := r.RouteAny(rng.New(uint64(i)), from, targets)
+				if err != nil {
+					t.Fatalf("iter %d %s: %v", iter, policy, err)
+				}
+				CheckEndpoints(t, g, from, targets, res)
+				if t.Failed() {
+					t.Fatalf("iter %d %s message %d failed (seed %d)", iter, policy, i, 2000+iter)
+				}
+			}
+		}
+	}
+}
+
+// TestPropQueueReplayWorkerInvariance fuzzes the full traffic pipeline
+// — random graphs, workloads, congestion penalties, replication and
+// caching — and requires byte-identical results across 1/2/8 workers.
+func TestPropQueueReplayWorkerInvariance(t *testing.T) {
+	for iter := 0; iter < 12; iter++ {
+		gen := New(uint64(3000 + iter))
+		g := gen.Graph(t)
+		wl := gen.Workload()
+		cfg := load.Config{
+			Messages: 100 + gen.src.Intn(200),
+			Route:    route.Options{DeadEnd: route.Backtrack},
+		}
+		if gen.src.Bool(0.5) {
+			cfg.Penalty = 1
+		}
+		if gen.src.Bool(0.3) {
+			cfg.DepthPenalty = 1
+		}
+		switch gen.src.Intn(3) {
+		case 1:
+			cfg.Replication = &replica.Options{K: 2 + gen.src.Intn(3)}
+		case 2:
+			cfg.Replication = &replica.Options{K: 2, CacheThreshold: 10, CacheCopies: 3}
+		}
+		res := CheckWorkerInvariance(t, g, wl, cfg, uint64(4000+iter))
+		if t.Failed() {
+			t.Fatalf("iter %d failed (seed %d, workload %s)", iter, 3000+iter, wl.Name())
+		}
+		if res.Injected != res.Delivered+res.Failed {
+			t.Fatalf("iter %d: conservation broke: %d != %d + %d",
+				iter, res.Injected, res.Delivered, res.Failed)
+		}
+	}
+}
+
+// TestPropSingleAndMultiTargetAgree pins the fallback contract on
+// random universes: RouteAny with a single-member set must equal Route
+// with that target, for every dead-end policy.
+func TestPropSingleAndMultiTargetAgree(t *testing.T) {
+	for iter := 0; iter < 30; iter++ {
+		gen := New(uint64(5000 + iter))
+		g := gen.Graph(t)
+		policy := []route.DeadEndPolicy{route.Terminate, route.RandomReroute, route.Backtrack}[iter%3]
+		r := route.New(g, route.Options{DeadEnd: policy, TracePath: true})
+		for i := 0; i < 10; i++ {
+			from := gen.AlivePoint(t, g)
+			to := gen.AlivePoint(t, g)
+			single, err := r.Route(rng.New(uint64(i)), from, to)
+			if err != nil {
+				t.Fatal(err)
+			}
+			set, err := r.RouteAny(rng.New(uint64(i)), from, []metric.Point{to})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if single.Delivered != set.Delivered || single.Hops != set.Hops ||
+				single.Target != set.Target {
+				t.Fatalf("iter %d: Route=%+v RouteAny=%+v (seed %d)", iter, single, set, 5000+iter)
+			}
+		}
+	}
+}

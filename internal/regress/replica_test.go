@@ -1,0 +1,228 @@
+package regress
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/failure"
+	"repro/internal/graph"
+	"repro/internal/load"
+	"repro/internal/metric"
+	"repro/internal/replica"
+	"repro/internal/rng"
+	"repro/internal/route"
+)
+
+// runReplicaScenario executes the seeded replica-flood acceptance
+// scenario — a 32x32 torus with 30% of its nodes failed, flooded with
+// lookups for one key, swept unreplicated and with k = 4 hash-spread
+// replicas plus cache-on-path — and returns one line per sweep knee
+// plus the headline lift. The golden values pin the whole replica
+// pipeline: placement resolution, nearest-replica routing, cache
+// promotion at batch boundaries, and the queue replay underneath.
+func runReplicaScenario(t *testing.T, workers int) []string {
+	t.Helper()
+	torus, err := metric.NewTorus(32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(300)
+	g, err := graph.BuildIdeal(torus, graph.PaperConfigFor(torus, 10), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := failure.FailNodesFraction(g, 0.3, src.Derive(1)); err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	var base float64
+	for _, tc := range []struct {
+		label string
+		opt   *replica.Options
+	}{
+		{"k1", nil},
+		{"k4+cache", &replica.Options{K: 4, CacheThreshold: 16, CacheCopies: 8}},
+	} {
+		cfg := load.SweepConfig{
+			Config: load.Config{
+				Messages: 2048,
+				Workers:  workers,
+				Route:    route.Options{DeadEnd: route.Backtrack},
+			},
+			Model:      "poisson",
+			Bisections: 4,
+		}
+		cfg.Replication = tc.opt
+		res, err := load.Sweep(g, load.Flood(), cfg, 302)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kp := res.KneePoint()
+		if kp == nil {
+			t.Fatalf("%s: no knee found", tc.label)
+		}
+		out = append(out, fmt.Sprintf(
+			"%s: knee=%.4f thr=%.4f p99=%.2f serving=%d cached=%d fp=%#x",
+			tc.label, res.Knee, res.KneeThroughput, res.KneeP99,
+			kp.Result.ServingPoints(), kp.Result.CacheCopies,
+			loadFingerprint(kp.Result.Loads)))
+		if tc.opt == nil {
+			base = res.KneeThroughput
+		} else {
+			out = append(out, fmt.Sprintf("lift=%.4f", res.KneeThroughput/base))
+		}
+	}
+	return out
+}
+
+// goldenReplica holds the values captured when the replica subsystem
+// was introduced. The final line is the acceptance headline: k = 4
+// replicas with cache-on-path lift the flood knee throughput >= 3x.
+var goldenReplica = []string{
+	"k1: knee=4.0000 thr=3.7302 p99=47.72 serving=1 cached=0 fp=0xb23fd3357ac92610",
+	"k4+cache: knee=15.5000 thr=13.8504 p99=18.86 serving=10 cached=8 fp=0x504dc355a476b8c7",
+	"lift=3.7130",
+}
+
+func TestSeededReplicaGolden(t *testing.T) {
+	got := runReplicaScenario(t, 1)
+	if len(goldenReplica) == 0 {
+		for _, line := range got {
+			t.Logf("golden: %q,", line)
+		}
+		t.Fatal("goldenReplica is empty; paste the logged lines above")
+	}
+	if len(got) != len(goldenReplica) {
+		t.Fatalf("scenario line count changed: got %d, want %d", len(got), len(goldenReplica))
+	}
+	for i := range got {
+		if got[i] != goldenReplica[i] {
+			t.Errorf("line %d diverged:\n  got  %s\n  want %s", i, got[i], goldenReplica[i])
+		}
+	}
+}
+
+// TestReplicaKneeLiftAcceptance asserts the acceptance criterion
+// directly (independently of the pinned literals): >= 3x knee
+// throughput at k = 4 (+cache) on the 30%-failed torus.
+func TestReplicaKneeLiftAcceptance(t *testing.T) {
+	lines := runReplicaScenario(t, 1)
+	var lift float64
+	if _, err := fmt.Sscanf(lines[len(lines)-1], "lift=%f", &lift); err != nil {
+		t.Fatalf("no lift line: %v (%q)", err, lines[len(lines)-1])
+	}
+	if lift < 3 {
+		t.Errorf("flood knee lift %.4f, want >= 3", lift)
+	}
+}
+
+func TestReplicaWorkerCountInvariance(t *testing.T) {
+	one := runReplicaScenario(t, 1)
+	for _, workers := range []int{2, 8} {
+		other := runReplicaScenario(t, workers)
+		if len(one) != len(other) {
+			t.Fatalf("line counts differ: %d vs %d", len(one), len(other))
+		}
+		for i := range one {
+			if one[i] != other[i] {
+				t.Errorf("workers=%d line %d diverged:\n  got  %s\n  want %s", workers, i, other[i], one[i])
+			}
+		}
+	}
+}
+
+// fixedFlood is a flood workload with a caller-chosen victim, so the
+// fallback test can kill that key's replicas deliberately.
+type fixedFlood struct {
+	target metric.Point
+	alive  []metric.Point
+}
+
+func (f *fixedFlood) Name() string { return "fixed-flood" }
+
+func (f *fixedFlood) Bind(g *graph.Graph, _ *rng.Source) error {
+	f.alive = f.alive[:0]
+	for i := 0; i < g.Size(); i++ {
+		if p := metric.Point(i); g.Alive(p) {
+			f.alive = append(f.alive, p)
+		}
+	}
+	if !g.Alive(f.target) {
+		return fmt.Errorf("fixed-flood: target %d is dead", f.target)
+	}
+	return nil
+}
+
+func (f *fixedFlood) Pair(src *rng.Source) (metric.Point, metric.Point, error) {
+	for {
+		if p := f.alive[src.Intn(len(f.alive))]; p != f.target {
+			return p, f.target, nil
+		}
+	}
+}
+
+// TestAllReplicasDeadFallbackGolden pins the fallback contract: with
+// every extra replica of the hot key dead, a replicated run must be
+// byte-identical to the unreplicated one — nearest-replica routing
+// degrades to plain greedy on the primary. The fingerprint literal
+// pins the scenario itself against drift.
+func TestAllReplicasDeadFallbackGolden(t *testing.T) {
+	const (
+		replicaSeed = 88
+		key         = metric.Point(123)
+	)
+	ring, err := metric.NewRing(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.BuildIdeal(ring, graph.PaperConfig(10), rng.New(310))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill exactly the key's k = 4 hash-spread replicas (resolved from
+	// the same placement the run will build).
+	opts := replica.Options{K: 4}
+	placement, err := replica.NewPlacement(ring, opts, replicaSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := placement.Targets(key)
+	if len(targets) != 4 {
+		t.Fatalf("placement resolved %d targets, want 4", len(targets))
+	}
+	for _, p := range targets[1:] {
+		if !g.Fail(p) {
+			t.Fatalf("could not fail replica %d", p)
+		}
+	}
+	run := func(replicated bool) *load.Result {
+		t.Helper()
+		cfg := load.Config{
+			Messages: 400,
+			Route:    route.Options{DeadEnd: route.Backtrack},
+		}
+		if replicated {
+			cfg.Replication = &opts
+			cfg.ReplicaSeed = replicaSeed
+		}
+		r, err := load.Run(g, &fixedFlood{target: key}, cfg, 311)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	plain := run(false)
+	repl := run(true)
+	// The replication label is the only field allowed to differ.
+	repl.Replication = plain.Replication
+	if !reflect.DeepEqual(plain, repl) {
+		t.Error("dead-replica run diverged from plain greedy")
+	}
+	got := fmt.Sprintf("delivered=%d failed=%d max=%d fp=%#x",
+		plain.Delivered, plain.Failed, plain.MaxLoad, loadFingerprint(plain.Loads))
+	const want = "delivered=400 failed=0 max=216 fp=0x3f464a65a4c726f2"
+	if got != want {
+		t.Errorf("fallback scenario drifted:\n  got  %s\n  want %s", got, want)
+	}
+}

@@ -1,0 +1,61 @@
+package route_test
+
+// The property harness (internal/proptest) retrofitted onto the plain
+// single-target router: random universes, the greedy-progress and
+// endpoint invariants. Runs under the CI `go test -run Prop -count=2`
+// determinism step.
+
+import (
+	"testing"
+
+	"repro/internal/metric"
+	"repro/internal/proptest"
+	"repro/internal/rng"
+	"repro/internal/route"
+)
+
+func TestPropGreedyProgressSingleTarget(t *testing.T) {
+	for iter := 0; iter < 40; iter++ {
+		gen := proptest.New(uint64(100 + iter))
+		g := gen.Graph(t)
+		opt := route.Options{TracePath: true}
+		if iter%2 == 1 {
+			opt.Congestion = func(q metric.Point) float64 { return float64(q % 3) }
+		}
+		r := route.New(g, opt)
+		for i := 0; i < 15; i++ {
+			from := gen.AlivePoint(t, g)
+			to := gen.AlivePoint(t, g)
+			res, err := r.Route(rng.New(uint64(i)), from, to)
+			if err != nil {
+				t.Fatal(err)
+			}
+			targets := []metric.Point{to}
+			proptest.CheckGreedyProgress(t, g, targets, res)
+			proptest.CheckEndpoints(t, g, from, targets, res)
+			if t.Failed() {
+				t.Fatalf("iter %d message %d failed (seed %d)", iter, i, 100+iter)
+			}
+		}
+	}
+}
+
+func TestPropBacktrackEndpoints(t *testing.T) {
+	for iter := 0; iter < 25; iter++ {
+		gen := proptest.New(uint64(300 + iter))
+		g := gen.Graph(t)
+		r := route.New(g, route.Options{DeadEnd: route.Backtrack, TracePath: true})
+		for i := 0; i < 12; i++ {
+			from := gen.AlivePoint(t, g)
+			to := gen.AlivePoint(t, g)
+			res, err := r.Route(rng.New(uint64(i)), from, to)
+			if err != nil {
+				t.Fatal(err)
+			}
+			proptest.CheckEndpoints(t, g, from, []metric.Point{to}, res)
+			if t.Failed() {
+				t.Fatalf("iter %d message %d failed (seed %d)", iter, i, 300+iter)
+			}
+		}
+	}
+}

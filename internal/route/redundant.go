@@ -27,7 +27,7 @@ func (r *Router) RouteHonest(source *rng.Source, from, to metric.Point) (Result,
 		if r.g.Malicious(p) {
 			// Message silently dropped at hop i; the hops after the
 			// drop never happened.
-			return Result{Delivered: false, Hops: i, Reroutes: res.Reroutes}, nil
+			return Result{Delivered: false, Hops: i, Reroutes: res.Reroutes, Target: -1}, nil
 		}
 	}
 	res.Path = trimPath(res.Path, r.opt.TracePath)
@@ -62,12 +62,13 @@ func (r *Router) RouteRedundant(source *rng.Source, from, to metric.Point, copie
 	if copies < 1 {
 		return Result{}, fmt.Errorf("route: need at least one copy, got %d", copies)
 	}
-	var agg Result
+	agg := Result{Target: -1}
 	deliver := func(res Result) {
 		agg.Hops += res.Hops
 		agg.Backtracks += res.Backtracks
 		if res.Delivered {
 			agg.Delivered = true
+			agg.Target = res.Target
 		}
 	}
 	direct, err := r.RouteHonest(source, from, to)

@@ -14,10 +14,19 @@
 // supported: two-sided greedy (minimize distance, either direction) and
 // one-sided greedy (never pass the target; on a ring this is Chord-style
 // clockwise-only routing).
+//
+// Beyond the paper's single-destination searches, the router also
+// routes to the nearest of several targets (RouteAny, Options.Targets):
+// greedy selection minimizes the distance to the closest live member of
+// a replica set, the forwarding-to-any-of-k-copies rule hot-key
+// replication (package replica) needs. Every dead-end policy, the
+// strict-progress guarantee, and the congestion penalties compose with
+// multi-target routing unchanged.
 package route
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/mathx"
@@ -115,6 +124,13 @@ type Options struct {
 	// CongestionWeight scales Congestion into distance units; zero
 	// defaults to 1 when Congestion is set.
 	CongestionWeight float64
+	// Targets, when non-empty, fixes the target set of every search:
+	// Route ignores its per-call destination and routes to the nearest
+	// live member of the set instead (exactly RouteAny). The fixed-set
+	// form suits single-hot-key scenarios — a flooded key replicated k
+	// ways — where one Router serves every message; workloads with
+	// per-key replica sets call RouteAny directly.
+	Targets []metric.Point
 	// TracePath records the visited sequence in Result.Path.
 	TracePath bool
 }
@@ -154,6 +170,10 @@ type Result struct {
 	Reroutes int
 	// Backtracks counts backward moves taken by the Backtrack policy.
 	Backtracks int
+	// Target is the point that consumed the message — for multi-target
+	// searches, the replica actually reached. It is −1 when the search
+	// failed.
+	Target metric.Point
 	// Path is the visited sequence, only when Options.TracePath.
 	Path []metric.Point
 }
@@ -187,29 +207,57 @@ func (r *Router) Options() Options { return r.opt }
 
 // Route performs one greedy search from src node `from` to target point
 // `to`. The rng source drives re-route restarts only; plain greedy
-// searches are deterministic given the graph.
+// searches are deterministic given the graph. When Options.Targets is
+// non-empty it overrides `to` (see RouteAny).
 func (r *Router) Route(source *rng.Source, from, to metric.Point) (Result, error) {
+	if len(r.opt.Targets) > 0 {
+		return r.RouteAny(source, from, r.opt.Targets)
+	}
+	return r.routeSet(source, from, []metric.Point{to})
+}
+
+// RouteAny performs one greedy search from `from` to the nearest live
+// member of `targets` — the replica-set form of Route. The set is
+// canonicalized (deduplicated, sorted) before routing, so the result is
+// independent of the caller's ordering; dead replicas are dropped, and
+// when only one member is left the search degrades to plain
+// single-target greedy exactly. An entirely dead set is an error.
+func (r *Router) RouteAny(source *rng.Source, from metric.Point, targets []metric.Point) (Result, error) {
+	return r.routeSet(source, from, targets)
+}
+
+// routeSet is the shared search core: every target-set size runs the
+// same walk, so Route(…, to) and RouteAny(…, []Point{to}) are
+// interchangeable by construction.
+func (r *Router) routeSet(source *rng.Source, from metric.Point, targets []metric.Point) (Result, error) {
 	if !r.g.Alive(from) {
 		return Result{}, fmt.Errorf("route: origin %d is not a live node", from)
 	}
-	if !r.g.Alive(to) {
-		return Result{}, fmt.Errorf("route: target %d is not a live node", to)
+	tset, err := r.liveTargets(targets)
+	if err != nil {
+		return Result{}, err
 	}
-	if r.opt.Sidedness == OneSided && r.oriented == nil {
-		return Result{}, fmt.Errorf("route: one-sided routing needs an oriented (1-D) space, not %s",
-			r.g.Space().Name())
+	if r.opt.Sidedness == OneSided {
+		if r.oriented == nil {
+			return Result{}, fmt.Errorf("route: one-sided routing needs an oriented (1-D) space, not %s",
+				r.g.Space().Name())
+		}
+		if len(tset) > 1 {
+			return Result{}, fmt.Errorf("route: one-sided routing supports a single target, got %d live replicas",
+				len(tset))
+		}
 	}
-	var res Result
+	res := Result{Target: -1}
 	cur := from
 	r.trace(&res, cur)
 
 	switch r.opt.DeadEnd {
 	case Backtrack:
-		r.routeBacktrack(&res, cur, to)
+		r.routeBacktrack(&res, cur, tset)
 	default:
 		reroutes := 0
 		for {
-			stuck := r.greedyWalk(&res, &cur, to)
+			stuck := r.greedyWalk(&res, &cur, tset)
 			if !stuck || res.Delivered {
 				break
 			}
@@ -226,8 +274,9 @@ func (r *Router) Route(source *rng.Source, from, to metric.Point) (Result, error
 			res.Hops++ // the hand-off itself costs a hop
 			cur = next
 			r.trace(&res, cur)
-			if cur == to {
+			if isTarget(cur, tset) {
 				res.Delivered = true
+				res.Target = cur
 				break
 			}
 		}
@@ -235,14 +284,53 @@ func (r *Router) Route(source *rng.Source, from, to metric.Point) (Result, error
 	return res, nil
 }
 
+// liveTargets canonicalizes a target set: deduplicated, sorted
+// ascending (nearest-replica tie-breaks are then independent of the
+// caller's ordering), and filtered to live nodes.
+func (r *Router) liveTargets(targets []metric.Point) ([]metric.Point, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("route: empty target set")
+	}
+	if len(targets) == 1 {
+		// The common single-destination search: no copy, and the exact
+		// historical liveness error.
+		if !r.g.Alive(targets[0]) {
+			return nil, fmt.Errorf("route: target %d is not a live node", targets[0])
+		}
+		return targets, nil
+	}
+	set := append([]metric.Point(nil), targets...)
+	sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+	live := set[:0]
+	for i, t := range set {
+		if (i == 0 || t != set[i-1]) && r.g.Alive(t) {
+			live = append(live, t)
+		}
+	}
+	if len(live) == 0 {
+		return nil, fmt.Errorf("route: no live target among %d replicas", len(targets))
+	}
+	return live, nil
+}
+
+// isTarget reports whether p belongs to the (small) target set.
+func isTarget(p metric.Point, targets []metric.Point) bool {
+	for _, t := range targets {
+		if p == t {
+			return true
+		}
+	}
+	return false
+}
+
 // greedyWalk advances cur greedily until delivery, a dead end, or the
 // hop cap. It returns true when it stopped at a dead end.
-func (r *Router) greedyWalk(res *Result, cur *metric.Point, to metric.Point) (stuck bool) {
-	for *cur != to {
+func (r *Router) greedyWalk(res *Result, cur *metric.Point, targets []metric.Point) (stuck bool) {
+	for !isTarget(*cur, targets) {
 		if res.Hops >= r.opt.MaxHops {
 			return false
 		}
-		next, ok := r.bestNeighbor(*cur, to, nil)
+		next, ok := r.bestNeighbor(*cur, targets, nil)
 		if !ok {
 			return true
 		}
@@ -251,13 +339,14 @@ func (r *Router) greedyWalk(res *Result, cur *metric.Point, to metric.Point) (st
 		r.trace(res, *cur)
 	}
 	res.Delivered = true
+	res.Target = *cur
 	return false
 }
 
 // bestNeighbor returns the live neighbour of cur that is closest to the
-// target under the configured sidedness and strictly closer than cur
-// itself, skipping any points in `tried`. The second return is false at
-// a dead end.
+// target set under the configured sidedness and strictly closer than
+// cur itself, skipping any points in `tried`. The second return is
+// false at a dead end.
 //
 // The paper's rule (§6): a node picks its best *live* neighbour; it
 // never forwards to a second choice at the same visit — recovery is the
@@ -273,8 +362,8 @@ func (r *Router) greedyWalk(res *Result, cur *metric.Point, to metric.Point) (st
 // network the penalized walk takes different paths and can hit (or
 // avoid) dead ends plain greedy would not — delivery rates are an
 // empirical matter there, which the experiments measure.
-func (r *Router) bestNeighbor(cur, to metric.Point, tried map[metric.Point]bool) (metric.Point, bool) {
-	curDist := r.progressDistance(cur, to)
+func (r *Router) bestNeighbor(cur metric.Point, targets []metric.Point, tried map[metric.Point]bool) (metric.Point, bool) {
+	curDist := r.setDistance(cur, targets)
 	best := cur
 	bestDist := curDist
 	bestScore := 0.0
@@ -287,10 +376,10 @@ func (r *Router) bestNeighbor(cur, to metric.Point, tried map[metric.Point]bool)
 		if !r.g.Alive(q) || tried[q] {
 			return
 		}
-		if r.opt.Sidedness == OneSided && !r.oriented.Between(cur, q, to) {
+		if r.opt.Sidedness == OneSided && !r.oriented.Between(cur, q, targets[0]) {
 			return
 		}
-		d := r.progressDistance(q, to)
+		d := r.setDistance(q, targets)
 		if r.opt.Congestion == nil {
 			if d < bestDist {
 				best, bestDist, found = q, d, true
@@ -319,11 +408,26 @@ func (r *Router) progressDistance(p, to metric.Point) int {
 	return r.g.Space().Distance(p, to)
 }
 
+// setDistance is the multi-target objective: the distance to the
+// closest member of the (live, canonicalized) target set. It is zero
+// exactly on the set, and every unit of progress toward it is a unit of
+// metric progress toward some replica, so the strict-progress
+// termination argument of single-target greedy carries over verbatim.
+func (r *Router) setDistance(p metric.Point, targets []metric.Point) int {
+	best := r.progressDistance(p, targets[0])
+	for _, t := range targets[1:] {
+		if d := r.progressDistance(p, t); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
 // routeBacktrack runs greedy routing with the §6 backtracking strategy:
 // it keeps the last BacktrackMemory visited nodes; at a dead end it
 // returns to the most recently visited of them and takes the next-best
 // neighbour not yet tried from that node.
-func (r *Router) routeBacktrack(res *Result, cur, to metric.Point) {
+func (r *Router) routeBacktrack(res *Result, cur metric.Point, targets []metric.Point) {
 	type frame struct {
 		at    metric.Point
 		tried map[metric.Point]bool
@@ -336,12 +440,12 @@ func (r *Router) routeBacktrack(res *Result, cur, to metric.Point) {
 		}
 	}
 	push(cur)
-	for cur != to {
+	for !isTarget(cur, targets) {
 		if res.Hops >= r.opt.MaxHops {
 			return
 		}
 		top := &history[len(history)-1]
-		next, ok := r.bestNeighbor(cur, to, top.tried)
+		next, ok := r.bestNeighbor(cur, targets, top.tried)
 		if ok {
 			top.tried[next] = true
 			cur = next
@@ -362,6 +466,7 @@ func (r *Router) routeBacktrack(res *Result, cur, to metric.Point) {
 		r.trace(res, cur)
 	}
 	res.Delivered = true
+	res.Target = cur
 }
 
 func (r *Router) trace(res *Result, p metric.Point) {

@@ -7,6 +7,7 @@ package viz
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 
 	"repro/internal/mathx"
@@ -174,6 +175,59 @@ func ThroughputLatency(throughput, latency []float64, width, height int) string 
 	fmt.Fprintf(&b, "          0%*s\n", width-1, fmt.Sprintf("%.1f", maxX))
 	fmt.Fprintf(&b, "          p99 latency (ticks) vs throughput (msgs/tick)\n")
 	return b.String()
+}
+
+// ReplicaOverlay renders the delivery fan-out of replicated traffic
+// (load.Result.ServedBy): a point-index strip marking every serving
+// point with 'R' ('·' elsewhere), followed by one bar per serving
+// point sized by the deliveries it absorbed, hottest first. A single
+// bar means all traffic still converges on one copy; k balanced bars
+// are replication doing its job. Empty when nothing was served.
+func ReplicaOverlay(servedBy []int, width int) string {
+	n := len(servedBy)
+	if n == 0 {
+		return ""
+	}
+	if width < 8 {
+		width = 48
+	}
+	type server struct {
+		at    metric.Point
+		count int
+	}
+	var servers []server
+	for p, c := range servedBy {
+		if c > 0 {
+			servers = append(servers, server{metric.Point(p), c})
+		}
+	}
+	if len(servers) == 0 {
+		return ""
+	}
+	cells := make([]rune, width)
+	for i := range cells {
+		cells[i] = '·'
+	}
+	for _, s := range servers {
+		c := int(s.at) * width / n
+		if c >= width {
+			c = width - 1
+		}
+		cells[c] = 'R'
+	}
+	sort.Slice(servers, func(i, j int) bool {
+		if servers[i].count != servers[j].count {
+			return servers[i].count > servers[j].count
+		}
+		return servers[i].at < servers[j].at
+	})
+	labels := make([]string, len(servers))
+	values := make([]float64, len(servers))
+	for i, s := range servers {
+		labels[i] = fmt.Sprintf("@%d", s.at)
+		values[i] = float64(s.count)
+	}
+	return string(cells) + "\n" + Bars(labels, values, width)
 }
 
 // RingPath draws a search path over a ring of n points as a fixed-width

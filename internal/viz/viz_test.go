@@ -141,3 +141,30 @@ func TestThroughputLatency(t *testing.T) {
 		t.Errorf("top row should hold the saturated point:\n%s", out)
 	}
 }
+
+func TestReplicaOverlay(t *testing.T) {
+	served := make([]int, 100)
+	served[10] = 40
+	served[60] = 80
+	served[90] = 20
+	out := ReplicaOverlay(served, 50)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("overlay lines = %d, want strip + 3 bars:\n%s", len(lines), out)
+	}
+	if strings.Count(lines[0], "R") != 3 {
+		t.Errorf("strip should mark 3 replicas: %q", lines[0])
+	}
+	// Bars are hottest-first.
+	for i, want := range []string{"@60", "@10", "@90"} {
+		if !strings.HasPrefix(lines[i+1], want) {
+			t.Errorf("bar %d = %q, want prefix %q", i, lines[i+1], want)
+		}
+	}
+	if ReplicaOverlay(nil, 40) != "" {
+		t.Error("empty input should render empty")
+	}
+	if ReplicaOverlay(make([]int, 8), 40) != "" {
+		t.Error("all-zero input should render empty")
+	}
+}
