@@ -5,26 +5,32 @@
 // Any experiment failure or headline write failure makes the run exit
 // nonzero, so CI can gate on it.
 //
-// Besides the per-experiment tables it emits three machine-readable
+// Besides the per-experiment tables it emits four machine-readable
 // headlines so the bench trajectory is recorded run over run:
 // BENCH_load.json (max-load ratio and p99 queueing latency of greedy vs
 // load-aware routing under Zipf traffic), BENCH_saturation.json (the
 // capacity knee — offered rate, knee throughput, and p99 at 80% of the
-// knee — of greedy vs load-aware vs depth-aware routing), and
+// knee — of greedy vs load-aware vs depth-aware routing),
 // BENCH_replica.json (the flood-knee lift of k = 4 hot-key replicas
 // plus cache-on-path over the unreplicated baseline on a 30%-failed
-// torus).
+// torus), and BENCH_engine.json (the same replicated flood scenario
+// swept in the discrete-event engine's three modes — batch-snapshot,
+// live per-hop state, and live with same-key service aggregation —
+// whose headline is the aggregated knee's lift over the snapshot
+// k=4+cache baseline).
 //
 // -validate checks previously written headline files: they must parse,
-// no headline metric may be NaN, infinite, or zero, and every knee
+// no headline metric may be NaN, infinite, or zero, every knee
 // throughput must be at least the minimal-load baseline recorded
-// alongside it. The CI bench-regression job runs ftrbench, then
-// ftrbench -validate, and uploads the headlines as artifacts.
+// alongside it, and every knee_lift_* field must be at least 1 (a lift
+// below its own baseline means the feature regressed). The CI
+// bench-regression job runs ftrbench, then ftrbench -validate, and
+// uploads the headlines as artifacts.
 //
 // Usage:
 //
 //	ftrbench [-out results] [-n 16384] [-trials 5] [-msgs 100] [-seed 1] [-csv]
-//	ftrbench -validate results/BENCH_load.json,results/BENCH_saturation.json,results/BENCH_replica.json
+//	ftrbench -validate results/BENCH_load.json,results/BENCH_saturation.json,results/BENCH_replica.json,results/BENCH_engine.json
 package main
 
 import (
@@ -167,6 +173,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		} else {
 			fmt.Fprintf(stdout, "wrote BENCH_replica.json\n")
 			fmt.Fprintf(&index, "%-28s ok  %-10s %s\n", "BENCH_replica.json", "", "flood-knee replication headline (k=1 vs k=4+cache)")
+		}
+	}
+	if *only == "" || strings.Contains(*only, "ext.engine.") {
+		if err := writeEngineHeadline(filepath.Join(*out, "BENCH_engine.json"), *n, *msgs, *seed); err != nil {
+			fmt.Fprintln(stderr, "ftrbench:", err)
+			failed++
+			fmt.Fprintf(&index, "%-28s ERROR: %v\n", "BENCH_engine.json", err)
+		} else {
+			fmt.Fprintf(stdout, "wrote BENCH_engine.json\n")
+			fmt.Fprintf(&index, "%-28s ok  %-10s %s\n", "BENCH_engine.json", "", "engine-mode headline (snapshot vs live vs live+aggregate)")
 		}
 	}
 	if err := writeTable(filepath.Join(*out, "INDEX.txt"), index.String()); err != nil {
@@ -499,6 +515,137 @@ func writeReplicaHeadline(path string, n, msgs int, seed uint64) error {
 	return writeJSON(path, h)
 }
 
+// engineHeadline is the BENCH_engine.json schema: the replicated flood
+// acceptance scenario (30%-failed 2-D torus, single-target flood,
+// k = 4 hash-spread replicas plus cache-on-path) swept in the
+// discrete-event engine's three modes. KneeLiftLive and
+// KneeLiftAggregate compare the live modes' knee throughput to the
+// snapshot baseline — the snapshot row is the pre-engine pipeline
+// byte-for-byte, so KneeLiftAggregate is the headline claim: same-key
+// service aggregation lifts the flood knee past what replication alone
+// (PR 4's 13.58 msgs/tick at this scale's defaults) buys. Values are
+// deterministic in (n, messages, seed).
+type engineHeadline struct {
+	Experiment            string  `json:"experiment"`
+	N                     int     `json:"n"`
+	Side                  int     `json:"side"`
+	Links                 int     `json:"links"`
+	Messages              int     `json:"messages"`
+	Seed                  uint64  `json:"seed"`
+	Workload              string  `json:"workload"`
+	Model                 string  `json:"arrival_model"`
+	FailFrac              float64 `json:"fail_frac"`
+	Replicas              int     `json:"replicas"`
+	CacheThreshold        int     `json:"cache_threshold"`
+	CacheCopies           int     `json:"cache_copies"`
+	KneeRateSnapshot      float64 `json:"knee_rate_snapshot"`
+	KneeRateLive          float64 `json:"knee_rate_live"`
+	KneeRateAggregate     float64 `json:"knee_rate_live_aggregate"`
+	KneeThroughputSnap    float64 `json:"knee_throughput_snapshot"`
+	KneeThroughputLive    float64 `json:"knee_throughput_live"`
+	KneeThroughputAgg     float64 `json:"knee_throughput_live_aggregate"`
+	AggregatedAtKnee      int     `json:"aggregated_at_knee"`
+	BaselineThroughput    float64 `json:"baseline_throughput"`
+	KneeLiftAggregate     float64 `json:"knee_lift_aggregate"`
+	LiveOverSnapshotRatio float64 `json:"live_over_snapshot_ratio"`
+}
+
+// writeEngineHeadline sweeps the acceptance scenario in all three
+// engine modes and writes the JSON headline. Zero n/msgs/seed take the
+// ext.engine.flood defaults (which match ext.replica.flood's, so the
+// snapshot row is comparable to BENCH_replica.json's k=4+cache row).
+func writeEngineHeadline(path string, n, msgs int, seed uint64) error {
+	if n == 0 {
+		n = 1 << 10
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	side := int(math.Round(math.Sqrt(float64(n))))
+	if side < 8 {
+		side = 8
+	}
+	if msgs == 0 {
+		msgs = 3 * side * side
+	}
+	links := mathx.ILog2(side * side)
+	if links < 1 {
+		links = 1
+	}
+	torus, err := metric.NewTorus(side, 2)
+	if err != nil {
+		return err
+	}
+	src := rng.New(seed)
+	g, err := graph.BuildIdeal(torus, graph.PaperConfigFor(torus, links), src)
+	if err != nil {
+		return err
+	}
+	if _, err := failure.FailNodesFraction(g, 0.3, src.Derive(1)); err != nil {
+		return err
+	}
+	h := engineHeadline{
+		Experiment:     "engine.headline",
+		N:              side * side,
+		Side:           side,
+		Links:          links,
+		Messages:       msgs,
+		Seed:           seed,
+		Workload:       "flood",
+		Model:          "poisson",
+		FailFrac:       0.3,
+		Replicas:       4,
+		CacheThreshold: 16,
+		CacheCopies:    8,
+	}
+	sweep := func(live, aggregate bool) (*load.SweepResult, error) {
+		cfg := load.SweepConfig{
+			Config: load.Config{
+				Messages:  msgs,
+				Live:      live,
+				Aggregate: aggregate,
+				Route:     route.Options{DeadEnd: route.Backtrack},
+			},
+			Model: "poisson",
+		}
+		cfg.Replication = &replica.Options{
+			K:              h.Replicas,
+			CacheThreshold: h.CacheThreshold,
+			CacheCopies:    h.CacheCopies,
+		}
+		res, err := load.Sweep(g, load.Flood(), cfg, seed+4000)
+		if err != nil {
+			return nil, err
+		}
+		if res.KneePoint() == nil {
+			return nil, fmt.Errorf(
+				"engine headline: no finite knee (minimum load already unstable at n=%d msgs=%d; raise -msgs)",
+				n, msgs)
+		}
+		return res, nil
+	}
+	snap, err := sweep(false, false)
+	if err != nil {
+		return err
+	}
+	live, err := sweep(true, false)
+	if err != nil {
+		return err
+	}
+	agg, err := sweep(true, true)
+	if err != nil {
+		return err
+	}
+	h.KneeRateSnapshot, h.KneeThroughputSnap = snap.Knee, snap.KneeThroughput
+	h.KneeRateLive, h.KneeThroughputLive = live.Knee, live.KneeThroughput
+	h.KneeRateAggregate, h.KneeThroughputAgg = agg.Knee, agg.KneeThroughput
+	h.AggregatedAtKnee = agg.KneePoint().Result.Aggregated
+	h.BaselineThroughput = snap.Points[0].Result.Throughput
+	h.KneeLiftAggregate = agg.KneeThroughput / snap.KneeThroughput
+	h.LiveOverSnapshotRatio = live.KneeThroughput / snap.KneeThroughput
+	return writeJSON(path, h)
+}
+
 // headlineKey reports whether a zero value for the given BENCH_*.json
 // field indicates a broken run rather than a legitimate zero (ids,
 // seeds and labels are exempt).
@@ -543,6 +690,11 @@ func validateHeadline(path string) error {
 			if f == 0 {
 				return fmt.Errorf("%s: headline field %q is zero", path, k)
 			}
+		}
+		// A knee_lift_* field below 1 means the feature undercut its own
+		// baseline — the engine-mode and replication headlines gate on it.
+		if strings.HasPrefix(k, "knee_lift") && f < 1 {
+			return fmt.Errorf("%s: headline field %q = %g is below 1 (feature regressed its baseline)", path, k, f)
 		}
 		if err := checkKneeBaseline(fields, k, f); err != nil {
 			return fmt.Errorf("%s: %v", path, err)

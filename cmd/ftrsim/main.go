@@ -11,6 +11,8 @@
 //	ftrsim -exp ext.saturation.knee -arrival closed -think 4
 //	ftrsim -exp ext.replica.flood -replicas 8               # hot-key replication ladder
 //	ftrsim -exp ext.load.zipf -replicas 4 -cache 25         # replicate any traffic run
+//	ftrsim -exp ext.engine.flood                            # snapshot vs live vs live+aggregate knees
+//	ftrsim -exp ext.saturation.knee -live -aggregate        # any sweep on the live engine
 //
 // Defaults are scaled for quick runs; the flags restore the paper's
 // scale (Figure 6 used n=2^17, 1000 simulations of 100 messages).
@@ -25,6 +27,17 @@
 // and the ext.saturation.* sweeps. -replicas/-cache turn on hot-key
 // replication (internal/replica): k static replicas per key and/or
 // popularity-triggered cache-on-path, routed to the nearest live copy.
+//
+// -live switches any traffic experiment to the discrete-event engine's
+// live mode (internal/engine): messages advance hop-by-hop at their
+// service completions and every forwarding decision — congestion
+// penalties, queue-depth probes, nearest-replica targets — reads live
+// state instead of a batch snapshot. -aggregate additionally coalesces
+// same-key lookups that meet in a node's queue into one aggregated
+// service (it implies -live). Without the flags, the engine runs in
+// snapshot mode, which reproduces the historical route-then-replay
+// results byte-for-byte.
+//
 // All traffic tables are byte-identical for a fixed seed regardless of
 // worker count or machine.
 package main
@@ -69,6 +82,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		think    = fs.Float64("think", 0, "closed-loop think time in ticks between a client's lookups")
 		replicas = fs.Int("replicas", 0, "hot-key replica count k for the traffic experiments (0/1 = no static replication)")
 		cache    = fs.Int("cache", 0, "popularity threshold of cache-on-path replication (0 = experiment default / off)")
+		live     = fs.Bool("live", false, "event-driven engine mode: forwarding decisions read live load/depth/replica state instead of batch snapshots")
+		agg      = fs.Bool("aggregate", false, "coalesce same-key lookups queued at one node into a single aggregated service (implies -live)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -123,7 +138,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		N: *n, Dim: *dim, Side: *side, Links: *links, Trials: *trials, Msgs: *msgs, Seed: *seed,
 		Workload: *workload, Skew: *skew, Capacity: *capacity, Penalty: *penalty,
 		DepthPenalty: *depth, Arrival: *arrival, Rate: *rate, Clients: *clients, Think: *think,
-		Replicas: *replicas, Cache: *cache,
+		Replicas: *replicas, Cache: *cache, Live: *live, Aggregate: *agg,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "ftrsim:", err)

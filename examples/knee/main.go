@@ -5,6 +5,12 @@
 // latency-vs-throughput curve turning vertical at the knee; the
 // depth-aware policy pushes that wall to the right.
 //
+// A second section floods one replicated hot key and sweeps the
+// discrete-event engine's three modes — batch-snapshot routing, live
+// per-hop state, and live with same-key service aggregation — showing
+// aggregation lifting the flood knee past the replication-only
+// ceiling.
+//
 //	go run ./examples/knee
 package main
 
@@ -16,6 +22,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/load"
 	"repro/internal/metric"
+	"repro/internal/replica"
 	"repro/internal/rng"
 	"repro/internal/route"
 	"repro/internal/viz"
@@ -69,6 +76,35 @@ func main() {
 			fmt.Println("  (sweep never saturated; the knee is a lower bound)")
 		}
 	}
+
+	// The engine-mode ladder: a single-target flood against a k = 4
+	// replicated, cache-on-path key, swept in snapshot, live, and
+	// live+aggregate modes. Aggregation coalesces the duplicates that
+	// meet in a queue, so the victim's neighbourhood serves one lookup
+	// per queueful — the knee jumps accordingly.
+	fmt.Println("\nflood knee by engine mode (k=4 replicas + cache-on-path):")
+	labels := []string{"snapshot", "live", "live+aggregate"}
+	knees := make([]float64, 0, len(labels))
+	for _, mode := range []struct{ live, aggregate bool }{
+		{false, false}, {true, false}, {true, true},
+	} {
+		cfg := load.SweepConfig{
+			Config: load.Config{
+				Messages:  3000,
+				Live:      mode.live,
+				Aggregate: mode.aggregate,
+				Route:     route.Options{DeadEnd: route.Backtrack},
+			},
+			Model: "poisson",
+		}
+		cfg.Replication = &replica.Options{K: 4, CacheThreshold: 16, CacheCopies: 8}
+		res, err := load.Sweep(g, load.Flood(), cfg, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		knees = append(knees, res.KneeThroughput)
+	}
+	fmt.Print(indent(viz.KneeLadder(labels, knees, 40)))
 }
 
 func indent(s string) string {

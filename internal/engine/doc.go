@@ -1,0 +1,76 @@
+// Package engine is the discrete-event core of the traffic subsystem:
+// one virtual-time event loop in which routing, queueing, replication,
+// and caching share a clock. It folds the pipeline's historical
+// route-then-replay split — compute every path against a frozen
+// congestion snapshot, then replay hops through FIFO queues — into a
+// single simulation, so forwarding decisions can read *live* state.
+//
+// # The event loop
+//
+// There is one event type: "message m reaches its idx-th visited node
+// at time t". Events are processed in the strict total order
+// (time, msg, idx); each event parks the message in the node's FIFO,
+// serves it for 1/Capacity ticks once the server frees up, and decides
+// what happens at the service:
+//
+//	          ┌────────────────────────────────────────────────┐
+//	          │                 event heap                      │
+//	          │        pop min (time, msg, idx)                 │
+//	          └───────────────┬────────────────────────────────┘
+//	                          ▼
+//	          node FIFO: wait ≤ busyUntil, serve 1/Capacity
+//	                          │ charge load, update depth
+//	                          ▼
+//	    snapshot mode                     live mode
+//	next := path[idx+1]          next := Walker.Step()   ← reads live
+//	(path precomputed per        (decision made now:       load, depth,
+//	 congestion batch)            Penalty/DepthPenalty     replicas
+//	                              over live queues)
+//	                          │
+//	          ┌───────────────┴───────────────┐
+//	          ▼                               ▼
+//	 push (finish, msg, idx+1)        message completes:
+//	                                  latency, cache Observe,
+//	                                  closed-loop injection
+//
+// # Snapshot mode (Config.Live = false)
+//
+// Messages route in batches of Config.BatchSize against a congestion
+// signal frozen at the batch boundary, exactly as the pre-engine
+// pipeline did — byte-for-byte: the per-message rng streams, the
+// batch cadence, the queue mechanics and the tie-breaking all match,
+// so the seeded goldens pinned before the engine existed still pass,
+// for any worker count. What changed is the cost of the
+// instantaneous-depth probe (Config.DepthPenalty): the engine advances
+// its own loop to the batch's first injection and reads each node's
+// depth off the live queue in O(1) amortized, where the old pipeline
+// re-replayed the whole routed prefix every batch — O(n²/batch) heap
+// work. (Closed-loop schedules, whose later injections are not yet
+// known at the boundary, still replay the prefix in a scratch loop to
+// keep the historical estimate bit-exact.)
+//
+// # Live mode (Config.Live = true)
+//
+// Every forwarding decision happens at the service that forwards the
+// message, through the resumable route.Walker: the congestion penalty
+// reads the load charged so far, the depth penalty reads the
+// candidate's queue depth at the decision instant, and replica targets
+// and cache-on-path placements are consulted per injection and per
+// delivery instead of per batch. This is the paper's online model —
+// each node forwards on what it can observe locally at forwarding time
+// — extended to congestion state.
+//
+// With Config.Aggregate on, same-key lookups that meet in a node's
+// queue coalesce: a lookup arriving while another lookup for the same
+// key is queued or in service there rides along — it occupies no
+// queue anywhere downstream and completes the instant its carrier
+// completes. Under a hot-key flood this collapses the duplicate
+// service load on the victim's in-neighbourhood, which is what moves
+// the flood knee past what replication alone buys.
+//
+// Determinism: both modes are pure functions of (graph, messages,
+// schedule, config, root source). Snapshot mode parallelizes path
+// computation but keys every message to its own derived rng stream;
+// live mode is single-threaded by nature. Either way, results are
+// byte-identical for every Config.Workers value.
+package engine

@@ -1,0 +1,142 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/metric"
+	"repro/internal/replica"
+	"repro/internal/rng"
+	"repro/internal/route"
+)
+
+// Message is one lookup entering the simulation: a source node and the
+// logical key being looked up. The key is the aggregation identity and
+// the replica-placement key; without replication it is also the
+// routing target.
+type Message struct {
+	From metric.Point
+	Key  metric.Point
+}
+
+// Config parameterizes one engine run. The engine takes a *resolved*
+// configuration — the caller (package load) owns defaulting — so every
+// field here must already be valid: a positive Capacity and BatchSize,
+// at least one worker.
+type Config struct {
+	// Capacity is the per-node service capacity in message-hops per
+	// virtual tick; a node serves one message every 1/Capacity ticks.
+	Capacity float64
+	// Workers bounds path-computation parallelism in snapshot mode.
+	// Live mode is inherently sequential — every forwarding decision
+	// depends on the event history — so Workers is ignored there, and
+	// results are byte-identical for every value in both modes.
+	Workers int
+	// Route configures the routing layer. TracePath is forced on; the
+	// congestion feedback owns Congestion/CongestionWeight whenever
+	// Penalty or DepthPenalty is positive.
+	Route route.Options
+	// Penalty is the cumulative-load congestion weight: detour budget
+	// in distance units per multiple-of-mean charged load.
+	Penalty float64
+	// DepthPenalty is the instantaneous-queue-depth congestion weight:
+	// distance units per message sitting in a candidate's queue.
+	DepthPenalty float64
+	// BatchSize is the congestion-snapshot cadence of snapshot mode —
+	// how many messages route against one frozen signal — and the decay
+	// cadence of cache-on-path in both modes. In live mode it has no
+	// other effect: every forwarding decision is fresh.
+	BatchSize int
+	// Live selects the event-driven mode: messages advance hop-by-hop
+	// at their service completions and every forwarding decision reads
+	// live load, queue depth, and replica placement. Off, the engine
+	// reproduces the classic route-then-replay pipeline byte-for-byte.
+	Live bool
+	// Aggregate, in live mode, coalesces same-key lookups that meet in
+	// a node's queue: a lookup arriving while another lookup for the
+	// same key is queued or in service at that node rides along with it
+	// — no further service anywhere — and completes when its carrier
+	// completes. Requires Live.
+	Aggregate bool
+	// Placement, when non-nil, replicates every key: messages route to
+	// the nearest live member of Placement.Targets(key). Cache-on-path
+	// observation and decay are driven from engine events (batch
+	// boundaries in snapshot mode, delivery events and the BatchSize
+	// injection cadence in live mode).
+	Placement *replica.Placement
+}
+
+// validate rejects an unresolved or inconsistent configuration.
+func (c Config) validate() error {
+	if !(c.Capacity > 0) || math.IsInf(c.Capacity, 0) {
+		return fmt.Errorf("engine: capacity %g must be positive and finite", c.Capacity)
+	}
+	if c.Workers < 1 {
+		return fmt.Errorf("engine: workers %d must be at least 1", c.Workers)
+	}
+	if c.BatchSize < 1 {
+		return fmt.Errorf("engine: batch size %d must be at least 1", c.BatchSize)
+	}
+	if c.Penalty < 0 || c.DepthPenalty < 0 ||
+		math.IsNaN(c.Penalty) || math.IsNaN(c.DepthPenalty) {
+		return fmt.Errorf("engine: congestion penalties %g/%g must be non-negative",
+			c.Penalty, c.DepthPenalty)
+	}
+	if c.Aggregate && !c.Live {
+		return fmt.Errorf("engine: aggregation needs live mode (snapshot routing has no shared queue state)")
+	}
+	return nil
+}
+
+// Outcome reports one engine run: the per-message routing results in
+// message order, the queueing picture, and the aggregation headline.
+type Outcome struct {
+	// Results holds each message's search outcome. Under live
+	// aggregation a coalesced message reports its own partial path and
+	// hops but its carrier's Delivered/Target — it was answered at the
+	// aggregation point.
+	Results []route.Result
+	// Loads counts message-hop services per grid point.
+	Loads []int
+	// Services is the total message-hops serviced (the sum of Loads).
+	Services int
+	// MaxQueueDepth is the deepest any node's FIFO got, including the
+	// message in service.
+	MaxQueueDepth int
+	// Latencies holds each delivered message's completion minus
+	// injection time, in completion order. Zero-hop lookups (source
+	// already a target) never enter a queue and contribute none.
+	Latencies []float64
+	// Injected counts injections the schedule actually performed;
+	// LastInject is the latest injection time.
+	Injected   int
+	LastInject float64
+	// Makespan is the finish time of the last service.
+	Makespan float64
+	// Aggregated counts the lookups coalesced onto a same-key carrier
+	// (live aggregation only).
+	Aggregated int
+}
+
+// Run simulates msgs over g under cfg and sched. Message i draws its
+// routing randomness from root.Derive(16+i) — the traffic pipeline's
+// historical per-message stream contract — so a snapshot-mode run
+// reproduces the pre-engine route-then-replay pipeline byte-for-byte
+// and is independent of cfg.Workers; a live run is single-threaded and
+// deterministic in (g, msgs, sched, cfg, root) by construction.
+func Run(g *graph.Graph, msgs []Message, sched Schedule, cfg Config, root *rng.Source) (*Outcome, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := newRunner(g, msgs, sched, cfg, root)
+	if cfg.Live {
+		r.runLive()
+	} else {
+		r.runSnapshot()
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return r.out, nil
+}

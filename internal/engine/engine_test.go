@@ -1,0 +1,364 @@
+package engine
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/metric"
+	"repro/internal/replica"
+	"repro/internal/rng"
+	"repro/internal/route"
+)
+
+// newTestPlacement builds a k-way hash-spread placement over g's space.
+func newTestPlacement(t testing.TB, g *graph.Graph, k int, seed uint64) *replica.Placement {
+	t.Helper()
+	p, err := replica.NewPlacement(g.Space(), replica.Options{K: k}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func testGraph(t testing.TB, n, links int, seed uint64, failEvery int) *graph.Graph {
+	t.Helper()
+	ring, err := metric.NewRing(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.BuildIdeal(ring, graph.PaperConfig(links), rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := failEvery; failEvery > 0 && p < n; p += failEvery {
+		g.Fail(metric.Point(p))
+	}
+	return g
+}
+
+func testMessages(t testing.TB, g *graph.Graph, n int, seed uint64) []Message {
+	t.Helper()
+	src := rng.New(seed)
+	msgs := make([]Message, n)
+	for i := range msgs {
+		from, ok := g.RandomAlive(src)
+		if !ok {
+			t.Fatal("no live nodes")
+		}
+		to, ok := g.RandomAlive(src)
+		if !ok {
+			t.Fatal("no live nodes")
+		}
+		for to == from {
+			to, _ = g.RandomAlive(src)
+		}
+		msgs[i] = Message{From: from, Key: to}
+	}
+	return msgs
+}
+
+func periodicSchedule(n int, rate float64) Schedule {
+	initial := make([]Injection, n)
+	for i := range initial {
+		initial[i] = Injection{Msg: i, Time: float64(i) / rate}
+	}
+	return Schedule{Initial: initial}
+}
+
+func baseConfig() Config {
+	return Config{
+		Capacity:  1,
+		Workers:   1,
+		BatchSize: 32,
+		Route:     route.Options{DeadEnd: route.Backtrack},
+	}
+}
+
+// TestLiveMatchesSnapshotPlain pins a structural property of the
+// engine: without congestion penalties, caching, or aggregation, the
+// per-hop decisions of live mode are the same pure greedy decisions
+// snapshot mode precomputes, so the two modes must agree byte-for-byte.
+func TestLiveMatchesSnapshotPlain(t *testing.T) {
+	g := testGraph(t, 512, 9, 3, 5)
+	msgs := testMessages(t, g, 300, 4)
+	cfg := baseConfig()
+	snap, err := Run(g, msgs, periodicSchedule(len(msgs), 2), cfg, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Live = true
+	live, err := Run(g, msgs, periodicSchedule(len(msgs), 2), cfg, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, live) {
+		t.Error("plain live run diverged from plain snapshot run")
+	}
+}
+
+// TestLiveDepthReactsToBacklog checks that live depth-aware routing
+// actually consults the queues: under overload its load profile must
+// diverge from plain greedy's while conservation holds.
+func TestLiveDepthReactsToBacklog(t *testing.T) {
+	g := testGraph(t, 512, 9, 5, 4)
+	msgs := testMessages(t, g, 800, 6)
+	sched := periodicSchedule(len(msgs), 24) // well past capacity
+	plainCfg := baseConfig()
+	plainCfg.Live = true
+	plain, err := Run(g, msgs, sched, plainCfg, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	depthCfg := plainCfg
+	depthCfg.DepthPenalty = 1
+	depth, err := Run(g, msgs, sched, depthCfg, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(plain.Loads, depth.Loads) {
+		t.Error("live depth penalty did not change the load profile")
+	}
+	deliveredPlain, deliveredDepth := 0, 0
+	for i := range msgs {
+		if plain.Results[i].Delivered {
+			deliveredPlain++
+		}
+		if depth.Results[i].Delivered {
+			deliveredDepth++
+		}
+	}
+	if plain.Injected != len(msgs) || depth.Injected != len(msgs) {
+		t.Errorf("injections lost: %d / %d of %d", plain.Injected, depth.Injected, len(msgs))
+	}
+	if depth.MaxQueueDepth >= plain.MaxQueueDepth {
+		t.Errorf("live depth-aware peak queue %d should beat greedy %d under overload",
+			depth.MaxQueueDepth, plain.MaxQueueDepth)
+	}
+}
+
+// TestAggregateCoalescesFlood drives a single-key flood into overload:
+// aggregation must coalesce a substantial share of the lookups, charge
+// strictly less service, and still account for every message.
+func TestAggregateCoalescesFlood(t *testing.T) {
+	g := testGraph(t, 512, 9, 11, 0)
+	src := rng.New(12)
+	victim, _ := g.RandomAlive(src)
+	msgs := make([]Message, 600)
+	for i := range msgs {
+		from, _ := g.RandomAlive(src)
+		for from == victim {
+			from, _ = g.RandomAlive(src)
+		}
+		msgs[i] = Message{From: from, Key: victim}
+	}
+	sched := periodicSchedule(len(msgs), 16)
+	cfg := baseConfig()
+	cfg.Live = true
+	plain, err := Run(g, msgs, sched, cfg, rng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Aggregate = true
+	agg, err := Run(g, msgs, sched, cfg, rng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Aggregated == 0 {
+		t.Fatal("overloaded flood coalesced nothing")
+	}
+	if agg.Services >= plain.Services {
+		t.Errorf("aggregation did not shed service load: %d vs %d", agg.Services, plain.Services)
+	}
+	if agg.Makespan >= plain.Makespan {
+		t.Errorf("aggregation did not shorten the makespan: %.2f vs %.2f", agg.Makespan, plain.Makespan)
+	}
+	delivered, failed := 0, 0
+	for i := range msgs {
+		if agg.Results[i].Delivered {
+			delivered++
+			if agg.Results[i].Target != victim {
+				t.Fatalf("message %d delivered to %d, not the victim %d", i, agg.Results[i].Target, victim)
+			}
+		} else {
+			failed++
+		}
+	}
+	if delivered+failed != len(msgs) {
+		t.Errorf("conservation broken: %d + %d != %d", delivered, failed, len(msgs))
+	}
+	if agg.Injected != len(msgs) {
+		t.Errorf("injected %d of %d", agg.Injected, len(msgs))
+	}
+	if len(agg.Latencies) != delivered {
+		t.Errorf("%d latencies for %d deliveries", len(agg.Latencies), delivered)
+	}
+}
+
+// TestAggregateClosedLoopConservation pins the trickiest aggregation
+// path: coalesced messages must still unlock their closed-loop
+// successors, including followers that attach after their carrier
+// already completed.
+func TestAggregateClosedLoopConservation(t *testing.T) {
+	g := testGraph(t, 256, 8, 15, 0)
+	src := rng.New(16)
+	victim, _ := g.RandomAlive(src)
+	const n, clients = 300, 24
+	msgs := make([]Message, n)
+	for i := range msgs {
+		from, _ := g.RandomAlive(src)
+		for from == victim {
+			from, _ = g.RandomAlive(src)
+		}
+		msgs[i] = Message{From: from, Key: victim}
+	}
+	initial := make([]Injection, clients)
+	for i := range initial {
+		initial[i] = Injection{Msg: i}
+	}
+	sched := Schedule{
+		Initial: initial,
+		Completed: func(msg int, at float64) (Injection, bool) {
+			next := msg + clients
+			if next >= n {
+				return Injection{}, false
+			}
+			return Injection{Msg: next, Time: at}, true
+		},
+	}
+	cfg := baseConfig()
+	cfg.Capacity = 0.5
+	cfg.Live = true
+	cfg.Aggregate = true
+	out, err := Run(g, msgs, sched, cfg, rng.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Injected != n {
+		t.Fatalf("closed loop stalled: injected %d of %d (aggregated %d)", out.Injected, n, out.Aggregated)
+	}
+	if out.Aggregated == 0 {
+		t.Error("closed-loop flood coalesced nothing")
+	}
+}
+
+// TestLivePlacementResolvesPerInjection checks that live mode consults
+// the placement at injection time: a run with replication must fan its
+// deliveries across replicas, and every target must be a legal replica.
+func TestLivePlacementResolvesPerInjection(t *testing.T) {
+	g := testGraph(t, 1024, 10, 19, 0)
+	src := rng.New(20)
+	victim, _ := g.RandomAlive(src)
+	msgs := make([]Message, 400)
+	for i := range msgs {
+		from, _ := g.RandomAlive(src)
+		for from == victim {
+			from, _ = g.RandomAlive(src)
+		}
+		msgs[i] = Message{From: from, Key: victim}
+	}
+	placement := newTestPlacement(t, g, 4, 88)
+	cfg := baseConfig()
+	cfg.Live = true
+	cfg.Placement = placement
+	out, err := Run(g, msgs, periodicSchedule(len(msgs), 8), cfg, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	legal := map[metric.Point]bool{}
+	for _, p := range placement.Targets(victim) {
+		legal[p] = true
+	}
+	served := map[metric.Point]int{}
+	for i := range msgs {
+		if out.Results[i].Delivered {
+			if !legal[out.Results[i].Target] {
+				t.Fatalf("message %d delivered to non-replica %d", i, out.Results[i].Target)
+			}
+			served[out.Results[i].Target]++
+		}
+	}
+	if len(served) < 2 {
+		t.Errorf("replicated flood served by %d point(s), want fan-out", len(served))
+	}
+}
+
+// TestPropEventHeapTotalOrder is the engine's heap invariant: under
+// the strict (time, msg, idx) order, the pop sequence is sorted and
+// independent of push order — the property the whole simulation's
+// determinism rests on.
+func TestPropEventHeapTotalOrder(t *testing.T) {
+	for iter := 0; iter < 20; iter++ {
+		src := rng.New(uint64(6000 + iter))
+		n := 50 + src.Intn(200)
+		events := make([]event, n)
+		for i := range events {
+			events[i] = event{
+				time: float64(src.Intn(40)) / 4,
+				msg:  src.Intn(60),
+				idx:  src.Intn(6),
+			}
+		}
+		pops := func(perm []int) []event {
+			h := newEventHeap(0)
+			for _, j := range perm {
+				h.Push(events[j])
+			}
+			out := make([]event, 0, n)
+			for h.Len() > 0 {
+				out = append(out, h.Pop())
+			}
+			return out
+		}
+		identity := make([]int, n)
+		for i := range identity {
+			identity[i] = i
+		}
+		a := pops(identity)
+		b := pops(src.Perm(n))
+		want := append([]event(nil), events...)
+		sort.Slice(want, func(i, j int) bool { return eventLess(want[i], want[j]) })
+		// Equal keys may swap places; distinct keys may not — and the
+		// permuted-push sequence must match the expected order too.
+		tied := func(x, y event) bool { return !eventLess(x, y) && !eventLess(y, x) }
+		for i := range want {
+			if a[i] != want[i] && !tied(a[i], want[i]) {
+				t.Fatalf("iter %d: pop %d out of order: %+v, want %+v", iter, i, a[i], want[i])
+			}
+			if b[i] != want[i] && !tied(b[i], want[i]) {
+				t.Fatalf("iter %d: permuted pop %d out of order: %+v, want %+v", iter, i, b[i], want[i])
+			}
+			if i > 0 && eventLess(a[i], a[i-1]) {
+				t.Fatalf("iter %d: pops not sorted at %d", iter, i)
+			}
+			if i > 0 && eventLess(b[i], b[i-1]) {
+				t.Fatalf("iter %d: permuted pops not sorted at %d", iter, i)
+			}
+		}
+	}
+}
+
+// TestConfigValidation exercises the engine's resolved-config checks.
+func TestConfigValidation(t *testing.T) {
+	g := testGraph(t, 64, 5, 23, 0)
+	msgs := testMessages(t, g, 4, 24)
+	sched := periodicSchedule(len(msgs), 1)
+	bad := []Config{
+		{},                        // zero capacity
+		{Capacity: 1},             // zero workers
+		{Capacity: 1, Workers: 1}, // zero batch
+		{Capacity: 1, Workers: 1, BatchSize: 32, Aggregate: true},              // aggregate without live
+		{Capacity: 1, Workers: 1, BatchSize: 32, Penalty: -1},                  // negative penalty
+		{Capacity: 1, Workers: 1, BatchSize: 32, Live: true, DepthPenalty: -1}, // negative depth
+	}
+	for i, cfg := range bad {
+		if _, err := Run(g, msgs, sched, cfg, rng.New(1)); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	good := baseConfig()
+	if _, err := Run(g, msgs, sched, good, rng.New(1)); err != nil {
+		t.Errorf("resolved config rejected: %v", err)
+	}
+}

@@ -1,16 +1,15 @@
-package load
+package engine
 
 import (
-	"math"
 	"testing"
 
 	"repro/internal/metric"
 )
 
 // pretimed turns the messages' pre-set inject fields into the up-front
-// schedule simulateQueues expects — the open-loop shape of every test
-// that does not exercise the completion feedback.
-func pretimed(msgs []queuedMessage) []Injection {
+// schedule replay expects — the open-loop shape of every test that
+// does not exercise the completion feedback.
+func pretimed(msgs []replayMsg) []Injection {
 	out := make([]Injection, len(msgs))
 	for i, m := range msgs {
 		out[i] = Injection{Msg: i, Time: m.inject}
@@ -18,15 +17,15 @@ func pretimed(msgs []queuedMessage) []Injection {
 	return out
 }
 
-func TestSimulateQueuesSingleMessage(t *testing.T) {
+func TestReplaySingleMessage(t *testing.T) {
 	// One message over three nodes at capacity 1: one tick of service
 	// per node, no queueing, latency 3.
-	msgs := []queuedMessage{{
+	msgs := []replayMsg{{
 		inject:    0,
 		path:      []metric.Point{0, 1, 2},
 		delivered: true,
 	}}
-	out := simulateQueues(4, msgs, 1, pretimed(msgs), nil, -1)
+	out := replay(4, msgs, 1, pretimed(msgs), nil, -1)
 	if out.services != 3 {
 		t.Errorf("services = %d, want 3", out.services)
 	}
@@ -49,14 +48,14 @@ func TestSimulateQueuesSingleMessage(t *testing.T) {
 	}
 }
 
-func TestSimulateQueuesContention(t *testing.T) {
+func TestReplayContention(t *testing.T) {
 	// Two messages injected simultaneously through the same single
 	// node: FIFO order by message id, the second waits a full service.
-	msgs := []queuedMessage{
+	msgs := []replayMsg{
 		{inject: 0, path: []metric.Point{5}, delivered: true},
 		{inject: 0, path: []metric.Point{5}, delivered: true},
 	}
-	out := simulateQueues(8, msgs, 2, pretimed(msgs), nil, -1)
+	out := replay(8, msgs, 2, pretimed(msgs), nil, -1)
 	if out.loads[5] != 2 {
 		t.Errorf("loads[5] = %d, want 2", out.loads[5])
 	}
@@ -69,11 +68,11 @@ func TestSimulateQueuesContention(t *testing.T) {
 	}
 }
 
-func TestSimulateQueuesFailedMessageChargesLoad(t *testing.T) {
-	msgs := []queuedMessage{
+func TestReplayFailedMessageChargesLoad(t *testing.T) {
+	msgs := []replayMsg{
 		{inject: 0, path: []metric.Point{1, 2}, delivered: false},
 	}
-	out := simulateQueues(4, msgs, 1, pretimed(msgs), nil, -1)
+	out := replay(4, msgs, 1, pretimed(msgs), nil, -1)
 	if out.loads[1] != 1 || out.loads[2] != 1 {
 		t.Errorf("failed message should still be charged: %v", out.loads)
 	}
@@ -82,13 +81,13 @@ func TestSimulateQueuesFailedMessageChargesLoad(t *testing.T) {
 	}
 }
 
-func TestSimulateQueuesIdleServerDrains(t *testing.T) {
+func TestReplayIdleServerDrains(t *testing.T) {
 	// Two messages far apart in time never queue behind each other.
-	msgs := []queuedMessage{
+	msgs := []replayMsg{
 		{inject: 0, path: []metric.Point{3}, delivered: true},
 		{inject: 100, path: []metric.Point{3}, delivered: true},
 	}
-	out := simulateQueues(4, msgs, 1, pretimed(msgs), nil, -1)
+	out := replay(4, msgs, 1, pretimed(msgs), nil, -1)
 	if out.maxQueueDepth != 1 {
 		t.Errorf("maxQueueDepth = %d, want 1", out.maxQueueDepth)
 	}
@@ -97,10 +96,10 @@ func TestSimulateQueuesIdleServerDrains(t *testing.T) {
 	}
 }
 
-func TestSimulateQueuesEmpty(t *testing.T) {
+func TestReplayEmpty(t *testing.T) {
 	// No messages at all: the replay must return a zero outcome, not
 	// panic or fabricate services.
-	out := simulateQueues(4, nil, 1, nil, nil, -1)
+	out := replay(4, nil, 1, nil, nil, -1)
 	if out.services != 0 || out.maxQueueDepth != 0 || out.injected != 0 {
 		t.Errorf("empty replay produced work: %+v", out)
 	}
@@ -109,8 +108,8 @@ func TestSimulateQueuesEmpty(t *testing.T) {
 	}
 	// Messages whose searches produced no path (an exhausted graph)
 	// occupy no queues but still count as injected.
-	msgs := []queuedMessage{{inject: 2}, {inject: 5}}
-	out = simulateQueues(4, msgs, 1, pretimed(msgs), nil, -1)
+	msgs := []replayMsg{{inject: 2}, {inject: 5}}
+	out = replay(4, msgs, 1, pretimed(msgs), nil, -1)
 	if out.services != 0 || out.injected != 2 || out.lastInject != 5 {
 		t.Errorf("path-less messages: services=%d injected=%d last=%v",
 			out.services, out.injected, out.lastInject)
@@ -142,11 +141,11 @@ func TestDepthAtBoundaries(t *testing.T) {
 	}
 }
 
-func TestSimulateQueuesProbeBoundaries(t *testing.T) {
+func TestReplayProbeBoundaries(t *testing.T) {
 	// One message served on node 1 over [0,1), then node 2 over [1,2).
 	// The probe convention matches depthAt: in system when
 	// arrival ≤ probe < finish.
-	msgs := []queuedMessage{{inject: 0, path: []metric.Point{1, 2}, delivered: true}}
+	msgs := []replayMsg{{inject: 0, path: []metric.Point{1, 2}, delivered: true}}
 	for _, tc := range []struct {
 		probe float64
 		want  []int
@@ -156,7 +155,7 @@ func TestSimulateQueuesProbeBoundaries(t *testing.T) {
 		{1, []int{0, 0, 1, 0}},   // finish instant has left node 1, entered node 2
 		{2, []int{0, 0, 0, 0}},   // everything drained
 	} {
-		out := simulateQueues(4, msgs, 1, pretimed(msgs), nil, tc.probe)
+		out := replay(4, msgs, 1, pretimed(msgs), nil, tc.probe)
 		for p, want := range tc.want {
 			if out.probeDepths[p] != want {
 				t.Errorf("probe %v: depth[%d] = %d, want %d", tc.probe, p, out.probeDepths[p], want)
@@ -164,15 +163,15 @@ func TestSimulateQueuesProbeBoundaries(t *testing.T) {
 		}
 	}
 	// Without a probe the depth vector stays nil.
-	if out := simulateQueues(4, msgs, 1, pretimed(msgs), nil, -1); out.probeDepths != nil {
+	if out := replay(4, msgs, 1, pretimed(msgs), nil, -1); out.probeDepths != nil {
 		t.Errorf("unprobed replay allocated probeDepths: %v", out.probeDepths)
 	}
 }
 
-func TestSimulateQueuesClosedLoopFeedback(t *testing.T) {
+func TestReplayClosedLoopFeedback(t *testing.T) {
 	// Two messages chained by a completion hook: message 1 may only
 	// inject once message 0 completes, plus 3 ticks of think time.
-	msgs := []queuedMessage{
+	msgs := []replayMsg{
 		{path: []metric.Point{0, 1}, delivered: true},
 		{path: []metric.Point{0}, delivered: true},
 	}
@@ -182,7 +181,7 @@ func TestSimulateQueuesClosedLoopFeedback(t *testing.T) {
 		}
 		return Injection{}, false
 	}
-	out := simulateQueues(4, msgs, 1, []Injection{{Msg: 0, Time: 0}}, completed, -1)
+	out := replay(4, msgs, 1, []Injection{{Msg: 0, Time: 0}}, completed, -1)
 	if out.injected != 2 {
 		t.Fatalf("injected = %d, want 2", out.injected)
 	}
@@ -198,31 +197,13 @@ func TestSimulateQueuesClosedLoopFeedback(t *testing.T) {
 	}
 	// A path-less head message must still unlock its successor, at its
 	// own injection instant.
-	msgs = []queuedMessage{
+	msgs = []replayMsg{
 		{path: nil, delivered: false},
 		{path: []metric.Point{2}, delivered: true},
 	}
-	out = simulateQueues(4, msgs, 1, []Injection{{Msg: 0, Time: 7}}, completed, -1)
+	out = replay(4, msgs, 1, []Injection{{Msg: 0, Time: 7}}, completed, -1)
 	if out.injected != 2 || out.lastInject != 10 || out.services != 1 {
 		t.Errorf("path-less chain: injected=%d last=%v services=%d, want 2/10/1",
 			out.injected, out.lastInject, out.services)
-	}
-}
-
-func TestLatencySummary(t *testing.T) {
-	mean, p50, p95, p99 := latencySummary(nil)
-	if mean != 0 || p50 != 0 || p95 != 0 || p99 != 0 {
-		t.Error("empty summary should be all zero")
-	}
-	lat := make([]float64, 100)
-	for i := range lat {
-		lat[i] = float64(i + 1) // 1..100
-	}
-	mean, p50, p95, p99 = latencySummary(lat)
-	if math.Abs(mean-50.5) > 1e-9 {
-		t.Errorf("mean = %v, want 50.5", mean)
-	}
-	if p50 != 50 || p95 != 95 || p99 != 99 {
-		t.Errorf("quantiles = %v/%v/%v, want 50/95/99", p50, p95, p99)
 	}
 }

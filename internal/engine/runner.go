@@ -1,0 +1,677 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/mathx"
+	"repro/internal/metric"
+	"repro/internal/rng"
+	"repro/internal/route"
+)
+
+// aggKey identifies a coalescing point: one key's pending service at
+// one node.
+type aggKey struct {
+	node metric.Point
+	key  metric.Point
+}
+
+// aggEntry remembers the message currently carrying a key through a
+// node and when its service there completes; arrivals for the same key
+// before that instant ride along.
+type aggEntry struct {
+	leader int
+	finish float64
+}
+
+// runner is one engine run's mutable state: a single event loop whose
+// events both modes share, plus the per-mode message representation
+// (precomputed paths in snapshot mode, in-flight walkers in live
+// mode).
+type runner struct {
+	g     *graph.Graph
+	msgs  []Message
+	sched Schedule
+	cfg   Config
+	root  *rng.Source
+	out   *Outcome
+	err   error
+
+	serviceTime float64
+	h           *mathx.Heap[event]
+	queues      []nodeQueue
+	inject      []float64
+
+	// caching/decay shorthands resolved from cfg.Placement.
+	caching  bool
+	decaying bool
+
+	// Snapshot mode: forwarder paths of routed messages, the routed
+	// frontier, each message's schedule entries (sched.Initial bucketed
+	// by Msg, preserving order), and closed-loop injections unlocked
+	// before their message was routed (admitted when its batch routes).
+	paths      [][]metric.Point
+	delivered  []bool
+	routed     int
+	initialFor [][]Injection
+	pendingAt  []float64
+	hasPending []bool
+
+	// fullyPrimed reports that the schedule fixed every message's
+	// injection up front, in message order, at nondecreasing times —
+	// the open-loop shape under which depth probes can read the live
+	// loop frontier instead of replaying the prefix.
+	fullyPrimed bool
+
+	// Live mode: one walker per in-flight message, its current node,
+	// and the instant of the decision being made (read by the live
+	// congestion closure).
+	router   *route.Router
+	walkers  []*route.Walker
+	pos      []metric.Point
+	now      float64
+	injected int       // injection events popped, the live decay cadence
+	doneAt   []float64 // completion time per message, -1 while in flight
+
+	// Live congestion signal: services charged so far, per node and in
+	// total (snapshot mode charges at routing time instead).
+	charged      []int
+	totalCharged int
+	alive        int
+
+	// Live aggregation state.
+	agg       map[aggKey]aggEntry
+	followers [][]int
+	merged    []bool
+}
+
+func newRunner(g *graph.Graph, msgs []Message, sched Schedule, cfg Config, root *rng.Source) *runner {
+	n := len(msgs)
+	r := &runner{
+		g:           g,
+		msgs:        msgs,
+		sched:       sched,
+		cfg:         cfg,
+		root:        root,
+		serviceTime: 1 / cfg.Capacity,
+		h:           newEventHeap(n),
+		queues:      make([]nodeQueue, g.Size()),
+		inject:      make([]float64, n),
+		out: &Outcome{
+			Results: make([]route.Result, n),
+			Loads:   make([]int, g.Size()),
+		},
+	}
+	if cfg.Placement != nil {
+		r.caching = cfg.Placement.Caching()
+		r.decaying = cfg.Placement.Decaying()
+	}
+	if cfg.Live {
+		r.walkers = make([]*route.Walker, n)
+		r.pos = make([]metric.Point, n)
+		r.doneAt = make([]float64, n)
+		for i := range r.doneAt {
+			r.doneAt[i] = -1
+		}
+		r.charged = make([]int, g.Size())
+		r.alive = g.AliveCount()
+		if cfg.Aggregate {
+			r.agg = make(map[aggKey]aggEntry)
+			r.followers = make([][]int, n)
+			r.merged = make([]bool, n)
+		}
+	} else {
+		r.paths = make([][]metric.Point, n)
+		r.delivered = make([]bool, n)
+		r.initialFor = make([][]Injection, n)
+		for _, inj := range sched.Initial {
+			if inj.Msg >= 0 && inj.Msg < n {
+				r.initialFor[inj.Msg] = append(r.initialFor[inj.Msg], inj)
+			}
+		}
+		r.pendingAt = make([]float64, n)
+		r.hasPending = make([]bool, n)
+		r.fullyPrimed = fullyPrimed(sched.Initial, n)
+	}
+	return r
+}
+
+// fullyPrimed reports whether initial fixes message i's injection at
+// position i with nondecreasing times — true for the open-loop arrival
+// models, whose whole schedule is known before the loop starts.
+func fullyPrimed(initial []Injection, n int) bool {
+	if len(initial) != n {
+		return false
+	}
+	for i, inj := range initial {
+		if inj.Msg != i {
+			return false
+		}
+		if i > 0 && inj.Time < initial[i-1].Time {
+			return false
+		}
+	}
+	return true
+}
+
+// forwarders returns the nodes whose FIFO queues a search occupies: the
+// hop u→v is charged to u, the node doing the routing work. A delivered
+// message therefore charges every visited node except its destination
+// (which consumes the message; its application-level work is not
+// routing load), while a failed search charges everything it touched —
+// the last node too received the message and hunted for a next hop.
+func forwarders(res route.Result) []metric.Point {
+	if res.Delivered && len(res.Path) > 0 {
+		return res.Path[:len(res.Path)-1]
+	}
+	return res.Path
+}
+
+// ---------------------------------------------------------------------
+// Snapshot mode: the classic route-then-replay pipeline, folded into
+// the shared event loop. Routing happens in congestion-snapshot
+// batches; each batch's injections are admitted as it routes, and the
+// loop is advanced only as far as the depth probes need, so the final
+// event sequence is identical to replaying everything at once.
+// ---------------------------------------------------------------------
+
+func (r *runner) runSnapshot() {
+	cfg := r.cfg
+	aware := cfg.Penalty > 0 || cfg.DepthPenalty > 0
+	ropt := cfg.Route
+	ropt.TracePath = true
+	if aware {
+		// The congestion feedback owns these fields (the documented
+		// contract); drop any caller-supplied signal so the first,
+		// zero-load batch routes hop-optimally.
+		ropt.Congestion = nil
+		ropt.CongestionWeight = 0
+	}
+	charged := make([]int, r.g.Size())
+	batch := len(r.msgs)
+	if aware || r.caching {
+		batch = cfg.BatchSize
+	}
+	for start := 0; start < len(r.msgs); start += batch {
+		end := start + batch
+		if end > len(r.msgs) {
+			end = len(r.msgs)
+		}
+		if r.decaying && start > 0 {
+			// Snapshot boundary: age cache-on-path popularity before the
+			// next batch consults the placement.
+			cfg.Placement.Decay()
+		}
+		opt := ropt
+		if aware && start > 0 {
+			// The cumulative congestion signal is the node's charged
+			// load relative to the mean live-node load of the snapshot —
+			// dimensionless, so the detour pressure stays constant as
+			// traffic accumulates instead of drowning the distance term.
+			snapshot := append([]int(nil), charged...)
+			var loadScale float64
+			if cfg.Penalty > 0 {
+				var total int
+				for i, c := range snapshot {
+					if r.g.Alive(metric.Point(i)) {
+						total += c
+					}
+				}
+				if total > 0 {
+					loadScale = cfg.Penalty * float64(r.g.AliveCount()) / float64(total)
+				}
+			}
+			// The instantaneous signal is the engine's own queue state
+			// as this batch's first injection comes due.
+			var depth []int
+			if cfg.DepthPenalty > 0 {
+				depth = r.depthsAtBatch(start)
+			}
+			if loadScale > 0 || depth != nil {
+				depthPenalty := cfg.DepthPenalty
+				opt.Congestion = func(q metric.Point) float64 {
+					s := float64(snapshot[q]) * loadScale
+					if depth != nil {
+						s += depthPenalty * float64(depth[q])
+					}
+					return s
+				}
+				opt.CongestionWeight = 1
+			}
+		}
+		// Freeze this batch's replica sets before any parallelism: the
+		// placement may gain or lose cached copies only between batches.
+		var targets [][]metric.Point
+		if cfg.Placement != nil {
+			targets = make([][]metric.Point, end-start)
+			for i := start; i < end; i++ {
+				targets[i-start] = cfg.Placement.Targets(r.msgs[i].Key)
+			}
+		}
+		if r.err = r.routeRange(opt, start, end, targets); r.err != nil {
+			return
+		}
+		for i := start; i < end; i++ {
+			res := r.out.Results[i]
+			r.paths[i] = forwarders(res)
+			r.delivered[i] = res.Delivered
+			for _, p := range r.paths[i] {
+				charged[p]++
+			}
+			if r.caching && res.Delivered {
+				cfg.Placement.Observe(r.msgs[i].Key, res.Path)
+			}
+		}
+		r.routed = end
+		r.admit(start, end)
+	}
+	r.drain()
+}
+
+// admit enqueues the injections of messages [start, end): their
+// schedule entries known up front, plus any closed-loop injection
+// unlocked while the message was still unrouted.
+func (r *runner) admit(start, end int) {
+	for m := start; m < end; m++ {
+		for _, inj := range r.initialFor[m] {
+			r.enqueue(inj)
+		}
+		if r.hasPending[m] {
+			r.hasPending[m] = false
+			r.enqueue(Injection{Msg: m, Time: r.pendingAt[m]})
+		}
+	}
+}
+
+// depthsAtBatch returns every node's instantaneous queue depth as the
+// batch beginning at message `start` is about to route.
+//
+// For a fully primed schedule the loop itself is the probe: all events
+// up to the batch's first injection time are processed (they precede
+// every event the new batch can add, so the final event sequence is
+// unchanged), and each node's depth is read off its live queue in
+// O(1) amortized — the engine lookup that replaced the quadratic
+// prefix-replay probing of the pre-engine pipeline.
+//
+// A schedule that is not fully primed (closed-loop feedback) cannot be
+// advanced safely — a future batch may still inject earlier than the
+// probe — so the prefix [0, start) is replayed in a scratch loop and
+// probed at its last injection, reproducing the pre-engine estimate
+// exactly: a pure function of already-routed traffic, modelling the
+// staleness of queue-depth gossip.
+func (r *runner) depthsAtBatch(start int) []int {
+	if r.fullyPrimed {
+		probe := r.sched.Initial[start].Time
+		r.advanceThrough(probe)
+		depth := make([]int, len(r.queues))
+		for i := range r.queues {
+			depth[i] = r.queues[i].depthAt(probe)
+		}
+		return depth
+	}
+	return r.prefixDepths(start)
+}
+
+// prefixDepths replays the routed prefix [0, start) in a scratch loop,
+// suppressing injections beyond it, and probes queue depths at the
+// prefix's last injection (found by a first untimed replay when the
+// schedule does not fix it up front).
+func (r *runner) prefixDepths(start int) []int {
+	scratch := make([]replayMsg, start)
+	for i := 0; i < start; i++ {
+		scratch[i] = replayMsg{path: r.paths[i], delivered: r.delivered[i]}
+	}
+	initial := make([]Injection, 0, start)
+	for _, inj := range r.sched.Initial {
+		if inj.Msg < start {
+			initial = append(initial, inj)
+		}
+	}
+	var completed func(m int, at float64) (Injection, bool)
+	if r.sched.Completed != nil {
+		completed = func(m int, at float64) (Injection, bool) {
+			next, ok := r.sched.Completed(m, at)
+			if !ok || next.Msg >= start {
+				return Injection{}, false
+			}
+			return next, true
+		}
+	}
+	var probe float64
+	if len(r.sched.Initial) == len(r.msgs) && start < len(r.sched.Initial) {
+		probe = r.sched.Initial[start].Time
+	} else {
+		probe = replay(len(r.queues), scratch, r.serviceTime, initial, completed, -1).lastInject
+	}
+	return replay(len(r.queues), scratch, r.serviceTime, initial, completed, probe).probeDepths
+}
+
+// routeRange routes messages [start, end) across cfg.Workers
+// goroutines, each message from its own derived rng stream, so the
+// assignment of messages to workers is irrelevant. A non-nil targets
+// slice carries each message's frozen replica set.
+func (r *runner) routeRange(opt route.Options, start, end int, targets [][]metric.Point) error {
+	router := route.New(r.g, opt)
+	routeOne := func(i int) (route.Result, error) {
+		src := r.root.Derive(16 + uint64(i))
+		if targets != nil {
+			return router.RouteAny(src, r.msgs[i].From, targets[i-start])
+		}
+		return router.Route(src, r.msgs[i].From, r.msgs[i].Key)
+	}
+	workers := r.cfg.Workers
+	if workers > end-start {
+		workers = end - start
+	}
+	if workers <= 1 {
+		for i := start; i < end; i++ {
+			res, err := routeOne(i)
+			if err != nil {
+				return err
+			}
+			r.out.Results[i] = res
+		}
+		return nil
+	}
+	var (
+		next     = int64(start) - 1
+		firstErr error
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= end {
+					return
+				}
+				res, err := routeOne(i)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				r.out.Results[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// ---------------------------------------------------------------------
+// Live mode: walkers advance one hop per service completion, reading
+// live congestion state; same-key lookups meeting in a queue coalesce.
+// ---------------------------------------------------------------------
+
+func (r *runner) runLive() {
+	cfg := r.cfg
+	ropt := cfg.Route
+	ropt.TracePath = true
+	if cfg.Penalty > 0 || cfg.DepthPenalty > 0 {
+		// The live congestion signal: charged load relative to the
+		// current mean live-node load, plus the candidate's queue depth
+		// at the instant of the decision. Reading r.now and the queues
+		// directly is what "live" means — no snapshot, no staleness.
+		ropt.Congestion = func(q metric.Point) float64 {
+			s := 0.0
+			if cfg.Penalty > 0 && r.totalCharged > 0 {
+				s += cfg.Penalty * float64(r.alive) * float64(r.charged[q]) / float64(r.totalCharged)
+			}
+			if cfg.DepthPenalty > 0 {
+				s += cfg.DepthPenalty * float64(r.queues[q].depthAt(r.now))
+			}
+			return s
+		}
+		ropt.CongestionWeight = 1
+	}
+	r.router = route.New(r.g, ropt)
+	for _, inj := range r.sched.Initial {
+		r.enqueue(inj)
+		if r.err != nil {
+			return
+		}
+	}
+	r.drain()
+}
+
+// targetsFor resolves a message's routing target set at injection
+// time: the fixed Options.Targets set when configured (mirroring
+// Route's precedence), the key's live replica set under a placement,
+// or the key alone.
+func (r *runner) targetsFor(msg int) []metric.Point {
+	if len(r.cfg.Route.Targets) > 0 {
+		return r.cfg.Route.Targets
+	}
+	if r.cfg.Placement != nil {
+		return r.cfg.Placement.Targets(r.msgs[msg].Key)
+	}
+	return []metric.Point{r.msgs[msg].Key}
+}
+
+// completeBorn finalizes a zero-hop lookup at its injection instant:
+// no queue was entered, so no latency is recorded, but the completion
+// still unlocks the closed-loop successor.
+func (r *runner) completeBorn(msg int, at float64) {
+	r.out.Results[msg] = r.walkers[msg].Result()
+	r.doneAt[msg] = at
+	if r.sched.Completed != nil {
+		if next, ok := r.sched.Completed(msg, at); ok {
+			r.enqueue(next)
+		}
+	}
+}
+
+// completeLive finalizes one live-mode message at virtual time `at`:
+// it records the result and latency, feeds cache-on-path observation,
+// unlocks the closed-loop successor, and cascades to any lookups that
+// coalesced onto this one.
+func (r *runner) completeLive(msg int, at float64, res route.Result) {
+	r.out.Results[msg] = res
+	r.doneAt[msg] = at
+	if res.Delivered {
+		// Zero-hop lookups complete inside enqueue and never reach here,
+		// so every delivered completion contributes a queueing latency —
+		// coalesced lookups included (they waited in a queue too).
+		r.out.Latencies = append(r.out.Latencies, at-r.inject[msg])
+		if r.caching && (r.merged == nil || !r.merged[msg]) {
+			// Only real deliveries feed popularity: a coalesced lookup's
+			// partial path does not end at the key, so observing it
+			// would corrupt the forwarder counts.
+			r.cfg.Placement.Observe(r.msgs[msg].Key, res.Path)
+		}
+	}
+	if r.sched.Completed != nil {
+		if next, ok := r.sched.Completed(msg, at); ok {
+			r.enqueue(next)
+			if r.err != nil {
+				return
+			}
+		}
+	}
+	if r.followers != nil {
+		for _, f := range r.followers[msg] {
+			fr := r.walkers[f].Result()
+			fr.Delivered = res.Delivered
+			fr.Target = res.Target
+			r.completeLive(f, at, fr)
+			if r.err != nil {
+				return
+			}
+		}
+		r.followers[msg] = nil
+	}
+}
+
+// ---------------------------------------------------------------------
+// The shared event loop.
+// ---------------------------------------------------------------------
+
+// enqueue admits one injection. In live mode it creates the message's
+// walker (resolving replica targets against the live placement) and
+// chases chains of born-delivered lookups; in snapshot mode it chases
+// path-less chains, stashing injections whose message is not yet
+// routed.
+func (r *runner) enqueue(inj Injection) {
+	for {
+		msg := inj.Msg
+		if !r.cfg.Live && msg >= r.routed {
+			// Unlocked before its batch routed: admitted with the batch.
+			r.pendingAt[msg] = inj.Time
+			r.hasPending[msg] = true
+			return
+		}
+		r.inject[msg] = inj.Time
+		r.out.Injected++
+		if inj.Time > r.out.LastInject {
+			r.out.LastInject = inj.Time
+		}
+		if r.cfg.Live {
+			// The walker is created when this event pops — at the
+			// message's virtual injection time, in event order — so its
+			// replica targets and first forwarding decision read the
+			// placement and congestion state of that instant, not of
+			// whenever the schedule happened to be primed.
+			r.h.Push(event{time: inj.Time, msg: msg, idx: 0})
+			return
+		}
+		if len(r.paths[msg]) > 0 {
+			r.h.Push(event{time: inj.Time, msg: msg, idx: 0})
+			return
+		}
+		if r.sched.Completed == nil {
+			return
+		}
+		next, ok := r.sched.Completed(msg, inj.Time)
+		if !ok {
+			return
+		}
+		inj = next
+	}
+}
+
+// advanceThrough processes every queued event with time at most t.
+func (r *runner) advanceThrough(t float64) {
+	for r.err == nil && r.h.Len() > 0 && r.h.Peek().time <= t {
+		r.processOne(r.h.Pop())
+	}
+}
+
+// drain processes the loop to exhaustion.
+func (r *runner) drain() {
+	for r.err == nil && r.h.Len() > 0 {
+		r.processOne(r.h.Pop())
+	}
+}
+
+// processOne handles one arrival: the message joins the node's FIFO,
+// is served for serviceTime ticks, and — in live mode — decides its
+// next hop at that service, reading live congestion state. In
+// aggregate mode the arrival may instead coalesce onto a pending
+// same-key service and never occupy the queue at all.
+func (r *runner) processOne(a event) {
+	var node metric.Point
+	if r.cfg.Live {
+		if a.idx == 0 {
+			// The message's virtual injection instant: tick the decay
+			// cadence and create its walker against the live placement.
+			r.injected++
+			if r.decaying && r.injected%r.cfg.BatchSize == 0 {
+				// One half-life every BatchSize injections — the same
+				// staleness knob snapshot mode ties its boundaries to.
+				r.cfg.Placement.Decay()
+			}
+			w, err := r.router.Walker(r.root.Derive(16+uint64(a.msg)), r.msgs[a.msg].From, r.targetsFor(a.msg))
+			if err != nil {
+				r.err = err
+				return
+			}
+			r.walkers[a.msg] = w
+			if w.Done() {
+				// Born delivered: the lookup completes at its injection
+				// instant without entering a queue.
+				r.completeBorn(a.msg, a.time)
+				return
+			}
+			r.pos[a.msg] = w.At()
+		}
+		node = r.pos[a.msg]
+	} else {
+		node = r.paths[a.msg][a.idx]
+	}
+	if r.agg != nil {
+		key := aggKey{node: node, key: r.msgs[a.msg].Key}
+		if e, ok := r.agg[key]; ok && a.time < e.finish {
+			// A same-key lookup is queued or in service here: ride along.
+			r.merged[a.msg] = true
+			r.out.Aggregated++
+			if r.doneAt[e.leader] >= 0 {
+				// The carrier already completed (its later hops resolved
+				// before this arrival was popped); settle immediately at
+				// the carrier's completion time.
+				lr := r.out.Results[e.leader]
+				fr := r.walkers[a.msg].Result()
+				fr.Delivered = lr.Delivered
+				fr.Target = lr.Target
+				r.completeLive(a.msg, r.doneAt[e.leader], fr)
+			} else {
+				r.followers[e.leader] = append(r.followers[e.leader], a.msg)
+			}
+			return
+		}
+	}
+	q := &r.queues[node]
+	if depth := q.depthAt(a.time) + 1; depth > r.out.MaxQueueDepth {
+		r.out.MaxQueueDepth = depth
+	}
+	start := a.time
+	if q.busyUntil > start {
+		start = q.busyUntil
+	}
+	finish := start + r.serviceTime
+	q.busyUntil = finish
+	q.finish = append(q.finish, finish)
+	r.out.Loads[node]++
+	r.out.Services++
+	if finish > r.out.Makespan {
+		r.out.Makespan = finish
+	}
+	if !r.cfg.Live {
+		if a.idx+1 < len(r.paths[a.msg]) {
+			r.h.Push(event{time: finish, msg: a.msg, idx: a.idx + 1})
+			return
+		}
+		if r.delivered[a.msg] {
+			r.out.Latencies = append(r.out.Latencies, finish-r.inject[a.msg])
+		}
+		if r.sched.Completed != nil {
+			if next, ok := r.sched.Completed(a.msg, finish); ok {
+				r.enqueue(next)
+			}
+		}
+		return
+	}
+	// Live: this node's service is one unit of charged load, visible to
+	// every later forwarding decision.
+	r.charged[node]++
+	r.totalCharged++
+	if r.agg != nil {
+		r.agg[aggKey{node: node, key: r.msgs[a.msg].Key}] = aggEntry{leader: a.msg, finish: finish}
+	}
+	w := r.walkers[a.msg]
+	r.now = a.time
+	if w.Step() {
+		r.pos[a.msg] = w.At()
+		r.h.Push(event{time: finish, msg: a.msg, idx: a.idx + 1})
+		return
+	}
+	r.completeLive(a.msg, finish, w.Result())
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/load"
+	"repro/internal/replica"
+	"repro/internal/sim"
+)
+
+// The ext.engine.* experiments measure what the discrete-event engine
+// buys over the batch-snapshot pipeline: live per-hop congestion state
+// (Config.Live) and per-hop service aggregation of same-key lookups
+// (Config.Aggregate). Aggregation attacks the flood knee directly —
+// the victim's in-neighbourhood serves one aggregated lookup for every
+// queueful of duplicates — which is the lever past the replica ceiling
+// PR 4 established. Like every traffic experiment, results are
+// independent of Params.Workers.
+
+// engineModes is the snapshot / live / live+aggregate ladder every
+// ext.engine experiment sweeps.
+var engineModes = []struct {
+	label           string
+	live, aggregate bool
+}{
+	{"snapshot", false, false},
+	{"live", true, false},
+	{"live+aggregate", true, true},
+}
+
+func init() {
+	register(Experiment{
+		ID:       "ext.engine.flood",
+		Artifact: "engine extension: live routing & service aggregation vs the flood knee",
+		Description: "single-target flood on 30%-failed torus and ring with k = 4 replicas plus " +
+			"cache-on-path, swept in the engine's three modes — batch-snapshot routing, " +
+			"live per-hop state, and live with same-key service aggregation. The headline " +
+			"is the aggregated knee: duplicates meeting in a queue collapse into one " +
+			"service, lifting the flood knee past the replication-only ceiling",
+		Run: func(p Params) (*sim.Table, error) {
+			p = p.withDefaults(1<<10, 1, 0)
+			t := sim.NewTable(
+				fmt.Sprintf("Flood knee by engine mode, k=4+cache (n≈%d, l=%d, seed=%d)",
+					p.N, p.lgLinks(), p.Seed),
+				"config", "mode", "knee", "knee thr", "p99@knee", "aggregated", "lift", "verdict")
+			scenarios := []loadScenario{
+				{"torus 30% failed", 2, 0.3},
+				{"ring 30% failed", 1, 0.3},
+			}
+			k := p.Replicas
+			if k <= 1 {
+				k = 4
+			}
+			cache := p.Cache
+			if cache == 0 {
+				cache = floodCacheThreshold
+			}
+			for i, sc := range scenarios {
+				g, err := buildLoadGraph(sc, p, p.Seed+uint64(i))
+				if err != nil {
+					return nil, err
+				}
+				var base float64
+				for _, mode := range engineModes {
+					gen, err := workloadFor(p, "flood")
+					if err != nil {
+						return nil, err
+					}
+					cfg := sweepConfigFor(p, saturationPolicy{name: "greedy"})
+					cfg.Live = mode.live
+					cfg.Aggregate = mode.aggregate
+					cfg.Replication = &replica.Options{
+						K: k, CacheThreshold: cache, CacheCopies: floodCacheCopies,
+					}
+					res, err := load.Sweep(g, gen, cfg, p.Seed+uint64(8000+i))
+					if err != nil {
+						return nil, err
+					}
+					kp := res.KneePoint()
+					if kp == nil {
+						t.AddValues(sc.label, mode.label, res.Knee, 0.0, 0.0, 0, 0.0, "UNSTABLE at min load")
+						continue
+					}
+					// Lift is relative to the snapshot row; 0 marks "no
+					// baseline" (the snapshot sweep was unstable), not a
+					// neutral 1.0.
+					lift := 0.0
+					if !mode.live {
+						base = res.KneeThroughput
+						lift = 1
+					} else if base > 0 {
+						lift = res.KneeThroughput / base
+					}
+					t.AddValues(sc.label, mode.label, res.Knee, res.KneeThroughput, res.KneeP99,
+						kp.Result.Aggregated, lift, capMark(res.Saturated))
+				}
+			}
+			return t, nil
+		},
+	})
+
+	register(Experiment{
+		ID:       "ext.engine.modes",
+		Artifact: "engine extension: snapshot vs live congestion signals under Zipf traffic",
+		Description: "fixed-rate Zipf traffic on healthy and 30%-failed networks routed with the " +
+			"depth-aware policy in snapshot mode (signal frozen per batch) and live mode " +
+			"(every forwarding decision reads the queues now): hottest node, queue depth, " +
+			"latency tail, and the aggregation count when same-key coalescing is on",
+		Run: func(p Params) (*sim.Table, error) {
+			p = p.withDefaults(1<<12, 1, 2000)
+			t := sim.NewTable(
+				fmt.Sprintf("Engine modes under Zipf traffic (n≈%d, l=%d, msgs=%d, seed=%d)",
+					p.N, p.lgLinks(), p.Msgs, p.Seed),
+				"config", "mode", "max load", "max/mean", "p99 lat", "queue depth",
+				"aggregated", "mean hops")
+			scenarios := []loadScenario{
+				{"ring healthy", 1, 0},
+				{"torus 30% failed", 2, 0.3},
+			}
+			for i, sc := range scenarios {
+				g, err := buildLoadGraph(sc, p, p.Seed+uint64(i))
+				if err != nil {
+					return nil, err
+				}
+				for _, mode := range engineModes {
+					gen, err := workloadFor(p, "zipf")
+					if err != nil {
+						return nil, err
+					}
+					cfg, err := loadConfig(p)
+					if err != nil {
+						return nil, err
+					}
+					cfg.Live = mode.live
+					cfg.Aggregate = mode.aggregate
+					cfg.DepthPenalty = 1
+					if cfg.Rate == 0 {
+						// Push past capacity so the live depth signal has
+						// backlog to react to.
+						cfg.Rate = 8
+					}
+					r, err := load.Run(g, gen, cfg, p.Seed+uint64(9000+i))
+					if err != nil {
+						return nil, err
+					}
+					t.AddValues(sc.label, r.Mode, r.MaxLoad, r.MaxMeanRatio(), r.LatencyP99,
+						r.MaxQueueDepth, r.Aggregated, r.Search.MeanHops())
+				}
+			}
+			return t, nil
+		},
+	})
+}

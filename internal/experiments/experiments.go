@@ -80,6 +80,14 @@ type Params struct {
 	// Cache is the popularity threshold of cache-on-path replication;
 	// 0 disables caching.
 	Cache int
+	// Live switches the traffic experiments to the event-driven engine
+	// mode: forwarding decisions read live load, queue depth, and
+	// replica placement instead of batch snapshots.
+	Live bool
+	// Aggregate additionally coalesces same-key lookups that meet in a
+	// node's queue (implies the live engine requirement; ftrsim -live
+	// -aggregate).
+	Aggregate bool
 }
 
 func (p Params) withDefaults(n, trials, msgs int) Params {

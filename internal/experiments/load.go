@@ -73,6 +73,8 @@ func loadConfig(p Params) (load.Config, error) {
 		Rate:         p.Rate,
 		Workers:      p.Workers,
 		DepthPenalty: p.DepthPenalty,
+		Live:         p.Live || p.Aggregate,
+		Aggregate:    p.Aggregate,
 		Route:        route.Options{DeadEnd: route.Backtrack},
 	}
 	if p.Replicas > 1 || p.Cache > 0 {

@@ -67,6 +67,8 @@ func sweepConfigFor(p Params, pol saturationPolicy) load.SweepConfig {
 			Workers:      p.Workers,
 			Penalty:      pol.penalty,
 			DepthPenalty: pol.depth,
+			Live:         p.Live || p.Aggregate,
+			Aggregate:    p.Aggregate,
 			Route:        route.Options{DeadEnd: route.Backtrack},
 		},
 		Model: model,

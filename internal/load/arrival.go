@@ -4,15 +4,14 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/engine"
 	"repro/internal/rng"
 )
 
 // Injection schedules message Msg to enter the network at virtual time
-// Time.
-type Injection struct {
-	Msg  int
-	Time float64
-}
+// Time. It is the engine's injection type re-exported, so arrival
+// models prime the event loop directly.
+type Injection = engine.Injection
 
 // Arrival models when messages enter the network. Open-loop models fix
 // every injection time before the replay starts, so the offered load is

@@ -16,12 +16,12 @@
 //     unbounded queues. ClosedLoop models N clients with think time,
 //     whose offered load self-limits as latency grows.
 //
-//   - A virtual-time queueing simulator (Run): it injects Messages
-//     lookups into a built graph.Graph under the arrival model, routes
-//     each one with package route, then replays every hop against the
-//     transit node's FIFO queue under a per-node service capacity. It
-//     reports per-node load (hops serviced), max/mean load, peak queue
-//     depth, p50/p95/p99 end-to-end latency, makespan and delivered
+//   - The discrete-event engine (internal/engine, driven by Run): one
+//     virtual-time event loop in which routing, FIFO queueing,
+//     replication, and cache-on-path share a clock. Run injects
+//     Messages lookups under the arrival model and reports per-node
+//     load (hops serviced), max/mean load, peak queue depth,
+//     p50/p95/p99 end-to-end latency, makespan and delivered
 //     throughput alongside the ordinary sim.SearchStats.
 //
 //   - A saturation sweep (Sweep): repeated runs at stepped-then-bisected
@@ -29,23 +29,39 @@
 //     queues still drain (delivered throughput tracks λ) and the p99
 //     tail stays bounded. The sweep reports the whole
 //     latency-vs-throughput curve (viz.ThroughputLatency plots it) plus
-//     the knee, per routing policy.
+//     the knee, per routing policy and engine mode.
 //
-// Two congestion feedback loops connect routing to queueing. With
-// Config.Penalty > 0 the router runs route's congestion-penalized greedy
-// (Options.Congestion) fed by the cumulative loads the simulator has
-// already charged. With Config.DepthPenalty > 0 the signal additionally
-// includes each node's instantaneous queue depth, probed by replaying
-// the traffic routed so far — the backlog right now, which is what
-// matters near saturation. Both snapshots refresh every Config.BatchSize
-// messages, modelling the stale load information a real system would
-// gossip.
+// # Snapshot vs live semantics
+//
+// With Config.Live off (the default), messages route in congestion-
+// snapshot batches of Config.BatchSize and then flow through the
+// queues — the classic route-then-replay pipeline, reproduced
+// byte-for-byte by the engine's snapshot mode. The congestion feedback
+// loops are batch-grained: Config.Penalty feeds routing the cumulative
+// loads charged by earlier batches, Config.DepthPenalty the queue
+// depths at the batch boundary (read in O(1) off the engine's own
+// queues), and cache-on-path placements made during one batch serve
+// the next; replica.Options.CacheDecay ages popularity at the same
+// boundaries. The staleness is the model: a real system gossips load
+// information, it does not observe it instantaneously.
+//
+// With Config.Live on, there are no batches: each message advances
+// hop-by-hop at its service completions (route.Walker), and every
+// forwarding decision reads the load, queue depth, and replica
+// placement of that instant — the paper's online routing model
+// extended to congestion state. Config.Aggregate additionally
+// coalesces same-key lookups that meet in a node's queue into one
+// aggregated service, the NDN-style batching that breaks the flood
+// knee past what replication alone buys (Result.Aggregated counts the
+// coalesced lookups).
 //
 // Determinism: a run is a pure function of (graph, generator, Config
-// minus Workers, seed). Worker goroutines only parallelize per-message
-// path computation, every message routes from its own derived rng
-// stream, and arrival schedules are drawn from one sequential stream
-// before routing starts, so results are byte-identical for any Workers
-// value — the property the regression suite pins for Run and Sweep
-// alike.
+// minus Workers, seed). Snapshot mode parallelizes per-message path
+// computation over Workers goroutines, but every message routes from
+// its own derived rng stream and all schedules are drawn before
+// routing starts; live mode is single-threaded by nature. Results are
+// byte-identical for any Workers value — the property the regression
+// suite pins for Run and Sweep alike, and the engine-vs-legacy
+// equivalence property (prop_test.go) holds snapshot mode to the exact
+// behaviour of the pre-engine pipeline.
 package load

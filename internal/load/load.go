@@ -4,9 +4,8 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
-	"sync/atomic"
 
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/metric"
 	"repro/internal/replica"
@@ -29,16 +28,18 @@ type Config struct {
 	// tick (message i is injected at tick i/Rate). Zero defaults to 1.
 	// Ignored when Arrival is non-nil.
 	Rate float64
-	// Arrival selects the arrival model feeding the queue replay; nil
+	// Arrival selects the arrival model feeding the event loop; nil
 	// defaults to the fixed-rate open-loop model Periodic(Rate). Poisson
 	// and ClosedLoop select the saturation-sweep arrival regimes.
 	Arrival Arrival
-	// Workers bounds path-computation parallelism; zero uses
-	// GOMAXPROCS. Results are byte-identical for every value.
+	// Workers bounds path-computation parallelism in snapshot mode;
+	// zero uses GOMAXPROCS. Results are byte-identical for every value
+	// (live mode is single-threaded by nature and ignores it).
 	Workers int
 	// Route configures the underlying router. TracePath is forced on
-	// (the queue replay needs the visited sequence); Congestion and
-	// CongestionWeight are overwritten when Penalty > 0.
+	// (the engine needs the visited sequence); Congestion and
+	// CongestionWeight are overwritten when Penalty or DepthPenalty is
+	// positive.
 	Route route.Options
 	// Penalty, when positive, enables load-aware routing: greedy with
 	// congestion-penalized detours (route.Options.Congestion). The
@@ -50,26 +51,43 @@ type Config struct {
 	Penalty float64
 	// DepthPenalty, when positive, adds an instantaneous-queue-depth
 	// term to the congestion signal: a candidate node costs an extra
-	// DepthPenalty distance units per message sitting in its queue when
-	// the batch's congestion snapshot was taken. Where Penalty reacts to
-	// cumulative charged load, DepthPenalty reacts to the backlog right
-	// now — the signal that matters near saturation. Both compose (and
-	// compose with any dead-end policy, since the congestion-penalized
-	// greedy preserves strict metric progress).
+	// DepthPenalty distance units per message sitting in its queue.
+	// Where Penalty reacts to cumulative charged load, DepthPenalty
+	// reacts to the backlog right now — the signal that matters near
+	// saturation. Both compose (and compose with any dead-end policy,
+	// since the congestion-penalized greedy preserves strict metric
+	// progress). In snapshot mode the depth is read at each batch
+	// boundary from the engine's own queues; in live mode at every
+	// forwarding decision.
 	DepthPenalty float64
 	// BatchSize is how many messages route against one frozen
 	// congestion snapshot when Penalty or DepthPenalty is positive —
 	// the staleness of load information in a real system. Zero defaults
 	// to 32. Cache-on-path replication shares the same batching: cached
-	// copies placed during one batch serve traffic from the next.
+	// copies placed during one batch serve traffic from the next, and
+	// cache decay (replica.Options.CacheDecay) ages popularity at the
+	// same boundaries. Live mode reuses it only as the decay cadence.
 	BatchSize int
+	// Live switches the engine to event-driven routing: messages
+	// advance hop-by-hop at their service completions, and every
+	// forwarding decision (Penalty, DepthPenalty, nearest-replica
+	// targets, cache observation) reads live state instead of a batch
+	// snapshot. Off, the engine reproduces the classic
+	// route-then-replay pipeline byte-for-byte.
+	Live bool
+	// Aggregate, in live mode, coalesces same-key lookups that meet in
+	// a node's queue into a single aggregated service: the duplicates
+	// ride along and complete when their carrier completes. Requires
+	// Live; Result.Aggregated counts the coalesced lookups.
+	Aggregate bool
 	// Replication, when non-nil and enabled (K > 1 or a positive
 	// CacheThreshold), replicates every lookup key through
 	// replica.NewPlacement and routes each message to the nearest live
 	// replica (route.RouteAny). Dead replicas degrade the set toward
 	// plain greedy on the primary; delivered messages feed the
-	// placement's popularity counters at batch boundaries, so
-	// cache-on-path stays deterministic and worker-count independent.
+	// placement's popularity counters (at batch boundaries in snapshot
+	// mode, per delivery in live mode), so cache-on-path stays
+	// deterministic and worker-count independent.
 	Replication *replica.Options
 	// ReplicaSeed seeds the hash-spread placement; zero derives it from
 	// the run seed, so a fixed (cfg, seed) still pins every replica.
@@ -123,6 +141,9 @@ func (c Config) Validate() error {
 	if c.BatchSize < 0 {
 		return fmt.Errorf("load: negative batch size %d", c.BatchSize)
 	}
+	if c.Aggregate && !c.Live {
+		return fmt.Errorf("load: aggregation requires live mode (Config.Live)")
+	}
 	if c.Replication != nil {
 		if err := c.Replication.Validate(); err != nil {
 			return err
@@ -133,7 +154,7 @@ func (c Config) Validate() error {
 
 // Result reports one traffic run: routing outcomes (the familiar
 // sim.SearchStats), the per-node load profile, and the queueing-delay
-// picture of the virtual-time replay.
+// picture of the virtual-time event loop.
 type Result struct {
 	// Workload names the generator that produced the traffic.
 	Workload string
@@ -141,12 +162,19 @@ type Result struct {
 	Arrival string
 	// Replication names the replica placement ("" when disabled).
 	Replication string
+	// Mode names the engine mode: "snapshot", "live", or
+	// "live+aggregate".
+	Mode string
 	// Search aggregates the underlying route results exactly as the
 	// single-message experiments do.
 	Search sim.SearchStats
 	// Injected = Delivered + Failed always holds (the conservation
 	// property the tests pin).
 	Injected, Delivered, Failed int
+	// Aggregated counts the lookups coalesced onto a same-key carrier
+	// (zero outside live+aggregate mode). Aggregated lookups still
+	// count as delivered or failed with their carrier.
+	Aggregated int
 	// Loads counts message-hop services per grid point (index =
 	// metric.Point; absent or untouched points hold 0).
 	Loads []int
@@ -155,8 +183,8 @@ type Result struct {
 	// fanned out across its replicas (index = metric.Point).
 	ServedBy []int
 	// CachedKeys and CacheCopies report the popularity-triggered
-	// cache placements made during the run (zero without a cache
-	// threshold).
+	// cache placements live at the end of the run (zero without a
+	// cache threshold; decay may have evicted earlier placements).
 	CachedKeys, CacheCopies int
 	// MaxLoad is the hottest node's service count; MeanLoad averages
 	// over the live nodes. Their ratio is the imbalance headline.
@@ -190,10 +218,22 @@ func (r *Result) MaxMeanRatio() float64 {
 	return float64(r.MaxLoad) / r.MeanLoad
 }
 
-// Run injects cfg.Messages lookups from gen into g and replays them
-// against per-node FIFO queues in virtual time. See the package comment
-// for the model; the run is deterministic in (g, gen, cfg, seed) and
-// independent of cfg.Workers.
+// modeName names the engine mode a config selects.
+func (c Config) modeName() string {
+	switch {
+	case c.Live && c.Aggregate:
+		return "live+aggregate"
+	case c.Live:
+		return "live"
+	default:
+		return "snapshot"
+	}
+}
+
+// Run injects cfg.Messages lookups from gen into g and drives them
+// through the discrete-event engine (internal/engine). See the package
+// comment for the model; the run is deterministic in (g, gen, cfg,
+// seed) and independent of cfg.Workers.
 func Run(g *graph.Graph, gen Generator, cfg Config, seed uint64) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
@@ -207,13 +247,13 @@ func Run(g *graph.Graph, gen Generator, cfg Config, seed uint64) (*Result, error
 	// Draw every lookup pair up front from one sequential stream: the
 	// workload is then fixed before any parallelism starts.
 	pairSrc := root.Derive(1)
-	pairs := make([]lookup, cfg.Messages)
-	for i := range pairs {
+	msgs := make([]engine.Message, cfg.Messages)
+	for i := range msgs {
 		from, to, err := gen.Pair(pairSrc)
 		if err != nil {
 			return nil, err
 		}
-		pairs[i] = lookup{from, to}
+		msgs[i] = engine.Message{From: from, Key: to}
 	}
 
 	// Resolve the arrival model and draw its schedule from one
@@ -232,11 +272,11 @@ func Run(g *graph.Graph, gen Generator, cfg Config, seed uint64) (*Result, error
 		}
 	}
 	primed := arr.Prime(cfg.Messages, root.Derive(2))
-	serviceTime := 1 / cfg.Capacity
 
 	// Resolve the replica placement, if any. The placement is consulted
-	// and fed back only from this goroutine at batch boundaries, so
-	// replica-aware runs keep the worker-count independence contract.
+	// and fed back only from the engine's single-threaded event loop
+	// (and its batch boundaries), so replica-aware runs keep the
+	// worker-count independence contract.
 	var placement *replica.Placement
 	if cfg.Replication != nil && cfg.Replication.Enabled() {
 		rseed := cfg.ReplicaSeed
@@ -250,114 +290,40 @@ func Run(g *graph.Graph, gen Generator, cfg Config, seed uint64) (*Result, error
 		}
 	}
 
-	// Route all messages, in congestion-snapshot batches when a
-	// congestion-aware policy is on (one batch of everything otherwise;
-	// cache-on-path replication also batches, so copies placed during
-	// one batch serve the next). Message i always routes from stream
-	// Derive(16+i), so the paths — and everything downstream — are
-	// independent of worker count.
-	aware := cfg.Penalty > 0 || cfg.DepthPenalty > 0
-	caching := placement != nil && cfg.Replication.CacheThreshold > 0
-	ropt := cfg.Route
-	ropt.TracePath = true
-	if aware {
-		// The congestion feedback owns these fields (Config.Route's
-		// documented contract); drop any caller-supplied signal so the
-		// first, zero-load batch routes hop-optimally.
-		ropt.Congestion = nil
-		ropt.CongestionWeight = 0
+	out, err := engine.Run(g, msgs, engine.Schedule{Initial: primed, Completed: arr.Completed},
+		engine.Config{
+			Capacity:     cfg.Capacity,
+			Workers:      cfg.Workers,
+			Route:        cfg.Route,
+			Penalty:      cfg.Penalty,
+			DepthPenalty: cfg.DepthPenalty,
+			BatchSize:    cfg.BatchSize,
+			Live:         cfg.Live,
+			Aggregate:    cfg.Aggregate,
+			Placement:    placement,
+		}, root)
+	if err != nil {
+		return nil, err
 	}
-	results := make([]route.Result, cfg.Messages)
-	msgs := make([]queuedMessage, cfg.Messages)
-	charged := make([]int, g.Size())
-	batch := cfg.Messages
-	if aware || caching {
-		batch = cfg.BatchSize
-	}
-	for start := 0; start < cfg.Messages; start += batch {
-		end := start + batch
-		if end > cfg.Messages {
-			end = cfg.Messages
-		}
-		opt := ropt
-		if aware && start > 0 {
-			// The cumulative congestion signal is the node's charged
-			// load relative to the mean live-node load of the snapshot —
-			// dimensionless, so the detour pressure stays constant as
-			// traffic accumulates instead of drowning the distance term.
-			snapshot := append([]int(nil), charged...)
-			var loadScale float64
-			if cfg.Penalty > 0 {
-				var total int
-				for i, c := range snapshot {
-					if g.Alive(metric.Point(i)) {
-						total += c
-					}
-				}
-				if total > 0 {
-					loadScale = cfg.Penalty * float64(g.AliveCount()) / float64(total)
-				}
-			}
-			// The instantaneous signal replays the traffic routed so far
-			// and probes each node's queue depth as this batch begins.
-			var depth []int
-			if cfg.DepthPenalty > 0 {
-				depth = depthSnapshot(g.Size(), msgs, primed, arr, serviceTime, start)
-			}
-			if loadScale > 0 || depth != nil {
-				depthPenalty := cfg.DepthPenalty
-				opt.Congestion = func(q metric.Point) float64 {
-					s := float64(snapshot[q]) * loadScale
-					if depth != nil {
-						s += depthPenalty * float64(depth[q])
-					}
-					return s
-				}
-				opt.CongestionWeight = 1
-			}
-		}
-		// Freeze this batch's replica sets before any parallelism: the
-		// placement may gain cached copies only between batches.
-		var targets [][]metric.Point
-		if placement != nil {
-			targets = make([][]metric.Point, end-start)
-			for i := start; i < end; i++ {
-				targets[i-start] = placement.Targets(pairs[i].to)
-			}
-		}
-		if err := routeRange(g, opt, root, pairs[start:end], targets, results[start:end], start, cfg.Workers); err != nil {
-			return nil, err
-		}
-		for i := start; i < end; i++ {
-			msgs[i] = queuedMessage{path: forwarders(results[i]), delivered: results[i].Delivered}
-			for _, p := range msgs[i].path {
-				charged[p]++
-			}
-			if caching && results[i].Delivered {
-				placement.Observe(pairs[i].to, results[i].Path)
-			}
-		}
-	}
-
-	// Replay against the FIFO queues and assemble the report.
-	out := simulateQueues(g.Size(), msgs, serviceTime, primed, arr.Completed, -1)
 
 	r := &Result{
 		Workload:      gen.Name(),
 		Arrival:       arr.Name(),
+		Mode:          cfg.modeName(),
 		Injected:      cfg.Messages,
-		Loads:         out.loads,
+		Aggregated:    out.Aggregated,
+		Loads:         out.Loads,
 		ServedBy:      make([]int, g.Size()),
-		MaxQueueDepth: out.maxQueueDepth,
-		Makespan:      out.makespan,
-		LastInject:    out.lastInject,
+		MaxQueueDepth: out.MaxQueueDepth,
+		Makespan:      out.Makespan,
+		LastInject:    out.LastInject,
 	}
 	if placement != nil {
 		r.Replication = placement.Name()
 		r.CachedKeys = placement.CachedKeys()
 		r.CacheCopies = placement.CachedCopies()
 	}
-	for _, res := range results {
+	for _, res := range out.Results {
 		r.Search.Record(res)
 		if res.Delivered {
 			r.Delivered++
@@ -368,7 +334,7 @@ func Run(g *graph.Graph, gen Generator, cfg Config, seed uint64) (*Result, error
 	}
 	alive := g.AliveCount()
 	var total int
-	for i, l := range out.loads {
+	for i, l := range out.Loads {
 		if l > r.MaxLoad {
 			r.MaxLoad = l
 		}
@@ -380,125 +346,9 @@ func Run(g *graph.Graph, gen Generator, cfg Config, seed uint64) (*Result, error
 	if alive > 0 {
 		r.MeanLoad = float64(total) / float64(alive)
 	}
-	r.LatencyMean, r.LatencyP50, r.LatencyP95, r.LatencyP99 = latencySummary(out.latencies)
-	if out.makespan > 0 {
-		r.Throughput = float64(r.Delivered) / out.makespan
+	r.LatencyMean, r.LatencyP50, r.LatencyP95, r.LatencyP99 = latencySummary(out.Latencies)
+	if out.Makespan > 0 {
+		r.Throughput = float64(r.Delivered) / out.Makespan
 	}
 	return r, nil
-}
-
-// depthSnapshot estimates each node's instantaneous queue depth at the
-// moment message `start` is about to be routed: it replays the traffic
-// routed so far (messages [0, start)) and probes the queues at that
-// batch's injection time. For open-loop models — every message primed up
-// front — the probe is message start's scheduled time; for closed-loop
-// it is the latest injection the prefix replay produced, found by a
-// first untimed replay. The prefix replay is an estimate, not the final
-// replay's exact prefix (later messages can interleave), which models
-// the staleness of queue-depth gossip in a real system; what matters is
-// that it is a pure function of already-routed traffic, keeping Run
-// deterministic and worker-count independent.
-//
-// Cost: replaying the prefix at every batch makes a depth-aware Run
-// O(Messages²/BatchSize) heap operations overall (double that on the
-// closed-loop branch, which needs a first replay to learn the probe
-// time) — about 100 ms at the default scales, paid only when
-// DepthPenalty > 0.
-func depthSnapshot(size int, msgs []queuedMessage, primed []Injection, arr Arrival, serviceTime float64, start int) []int {
-	initial := make([]Injection, 0, start)
-	for _, inj := range primed {
-		if inj.Msg < start {
-			initial = append(initial, inj)
-		}
-	}
-	completed := func(m int, at float64) (Injection, bool) {
-		next, ok := arr.Completed(m, at)
-		if !ok || next.Msg >= start {
-			return Injection{}, false
-		}
-		return next, true
-	}
-	var probe float64
-	if len(primed) == len(msgs) && start < len(primed) {
-		probe = primed[start].Time
-	} else {
-		probe = simulateQueues(size, msgs, serviceTime, initial, completed, -1).lastInject
-	}
-	return simulateQueues(size, msgs, serviceTime, initial, completed, probe).probeDepths
-}
-
-// lookup is one (source, destination) pair of the workload.
-type lookup struct{ from, to metric.Point }
-
-// forwarders returns the nodes whose FIFO queues a search occupies: the
-// hop u→v is charged to u, the node doing the routing work. A delivered
-// message therefore charges every visited node except its destination
-// (which consumes the message; its application-level work is not
-// routing load), while a failed search charges everything it touched —
-// the last node too received the message and hunted for a next hop.
-func forwarders(res route.Result) []metric.Point {
-	if res.Delivered && len(res.Path) > 0 {
-		return res.Path[:len(res.Path)-1]
-	}
-	return res.Path
-}
-
-// routeRange routes pairs[i] into results[i] across workers goroutines.
-// offset is the global index of pairs[0], which keys each message's rng
-// stream — the assignment of messages to workers is irrelevant. A
-// non-nil targets slice carries each message's frozen replica set;
-// message i then routes to the nearest live member of targets[i]
-// instead of pairs[i].to.
-func routeRange(g *graph.Graph, opt route.Options, root *rng.Source, pairs []lookup, targets [][]metric.Point, results []route.Result, offset, workers int) error {
-	router := route.New(g, opt)
-	routeOne := func(i int) (route.Result, error) {
-		src := root.Derive(16 + uint64(offset+i))
-		if targets != nil {
-			return router.RouteAny(src, pairs[i].from, targets[i])
-		}
-		return router.Route(src, pairs[i].from, pairs[i].to)
-	}
-	if workers > len(pairs) {
-		workers = len(pairs)
-	}
-	if workers <= 1 {
-		for i := range pairs {
-			res, err := routeOne(i)
-			if err != nil {
-				return err
-			}
-			results[i] = res
-		}
-		return nil
-	}
-	var (
-		next     int64 = -1
-		firstErr error
-		mu       sync.Mutex
-		wg       sync.WaitGroup
-	)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= len(pairs) {
-					return
-				}
-				res, err := routeOne(i)
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					return
-				}
-				results[i] = res
-			}
-		}()
-	}
-	wg.Wait()
-	return firstErr
 }

@@ -4,8 +4,10 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/graph"
 	"repro/internal/metric"
 	"repro/internal/replica"
+	"repro/internal/rng"
 	"repro/internal/route"
 )
 
@@ -202,4 +204,80 @@ func nonzero(counts []int) map[int]int {
 		}
 	}
 	return out
+}
+
+// phaseFlood floods victim A for the first half of the run and victim
+// B for the second — the moving-hotspot workload the cache-decay tests
+// pin. Victims are drawn at Bind, so the workload is seeded like every
+// other generator.
+type phaseFlood struct {
+	pop    population
+	a, b   metric.Point
+	drawn  int
+	halfAt int
+}
+
+func (f *phaseFlood) Name() string { return "phase-flood" }
+
+func (f *phaseFlood) Bind(g *graph.Graph, src *rng.Source) error {
+	if err := f.pop.bind(g, src, false); err != nil {
+		return err
+	}
+	f.a = f.pop.uniform(src)
+	f.b, _ = distinct(src, f.a, f.pop.uniform)
+	f.drawn = 0
+	return nil
+}
+
+func (f *phaseFlood) Pair(src *rng.Source) (metric.Point, metric.Point, error) {
+	target := f.a
+	if f.drawn >= f.halfAt {
+		target = f.b
+	}
+	f.drawn++
+	from, err := distinct(src, target, f.pop.uniform)
+	return from, target, err
+}
+
+// TestCacheDecayFollowsMovingHotspot is the seeded decay scenario: the
+// flood victim moves mid-run. Without decay the dead hotspot's copies
+// linger to the end; with decay they are evicted and only the current
+// victim stays cached — in snapshot and live mode alike.
+func TestCacheDecayFollowsMovingHotspot(t *testing.T) {
+	const msgs = 600
+	for _, live := range []bool{false, true} {
+		g := buildRing(t, 1024, 10, 33)
+		run := func(decay bool) *Result {
+			t.Helper()
+			cfg := Config{
+				Messages: msgs,
+				Live:     live,
+				Route:    route.Options{DeadEnd: route.Backtrack},
+				Replication: &replica.Options{
+					CacheThreshold: 16, CacheCopies: 4, CacheDecay: decay,
+				},
+			}
+			r, err := Run(g, &phaseFlood{halfAt: msgs / 2}, cfg, 34)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		}
+		sticky := run(false)
+		if sticky.CachedKeys != 2 {
+			t.Fatalf("live=%v: without decay both victims should stay cached, got %d keys",
+				live, sticky.CachedKeys)
+		}
+		decayed := run(true)
+		if decayed.CachedKeys != 1 {
+			t.Errorf("live=%v: with decay only the current victim should stay cached, got %d keys",
+				live, decayed.CachedKeys)
+		}
+		if decayed.CacheCopies == 0 {
+			t.Errorf("live=%v: current victim lost its copies entirely", live)
+		}
+		if decayed.Delivered+decayed.Failed != decayed.Injected {
+			t.Errorf("live=%v: conservation broke", live)
+		}
+	}
 }

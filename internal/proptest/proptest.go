@@ -9,12 +9,17 @@
 //   - endpoint integrity: a delivered search's path starts at the
 //     source and ends at a member of the target set;
 //   - replay determinism: a traffic run is byte-identical across
-//     worker counts.
+//     worker counts, in snapshot and live engine modes alike;
+//   - engine equivalence: the discrete-event engine in snapshot mode
+//     reproduces the pre-engine route-then-replay pipeline (preserved
+//     as an executable oracle in internal/load's tests) byte-for-byte,
+//     and the engine's event heap pops in its strict total order
+//     regardless of push order.
 //
 // Everything is driven by an explicit seed, so a failing case is
 // reproduced by its (seed, iteration) pair alone — no corpus files.
-// The TestProp* tests here and in packages route and load are re-run
-// with -count=2 in CI to catch state leaking between runs.
+// The TestProp* tests here and in packages route, load, and engine are
+// re-run with -count=2 in CI to catch state leaking between runs.
 package proptest
 
 import (

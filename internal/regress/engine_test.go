@@ -1,0 +1,170 @@
+package regress
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/failure"
+	"repro/internal/graph"
+	"repro/internal/load"
+	"repro/internal/metric"
+	"repro/internal/replica"
+	"repro/internal/rng"
+	"repro/internal/route"
+)
+
+// runEngineScenario executes the engine-mode acceptance scenario — the
+// PR-4 replica-flood setup (32x32 torus, 30% failed, single-target
+// flood, k = 4 hash-spread replicas plus cache-on-path) swept in the
+// engine's three modes — and returns one line per knee plus the
+// headline lifts over the snapshot baseline. The snapshot row is the
+// same sweep goldenReplica pins as "k4+cache", so any drift there is
+// caught twice.
+func runEngineScenario(t *testing.T, workers int) []string {
+	t.Helper()
+	torus, err := metric.NewTorus(32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(300)
+	g, err := graph.BuildIdeal(torus, graph.PaperConfigFor(torus, 10), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := failure.FailNodesFraction(g, 0.3, src.Derive(1)); err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	var base float64
+	for _, tc := range []struct {
+		label           string
+		live, aggregate bool
+	}{
+		{"snapshot", false, false},
+		{"live", true, false},
+		{"live+aggregate", true, true},
+	} {
+		cfg := load.SweepConfig{
+			Config: load.Config{
+				Messages:  2048,
+				Workers:   workers,
+				Live:      tc.live,
+				Aggregate: tc.aggregate,
+				Route:     route.Options{DeadEnd: route.Backtrack},
+			},
+			Model:      "poisson",
+			Bisections: 4,
+		}
+		cfg.Replication = &replica.Options{K: 4, CacheThreshold: 16, CacheCopies: 8}
+		res, err := load.Sweep(g, load.Flood(), cfg, 302)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kp := res.KneePoint()
+		if kp == nil {
+			t.Fatalf("%s: no knee found", tc.label)
+		}
+		out = append(out, fmt.Sprintf(
+			"%s: knee=%.4f thr=%.4f p99=%.2f serving=%d aggregated=%d fp=%#x",
+			tc.label, res.Knee, res.KneeThroughput, res.KneeP99,
+			kp.Result.ServingPoints(), kp.Result.Aggregated,
+			loadFingerprint(kp.Result.Loads)))
+		if !tc.live {
+			base = res.KneeThroughput
+		} else {
+			out = append(out, fmt.Sprintf("%s lift=%.4f", tc.label, res.KneeThroughput/base))
+		}
+	}
+	return out
+}
+
+// goldenEngine holds the values captured when the engine was
+// introduced. The snapshot knee throughput equals goldenReplica's
+// "k4+cache" row by construction (the engine's snapshot mode is the
+// pre-engine pipeline); the final line is the acceptance headline —
+// live+aggregate lifts the flood knee above that baseline.
+var goldenEngine = []string{
+	"snapshot: knee=15.5000 thr=13.8504 p99=18.86 serving=10 aggregated=0 fp=0x504dc355a476b8c7",
+	"live: knee=11.0000 thr=9.6725 p99=22.77 serving=10 aggregated=0 fp=0x6a43adc2fd12f22d",
+	"live lift=0.6984",
+	"live+aggregate: knee=116.0000 thr=90.6302 p99=5.00 serving=10 aggregated=1426 fp=0xa49891465d1c6287",
+	"live+aggregate lift=6.5435",
+}
+
+func TestSeededEngineGolden(t *testing.T) {
+	got := runEngineScenario(t, 1)
+	if len(goldenEngine) == 0 {
+		for _, line := range got {
+			t.Logf("golden: %q,", line)
+		}
+		t.Fatal("goldenEngine is empty; paste the logged lines above")
+	}
+	if len(got) != len(goldenEngine) {
+		t.Fatalf("scenario line count changed: got %d, want %d", len(got), len(goldenEngine))
+	}
+	for i := range got {
+		if got[i] != goldenEngine[i] {
+			t.Errorf("line %d diverged:\n  got  %s\n  want %s", i, got[i], goldenEngine[i])
+		}
+	}
+}
+
+// TestEngineAggregateKneeLiftAcceptance asserts the PR's acceptance
+// criterion directly, independent of the pinned literals: on the
+// 30%-failed torus flood, live+aggregate must lift the knee throughput
+// above the k = 4 + cache snapshot baseline (13.85 msgs/tick here,
+// 13.58 at the bench scale).
+func TestEngineAggregateKneeLiftAcceptance(t *testing.T) {
+	lines := runEngineScenario(t, 1)
+	var lift float64
+	if _, err := fmt.Sscanf(lines[len(lines)-1], "live+aggregate lift=%f", &lift); err != nil {
+		t.Fatalf("no lift line: %v (%q)", err, lines[len(lines)-1])
+	}
+	if lift <= 1 {
+		t.Errorf("live+aggregate knee lift %.4f over the snapshot k=4+cache baseline, want > 1", lift)
+	}
+}
+
+// TestEngineWorkerCountInvariance runs the engine scenario at the
+// acceptance worker counts {1, 4, 16}: snapshot mode parallelizes path
+// computation, live modes are single-threaded, and neither may move a
+// byte.
+func TestEngineWorkerCountInvariance(t *testing.T) {
+	one := runEngineScenario(t, 1)
+	for _, workers := range []int{4, 16} {
+		other := runEngineScenario(t, workers)
+		if len(one) != len(other) {
+			t.Fatalf("line counts differ: %d vs %d", len(one), len(other))
+		}
+		for i := range one {
+			if one[i] != other[i] {
+				t.Errorf("workers=%d line %d diverged:\n  got  %s\n  want %s", workers, i, other[i], one[i])
+			}
+		}
+	}
+}
+
+// TestSnapshotGoldensWorkerInvariance re-runs the pre-engine golden
+// scenario suites at workers 4 and 16 — the acceptance matrix the
+// engine refactor must hold: the goldens above pin workers 1 (and 8
+// where historical), these pin the rest.
+func TestSnapshotGoldensWorkerInvariance(t *testing.T) {
+	base := runSweepScenario(t, 1)
+	for _, workers := range []int{4, 16} {
+		got := runSweepScenario(t, workers)
+		for i := range base {
+			if base[i] != got[i] {
+				t.Errorf("sweep workers=%d line %d diverged:\n  got  %s\n  want %s", workers, i, got[i], base[i])
+			}
+		}
+	}
+	replicaBase := runReplicaScenario(t, 1)
+	for _, workers := range []int{4, 16} {
+		got := runReplicaScenario(t, workers)
+		for i := range replicaBase {
+			if replicaBase[i] != got[i] {
+				t.Errorf("replica workers=%d line %d diverged:\n  got  %s\n  want %s", workers, i, got[i], replicaBase[i])
+			}
+		}
+	}
+}

@@ -52,6 +52,14 @@ type Options struct {
 	CacheThreshold int
 	// CacheCopies caps the cached copies per hot key; 0 defaults to 2.
 	CacheCopies int
+	// CacheDecay, when true, ages popularity at every congestion-
+	// snapshot boundary (Placement.Decay): hit and forwarder counters
+	// are halved, and a key whose decayed popularity falls back below
+	// CacheThreshold has its cached copies evicted. Copies then track
+	// the *current* hotspot instead of every key that was ever hot —
+	// when the flood moves, the stale copies fade and the new victim's
+	// forwarders earn theirs. Meaningless without a CacheThreshold.
+	CacheDecay bool
 }
 
 // Enabled reports whether the options ask for any replication at all.
@@ -70,6 +78,9 @@ func (o Options) Validate() error {
 	if o.CacheThreshold < 0 || o.CacheCopies < 0 {
 		return fmt.Errorf("replica: cache threshold %d and copies %d must be non-negative",
 			o.CacheThreshold, o.CacheCopies)
+	}
+	if o.CacheDecay && o.CacheThreshold <= 0 {
+		return fmt.Errorf("replica: cache decay needs a positive cache threshold")
 	}
 	return nil
 }
@@ -333,6 +344,56 @@ func (p *Placement) promote(key metric.Point) {
 		}
 	}
 	p.cached[key] = out
+}
+
+// Caching reports whether popularity-triggered cache-on-path is
+// enabled — the condition under which Observe does anything.
+func (p *Placement) Caching() bool { return p.opt.CacheThreshold > 0 }
+
+// Decaying reports whether the placement ages popularity at snapshot
+// boundaries (Options.CacheDecay).
+func (p *Placement) Decaying() bool { return p.opt.CacheDecay && p.opt.CacheThreshold > 0 }
+
+// Decay ages every popularity counter by one half-life: hit counts and
+// per-forwarder counts are halved (integer division, zero entries
+// dropped), and keys whose decayed hits fall below the promotion
+// threshold lose their cached copies. The traffic engine calls it at
+// congestion-snapshot boundaries, so a copy survives only while its
+// key keeps earning roughly CacheThreshold observations per couple of
+// snapshot windows. A key that heats up again re-promotes the moment
+// its hits climb back through the threshold. Decay mutates only
+// counters and the cached set — never the static replicas — and is
+// deterministic (no map-order-dependent choices).
+func (p *Placement) Decay() {
+	if !p.Decaying() {
+		return
+	}
+	for key, h := range p.hits {
+		h /= 2
+		if h == 0 {
+			delete(p.hits, key)
+		} else {
+			p.hits[key] = h
+		}
+	}
+	for key, byNode := range p.preds {
+		for at, c := range byNode {
+			c /= 2
+			if c == 0 {
+				delete(byNode, at)
+			} else {
+				byNode[at] = c
+			}
+		}
+		if len(byNode) == 0 {
+			delete(p.preds, key)
+		}
+	}
+	for key := range p.cached {
+		if p.hits[key] < p.opt.CacheThreshold {
+			delete(p.cached, key)
+		}
+	}
 }
 
 // CachedKeys returns how many keys have earned cached copies, and

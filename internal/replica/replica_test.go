@@ -253,3 +253,78 @@ func TestHashSpreadSinglePointSpace(t *testing.T) {
 		}
 	}
 }
+
+// observeTimes feeds n observations of key through pred, crossing
+// thresholds one hit at a time as the traffic pipeline does.
+func observeTimes(p *Placement, key, pred metric.Point, n int) {
+	for i := 0; i < n; i++ {
+		p.Observe(key, []metric.Point{5, pred, key})
+	}
+}
+
+func TestDecayHalvesAndEvicts(t *testing.T) {
+	ring := mustRing(t, 64)
+	p, err := NewPlacement(ring, Options{CacheThreshold: 8, CacheCopies: 2, CacheDecay: true}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Decaying() || !p.Caching() {
+		t.Fatal("accessors disagree with options")
+	}
+	key := metric.Point(0)
+	observeTimes(p, key, 7, 12) // 12 hits: promoted at 8
+	if len(p.CachedFor(key)) == 0 {
+		t.Fatal("key not promoted")
+	}
+	// One half-life: 12 -> 6 < 8, copies evicted.
+	p.Decay()
+	if got := p.CachedFor(key); len(got) != 0 {
+		t.Errorf("decayed key kept copies %v", got)
+	}
+	if p.CachedKeys() != 0 || p.CachedCopies() != 0 {
+		t.Errorf("cache counters not cleared: keys=%d copies=%d", p.CachedKeys(), p.CachedCopies())
+	}
+	// Re-heat: 6 + 2 = 8 crosses the threshold again and re-promotes.
+	observeTimes(p, key, 7, 2)
+	if len(p.CachedFor(key)) == 0 {
+		t.Error("re-heated key not re-promoted")
+	}
+}
+
+func TestDecayKeepsSustainedKeys(t *testing.T) {
+	ring := mustRing(t, 64)
+	p, err := NewPlacement(ring, Options{CacheThreshold: 8, CacheCopies: 2, CacheDecay: true}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := metric.Point(0)
+	observeTimes(p, key, 7, 40) // 40 -> 20 after one half-life, still >= 8
+	p.Decay()
+	if len(p.CachedFor(key)) == 0 {
+		t.Error("sustained-popularity key lost its copies")
+	}
+}
+
+func TestDecayWithoutThresholdRejected(t *testing.T) {
+	if err := (Options{CacheDecay: true}).Validate(); err == nil {
+		t.Error("decay without a cache threshold accepted")
+	}
+	if err := (Options{K: 2, CacheDecay: true}).Validate(); err == nil {
+		t.Error("decay without a cache threshold accepted (static replicas only)")
+	}
+}
+
+func TestDecayNoOpWhenDisabled(t *testing.T) {
+	ring := mustRing(t, 64)
+	p, err := NewPlacement(ring, Options{CacheThreshold: 4, CacheCopies: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := metric.Point(0)
+	observeTimes(p, key, 7, 5)
+	before := len(p.CachedFor(key))
+	p.Decay() // Decaying() is false: must change nothing
+	if got := len(p.CachedFor(key)); got != before || p.Decaying() {
+		t.Errorf("Decay mutated a non-decaying placement: %d -> %d", before, got)
+	}
+}

@@ -22,6 +22,12 @@
 // replication (package replica) needs. Every dead-end policy, the
 // strict-progress guarantee, and the congestion penalties compose with
 // multi-target routing unchanged.
+//
+// Every search is built on a resumable core: Router.Walker exposes the
+// walk one hop at a time (Walker.Step), which is how the discrete-event
+// engine (internal/engine) interleaves forwarding decisions with
+// queueing so each hop can read live congestion state. Route and
+// RouteAny are thin loops over Step and byte-identical to it.
 package route
 
 import (
@@ -226,62 +232,17 @@ func (r *Router) RouteAny(source *rng.Source, from metric.Point, targets []metri
 	return r.routeSet(source, from, targets)
 }
 
-// routeSet is the shared search core: every target-set size runs the
-// same walk, so Route(…, to) and RouteAny(…, []Point{to}) are
-// interchangeable by construction.
+// routeSet is the shared search core: a thin loop over the resumable
+// Walker, so the whole-path searches and the engine's single-step form
+// are the same walk by construction, for every target-set size.
 func (r *Router) routeSet(source *rng.Source, from metric.Point, targets []metric.Point) (Result, error) {
-	if !r.g.Alive(from) {
-		return Result{}, fmt.Errorf("route: origin %d is not a live node", from)
-	}
-	tset, err := r.liveTargets(targets)
+	w, err := r.Walker(source, from, targets)
 	if err != nil {
 		return Result{}, err
 	}
-	if r.opt.Sidedness == OneSided {
-		if r.oriented == nil {
-			return Result{}, fmt.Errorf("route: one-sided routing needs an oriented (1-D) space, not %s",
-				r.g.Space().Name())
-		}
-		if len(tset) > 1 {
-			return Result{}, fmt.Errorf("route: one-sided routing supports a single target, got %d live replicas",
-				len(tset))
-		}
+	for w.Step() {
 	}
-	res := Result{Target: -1}
-	cur := from
-	r.trace(&res, cur)
-
-	switch r.opt.DeadEnd {
-	case Backtrack:
-		r.routeBacktrack(&res, cur, tset)
-	default:
-		reroutes := 0
-		for {
-			stuck := r.greedyWalk(&res, &cur, tset)
-			if !stuck || res.Delivered {
-				break
-			}
-			if r.opt.DeadEnd != RandomReroute || reroutes >= r.opt.MaxReroutes || res.Hops >= r.opt.MaxHops {
-				break
-			}
-			// Hand the message to a random live node and try again.
-			next, ok := r.g.RandomAlive(source)
-			if !ok {
-				break
-			}
-			reroutes++
-			res.Reroutes++
-			res.Hops++ // the hand-off itself costs a hop
-			cur = next
-			r.trace(&res, cur)
-			if isTarget(cur, tset) {
-				res.Delivered = true
-				res.Target = cur
-				break
-			}
-		}
-	}
-	return res, nil
+	return w.Result(), nil
 }
 
 // liveTargets canonicalizes a target set: deduplicated, sorted
@@ -320,26 +281,6 @@ func isTarget(p metric.Point, targets []metric.Point) bool {
 			return true
 		}
 	}
-	return false
-}
-
-// greedyWalk advances cur greedily until delivery, a dead end, or the
-// hop cap. It returns true when it stopped at a dead end.
-func (r *Router) greedyWalk(res *Result, cur *metric.Point, targets []metric.Point) (stuck bool) {
-	for !isTarget(*cur, targets) {
-		if res.Hops >= r.opt.MaxHops {
-			return false
-		}
-		next, ok := r.bestNeighbor(*cur, targets, nil)
-		if !ok {
-			return true
-		}
-		*cur = next
-		res.Hops++
-		r.trace(res, *cur)
-	}
-	res.Delivered = true
-	res.Target = *cur
 	return false
 }
 
@@ -421,52 +362,6 @@ func (r *Router) setDistance(p metric.Point, targets []metric.Point) int {
 		}
 	}
 	return best
-}
-
-// routeBacktrack runs greedy routing with the §6 backtracking strategy:
-// it keeps the last BacktrackMemory visited nodes; at a dead end it
-// returns to the most recently visited of them and takes the next-best
-// neighbour not yet tried from that node.
-func (r *Router) routeBacktrack(res *Result, cur metric.Point, targets []metric.Point) {
-	type frame struct {
-		at    metric.Point
-		tried map[metric.Point]bool
-	}
-	history := make([]frame, 0, r.opt.BacktrackMemory+1)
-	push := func(p metric.Point) {
-		history = append(history, frame{at: p, tried: map[metric.Point]bool{}})
-		if len(history) > r.opt.BacktrackMemory {
-			history = history[1:]
-		}
-	}
-	push(cur)
-	for !isTarget(cur, targets) {
-		if res.Hops >= r.opt.MaxHops {
-			return
-		}
-		top := &history[len(history)-1]
-		next, ok := r.bestNeighbor(cur, targets, top.tried)
-		if ok {
-			top.tried[next] = true
-			cur = next
-			res.Hops++
-			r.trace(res, cur)
-			push(cur)
-			continue
-		}
-		// Dead end: drop the stuck node and back up to the most recent
-		// remembered node, charging one hop for the backward move.
-		if len(history) <= 1 {
-			return // nothing left to back into
-		}
-		history = history[:len(history)-1]
-		cur = history[len(history)-1].at
-		res.Hops++
-		res.Backtracks++
-		r.trace(res, cur)
-	}
-	res.Delivered = true
-	res.Target = cur
 }
 
 func (r *Router) trace(res *Result, p metric.Point) {

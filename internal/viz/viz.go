@@ -230,6 +230,29 @@ func ReplicaOverlay(servedBy []int, width int) string {
 	return string(cells) + "\n" + Bars(labels, values, width)
 }
 
+// KneeLadder renders a capacity-knee comparison across configurations
+// (e.g. the engine's snapshot / live / live+aggregate modes): one bar
+// per configuration sized by its knee throughput, annotated with the
+// multiplier over the first row — the baseline. Mismatched or empty
+// inputs yield "".
+func KneeLadder(labels []string, knees []float64, width int) string {
+	if len(labels) != len(knees) || len(labels) == 0 {
+		return ""
+	}
+	if width < 8 {
+		width = 40
+	}
+	base := knees[0]
+	annotated := make([]string, len(labels))
+	for i, l := range labels {
+		annotated[i] = l
+		if i > 0 && base > 0 {
+			annotated[i] = fmt.Sprintf("%s (%.2fx)", l, knees[i]/base)
+		}
+	}
+	return Bars(annotated, knees, width)
+}
+
 // RingPath draws a search path over a ring of n points as a fixed-width
 // strip: '·' for untouched regions, '*' for intermediate hops, 'S' for
 // the source and 'T' for the target (overriding hops at the same cell).

@@ -168,3 +168,25 @@ func TestReplicaOverlay(t *testing.T) {
 		t.Error("all-zero input should render empty")
 	}
 }
+
+func TestKneeLadder(t *testing.T) {
+	s := KneeLadder([]string{"snapshot", "live", "live+aggregate"}, []float64{10, 9.5, 25}, 30)
+	if s == "" {
+		t.Fatal("empty ladder for valid input")
+	}
+	for _, want := range []string{"snapshot", "live (0.95x)", "live+aggregate (2.50x)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("ladder missing %q:\n%s", want, s)
+		}
+	}
+	if KneeLadder([]string{"a"}, []float64{1, 2}, 30) != "" {
+		t.Error("mismatched inputs should yield empty output")
+	}
+	if KneeLadder(nil, nil, 30) != "" {
+		t.Error("empty inputs should yield empty output")
+	}
+	// A zero baseline must not divide by zero — bars render unannotated.
+	if s := KneeLadder([]string{"a", "b"}, []float64{0, 2}, 30); s == "" || strings.Contains(s, "x)") {
+		t.Errorf("zero baseline mishandled:\n%s", s)
+	}
+}
