@@ -17,7 +17,9 @@
 // swept in the discrete-event engine's three modes — batch-snapshot,
 // live per-hop state, and live with same-key service aggregation —
 // whose headline is the aggregated knee's lift over the snapshot
-// k=4+cache baseline).
+// k=4+cache baseline, plus a shard-scaling section timing the live
+// loop sequentially and at -shards shards on a larger torus and
+// recording events_per_sec_per_core).
 //
 // -validate checks previously written headline files: they must parse,
 // no headline metric may be NaN, infinite, or zero, every knee
@@ -27,9 +29,15 @@
 // bench-regression job runs ftrbench, then ftrbench -validate, and
 // uploads the headlines as artifacts.
 //
+// -cpuprofile/-memprofile write pprof profiles of the whole run
+// (`go tool pprof ftrbench cpu.out`), the supported workflow for
+// hunting engine hot spots at realistic scale; -shards partitions the
+// live event loop (and the scaling measurement) across cores.
+//
 // Usage:
 //
-//	ftrbench [-out results] [-n 16384] [-trials 5] [-msgs 100] [-seed 1] [-csv]
+//	ftrbench [-out results] [-n 16384] [-trials 5] [-msgs 100] [-seed 1] [-csv] [-shards 4]
+//	ftrbench -only ext.engine.flood -cpuprofile cpu.out -memprofile mem.out
 //	ftrbench -validate results/BENCH_load.json,results/BENCH_saturation.json,results/BENCH_replica.json,results/BENCH_engine.json
 package main
 
@@ -41,6 +49,8 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -63,17 +73,56 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ftrbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		out      = fs.String("out", "results", "output directory")
-		n        = fs.Int("n", 0, "network size override (0 = per-experiment default)")
-		trials   = fs.Int("trials", 0, "trials override")
-		msgs     = fs.Int("msgs", 0, "messages override")
-		seed     = fs.Uint64("seed", 0, "rng seed (0 = 1)")
-		csv      = fs.Bool("csv", false, "also write CSV files")
-		only     = fs.String("only", "", "comma-separated experiment ids (default: all)")
-		validate = fs.String("validate", "", "comma-separated BENCH_*.json files to validate instead of running")
+		out        = fs.String("out", "results", "output directory")
+		n          = fs.Int("n", 0, "network size override (0 = per-experiment default)")
+		trials     = fs.Int("trials", 0, "trials override")
+		msgs       = fs.Int("msgs", 0, "messages override")
+		seed       = fs.Uint64("seed", 0, "rng seed (0 = 1)")
+		csv        = fs.Bool("csv", false, "also write CSV files")
+		only       = fs.String("only", "", "comma-separated experiment ids (default: all)")
+		validate   = fs.String("validate", "", "comma-separated BENCH_*.json files to validate instead of running")
+		shards     = fs.Int("shards", 0, "live event-loop shards for the experiments and the engine scaling headline (0 = NumCPU for the headline, 1 for the experiments)")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file (go tool pprof)")
+		memprofile = fs.String("memprofile", "", "write a heap profile taken at the end of the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *shards < 0 {
+		fmt.Fprintln(stderr, "ftrbench: -shards must be non-negative")
+		return 2
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, "ftrbench:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, "ftrbench:", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		// Taken after the run (and a forced GC) so the profile shows
+		// retained structures, not transient garbage.
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(stderr, "ftrbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "ftrbench:", err)
+			}
+		}()
 	}
 	if *validate != "" {
 		code := 0
@@ -97,7 +146,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *only != "" {
 		ids = strings.Split(*only, ",")
 	}
-	params := experiments.Params{N: *n, Trials: *trials, Msgs: *msgs, Seed: *seed}
+	params := experiments.Params{N: *n, Trials: *trials, Msgs: *msgs, Seed: *seed, Shards: *shards}
 
 	var index strings.Builder
 	fmt.Fprintf(&index, "ftrbench run %s\n", time.Now().Format(time.RFC3339))
@@ -176,7 +225,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if *only == "" || strings.Contains(*only, "ext.engine.") {
-		if err := writeEngineHeadline(filepath.Join(*out, "BENCH_engine.json"), *n, *msgs, *seed); err != nil {
+		if err := writeEngineHeadline(filepath.Join(*out, "BENCH_engine.json"), *n, *msgs, *seed, *shards); err != nil {
 			fmt.Fprintln(stderr, "ftrbench:", err)
 			failed++
 			fmt.Fprintf(&index, "%-28s ERROR: %v\n", "BENCH_engine.json", err)
@@ -548,13 +597,103 @@ type engineHeadline struct {
 	BaselineThroughput    float64 `json:"baseline_throughput"`
 	KneeLiftAggregate     float64 `json:"knee_lift_aggregate"`
 	LiveOverSnapshotRatio float64 `json:"live_over_snapshot_ratio"`
+	// Shard-scaling section: the live engine timed on a larger healthy
+	// torus under uniform open-loop traffic — a parallel-eligible
+	// configuration, so the sharded run's tables are byte-identical to
+	// the sequential reference — once at Shards = 1 and once at
+	// ScalingShards (ftrbench -shards; 0 = NumCPU). Events are per-hop
+	// services; EventsPerSecPerCore = EventsPerSecSharded/ScalingShards
+	// is the core-efficiency number the bench-regression gate requires
+	// present and nonzero. ShardSpeedup is wall-clock dependent and
+	// therefore recorded but not gated.
+	ScalingNodes        int     `json:"scaling_nodes"`
+	ScalingMessages     int     `json:"scaling_messages"`
+	ScalingShards       int     `json:"scaling_shards"`
+	EventsPerSecShards1 float64 `json:"events_per_sec_shards1"`
+	EventsPerSecSharded float64 `json:"events_per_sec_sharded"`
+	ShardSpeedup        float64 `json:"shard_speedup"`
+	EventsPerSecPerCore float64 `json:"events_per_sec_per_core"`
+}
+
+// measureScaling times the live engine on a healthy torus of roughly
+// 16·n nodes under uniform open-loop traffic (8 messages per node at a
+// periodic rate of nodes/4 per tick), once sequential and once at the
+// given shard count, and fills the headline's scaling fields. The
+// configuration is parallel-eligible — no congestion penalties, no
+// caching, no closed-loop aggregation — so both runs produce identical
+// tables; the function errors if they do not, turning any determinism
+// regression into a failed bench run. The default scale keeps full runs
+// quick; `-n 8192` restores the acceptance scale (≈1.3e5 nodes, ≈1e6
+// messages).
+func measureScaling(h *engineHeadline, n int, seed uint64, shards int) error {
+	if shards == 0 {
+		shards = runtime.NumCPU()
+	}
+	side := 4 * int(math.Round(math.Sqrt(float64(n))))
+	if side < 32 {
+		side = 32
+	}
+	nodes := side * side
+	msgs := 8 * nodes
+	links := mathx.ILog2(nodes)
+	torus, err := metric.NewTorus(side, 2)
+	if err != nil {
+		return err
+	}
+	g, err := graph.BuildIdeal(torus, graph.PaperConfigFor(torus, links), rng.New(seed+5000))
+	if err != nil {
+		return err
+	}
+	timed := func(s int) (*load.Result, float64, error) {
+		cfg := load.Config{
+			Messages: msgs,
+			Shards:   s,
+			Live:     true,
+			Arrival:  load.Periodic(float64(nodes) / 4),
+			Route:    route.Options{DeadEnd: route.Backtrack},
+		}
+		start := time.Now()
+		res, err := load.Run(g, load.Uniform(), cfg, seed+5000)
+		if err != nil {
+			return nil, 0, err
+		}
+		return res, time.Since(start).Seconds(), nil
+	}
+	seq, seqSecs, err := timed(1)
+	if err != nil {
+		return err
+	}
+	par, parSecs, err := timed(shards)
+	if err != nil {
+		return err
+	}
+	if seq.Delivered != par.Delivered || seq.Makespan != par.Makespan ||
+		seq.MaxLoad != par.MaxLoad || seq.LatencyP99 != par.LatencyP99 {
+		return fmt.Errorf(
+			"engine headline: sharded run diverged from the sequential reference (shards=%d: delivered %d vs %d, makespan %g vs %g)",
+			shards, par.Delivered, seq.Delivered, par.Makespan, seq.Makespan)
+	}
+	events := 0
+	for _, l := range seq.Loads {
+		events += l
+	}
+	h.ScalingNodes = nodes
+	h.ScalingMessages = msgs
+	h.ScalingShards = shards
+	h.EventsPerSecShards1 = float64(events) / seqSecs
+	h.EventsPerSecSharded = float64(events) / parSecs
+	h.ShardSpeedup = seqSecs / parSecs
+	h.EventsPerSecPerCore = h.EventsPerSecSharded / float64(shards)
+	return nil
 }
 
 // writeEngineHeadline sweeps the acceptance scenario in all three
-// engine modes and writes the JSON headline. Zero n/msgs/seed take the
-// ext.engine.flood defaults (which match ext.replica.flood's, so the
-// snapshot row is comparable to BENCH_replica.json's k=4+cache row).
-func writeEngineHeadline(path string, n, msgs int, seed uint64) error {
+// engine modes, times the shard-scaling scenario, and writes the JSON
+// headline. Zero n/msgs/seed take the ext.engine.flood defaults (which
+// match ext.replica.flood's, so the snapshot row is comparable to
+// BENCH_replica.json's k=4+cache row); zero shards times the scaling
+// scenario at NumCPU.
+func writeEngineHeadline(path string, n, msgs int, seed uint64, shards int) error {
 	if n == 0 {
 		n = 1 << 10
 	}
@@ -643,6 +782,9 @@ func writeEngineHeadline(path string, n, msgs int, seed uint64) error {
 	h.BaselineThroughput = snap.Points[0].Result.Throughput
 	h.KneeLiftAggregate = agg.KneeThroughput / snap.KneeThroughput
 	h.LiveOverSnapshotRatio = live.KneeThroughput / snap.KneeThroughput
+	if err := measureScaling(&h, n, seed, shards); err != nil {
+		return err
+	}
 	return writeJSON(path, h)
 }
 
@@ -650,7 +792,7 @@ func writeEngineHeadline(path string, n, msgs int, seed uint64) error {
 // field indicates a broken run rather than a legitimate zero (ids,
 // seeds and labels are exempt).
 func headlineKey(k string) bool {
-	for _, marker := range []string{"knee", "max_load", "max_mean", "p99", "mean_hops", "throughput", "queue_depth"} {
+	for _, marker := range []string{"knee", "max_load", "max_mean", "p99", "mean_hops", "throughput", "queue_depth", "events_per_sec"} {
 		if strings.Contains(k, marker) {
 			return true
 		}

@@ -84,6 +84,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cache    = fs.Int("cache", 0, "popularity threshold of cache-on-path replication (0 = experiment default / off)")
 		live     = fs.Bool("live", false, "event-driven engine mode: forwarding decisions read live load/depth/replica state instead of batch snapshots")
 		agg      = fs.Bool("aggregate", false, "coalesce same-key lookups queued at one node into a single aggregated service (implies -live)")
+		shards   = fs.Int("shards", 0, "partition the live event loop across this many cores (0 = 1, the sequential reference; results are identical for every value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -134,11 +135,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "ftrsim: -replicas and -cache must be non-negative")
 		return 2
 	}
+	if *shards < 0 {
+		fmt.Fprintln(stderr, "ftrsim: -shards must be non-negative")
+		return 2
+	}
 	table, err := experiments.Run(*exp, experiments.Params{
 		N: *n, Dim: *dim, Side: *side, Links: *links, Trials: *trials, Msgs: *msgs, Seed: *seed,
 		Workload: *workload, Skew: *skew, Capacity: *capacity, Penalty: *penalty,
 		DepthPenalty: *depth, Arrival: *arrival, Rate: *rate, Clients: *clients, Think: *think,
-		Replicas: *replicas, Cache: *cache, Live: *live, Aggregate: *agg,
+		Replicas: *replicas, Cache: *cache, Live: *live, Aggregate: *agg, Shards: *shards,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "ftrsim:", err)

@@ -68,9 +68,51 @@
 // service load on the victim's in-neighbourhood, which is what moves
 // the flood knee past what replication alone buys.
 //
+// # Sharded live mode (Config.Shards > 1)
+//
+// The live loop partitions across cores as a conservative
+// parallel discrete-event simulation: nodes split into Shards
+// contiguous regions of the metric space (shardOf), each shard owns a
+// private event heap, and shards advance together through virtual-time
+// windows bounded by the safe horizon W + 1/Capacity — the service
+// time is the lookahead, since any event at t ≥ W spawns its successor
+// no earlier than t + 1/Capacity:
+//
+//	        W = min over shards (and pending injections)
+//	                       │
+//	                       ▼
+//	  admit: injections with time < W + 1/Capacity,
+//	         sequentially in (time, msg) order
+//	                       │
+//	                       ▼
+//	┌─ shard 0 ─┐   ┌─ shard 1 ─┐   ┌─ shard k ─┐
+//	│ drain own │   │ drain own │…  │ drain own │   (parallel:
+//	│ heap to   │   │ heap to   │   │ heap to   │    own nodes'
+//	│ horizon   │   │ horizon   │   │ horizon   │    queues only)
+//	└─────┬─────┘   └─────┬─────┘   └─────┬─────┘
+//	      │   outboxes: cross-shard hops  │
+//	      │   done-records: completions   │
+//	      └───────────────┬───────────────┘
+//	                       ▼
+//	  barrier: merge outboxes and replay completions
+//	           in (time, msg, idx) order; fold tallies
+//	                       │
+//	                       ▼  next window
+//
+// Cross-shard forwards buffer in per-destination outboxes and are
+// pushed at the barrier; completions, latencies, and aggregation
+// settlements are recorded during the parallel drain and replayed
+// sequentially in the global event order, so every observable byte —
+// loads, latencies in completion order, aggregation bookkeeping, error
+// choice — matches the sequential loop exactly. Configurations whose
+// forwarding decisions read global mutable signals (congestion
+// penalties, depth probes, cache churn, closed-loop aggregation) fall
+// back to the sequential loop; see Config.Shards.
+//
 // Determinism: both modes are pure functions of (graph, messages,
 // schedule, config, root source). Snapshot mode parallelizes path
 // computation but keys every message to its own derived rng stream;
-// live mode is single-threaded by nature. Either way, results are
-// byte-identical for every Config.Workers value.
+// the live loop runs sequentially at Shards = 1 and partitioned as
+// above at higher counts. Either way, results are byte-identical for
+// every Config.Workers and Config.Shards value.
 package engine

@@ -23,16 +23,33 @@ type Message struct {
 // Config parameterizes one engine run. The engine takes a *resolved*
 // configuration — the caller (package load) owns defaulting — so every
 // field here must already be valid: a positive Capacity and BatchSize,
-// at least one worker.
+// at least one worker and one shard.
 type Config struct {
 	// Capacity is the per-node service capacity in message-hops per
 	// virtual tick; a node serves one message every 1/Capacity ticks.
 	Capacity float64
 	// Workers bounds path-computation parallelism in snapshot mode.
-	// Live mode is inherently sequential — every forwarding decision
-	// depends on the event history — so Workers is ignored there, and
-	// results are byte-identical for every value in both modes.
+	// Live mode takes its parallelism from Shards instead — its path
+	// computation is one hop at a time, so there are no whole-path
+	// routing batches to spread across workers — and ignores Workers.
+	// Results are byte-identical for every value in both modes.
 	Workers int
+	// Shards partitions live mode's event loop across cores: the node
+	// set splits into Shards contiguous regions of the space's point
+	// order, each with its own event heap, advancing in lockstep
+	// virtual-time windows of length 1/Capacity — the safe horizon
+	// under which no event can affect another shard's same-window
+	// decisions (see shard.go). Results are byte-identical for every
+	// value; 1 is the sequential reference mode. Sharding applies only
+	// to live configurations whose forwarding decisions are
+	// message-local: congestion feedback (Penalty, DepthPenalty, or a
+	// caller-supplied Route.Congestion) and cache-on-path placements
+	// read global live state at every hop, and closed-loop schedules
+	// under Aggregate can unlock past-time injections, so those runs
+	// use the sequential loop whatever Shards says — the same silent
+	// fallback as Workers in live mode. Snapshot mode ignores Shards.
+	// Must be at least 1, and at most the node count in live mode.
+	Shards int
 	// Route configures the routing layer. TracePath is forced on; the
 	// congestion feedback owns Congestion/CongestionWeight whenever
 	// Penalty or DepthPenalty is positive.
@@ -74,6 +91,9 @@ func (c Config) validate() error {
 	}
 	if c.Workers < 1 {
 		return fmt.Errorf("engine: workers %d must be at least 1", c.Workers)
+	}
+	if c.Shards < 1 {
+		return fmt.Errorf("engine: shards %d must be at least 1", c.Shards)
 	}
 	if c.BatchSize < 1 {
 		return fmt.Errorf("engine: batch size %d must be at least 1", c.BatchSize)
@@ -123,16 +143,24 @@ type Outcome struct {
 // routing randomness from root.Derive(16+i) — the traffic pipeline's
 // historical per-message stream contract — so a snapshot-mode run
 // reproduces the pre-engine route-then-replay pipeline byte-for-byte
-// and is independent of cfg.Workers; a live run is single-threaded and
-// deterministic in (g, msgs, sched, cfg, root) by construction.
+// and is independent of cfg.Workers; a live run is deterministic in
+// (g, msgs, sched, cfg, root) and independent of cfg.Shards: the
+// sharded loop replays every globally-ordered side effect in the
+// sequential loop's exact (time, msg, idx) event order (see shard.go).
 func Run(g *graph.Graph, msgs []Message, sched Schedule, cfg Config, root *rng.Source) (*Outcome, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Live && cfg.Shards > g.Size() {
+		return nil, fmt.Errorf("engine: shards %d exceed the node count %d", cfg.Shards, g.Size())
+	}
 	r := newRunner(g, msgs, sched, cfg, root)
-	if cfg.Live {
+	switch {
+	case cfg.Live && r.shardable():
+		r.runSharded()
+	case cfg.Live:
 		r.runLive()
-	} else {
+	default:
 		r.runSnapshot()
 	}
 	if r.err != nil {

@@ -71,6 +71,7 @@ func baseConfig() Config {
 	return Config{
 		Capacity:  1,
 		Workers:   1,
+		Shards:    1,
 		BatchSize: 32,
 		Route:     route.Options{DeadEnd: route.Backtrack},
 	}
@@ -345,12 +346,15 @@ func TestConfigValidation(t *testing.T) {
 	msgs := testMessages(t, g, 4, 24)
 	sched := periodicSchedule(len(msgs), 1)
 	bad := []Config{
-		{},                        // zero capacity
-		{Capacity: 1},             // zero workers
-		{Capacity: 1, Workers: 1}, // zero batch
-		{Capacity: 1, Workers: 1, BatchSize: 32, Aggregate: true},              // aggregate without live
-		{Capacity: 1, Workers: 1, BatchSize: 32, Penalty: -1},                  // negative penalty
-		{Capacity: 1, Workers: 1, BatchSize: 32, Live: true, DepthPenalty: -1}, // negative depth
+		{},                                   // zero capacity
+		{Capacity: 1},                        // zero workers
+		{Capacity: 1, Workers: 1},            // zero shards
+		{Capacity: 1, Workers: 1, Shards: 1}, // zero batch
+		{Capacity: 1, Workers: 1, Shards: -3, BatchSize: 32},                              // negative shards
+		{Capacity: 1, Workers: 1, Shards: 1, BatchSize: 32, Aggregate: true},              // aggregate without live
+		{Capacity: 1, Workers: 1, Shards: 1, BatchSize: 32, Penalty: -1},                  // negative penalty
+		{Capacity: 1, Workers: 1, Shards: 1, BatchSize: 32, Live: true, DepthPenalty: -1}, // negative depth
+		{Capacity: 1, Workers: 1, Shards: 65, BatchSize: 32, Live: true},                  // shards exceed the 64 nodes
 	}
 	for i, cfg := range bad {
 		if _, err := Run(g, msgs, sched, cfg, rng.New(1)); err == nil {

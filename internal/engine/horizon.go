@@ -1,0 +1,122 @@
+package engine
+
+import (
+	"repro/internal/mathx"
+	"repro/internal/route"
+)
+
+// This file is the sequential half of the sharded live loop (shard.go
+// has the model overview and the parallel half): the eligibility gate,
+// the window coordinator, and the admission pass that turns pending
+// injections into walkers and first-arrival events.
+
+// shardable reports whether this run may use the partitioned loop:
+// more than one shard requested, and every forwarding decision a
+// shard would make in parallel is message-local. Congestion feedback
+// reads globally-accumulated charge and arbitrary nodes' instantaneous
+// queue depths at every hop; cache-on-path placements mutate the
+// shared replica sets on delivery and read them at injection; and a
+// closed-loop schedule under aggregation can unlock an injection at a
+// follower's settle time — inside or before the window being drained.
+// Those configurations take the sequential loop, which is the
+// documented Shards contract (engine.Config), not an error.
+func (r *runner) shardable() bool {
+	cfg := r.cfg
+	if cfg.Shards <= 1 {
+		return false
+	}
+	if cfg.Penalty > 0 || cfg.DepthPenalty > 0 || cfg.Route.Congestion != nil {
+		return false
+	}
+	if r.caching {
+		return false
+	}
+	if cfg.Aggregate && r.sched.Completed != nil {
+		return false
+	}
+	return true
+}
+
+// injectionLess orders pending injections by (time, msg) — the order
+// the sequential loop pops their idx-0 events in, since no message is
+// injected twice.
+func injectionLess(a, b Injection) bool {
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	return a.Msg < b.Msg
+}
+
+// runSharded drives the partitioned live loop: pick the earliest
+// pending instant, admit every injection below that window's horizon,
+// drain all shards in parallel below it, then barrier. The horizon is
+// one service time past the window start — the engine's lookahead:
+// every successor of a processed event finishes at least one service
+// time later, so nothing processed this window can add same-window
+// work anywhere, and every injection a completion unlocks belongs to
+// a later window too (completion times are successor finish times).
+func (r *runner) runSharded() {
+	cfg := r.cfg
+	ropt := cfg.Route
+	ropt.TracePath = true
+	r.router = route.New(r.g, ropt)
+	r.pend = mathx.NewHeap(injectionLess, len(r.sched.Initial))
+	for _, inj := range r.sched.Initial {
+		r.pend.Push(inj)
+	}
+	s := newShardSet(r)
+	for r.err == nil {
+		w, ok := s.nextTime(r)
+		if !ok {
+			return
+		}
+		horizon := w + r.serviceTime
+		if r.admitWindow(s, horizon); r.err != nil {
+			return
+		}
+		s.drainWindow(r, horizon)
+		s.barrier(r)
+	}
+}
+
+// admitWindow processes pending injections below the horizon in
+// (time, msg) order: the walker is created here — sequentially, so
+// placement lookups and the per-message rng streams behave exactly as
+// in the sequential loop — and the first-arrival event goes to the
+// origin's shard. Born-delivered lookups complete on the spot; their
+// closed-loop successors can land back under the horizon (a think
+// time of zero re-injects at the same instant), so the loop keeps
+// consuming the pending heap until it clears the window.
+//
+// Creating walkers at admission rather than at the event pop is the
+// one scheduling difference from the sequential loop, and it is
+// unobservable: for a shardable configuration walker creation is a
+// pure function of the graph, the placement, and the message (no
+// congestion signal, no cache churn), consumes no rng, and touches no
+// queue state.
+func (r *runner) admitWindow(s *shardSet, horizon float64) {
+	for r.pend.Len() > 0 && r.pend.Peek().Time < horizon {
+		inj := r.pend.Pop()
+		msg := inj.Msg
+		r.inject[msg] = inj.Time
+		r.out.Injected++
+		if inj.Time > r.out.LastInject {
+			r.out.LastInject = inj.Time
+		}
+		r.injected++
+		w, err := r.router.Walker(r.root.Derive(16+uint64(msg)), r.msgs[msg].From, r.targetsFor(msg))
+		if err != nil {
+			r.err = err
+			return
+		}
+		r.walkers[msg] = w
+		if w.Done() {
+			// Born delivered: completes at its injection instant without
+			// entering a queue; the successor it unlocks joins r.pend.
+			r.completeBorn(msg, inj.Time)
+			continue
+		}
+		r.pos[msg] = w.At()
+		s.owner(w.At()).h.Push(event{time: inj.Time, msg: msg, idx: 0})
+	}
+}

@@ -85,6 +85,11 @@ type runner struct {
 	agg       map[aggKey]aggEntry
 	followers [][]int
 	merged    []bool
+
+	// Sharded live mode: injections waiting for a window to admit them
+	// (nil in the sequential modes — unlock routes around it). See
+	// horizon.go.
+	pend *mathx.Heap[Injection]
 }
 
 func newRunner(g *graph.Graph, msgs []Message, sched Schedule, cfg Config, root *rng.Source) *runner {
@@ -457,6 +462,17 @@ func (r *runner) targetsFor(msg int) []metric.Point {
 	return []metric.Point{r.msgs[msg].Key}
 }
 
+// unlock admits an injection released by a completion: straight into
+// the event loop in the sequential modes, into the pending set for the
+// next window's admission pass in sharded mode.
+func (r *runner) unlock(inj Injection) {
+	if r.pend != nil {
+		r.pend.Push(inj)
+		return
+	}
+	r.enqueue(inj)
+}
+
 // completeBorn finalizes a zero-hop lookup at its injection instant:
 // no queue was entered, so no latency is recorded, but the completion
 // still unlocks the closed-loop successor.
@@ -465,7 +481,7 @@ func (r *runner) completeBorn(msg int, at float64) {
 	r.doneAt[msg] = at
 	if r.sched.Completed != nil {
 		if next, ok := r.sched.Completed(msg, at); ok {
-			r.enqueue(next)
+			r.unlock(next)
 		}
 	}
 }
@@ -491,7 +507,7 @@ func (r *runner) completeLive(msg int, at float64, res route.Result) {
 	}
 	if r.sched.Completed != nil {
 		if next, ok := r.sched.Completed(msg, at); ok {
-			r.enqueue(next)
+			r.unlock(next)
 			if r.err != nil {
 				return
 			}

@@ -1,0 +1,307 @@
+package engine
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/mathx"
+	"repro/internal/metric"
+	"repro/internal/route"
+)
+
+// This file is the parallel half of the sharded live loop: the
+// per-core shard state and the window drain that runs concurrently.
+// horizon.go owns the sequential half — window selection, injection
+// admission, and the barrier that replays deferred side effects in
+// global event order. Together they implement conservative parallel
+// discrete-event simulation with a lookahead of one service time:
+//
+//   - Nodes partition into Config.Shards contiguous regions of the
+//     space's point order (shardOf). Contiguous index ranges are slabs
+//     along the space's first axis, so torus neighbours mostly
+//     co-shard and most hops stay on one heap.
+//   - Every event processed at time t schedules its successor at
+//     finish ≥ t + 1/Capacity, so inside a window [W, W+1/Capacity)
+//     no event — local or remote — can create work another shard
+//     would have to see in the same window. Each shard drains its own
+//     heap below the horizon without locks.
+//   - A successor hopping to another shard's node is not pushed
+//     directly (the destination heap is being drained concurrently);
+//     it lands in a per-destination outbox and is merged at the
+//     barrier in (time, msg, idx) order.
+//   - Side effects whose order is globally visible — completions,
+//     aggregation merges, latency records, closed-loop unlocks — are
+//     deferred as doneRecs keyed by the triggering event and replayed
+//     sequentially at the barrier in (time, msg, idx) order, which is
+//     exactly the order the sequential loop produced them in. That
+//     replay, not luck, is what makes every Shards value byte-
+//     identical.
+//
+// Node-indexed state (queues, Loads) needs no deferral: a message
+// occupies exactly one node per event, so within a window each slot is
+// touched only by its owning shard, in that shard's pop order — the
+// same relative order the sequential loop used, because events at one
+// node never straddle shards.
+//
+// The live congestion counters (charged, totalCharged) are not
+// maintained here: a shardable configuration has no congestion signal
+// to read them (that is what makes it shardable), and totalCharged
+// would be the one genuinely shared hot-path counter.
+
+// shardOf maps a node to its owning shard: the contiguous partition
+// p ∈ [s·size/shards, (s+1)·size/shards) ⇒ s, computed without
+// division by the owner. O(1), no maps, exact for every shards ≤ size.
+func shardOf(p metric.Point, shards, size int) int {
+	return int(uint64(p) * uint64(shards) / uint64(size))
+}
+
+// doneRec defers one globally-ordered side effect out of the parallel
+// drain. at is the popped event that triggered it — the global replay
+// key. Each pop defers at most one record, so (time, msg, idx) keys
+// records uniquely and per-shard done lists are born sorted.
+type doneRec struct {
+	at     event
+	merge  bool
+	leader int          // merge: the aggregation carrier at that node
+	finish float64      // terminal: the final service's completion time
+	res    route.Result // terminal: the walker's final result
+}
+
+// shard is one partition's event loop: its own heap, outboxes toward
+// every other shard, deferred side effects, and window-local copies of
+// the counters the sequential loop accumulates globally.
+type shard struct {
+	id     int
+	h      *mathx.Heap[event]
+	outbox [][]event // per destination shard, reused across windows
+	done   []doneRec // deferred side effects, in pop (= event) order
+
+	// agg is this shard's slice of the aggregation state: it is keyed
+	// by (node, key) with node always shard-owned, so the sequential
+	// loop's one global map becomes per-shard maps with no concurrent
+	// access and the same contents. Nil unless aggregating.
+	agg map[aggKey]aggEntry
+
+	// Window-local accumulators, folded into Outcome at the barrier.
+	services      int
+	maxQueueDepth int
+	makespan      float64
+	arriving      int // handoffs headed here, counted during the merge
+}
+
+// shardSet is the whole partitioned loop: the shards plus the
+// barrier-side scratch buffers, all reused across windows.
+type shardSet struct {
+	shards []*shard
+	size   int       // node count, the shardOf denominator
+	moved  []event   // cross-shard handoffs being merged
+	recs   []doneRec // deferred side effects being merged
+	active []*shard  // shards with work below the current horizon
+}
+
+func newShardSet(r *runner) *shardSet {
+	n := r.cfg.Shards
+	s := &shardSet{
+		shards: make([]*shard, n),
+		size:   r.g.Size(),
+		active: make([]*shard, 0, n),
+	}
+	per := len(r.msgs)/n + 1
+	for i := range s.shards {
+		sh := &shard{id: i, h: newEventHeap(per), outbox: make([][]event, n)}
+		if r.cfg.Aggregate {
+			sh.agg = make(map[aggKey]aggEntry)
+		}
+		s.shards[i] = sh
+	}
+	return s
+}
+
+// owner returns the shard owning node p.
+func (s *shardSet) owner(p metric.Point) *shard {
+	return s.shards[shardOf(p, len(s.shards), s.size)]
+}
+
+// nextTime returns the earliest pending instant across every shard
+// heap and the pending injection set — the next window's start — or
+// false when the simulation is drained.
+func (s *shardSet) nextTime(r *runner) (float64, bool) {
+	t, ok := 0.0, false
+	if r.pend.Len() > 0 {
+		t, ok = r.pend.Peek().Time, true
+	}
+	for _, sh := range s.shards {
+		if sh.h.Len() > 0 && (!ok || sh.h.Peek().time < t) {
+			t, ok = sh.h.Peek().time, true
+		}
+	}
+	return t, ok
+}
+
+// drainWindow runs every shard with work below the horizon
+// concurrently, one goroutine per busy shard (the first busy shard
+// runs on the caller's goroutine). Shards only read immutable run
+// state and write shard-owned state, so the window needs no locks;
+// the WaitGroup is the whole synchronization story.
+func (s *shardSet) drainWindow(r *runner, horizon float64) {
+	s.active = s.active[:0]
+	for _, sh := range s.shards {
+		if sh.h.Len() > 0 && sh.h.Peek().time < horizon {
+			s.active = append(s.active, sh)
+		}
+	}
+	if len(s.active) == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	for _, sh := range s.active[1:] {
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			sh.drain(r, s, horizon)
+		}(sh)
+	}
+	s.active[0].drain(r, s, horizon)
+	wg.Wait()
+}
+
+// drain processes the shard's events strictly below the horizon.
+func (sh *shard) drain(r *runner, s *shardSet, horizon float64) {
+	for sh.h.Len() > 0 && sh.h.Peek().time < horizon {
+		sh.process(r, s, sh.h.Pop())
+	}
+}
+
+// process is the sharded twin of runner.processOne's live path. The
+// walker already exists (admission created it — see horizon.go), the
+// aggregation map is keyed by shard-owned nodes, and everything whose
+// order another shard could observe becomes a doneRec instead of
+// happening here.
+func (sh *shard) process(r *runner, s *shardSet, a event) {
+	node := r.pos[a.msg]
+	if sh.agg != nil {
+		key := aggKey{node: node, key: r.msgs[a.msg].Key}
+		if e, ok := sh.agg[key]; ok && a.time < e.finish {
+			// A same-key lookup is queued or in service here: ride along.
+			// Whether it settles now or waits on the carrier depends on
+			// doneAt, which earlier-keyed events elsewhere may still
+			// change — the barrier decides, in event order.
+			sh.done = append(sh.done, doneRec{at: a, merge: true, leader: e.leader})
+			return
+		}
+	}
+	q := &r.queues[node]
+	if depth := q.depthAt(a.time) + 1; depth > sh.maxQueueDepth {
+		sh.maxQueueDepth = depth
+	}
+	start := a.time
+	if q.busyUntil > start {
+		start = q.busyUntil
+	}
+	finish := start + r.serviceTime
+	q.busyUntil = finish
+	q.finish = append(q.finish, finish)
+	r.out.Loads[node]++
+	sh.services++
+	if finish > sh.makespan {
+		sh.makespan = finish
+	}
+	if sh.agg != nil {
+		sh.agg[aggKey{node: node, key: r.msgs[a.msg].Key}] = aggEntry{leader: a.msg, finish: finish}
+	}
+	w := r.walkers[a.msg]
+	if w.Step() {
+		next := w.At()
+		r.pos[a.msg] = next
+		e := event{time: finish, msg: a.msg, idx: a.idx + 1}
+		if d := s.owner(next); d == sh {
+			sh.h.Push(e)
+		} else {
+			sh.outbox[d.id] = append(sh.outbox[d.id], e)
+		}
+		return
+	}
+	sh.done = append(sh.done, doneRec{at: a, finish: finish, res: w.Result()})
+}
+
+// barrier is the window's sequential epilogue: merge cross-shard
+// handoffs in event order, replay deferred side effects in event
+// order, and fold the window-local counters into the outcome. After
+// it returns the run state is byte-identical to the sequential loop
+// having just processed the same events.
+func (s *shardSet) barrier(r *runner) {
+	// Handoffs: collect, order by (time, msg, idx), admit to the
+	// destination heaps. The destination is recomputed from the
+	// message's position — the handoff event *is* "msg arrives at
+	// pos[msg]". Heap admission is order-independent (the pop sequence
+	// is a function of the multiset), but the deterministic merge keeps
+	// the structure honest if the heap is ever swapped for something
+	// order-sensitive, and costs one sort of a small batch.
+	s.moved = s.moved[:0]
+	for _, sh := range s.shards {
+		for d := range sh.outbox {
+			s.moved = append(s.moved, sh.outbox[d]...)
+			sh.outbox[d] = sh.outbox[d][:0]
+		}
+	}
+	sort.Slice(s.moved, func(i, j int) bool { return eventLess(s.moved[i], s.moved[j]) })
+	for _, e := range s.moved {
+		s.owner(r.pos[e.msg]).arriving++
+	}
+	for _, sh := range s.shards {
+		if sh.arriving > 0 {
+			// One growth per batch, not one per push: the next window's
+			// drain then runs allocation-free on the heap side.
+			sh.h.Reserve(sh.h.Len() + sh.arriving)
+			sh.arriving = 0
+		}
+	}
+	for _, e := range s.moved {
+		s.owner(r.pos[e.msg]).h.Push(e)
+	}
+
+	// Deferred side effects, in global event order. Each record runs
+	// the exact code the sequential loop ran at its event's pop, so
+	// doneAt/followers/Latencies/Aggregated and the Completed-hook call
+	// sequence evolve identically. Unlocked injections go to r.pend:
+	// every deferral here carries finish ≥ horizon, so they belong to
+	// later windows by the lookahead argument.
+	s.recs = s.recs[:0]
+	for _, sh := range s.shards {
+		s.recs = append(s.recs, sh.done...)
+		sh.done = sh.done[:0]
+	}
+	sort.Slice(s.recs, func(i, j int) bool { return eventLess(s.recs[i].at, s.recs[j].at) })
+	for _, rec := range s.recs {
+		msg := rec.at.msg
+		if !rec.merge {
+			r.completeLive(msg, rec.finish, rec.res)
+			continue
+		}
+		r.merged[msg] = true
+		r.out.Aggregated++
+		if r.doneAt[rec.leader] >= 0 {
+			// The carrier already completed; settle immediately at the
+			// carrier's completion time.
+			lr := r.out.Results[rec.leader]
+			fr := r.walkers[msg].Result()
+			fr.Delivered = lr.Delivered
+			fr.Target = lr.Target
+			r.completeLive(msg, r.doneAt[rec.leader], fr)
+		} else {
+			r.followers[rec.leader] = append(r.followers[rec.leader], msg)
+		}
+	}
+
+	// Window-local counters.
+	for _, sh := range s.shards {
+		r.out.Services += sh.services
+		sh.services = 0
+		if sh.maxQueueDepth > r.out.MaxQueueDepth {
+			r.out.MaxQueueDepth = sh.maxQueueDepth
+		}
+		if sh.makespan > r.out.Makespan {
+			r.out.Makespan = sh.makespan
+		}
+	}
+}

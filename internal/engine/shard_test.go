@@ -1,0 +1,167 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/metric"
+	"repro/internal/rng"
+)
+
+// shardCounts is the acceptance matrix: 1 is the sequential reference,
+// 2 and 4 are even splits, 7 leaves shards of unequal width and
+// exercises the partition rounding.
+var shardCounts = []int{1, 2, 4, 7}
+
+// TestShardOfPartition pins the partition's shape: every node owned by
+// exactly one shard, ownership monotone in the point order (so regions
+// are contiguous), and every shard nonempty whenever shards ≤ size.
+func TestShardOfPartition(t *testing.T) {
+	for _, size := range []int{1, 2, 7, 64, 1000} {
+		for shards := 1; shards <= size && shards <= 9; shards++ {
+			seen := make([]int, shards)
+			prev := 0
+			for p := 0; p < size; p++ {
+				s := shardOf(metric.Point(p), shards, size)
+				if s < 0 || s >= shards {
+					t.Fatalf("size=%d shards=%d: shardOf(%d)=%d out of range", size, shards, p, s)
+				}
+				if s < prev {
+					t.Fatalf("size=%d shards=%d: ownership not monotone at %d", size, shards, p)
+				}
+				prev = s
+				seen[s]++
+			}
+			for s, n := range seen {
+				if n == 0 {
+					t.Fatalf("size=%d shards=%d: shard %d owns no nodes", size, shards, s)
+				}
+			}
+		}
+	}
+}
+
+// runShardScenario runs one live scenario at a given shard count.
+func runShardScenario(t *testing.T, cfg Config, sched Schedule, shards int) (*Outcome, error) {
+	t.Helper()
+	g := testGraph(t, 512, 9, 3, 5)
+	msgs := testMessages(t, g, 300, 4)
+	cfg.Shards = shards
+	return Run(g, msgs, sched, cfg, rng.New(9))
+}
+
+// TestShardCountInvariance is the tentpole acceptance property at the
+// engine level: live outcomes are byte-identical for every shard
+// count, across the eligible configurations (plain live, live with
+// static replication, live+aggregate open-loop, closed-loop live) and
+// the documented sequential fallbacks (congestion feedback, and
+// aggregation under a closed-loop schedule).
+func TestShardCountInvariance(t *testing.T) {
+	closed := func(n, clients int, think float64) Schedule {
+		initial := make([]Injection, clients)
+		for i := range initial {
+			initial[i] = Injection{Msg: i, Time: float64(i) * 0.01}
+		}
+		return Schedule{
+			Initial: initial,
+			Completed: func(msg int, at float64) (Injection, bool) {
+				next := msg + clients
+				if next >= n {
+					return Injection{}, false
+				}
+				return Injection{Msg: next, Time: at + think}, true
+			},
+		}
+	}
+	cases := []struct {
+		name  string
+		cfg   func(t *testing.T) Config
+		sched Schedule
+	}{
+		{"live", func(t *testing.T) Config {
+			cfg := baseConfig()
+			cfg.Live = true
+			return cfg
+		}, periodicSchedule(300, 8)},
+		{"live+replicas", func(t *testing.T) Config {
+			cfg := baseConfig()
+			cfg.Live = true
+			g := testGraph(t, 512, 9, 3, 5)
+			cfg.Placement = newTestPlacement(t, g, 4, 77)
+			return cfg
+		}, periodicSchedule(300, 8)},
+		{"live+aggregate", func(t *testing.T) Config {
+			cfg := baseConfig()
+			cfg.Live = true
+			cfg.Aggregate = true
+			return cfg
+		}, periodicSchedule(300, 32)},
+		{"live+closedloop", func(t *testing.T) Config {
+			cfg := baseConfig()
+			cfg.Live = true
+			return cfg
+		}, closed(300, 16, 0.5)},
+		{"live+closedloop+zerothink", func(t *testing.T) Config {
+			cfg := baseConfig()
+			cfg.Live = true
+			return cfg
+		}, closed(300, 16, 0)},
+		// Sequential fallbacks: invariance must hold trivially.
+		{"fallback:depth-penalty", func(t *testing.T) Config {
+			cfg := baseConfig()
+			cfg.Live = true
+			cfg.DepthPenalty = 1
+			return cfg
+		}, periodicSchedule(300, 8)},
+		{"fallback:aggregate+closedloop", func(t *testing.T) Config {
+			cfg := baseConfig()
+			cfg.Live = true
+			cfg.Aggregate = true
+			return cfg
+		}, closed(300, 16, 0.5)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base, err := runShardScenario(t, tc.cfg(t), tc.sched, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range shardCounts[1:] {
+				// Placements memoize internally; rebuild the config so each
+				// shard count sees an identically fresh placement.
+				got, err := runShardScenario(t, tc.cfg(t), tc.sched, shards)
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				if !reflect.DeepEqual(base, got) {
+					t.Errorf("shards=%d diverged from the sequential reference", shards)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedErrorMatchesSequential pins the failure contract: a
+// walker-creation error (dead origin) aborts the run with the same
+// error at every shard count — admission processes injections in the
+// same (time, msg) order the sequential loop pops them in.
+func TestShardedErrorMatchesSequential(t *testing.T) {
+	g := testGraph(t, 512, 9, 3, 5)
+	msgs := testMessages(t, g, 64, 4)
+	msgs[17].From = 5 // failEvery=5 kills node 5: injection 17 must error
+	cfg := baseConfig()
+	cfg.Live = true
+	var want error
+	for _, shards := range shardCounts {
+		cfg.Shards = shards
+		_, err := Run(g, msgs, periodicSchedule(len(msgs), 8), cfg, rng.New(9))
+		if err == nil {
+			t.Fatalf("shards=%d: dead origin accepted", shards)
+		}
+		if shards == 1 {
+			want = err
+		} else if err.Error() != want.Error() {
+			t.Errorf("shards=%d error %q, want %q", shards, err, want)
+		}
+	}
+}

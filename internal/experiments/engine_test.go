@@ -36,8 +36,9 @@ func TestEngineModesTable(t *testing.T) {
 
 // TestEngineFloodDeterministicAcrossWorkers extends the worker
 // invariance contract to the engine-mode ladder end to end: the
-// snapshot sweep parallelizes path computation, the live sweeps are
-// single-threaded, and the table must not move a byte either way.
+// snapshot sweep parallelizes path computation, the live sweeps take
+// their parallelism from Shards rather than Workers, and the table
+// must not move a byte either way.
 func TestEngineFloodDeterministicAcrossWorkers(t *testing.T) {
 	small := Params{N: 256, Msgs: 600, Seed: 7}
 	var want string

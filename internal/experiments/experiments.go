@@ -43,6 +43,10 @@ type Params struct {
 	Seed uint64
 	// Workers bounds parallelism; 0 uses GOMAXPROCS.
 	Workers int
+	// Shards partitions the live event loop across cores (ftrsim
+	// -shards); 0 selects 1, the sequential reference. Results are
+	// identical for every value.
+	Shards int
 	// Workload names the traffic generator of the ext.load.*
 	// experiments ("uniform", "zipf", "sources", "flood"); empty
 	// selects each experiment's default.

@@ -72,6 +72,7 @@ func loadConfig(p Params) (load.Config, error) {
 		Capacity:     p.Capacity,
 		Rate:         p.Rate,
 		Workers:      p.Workers,
+		Shards:       p.Shards,
 		DepthPenalty: p.DepthPenalty,
 		Live:         p.Live || p.Aggregate,
 		Aggregate:    p.Aggregate,

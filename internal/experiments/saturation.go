@@ -65,6 +65,7 @@ func sweepConfigFor(p Params, pol saturationPolicy) load.SweepConfig {
 			Messages:     msgs,
 			Capacity:     p.Capacity,
 			Workers:      p.Workers,
+			Shards:       p.Shards,
 			Penalty:      pol.penalty,
 			DepthPenalty: pol.depth,
 			Live:         p.Live || p.Aggregate,

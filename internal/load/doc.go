@@ -56,12 +56,15 @@
 // coalesced lookups).
 //
 // Determinism: a run is a pure function of (graph, generator, Config
-// minus Workers, seed). Snapshot mode parallelizes per-message path
-// computation over Workers goroutines, but every message routes from
-// its own derived rng stream and all schedules are drawn before
-// routing starts; live mode is single-threaded by nature. Results are
-// byte-identical for any Workers value — the property the regression
-// suite pins for Run and Sweep alike, and the engine-vs-legacy
-// equivalence property (prop_test.go) holds snapshot mode to the exact
-// behaviour of the pre-engine pipeline.
+// minus Workers and Shards, seed). Snapshot mode parallelizes
+// per-message path computation over Workers goroutines, but every
+// message routes from its own derived rng stream and all schedules are
+// drawn before routing starts; the live loop runs sequentially at
+// Shards <= 1 and, for parallel-eligible configurations, partitions
+// across Shards cores in conservative virtual-time windows at higher
+// counts (see Config.Shards). Results are byte-identical for any
+// Workers and Shards values — the property the regression suite pins
+// for Run and Sweep alike, and the engine-vs-legacy equivalence
+// property (prop_test.go) holds snapshot mode to the exact behaviour
+// of the pre-engine pipeline.
 package load

@@ -33,9 +33,21 @@ type Config struct {
 	// and ClosedLoop select the saturation-sweep arrival regimes.
 	Arrival Arrival
 	// Workers bounds path-computation parallelism in snapshot mode;
-	// zero uses GOMAXPROCS. Results are byte-identical for every value
-	// (live mode is single-threaded by nature and ignores it).
+	// zero uses GOMAXPROCS. Live mode ignores it — its parallelism
+	// comes from Shards. Results are byte-identical for every value.
 	Workers int
+	// Shards partitions the live event loop across cores: nodes split
+	// into Shards contiguous regions of the space's point order, each
+	// draining its own event heap in lockstep virtual-time windows one
+	// service time long. Zero defaults to 1, the sequential reference
+	// mode; results are byte-identical for every value. Live
+	// configurations whose forwarding decisions read global state
+	// (Penalty, DepthPenalty, a Route.Congestion hook, cache-on-path
+	// replication, or closed-loop arrivals under Aggregate) fall back
+	// to the sequential loop whatever Shards says, and snapshot mode
+	// ignores Shards entirely (a no-op, not an error). Must not exceed
+	// the node count in live mode.
+	Shards int
 	// Route configures the underlying router. TracePath is forced on
 	// (the engine needs the visited sequence); Congestion and
 	// CongestionWeight are overwritten when Penalty or DepthPenalty is
@@ -107,6 +119,9 @@ func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
 	if c.BatchSize == 0 {
 		c.BatchSize = 32
 	}
@@ -140,6 +155,9 @@ func (c Config) Validate() error {
 	}
 	if c.BatchSize < 0 {
 		return fmt.Errorf("load: negative batch size %d", c.BatchSize)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("load: negative shard count %d", c.Shards)
 	}
 	if c.Aggregate && !c.Live {
 		return fmt.Errorf("load: aggregation requires live mode (Config.Live)")
@@ -233,7 +251,7 @@ func (c Config) modeName() string {
 // Run injects cfg.Messages lookups from gen into g and drives them
 // through the discrete-event engine (internal/engine). See the package
 // comment for the model; the run is deterministic in (g, gen, cfg,
-// seed) and independent of cfg.Workers.
+// seed) and independent of cfg.Workers and cfg.Shards.
 func Run(g *graph.Graph, gen Generator, cfg Config, seed uint64) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
@@ -273,10 +291,12 @@ func Run(g *graph.Graph, gen Generator, cfg Config, seed uint64) (*Result, error
 	}
 	primed := arr.Prime(cfg.Messages, root.Derive(2))
 
-	// Resolve the replica placement, if any. The placement is consulted
-	// and fed back only from the engine's single-threaded event loop
-	// (and its batch boundaries), so replica-aware runs keep the
-	// worker-count independence contract.
+	// Resolve the replica placement, if any. The placement is fed back
+	// (cache observations, decay) only from the engine's sequential
+	// event loop and its batch boundaries — caching configurations are
+	// ineligible for the sharded live loop, which consults static
+	// placements read-only — so replica-aware runs keep the worker- and
+	// shard-count independence contracts.
 	var placement *replica.Placement
 	if cfg.Replication != nil && cfg.Replication.Enabled() {
 		rseed := cfg.ReplicaSeed
@@ -294,6 +314,7 @@ func Run(g *graph.Graph, gen Generator, cfg Config, seed uint64) (*Result, error
 		engine.Config{
 			Capacity:     cfg.Capacity,
 			Workers:      cfg.Workers,
+			Shards:       cfg.Shards,
 			Route:        cfg.Route,
 			Penalty:      cfg.Penalty,
 			DepthPenalty: cfg.DepthPenalty,

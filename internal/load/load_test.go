@@ -200,6 +200,7 @@ func TestConfigValidation(t *testing.T) {
 		{Penalty: -2},
 		{DepthPenalty: -1},
 		{Penalty: 1, BatchSize: -1},
+		{Messages: 10, Shards: -3},
 	}
 	for i, cfg := range bad {
 		if _, err := Run(g, Uniform(), cfg, 1); err == nil {
@@ -225,6 +226,33 @@ func TestConfigValidation(t *testing.T) {
 	// Run still treats zeroes as defaults.
 	if _, err := Run(g, Uniform(), Config{Messages: 20}, 1); err != nil {
 		t.Errorf("zero-valued Run config should use defaults: %v", err)
+	}
+}
+
+// TestShardConfigValidation pins the Shards field's contract at the
+// load layer: negatives are rejected, a shard count beyond the node
+// population is rejected in live mode, and in snapshot mode any legal
+// shard count is a documented no-op — same bytes, no error.
+func TestShardConfigValidation(t *testing.T) {
+	g := buildRing(t, 64, 4, 18)
+	if _, err := Run(g, Uniform(), Config{Messages: 10, Shards: -1}, 1); err == nil {
+		t.Error("negative shard count should be rejected")
+	}
+	if _, err := Run(g, Uniform(), Config{Messages: 10, Shards: 65, Live: true}, 1); err == nil {
+		t.Error("live run with more shards than nodes should be rejected")
+	}
+	// Snapshot mode ignores Shards entirely: more shards than nodes is
+	// legal, and results match the unsharded run byte for byte.
+	base, err := Run(g, Uniform(), Config{Messages: 50}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := Run(g, Uniform(), Config{Messages: 50, Shards: 65}, 2)
+	if err != nil {
+		t.Fatalf("snapshot run with Shards set should be a no-op, got: %v", err)
+	}
+	if !reflect.DeepEqual(base, sharded) {
+		t.Error("snapshot results changed when Shards was set")
 	}
 }
 

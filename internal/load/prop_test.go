@@ -97,9 +97,9 @@ func TestPropEngineMatchesLegacyPipeline(t *testing.T) {
 }
 
 // TestPropLiveWorkerInvariance pins the live modes' determinism
-// contract: event-driven runs are single-threaded by nature, so
-// Workers must not change a byte, with and without aggregation,
-// penalties, and replication.
+// contract: the live loop takes its parallelism from Shards, never
+// from Workers, so Workers must not change a byte, with and without
+// aggregation, penalties, and replication.
 func TestPropLiveWorkerInvariance(t *testing.T) {
 	for iter := 0; iter < 8; iter++ {
 		gen := proptest.New(uint64(8300 + iter))

@@ -108,7 +108,7 @@ func (s *SweepResult) KneePoint() *SweepPoint {
 // bisects the bracket. Every evaluation reuses the same seed, so
 // workload pairs are identical across load levels and the sweep isolates
 // the effect of injection pressure; like Run, the whole sweep is
-// deterministic in (g, gen, cfg minus Workers, seed).
+// deterministic in (g, gen, cfg minus Workers and Shards, seed).
 func Sweep(g *graph.Graph, gen Generator, cfg SweepConfig, seed uint64) (*SweepResult, error) {
 	model := cfg.Model
 	if model == "" {

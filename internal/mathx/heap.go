@@ -76,6 +76,21 @@ func (h *Heap[T]) Pop() T {
 	return top
 }
 
+// Reserve grows the backing slice to hold at least capacity elements,
+// so a burst of Pushes up to that size cannot reallocate mid-loop. The
+// sharded event engine calls it when cross-shard handoff batches are
+// admitted: the batch size is known before the pushes start, and a
+// shard's heap lives for the whole run, so paying the growth once
+// keeps the per-event path allocation-free.
+func (h *Heap[T]) Reserve(capacity int) {
+	if capacity <= cap(h.s) {
+		return
+	}
+	s := make([]T, len(h.s), capacity)
+	copy(s, h.s)
+	h.s = s
+}
+
 // Reset empties the heap, keeping the backing slice for reuse.
 func (h *Heap[T]) Reset() {
 	var zero T

@@ -1,0 +1,111 @@
+package mathx
+
+import "testing"
+
+// heapEvent mirrors the engine's event struct so the benchmarks
+// measure the exact value shape the hot loop moves.
+type heapEvent struct {
+	time float64
+	msg  int
+	idx  int
+}
+
+func heapEventLess(a, b heapEvent) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	if a.msg != b.msg {
+		return a.msg < b.msg
+	}
+	return a.idx < b.idx
+}
+
+// lcg is a tiny deterministic generator so benchmark times are not
+// rng-package noise.
+func lcg(x uint64) uint64 { return x*6364136223846793005 + 1442695040888963407 }
+
+// BenchmarkHeapPushPop measures the steady-state event-loop pattern:
+// one pop, one push, heap size constant — the per-event heap cost of
+// the engine.
+func BenchmarkHeapPushPop(b *testing.B) {
+	h := NewHeap(heapEventLess, 1024)
+	x := uint64(1)
+	for i := 0; i < 1024; i++ {
+		x = lcg(x)
+		h.Push(heapEvent{time: float64(x % (1 << 20)), msg: i, idx: 0})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := h.Pop()
+		e.time += 64
+		e.idx++
+		h.Push(e)
+	}
+}
+
+// BenchmarkHeapPushAll measures pure insertion into a pre-reserved
+// heap — the admission burst at a window barrier.
+func BenchmarkHeapPushAll(b *testing.B) {
+	h := NewHeap(heapEventLess, b.N)
+	h.Reserve(b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	x := uint64(1)
+	for i := 0; i < b.N; i++ {
+		x = lcg(x)
+		h.Push(heapEvent{time: float64(x % (1 << 20)), msg: i, idx: 0})
+	}
+}
+
+// TestHeapSteadyStateAllocs asserts the engine's allocation contract:
+// once the backing slice is warm, pop-then-push cycles allocate
+// nothing, and Reserve makes a known-size push burst allocation-free.
+func TestHeapSteadyStateAllocs(t *testing.T) {
+	h := NewHeap(heapEventLess, 256)
+	x := uint64(1)
+	for i := 0; i < 256; i++ {
+		x = lcg(x)
+		h.Push(heapEvent{time: float64(x % (1 << 16)), msg: i, idx: 0})
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			e := h.Pop()
+			e.time += 16
+			e.idx++
+			h.Push(e)
+		}
+	}); avg != 0 {
+		t.Errorf("steady-state pop/push allocates %.2f per run, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		h.Reserve(h.Len() + 128)
+		for i := 0; i < 128; i++ {
+			h.Push(heapEvent{time: float64(i), msg: i, idx: 0})
+		}
+		for i := 0; i < 128; i++ {
+			h.Pop()
+		}
+	}); avg != 0 {
+		t.Errorf("reserved push burst allocates %.2f per run, want 0", avg)
+	}
+}
+
+// TestHeapReserve pins Reserve's semantics: contents survive, capacity
+// reaches the request, and a smaller request is a no-op.
+func TestHeapReserve(t *testing.T) {
+	h := NewHeap(func(a, b int) bool { return a < b }, 0)
+	for i := 16; i > 0; i-- {
+		h.Push(i)
+	}
+	h.Reserve(500)
+	if got := cap(h.s); got < 500 {
+		t.Errorf("capacity %d after Reserve(500)", got)
+	}
+	h.Reserve(4) // no-op: already larger
+	for want := 1; want <= 16; want++ {
+		if got := h.Pop(); got != want {
+			t.Fatalf("pop %d after Reserve, want %d", got, want)
+		}
+	}
+}

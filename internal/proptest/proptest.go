@@ -9,7 +9,8 @@
 //   - endpoint integrity: a delivered search's path starts at the
 //     source and ends at a member of the target set;
 //   - replay determinism: a traffic run is byte-identical across
-//     worker counts, in snapshot and live engine modes alike;
+//     worker counts and live event-loop shard counts, in snapshot and
+//     live engine modes alike;
 //   - engine equivalence: the discrete-event engine in snapshot mode
 //     reproduces the pre-engine route-then-replay pipeline (preserved
 //     as an executable oracle in internal/load's tests) byte-for-byte,
@@ -220,6 +221,38 @@ func CheckWorkerInvariance(t testing.TB, gr *graph.Graph, gen load.Generator, cf
 		}
 		if !reflect.DeepEqual(want, got) {
 			t.Errorf("workers=%d diverged from workers=1:\n%s", workers, diffSummary(want, got))
+		}
+	}
+	return want
+}
+
+// CheckShardInvariance runs one traffic configuration at 1, 2, 4 and 7
+// live event-loop shards and fails unless all four results — loads,
+// latencies, search statistics, everything — are deeply equal. This is
+// the sharded engine's contract: partitioning the live loop across
+// cores is a wall-clock optimization, never a semantic one.
+// Configurations outside the parallel-eligible subset (congestion
+// penalties, caching, closed-loop aggregation) fall back to the
+// sequential loop at every shard count, so the check holds trivially
+// there while still pinning that the eligibility gate itself never
+// disturbs results. It returns the single-shard result for further
+// assertions.
+func CheckShardInvariance(t testing.TB, gr *graph.Graph, gen load.Generator, cfg load.Config, seed uint64) *load.Result {
+	t.Helper()
+	var want *load.Result
+	for _, shards := range []int{1, 2, 4, 7} {
+		c := cfg
+		c.Shards = shards
+		got, err := load.Run(gr, gen, c, seed)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("shards=%d diverged from shards=1:\n%s", shards, diffSummary(want, got))
 		}
 	}
 	return want

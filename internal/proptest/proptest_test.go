@@ -1,8 +1,10 @@
 package proptest
 
 import (
+	"fmt"
 	"testing"
 
+	"repro/internal/graph"
 	"repro/internal/load"
 	"repro/internal/metric"
 	"repro/internal/replica"
@@ -98,6 +100,130 @@ func TestPropQueueReplayWorkerInvariance(t *testing.T) {
 		if res.Injected != res.Delivered+res.Failed {
 			t.Fatalf("iter %d: conservation broke: %d != %d + %d",
 				iter, res.Injected, res.Delivered, res.Failed)
+		}
+	}
+}
+
+// TestPropShardInvariance fuzzes the live engine across event-loop
+// shard counts: random graphs, workloads, arrival models, aggregation
+// and static replication, each run at 1/2/4/7 shards, must produce
+// byte-identical results. Sequential-fallback configurations —
+// congestion penalties, closed-loop aggregation — are drawn too, so
+// the eligibility gate itself is pinned never to disturb results.
+func TestPropShardInvariance(t *testing.T) {
+	for iter := 0; iter < 10; iter++ {
+		gen := New(uint64(6000 + iter))
+		g := gen.Graph(t)
+		wl := gen.Workload()
+		cfg := load.Config{
+			Messages: 100 + gen.src.Intn(200),
+			Live:     true,
+			Route:    route.Options{DeadEnd: route.Backtrack},
+		}
+		if gen.src.Bool(0.4) {
+			cfg.Aggregate = true
+		}
+		switch gen.src.Intn(4) {
+		case 1:
+			cfg.Arrival = load.Periodic(1 + 4*gen.src.Float64())
+		case 2:
+			cfg.Arrival = load.Poisson(1 + 4*gen.src.Float64())
+		case 3:
+			cfg.Arrival = load.ClosedLoop(2+gen.src.Intn(15), gen.src.Float64())
+		}
+		if gen.src.Bool(0.3) {
+			cfg.Replication = &replica.Options{K: 2 + gen.src.Intn(3)}
+		}
+		if gen.src.Bool(0.25) {
+			cfg.Penalty = 1 // a sequential-fallback draw
+		}
+		res := CheckShardInvariance(t, g, wl, cfg, uint64(7000+iter))
+		if t.Failed() {
+			t.Fatalf("iter %d failed (seed %d, workload %s)", iter, 6000+iter, wl.Name())
+		}
+		if res.Injected != res.Delivered+res.Failed {
+			t.Fatalf("iter %d: conservation broke: %d != %d + %d",
+				iter, res.Injected, res.Delivered, res.Failed)
+		}
+	}
+}
+
+// movingFlood floods victim a for the first half of the run and victim
+// b for the second — the moving-hotspot workload behind internal/load's
+// cache-decay scenario, rebuilt over the public Generator interface.
+type movingFlood struct {
+	g      *graph.Graph
+	a, b   metric.Point
+	drawn  int
+	halfAt int
+}
+
+func (f *movingFlood) Name() string { return "moving-flood" }
+
+func (f *movingFlood) Bind(g *graph.Graph, src *rng.Source) error {
+	f.g = g
+	var ok bool
+	if f.a, ok = g.RandomAlive(src); !ok {
+		return fmt.Errorf("moving-flood: no live nodes")
+	}
+	for {
+		if f.b, ok = g.RandomAlive(src); !ok {
+			return fmt.Errorf("moving-flood: no second live node")
+		}
+		if f.b != f.a {
+			break
+		}
+	}
+	f.drawn = 0
+	return nil
+}
+
+func (f *movingFlood) Pair(src *rng.Source) (metric.Point, metric.Point, error) {
+	target := f.a
+	if f.drawn >= f.halfAt {
+		target = f.b
+	}
+	f.drawn++
+	for i := 0; i < 256; i++ {
+		if from, ok := f.g.RandomAlive(src); ok && from != target {
+			return from, target, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("moving-flood: no source distinct from %d", target)
+}
+
+// TestPropShardInvarianceMovingHotspot pins shard-count invariance on
+// the moving-hotspot cache-decay scenario: live mode with
+// popularity-triggered caching and decay, where the flood victim moves
+// mid-run. Caching makes this a sequential-fallback configuration at
+// every shard count — the point is that cache churn and decay cadence
+// stay byte-identical however many shards are requested.
+func TestPropShardInvarianceMovingHotspot(t *testing.T) {
+	const msgs = 400
+	ring, err := metric.NewRing(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.BuildIdeal(ring, graph.PaperConfig(9), rng.New(33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, aggregate := range []bool{false, true} {
+		cfg := load.Config{
+			Messages:  msgs,
+			Live:      true,
+			Aggregate: aggregate,
+			Route:     route.Options{DeadEnd: route.Backtrack},
+			Replication: &replica.Options{
+				CacheThreshold: 16, CacheCopies: 4, CacheDecay: true,
+			},
+		}
+		res := CheckShardInvariance(t, g, &movingFlood{halfAt: msgs / 2}, cfg, 34)
+		if t.Failed() {
+			t.Fatalf("aggregate=%v diverged", aggregate)
+		}
+		if res.CachedKeys == 0 {
+			t.Errorf("aggregate=%v: the decay scenario never cached a key; the invariance run is vacuous", aggregate)
 		}
 	}
 }

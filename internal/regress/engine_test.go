@@ -20,20 +20,9 @@ import (
 // headline lifts over the snapshot baseline. The snapshot row is the
 // same sweep goldenReplica pins as "k4+cache", so any drift there is
 // caught twice.
-func runEngineScenario(t *testing.T, workers int) []string {
+func runEngineScenario(t *testing.T, workers, shards int) []string {
 	t.Helper()
-	torus, err := metric.NewTorus(32, 2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	src := rng.New(300)
-	g, err := graph.BuildIdeal(torus, graph.PaperConfigFor(torus, 10), src)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := failure.FailNodesFraction(g, 0.3, src.Derive(1)); err != nil {
-		t.Fatal(err)
-	}
+	g := buildEngineScenarioGraph(t)
 	var out []string
 	var base float64
 	for _, tc := range []struct {
@@ -48,6 +37,7 @@ func runEngineScenario(t *testing.T, workers int) []string {
 			Config: load.Config{
 				Messages:  2048,
 				Workers:   workers,
+				Shards:    shards,
 				Live:      tc.live,
 				Aggregate: tc.aggregate,
 				Route:     route.Options{DeadEnd: route.Backtrack},
@@ -78,6 +68,73 @@ func runEngineScenario(t *testing.T, workers int) []string {
 	return out
 }
 
+// buildEngineScenarioGraph constructs the engine scenarios' shared
+// network: the PR-4 acceptance torus, seeded at 300 with 30% of nodes
+// failed.
+func buildEngineScenarioGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	torus, err := metric.NewTorus(32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(300)
+	g, err := graph.BuildIdeal(torus, graph.PaperConfigFor(torus, 10), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := failure.FailNodesFraction(g, 0.3, src.Derive(1)); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// runEngineShardScenario executes a parallel-eligible variant of the
+// engine scenario — the same 30%-failed torus flood without
+// replication, swept in live and live+aggregate modes under open-loop
+// Poisson arrivals — at the given shard count. Unlike
+// runEngineScenario, whose caching forces the sequential fallback at
+// every shard count, these sweeps take the partitioned loop whenever
+// shards > 1, so the goldens pin the sharded engine's arithmetic
+// itself.
+func runEngineShardScenario(t *testing.T, shards int) []string {
+	t.Helper()
+	g := buildEngineScenarioGraph(t)
+	var out []string
+	for _, tc := range []struct {
+		label     string
+		aggregate bool
+	}{
+		{"live", false},
+		{"live+aggregate", true},
+	} {
+		cfg := load.SweepConfig{
+			Config: load.Config{
+				Messages:  2048,
+				Shards:    shards,
+				Live:      true,
+				Aggregate: tc.aggregate,
+				Route:     route.Options{DeadEnd: route.Backtrack},
+			},
+			Model:      "poisson",
+			Bisections: 4,
+		}
+		res, err := load.Sweep(g, load.Flood(), cfg, 302)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kp := res.KneePoint()
+		if kp == nil {
+			t.Fatalf("%s: no knee found", tc.label)
+		}
+		out = append(out, fmt.Sprintf(
+			"%s: knee=%.4f thr=%.4f p99=%.2f serving=%d aggregated=%d fp=%#x",
+			tc.label, res.Knee, res.KneeThroughput, res.KneeP99,
+			kp.Result.ServingPoints(), kp.Result.Aggregated,
+			loadFingerprint(kp.Result.Loads)))
+	}
+	return out
+}
+
 // goldenEngine holds the values captured when the engine was
 // introduced. The snapshot knee throughput equals goldenReplica's
 // "k4+cache" row by construction (the engine's snapshot mode is the
@@ -92,7 +149,7 @@ var goldenEngine = []string{
 }
 
 func TestSeededEngineGolden(t *testing.T) {
-	got := runEngineScenario(t, 1)
+	got := runEngineScenario(t, 1, 1)
 	if len(goldenEngine) == 0 {
 		for _, line := range got {
 			t.Logf("golden: %q,", line)
@@ -115,7 +172,7 @@ func TestSeededEngineGolden(t *testing.T) {
 // above the k = 4 + cache snapshot baseline (13.85 msgs/tick here,
 // 13.58 at the bench scale).
 func TestEngineAggregateKneeLiftAcceptance(t *testing.T) {
-	lines := runEngineScenario(t, 1)
+	lines := runEngineScenario(t, 1, 1)
 	var lift float64
 	if _, err := fmt.Sscanf(lines[len(lines)-1], "live+aggregate lift=%f", &lift); err != nil {
 		t.Fatalf("no lift line: %v (%q)", err, lines[len(lines)-1])
@@ -127,18 +184,73 @@ func TestEngineAggregateKneeLiftAcceptance(t *testing.T) {
 
 // TestEngineWorkerCountInvariance runs the engine scenario at the
 // acceptance worker counts {1, 4, 16}: snapshot mode parallelizes path
-// computation, live modes are single-threaded, and neither may move a
-// byte.
+// computation, live modes take their parallelism from Shards instead,
+// and neither may move a byte.
 func TestEngineWorkerCountInvariance(t *testing.T) {
-	one := runEngineScenario(t, 1)
+	one := runEngineScenario(t, 1, 1)
 	for _, workers := range []int{4, 16} {
-		other := runEngineScenario(t, workers)
+		other := runEngineScenario(t, workers, 1)
 		if len(one) != len(other) {
 			t.Fatalf("line counts differ: %d vs %d", len(one), len(other))
 		}
 		for i := range one {
 			if one[i] != other[i] {
 				t.Errorf("workers=%d line %d diverged:\n  got  %s\n  want %s", workers, i, other[i], one[i])
+			}
+		}
+	}
+}
+
+// goldenEngineSharded pins the parallel-eligible live scenario's knees,
+// captured at shards = 1. TestEngineShardCountInvariance holds every
+// other shard count to these exact lines.
+var goldenEngineSharded = []string{
+	"live: knee=4.0000 thr=3.7302 p99=47.72 serving=1 aggregated=0 fp=0xb23fd3357ac92610",
+	"live+aggregate: knee=176.0000 thr=107.5872 p99=7.00 serving=1 aggregated=1932 fp=0x4695a9fff8b2ff29",
+}
+
+// TestSeededEngineShardedGolden pins the parallel-eligible scenario
+// itself, so the sharded goldens fail loudly on semantic drift rather
+// than only relative to each other.
+func TestSeededEngineShardedGolden(t *testing.T) {
+	got := runEngineShardScenario(t, 1)
+	if len(goldenEngineSharded) == 0 {
+		for _, line := range got {
+			t.Logf("golden: %q,", line)
+		}
+		t.Fatal("goldenEngineSharded is empty; paste the logged lines above")
+	}
+	if len(got) != len(goldenEngineSharded) {
+		t.Fatalf("scenario line count changed: got %d, want %d", len(got), len(goldenEngineSharded))
+	}
+	for i := range got {
+		if got[i] != goldenEngineSharded[i] {
+			t.Errorf("line %d diverged:\n  got  %s\n  want %s", i, got[i], goldenEngineSharded[i])
+		}
+	}
+}
+
+// TestEngineShardCountInvariance is the sharded engine's acceptance
+// matrix: both seeded engine scenarios — the cached one (which falls
+// back to the sequential loop, pinning the eligibility gate) and the
+// parallel-eligible one (which takes the partitioned loop) — must be
+// byte-identical at shard counts {1, 2, 4, 7}.
+func TestEngineShardCountInvariance(t *testing.T) {
+	cached := runEngineScenario(t, 1, 1)
+	eligible := runEngineShardScenario(t, 1)
+	for _, shards := range []int{2, 4, 7} {
+		got := runEngineScenario(t, 1, shards)
+		for i := range cached {
+			if cached[i] != got[i] {
+				t.Errorf("cached scenario shards=%d line %d diverged:\n  got  %s\n  want %s",
+					shards, i, got[i], cached[i])
+			}
+		}
+		got = runEngineShardScenario(t, shards)
+		for i := range eligible {
+			if eligible[i] != got[i] {
+				t.Errorf("eligible scenario shards=%d line %d diverged:\n  got  %s\n  want %s",
+					shards, i, got[i], eligible[i])
 			}
 		}
 	}

@@ -303,18 +303,18 @@ func isTarget(p metric.Point, targets []metric.Point) bool {
 // network the penalized walk takes different paths and can hit (or
 // avoid) dead ends plain greedy would not — delivery rates are an
 // empirical matter there, which the experiments measure.
-func (r *Router) bestNeighbor(cur metric.Point, targets []metric.Point, tried map[metric.Point]bool) (metric.Point, bool) {
+func (r *Router) bestNeighbor(cur metric.Point, targets []metric.Point, tried []metric.Point) (metric.Point, bool) {
 	curDist := r.setDistance(cur, targets)
 	best := cur
 	bestDist := curDist
 	bestScore := 0.0
 	found := false
-	forEach := r.g.ForEachNeighbor
-	if r.opt.DirectedOnly {
-		forEach = r.g.ForEachOutNeighbor
-	}
-	forEach(cur, func(q metric.Point) {
-		if !r.g.Alive(q) || tried[q] {
+	// Call the neighbour iterators directly rather than through a
+	// method-value variable: the indirection hides the callee from
+	// escape analysis, which then heap-allocates this closure and its
+	// captured accumulators on every hop of every walk.
+	consider := func(q metric.Point) {
+		if !r.g.Alive(q) || isTarget(q, tried) {
 			return
 		}
 		if r.opt.Sidedness == OneSided && !r.oriented.Between(cur, q, targets[0]) {
@@ -334,7 +334,12 @@ func (r *Router) bestNeighbor(cur metric.Point, targets []metric.Point, tried ma
 		if !found || score < bestScore {
 			best, bestScore, found = q, score, true
 		}
-	})
+	}
+	if r.opt.DirectedOnly {
+		r.g.ForEachOutNeighbor(cur, consider)
+	} else {
+		r.g.ForEachNeighbor(cur, consider)
+	}
 	return best, found
 }
 

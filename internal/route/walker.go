@@ -39,10 +39,14 @@ type Walker struct {
 	history []walkFrame
 }
 
-// walkFrame is one remembered node of the backtracking policy.
+// walkFrame is one remembered node of the backtracking policy. The
+// tried set is a small slice scanned linearly: it holds at most the
+// node's degree, membership is the only operation, and a slice keeps
+// the per-hop path free of map allocations (a frame that never retries
+// allocates nothing at all).
 type walkFrame struct {
 	at    metric.Point
-	tried map[metric.Point]bool
+	tried []metric.Point
 }
 
 // Walker starts a resumable search from `from` toward the nearest live
@@ -71,6 +75,12 @@ func (r *Router) Walker(source *rng.Source, from metric.Point, targets []metric.
 		}
 	}
 	w := &Walker{r: r, src: source, targets: tset, cur: from, res: Result{Target: -1}}
+	if r.opt.TracePath {
+		// Typical searches finish in O(lg² n) hops — well under this —
+		// so one up-front slab keeps the per-hop trace append from
+		// reallocating mid-walk; longer walks just fall back to growth.
+		w.res.Path = make([]metric.Point, 0, 16)
+	}
 	r.trace(&w.res, from)
 	if r.opt.DeadEnd == Backtrack {
 		w.history = make([]walkFrame, 0, r.opt.BacktrackMemory+1)
@@ -157,7 +167,7 @@ func (w *Walker) stepBacktrack() bool {
 	}
 	top := &w.history[len(w.history)-1]
 	if next, ok := r.bestNeighbor(w.cur, w.targets, top.tried); ok {
-		top.tried[next] = true
+		top.tried = append(top.tried, next)
 		w.move(next)
 		if !w.done {
 			w.push(w.cur)
@@ -195,7 +205,7 @@ func (w *Walker) move(next metric.Point) {
 // push remembers a visited node for the backtracking policy, evicting
 // the oldest once the paper's memory bound is reached.
 func (w *Walker) push(p metric.Point) {
-	w.history = append(w.history, walkFrame{at: p, tried: map[metric.Point]bool{}})
+	w.history = append(w.history, walkFrame{at: p})
 	if len(w.history) > w.r.opt.BacktrackMemory {
 		w.history = w.history[1:]
 	}
