@@ -63,6 +63,7 @@ import (
 	"repro/internal/replica"
 	"repro/internal/rng"
 	"repro/internal/route"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -613,6 +614,59 @@ type engineHeadline struct {
 	EventsPerSecSharded float64 `json:"events_per_sec_sharded"`
 	ShardSpeedup        float64 `json:"shard_speedup"`
 	EventsPerSecPerCore float64 `json:"events_per_sec_per_core"`
+	// Scheduler is the telemetry profile of the timed sharded run:
+	// per-shard drain wall time, barrier wait, cross-shard handoff
+	// volume, and the window-occupancy histogram. Wall-clock dependent
+	// (like ShardSpeedup), so -validate checks shape and invariants —
+	// barrier_wait_frac in [0, 1], positive drains, shard-count
+	// consistency — never magnitudes.
+	Scheduler *schedSection `json:"scheduler"`
+}
+
+// schedSection is the headline's scheduler profile, filled from
+// telemetry.SchedStats. Only the sharded timed run carries a recorder
+// — the sequential reference runs bare, so the byte-equality check in
+// measureScaling doubles as the telemetry non-perturbation gate.
+type schedSection struct {
+	Shards          int       `json:"shards"`
+	Windows         int       `json:"windows"`
+	Events          int       `json:"events"`
+	BarrierWaitFrac float64   `json:"barrier_wait_frac"`
+	DrainSecs       []float64 `json:"drain_secs"`
+	BarrierWaitSecs []float64 `json:"barrier_wait_secs"`
+	Handoffs        []int     `json:"handoffs,omitempty"`
+	// OccupancyMeanEvents is the mean events a shard processed per
+	// window it was active in; OccupancyWindows is the log-bucketed
+	// histogram of those per-shard-window event counts.
+	OccupancyMeanEvents float64          `json:"occupancy_mean_events"`
+	OccupancyWindows    map[string]int64 `json:"occupancy_windows,omitempty"`
+}
+
+// schedSectionFrom flattens a telemetry scheduler profile into the
+// JSON headline shape.
+func schedSectionFrom(s *telemetry.SchedStats) *schedSection {
+	if s == nil {
+		return nil
+	}
+	sec := &schedSection{
+		Shards:          s.Shards,
+		Windows:         s.Windows,
+		Events:          s.TotalEvents(),
+		BarrierWaitFrac: s.BarrierWaitFrac(),
+		DrainSecs:       s.Drain,
+		BarrierWaitSecs: s.Wait,
+		Handoffs:        s.Handoffs,
+	}
+	if s.Occupancy != nil && s.Occupancy.Total() > 0 {
+		sec.OccupancyMeanEvents = float64(sec.Events) / float64(s.Occupancy.Total())
+		sec.OccupancyWindows = make(map[string]int64)
+		for i := 0; i < s.Occupancy.Buckets(); i++ {
+			if c := s.Occupancy.Count(i); c > 0 {
+				sec.OccupancyWindows[s.Occupancy.BucketLabel(i)] = c
+			}
+		}
+	}
+	return sec
 }
 
 // measureScaling times the live engine on a healthy torus of roughly
@@ -644,13 +698,14 @@ func measureScaling(h *engineHeadline, n int, seed uint64, shards int) error {
 	if err != nil {
 		return err
 	}
-	timed := func(s int) (*load.Result, float64, error) {
+	timed := func(s int, tel *telemetry.Recorder) (*load.Result, float64, error) {
 		cfg := load.Config{
-			Messages: msgs,
-			Shards:   s,
-			Live:     true,
-			Arrival:  load.Periodic(float64(nodes) / 4),
-			Route:    route.Options{DeadEnd: route.Backtrack},
+			Messages:  msgs,
+			Shards:    s,
+			Live:      true,
+			Arrival:   load.Periodic(float64(nodes) / 4),
+			Route:     route.Options{DeadEnd: route.Backtrack},
+			Telemetry: tel,
 		}
 		start := time.Now()
 		res, err := load.Run(g, load.Uniform(), cfg, seed+5000)
@@ -659,11 +714,15 @@ func measureScaling(h *engineHeadline, n int, seed uint64, shards int) error {
 		}
 		return res, time.Since(start).Seconds(), nil
 	}
-	seq, seqSecs, err := timed(1)
+	// Only the sharded run carries the recorder; the bare sequential
+	// reference makes the divergence check below double as the
+	// telemetry non-perturbation gate.
+	tel := telemetry.New(telemetry.Options{})
+	seq, seqSecs, err := timed(1, nil)
 	if err != nil {
 		return err
 	}
-	par, parSecs, err := timed(shards)
+	par, parSecs, err := timed(shards, tel)
 	if err != nil {
 		return err
 	}
@@ -684,6 +743,7 @@ func measureScaling(h *engineHeadline, n int, seed uint64, shards int) error {
 	h.EventsPerSecSharded = float64(events) / parSecs
 	h.ShardSpeedup = seqSecs / parSecs
 	h.EventsPerSecPerCore = h.EventsPerSecSharded / float64(shards)
+	h.Scheduler = schedSectionFrom(tel.Scheduler())
 	return nil
 }
 
@@ -818,6 +878,17 @@ func validateHeadline(path string) error {
 	if _, ok := fields["experiment"].(string); !ok {
 		return fmt.Errorf("%s: missing experiment id", path)
 	}
+	// The headline loop below sees only top-level numbers; the nested
+	// scheduler section needs its own descent.
+	if raw, present := fields["scheduler"]; present && raw != nil {
+		sched, ok := raw.(map[string]interface{})
+		if !ok {
+			return fmt.Errorf("%s: scheduler section is not an object", path)
+		}
+		if err := checkScheduler(sched, fields); err != nil {
+			return fmt.Errorf("%s: %v", path, err)
+		}
+	}
 	checked := 0
 	for k, v := range fields {
 		f, ok := v.(float64)
@@ -846,6 +917,81 @@ func validateHeadline(path string) error {
 		return fmt.Errorf("%s: no headline metrics found", path)
 	}
 	return nil
+}
+
+// checkScheduler validates the BENCH_engine.json scheduler section's
+// shape and invariants: a positive integer shard count consistent with
+// the headline's scaling_shards, a barrier-wait fraction in [0, 1],
+// per-shard drain times positive and finite, waits non-negative and
+// finite, and handoff counts (when present) non-negative integers.
+// Magnitudes are wall-clock dependent and never gated.
+func checkScheduler(sched, fields map[string]interface{}) error {
+	shards, ok := sched["shards"].(float64)
+	if !ok || shards < 1 || shards != math.Trunc(shards) {
+		return fmt.Errorf("scheduler.shards %v must be a positive integer", sched["shards"])
+	}
+	if outer, ok := fields["scaling_shards"].(float64); ok && outer != shards {
+		return fmt.Errorf("scheduler.shards %g disagrees with scaling_shards %g", shards, outer)
+	}
+	frac, ok := sched["barrier_wait_frac"].(float64)
+	if !ok || math.IsNaN(frac) || frac < 0 || frac > 1 {
+		return fmt.Errorf("scheduler.barrier_wait_frac %v must lie in [0, 1]", sched["barrier_wait_frac"])
+	}
+	if ev, ok := sched["events"].(float64); !ok || !(ev > 0) {
+		return fmt.Errorf("scheduler.events %v must be positive", sched["events"])
+	}
+	drain, err := schedFloats(sched, "drain_secs", int(shards))
+	if err != nil {
+		return err
+	}
+	for i, d := range drain {
+		if !(d > 0) || math.IsInf(d, 0) {
+			return fmt.Errorf("scheduler.drain_secs[%d] = %g must be positive and finite", i, d)
+		}
+	}
+	wait, err := schedFloats(sched, "barrier_wait_secs", int(shards))
+	if err != nil {
+		return err
+	}
+	for i, w := range wait {
+		if !(w >= 0) || math.IsInf(w, 0) {
+			return fmt.Errorf("scheduler.barrier_wait_secs[%d] = %g must be non-negative and finite", i, w)
+		}
+	}
+	if raw, present := sched["handoffs"]; present && raw != nil {
+		hs, ok := raw.([]interface{})
+		if !ok || len(hs) != int(shards) {
+			return fmt.Errorf("scheduler.handoffs must be an array of shards = %g entries", shards)
+		}
+		for i, h := range hs {
+			f, ok := h.(float64)
+			if !ok || f < 0 || f != math.Trunc(f) {
+				return fmt.Errorf("scheduler.handoffs[%d] = %v must be a non-negative integer", i, h)
+			}
+		}
+	}
+	return nil
+}
+
+// schedFloats extracts a length-n numeric array from the scheduler
+// section.
+func schedFloats(sched map[string]interface{}, key string, n int) ([]float64, error) {
+	raw, ok := sched[key].([]interface{})
+	if !ok {
+		return nil, fmt.Errorf("scheduler.%s missing or not an array", key)
+	}
+	if len(raw) != n {
+		return nil, fmt.Errorf("scheduler.%s has %d entries, want shards = %d", key, len(raw), n)
+	}
+	out := make([]float64, len(raw))
+	for i, v := range raw {
+		f, ok := v.(float64)
+		if !ok {
+			return nil, fmt.Errorf("scheduler.%s[%d] is not a number", key, i)
+		}
+		out[i] = f
+	}
+	return out, nil
 }
 
 // checkKneeBaseline rejects a knee_throughput_* field that sits below

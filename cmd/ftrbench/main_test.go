@@ -262,3 +262,53 @@ func TestRunBadFlag(t *testing.T) {
 		t.Errorf("exit = %d, want 2", code)
 	}
 }
+
+func TestValidateSchedulerSection(t *testing.T) {
+	dir := t.TempDir()
+	// The common prelude keeps each case focused on one scheduler field.
+	wrap := func(sched string) string {
+		return `{"experiment":"x","knee_rate_greedy":1,"scaling_shards":2,"scheduler":` + sched + `}`
+	}
+	okCases := map[string]string{
+		"good.json": wrap(`{"shards":2,"windows":10,"events":100,"barrier_wait_frac":0.25,
+			"drain_secs":[0.5,0.4],"barrier_wait_secs":[0,0.1],"handoffs":[3,4]}`),
+		// The sequential fallback: one shard, no windows, no handoffs.
+		"seq.json": `{"experiment":"x","knee_rate_greedy":1,"scheduler":{"shards":1,"windows":0,
+			"events":7,"barrier_wait_frac":0,"drain_secs":[0.01],"barrier_wait_secs":[0]}}`,
+		// Absent section stays valid (older files).
+		"nosched.json": `{"experiment":"x","knee_rate_greedy":1}`,
+	}
+	for name, content := range okCases {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out, errOut strings.Builder
+		if code := run([]string{"-validate", path}, &out, &errOut); code != 0 {
+			t.Errorf("%s: exit = %d, want 0 (stderr %q)", name, code, errOut.String())
+		}
+	}
+	badCases := map[string]string{
+		"notobj.json":    wrap(`5`),
+		"noshards.json":  wrap(`{"barrier_wait_frac":0,"drain_secs":[1],"barrier_wait_secs":[0],"events":1}`),
+		"fracneg.json":   wrap(`{"shards":2,"events":1,"barrier_wait_frac":-0.1,"drain_secs":[1,1],"barrier_wait_secs":[0,0]}`),
+		"frachigh.json":  wrap(`{"shards":2,"events":1,"barrier_wait_frac":1.5,"drain_secs":[1,1],"barrier_wait_secs":[0,0]}`),
+		"zerodrain.json": wrap(`{"shards":2,"events":1,"barrier_wait_frac":0,"drain_secs":[1,0],"barrier_wait_secs":[0,0]}`),
+		"negwait.json":   wrap(`{"shards":2,"events":1,"barrier_wait_frac":0,"drain_secs":[1,1],"barrier_wait_secs":[0,-1]}`),
+		"shortarr.json":  wrap(`{"shards":2,"events":1,"barrier_wait_frac":0,"drain_secs":[1],"barrier_wait_secs":[0,0]}`),
+		"noevents.json":  wrap(`{"shards":2,"barrier_wait_frac":0,"drain_secs":[1,1],"barrier_wait_secs":[0,0]}`),
+		"badhand.json":   wrap(`{"shards":2,"events":1,"barrier_wait_frac":0,"drain_secs":[1,1],"barrier_wait_secs":[0,0],"handoffs":[1,-2]}`),
+		// shards disagreeing with the headline's scaling_shards.
+		"mismatch.json": wrap(`{"shards":3,"events":1,"barrier_wait_frac":0,"drain_secs":[1,1,1],"barrier_wait_secs":[0,0,0]}`),
+	}
+	for name, content := range badCases {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out, errOut strings.Builder
+		if code := run([]string{"-validate", path}, &out, &errOut); code != 1 {
+			t.Errorf("%s: exit = %d, want 1 (stderr %q)", name, code, errOut.String())
+		}
+	}
+}

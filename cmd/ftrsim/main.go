@@ -47,10 +47,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"text/tabwriter"
 
 	"repro/internal/experiments"
 	"repro/internal/mathx"
+	"repro/internal/telemetry"
+	"repro/internal/viz"
 )
 
 func main() {
@@ -85,6 +88,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		live     = fs.Bool("live", false, "event-driven engine mode: forwarding decisions read live load/depth/replica state instead of batch snapshots")
 		agg      = fs.Bool("aggregate", false, "coalesce same-key lookups queued at one node into a single aggregated service (implies -live)")
 		shards   = fs.Int("shards", 0, "partition the live event loop across this many cores (0 = 1, the sequential reference; results are identical for every value)")
+		telem    = fs.String("telemetry", "", "record virtual-time telemetry to this file (JSONL, or CSV when the path ends in .csv) and print the window panel; observation only — tables are byte-identical with or without it")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -139,11 +143,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "ftrsim: -shards must be non-negative")
 		return 2
 	}
+	var tel *telemetry.Recorder
+	if *telem != "" {
+		tel = telemetry.New(telemetry.Options{})
+	}
 	table, err := experiments.Run(*exp, experiments.Params{
 		N: *n, Dim: *dim, Side: *side, Links: *links, Trials: *trials, Msgs: *msgs, Seed: *seed,
 		Workload: *workload, Skew: *skew, Capacity: *capacity, Penalty: *penalty,
 		DepthPenalty: *depth, Arrival: *arrival, Rate: *rate, Clients: *clients, Think: *think,
 		Replicas: *replicas, Cache: *cache, Live: *live, Aggregate: *agg, Shards: *shards,
+		Telemetry: tel,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "ftrsim:", err)
@@ -164,5 +173,49 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "ftrsim:", err)
 		return 1
 	}
+	if tel != nil {
+		if err := writeTelemetry(tel, *telem); err != nil {
+			fmt.Fprintln(stderr, "ftrsim:", err)
+			return 1
+		}
+		printTelemetry(stdout, tel, *telem)
+	}
 	return 0
+}
+
+// writeTelemetry dumps the recorder to path: CSV when the extension
+// says so, JSONL (runs, windows, worst flights) otherwise.
+func writeTelemetry(tel *telemetry.Recorder, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".csv") {
+		err = tel.WriteCSV(f)
+	} else {
+		err = tel.WriteJSONL(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// printTelemetry renders the busiest run's window panel and the
+// worst-latency sampled flights after the experiment table.
+func printTelemetry(stdout io.Writer, tel *telemetry.Recorder, path string) {
+	label, names, series := tel.PanelSeries()
+	fmt.Fprintf(stdout, "\ntelemetry: %d run(s) -> %s\n", len(tel.Runs()), path)
+	if panel := viz.Timeline(names, series, 64); panel != "" {
+		fmt.Fprintf(stdout, "windows (%s):\n%s", label, panel)
+	}
+	flights := tel.WorstFlights(0) // 0 = the recorder's WorstK default
+	if len(flights) == 0 {
+		return
+	}
+	fmt.Fprintf(stdout, "worst sampled flights:\n")
+	for _, f := range flights {
+		fmt.Fprintf(stdout, "  run %d msg %d: latency %.3f hops %d served %s delivered %v\n",
+			f.Run, f.Msg, f.Latency, len(f.Hops), f.Served, f.Delivered)
+	}
 }

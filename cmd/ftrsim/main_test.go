@@ -1,6 +1,12 @@
 package main
 
 import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -153,5 +159,100 @@ func TestRunExperimentTextAndCSV(t *testing.T) {
 	}
 	if !strings.HasPrefix(csv.String(), "# ") || !strings.Contains(csv.String(), "\nbase b,") {
 		t.Errorf("csv output must lead with the title comment then the header:\n%s", csv.String())
+	}
+}
+
+func TestRunTelemetryJSONL(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "telemetry.jsonl")
+	args := []string{"-exp", "ext.load.zipf", "-n", "256", "-msgs", "256",
+		"-live", "-shards", "2", "-seed", "7", "-telemetry", path}
+	var out, errOut strings.Builder
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	// The panel and worst-flight summary follow the table.
+	for _, want := range []string{"telemetry:", "windows (", "in-flight", "worst sampled flights:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stdout missing %q:\n%s", want, out.String())
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	types := map[string]int{}
+	for i, line := range lines {
+		var rec map[string]interface{}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d not JSON: %v\n%s", i, err, line)
+		}
+		typ, _ := rec["type"].(string)
+		types[typ]++
+	}
+	if types["run"] == 0 || types["window"] == 0 || types["flight"] == 0 {
+		t.Errorf("record mix off: %v", types)
+	}
+
+	// Telemetry only observes: the table is byte-identical without it,
+	// and the sampled-flight / window stream is itself deterministic.
+	tableOf := func(s string) string { return strings.SplitN(s, "\ntelemetry:", 2)[0] }
+	var plain, plainErr strings.Builder
+	if code := run(args[:len(args)-2], &plain, &plainErr); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, plainErr.String())
+	}
+	if plain.String() != tableOf(out.String()) {
+		t.Error("telemetry perturbed the experiment table")
+	}
+	path2 := filepath.Join(dir, "telemetry2.jsonl")
+	var out2, errOut2 strings.Builder
+	args2 := append(append([]string{}, args[:len(args)-1]...), path2)
+	if code := run(args2, &out2, &errOut2); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut2.String())
+	}
+	data2, err := os.ReadFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripWall := regexp.MustCompile(`"wall_secs":[0-9.e-]+`)
+	if !bytes.Equal(stripWall.ReplaceAll(data, nil), stripWall.ReplaceAll(data2, nil)) {
+		t.Error("telemetry stream not deterministic net of wall-clock fields")
+	}
+}
+
+func TestRunTelemetryCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "telemetry.csv")
+	var out, errOut strings.Builder
+	code := run([]string{"-exp", "ext.load.zipf", "-n", "256", "-msgs", "128",
+		"-telemetry", path}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(bytes.NewReader(data)).ReadAll()
+	if err != nil {
+		t.Fatalf("CSV unparseable: %v", err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("CSV has %d rows, want header + windows", len(rows))
+	}
+	if rows[0][0] != "run" {
+		t.Errorf("header = %v", rows[0])
+	}
+}
+
+func TestRunTelemetryUnwritablePath(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-exp", "ext.load.zipf", "-n", "256", "-msgs", "64",
+		"-telemetry", filepath.Join(t.TempDir(), "no", "such", "dir", "t.jsonl")}, &out, &errOut)
+	if code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+	if errOut.String() == "" {
+		t.Error("expected an error on stderr")
 	}
 }

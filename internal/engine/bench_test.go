@@ -45,6 +45,9 @@ func (r *runner) stepEvents(k int) {
 	}
 }
 
+// TestSnapshotHotPathAllocs pins the snapshot event loop at zero
+// allocations per event — including the telemetry hook branches, which
+// a default config leaves nil: disabled telemetry must stay free.
 func TestSnapshotHotPathAllocs(t *testing.T) {
 	r := newCyclicSnapshotRunner(t, 64, 4096)
 	r.stepEvents(4096) // warm the heap, every queue, and the counters
@@ -92,6 +95,9 @@ func newGreedyLiveRunner(tb testing.TB, nodes int) *runner {
 	return r
 }
 
+// TestLiveHotPathAllocs pins the live forwarding path at zero
+// allocations per event with the (default) nil telemetry recorder —
+// the observability layer's disabled-is-free contract.
 func TestLiveHotPathAllocs(t *testing.T) {
 	r := newGreedyLiveRunner(t, 8192)
 	r.enqueue(Injection{Msg: 0, Time: 0})

@@ -115,4 +115,18 @@
 // the live loop runs sequentially at Shards = 1 and partitioned as
 // above at higher counts. Either way, results are byte-identical for
 // every Config.Workers and Config.Shards value.
+//
+// Observability: a telemetry.Recorder (Config.Telemetry) hooks the
+// loops at their sequential choke points — injection admission,
+// completion/merge bookkeeping, and cache-churn polling all run from
+// sequential code in every mode — plus the per-event service and hop
+// records, which the sharded loop routes through per-shard
+// telemetry.View values (one writer each, folded at EndRun) and the
+// barrier profiles with wall-clock drain/wait splits. The recorder
+// never feeds back into routing, consumes no simulation randomness,
+// and keys its window timeseries to virtual time, so outcomes and the
+// virtual-time telemetry stream are byte-identical at every shard
+// count; only the wall-clock scheduler profile varies. A nil recorder
+// reduces every hook site to one predictable branch — the hot-path
+// alloc tests pin that disabled cost at zero.
 package engine

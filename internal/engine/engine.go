@@ -3,12 +3,14 @@ package engine
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/metric"
 	"repro/internal/replica"
 	"repro/internal/rng"
 	"repro/internal/route"
+	"repro/internal/telemetry"
 )
 
 // Message is one lookup entering the simulation: a source node and the
@@ -28,11 +30,13 @@ type Config struct {
 	// Capacity is the per-node service capacity in message-hops per
 	// virtual tick; a node serves one message every 1/Capacity ticks.
 	Capacity float64
-	// Workers bounds path-computation parallelism in snapshot mode.
-	// Live mode takes its parallelism from Shards instead — its path
-	// computation is one hop at a time, so there are no whole-path
-	// routing batches to spread across workers — and ignores Workers.
-	// Results are byte-identical for every value in both modes.
+	// Workers bounds the goroutines snapshot mode spreads one routing
+	// batch across (routeRange); it has no other effect anywhere.
+	// Live mode — sequential or sharded — computes one hop per
+	// service, so there are no whole-path routing batches to spread,
+	// and it ignores Workers entirely: live parallelism comes from
+	// Shards. Must be at least 1 (the caller owns defaulting), and
+	// results are byte-identical for every value in every mode.
 	Workers int
 	// Shards partitions live mode's event loop across cores: the node
 	// set splits into Shards contiguous regions of the space's point
@@ -82,6 +86,15 @@ type Config struct {
 	// boundaries in snapshot mode, delivery events and the BatchSize
 	// injection cadence in live mode).
 	Placement *replica.Placement
+	// Telemetry, when non-nil, attaches the observability layer: the
+	// run feeds the recorder's window timeseries, flight recorder, and
+	// scheduler profile as it executes. A recorder only observes — it
+	// consumes no simulation randomness and feeds nothing back — so
+	// every outcome byte is identical with Telemetry nil or set, at
+	// every Workers and Shards value. Nil is the zero-cost disabled
+	// state: each hook site is one predictable branch, no allocations
+	// (pinned by the engine's hot-path alloc tests).
+	Telemetry *telemetry.Recorder
 }
 
 // validate rejects an unresolved or inconsistent configuration.
@@ -155,6 +168,11 @@ func Run(g *graph.Graph, msgs []Message, sched Schedule, cfg Config, root *rng.S
 		return nil, fmt.Errorf("engine: shards %d exceed the node count %d", cfg.Shards, g.Size())
 	}
 	r := newRunner(g, msgs, sched, cfg, root)
+	var started time.Time
+	if r.tel != nil {
+		r.tel.BeginRun(cfg.Capacity, len(msgs))
+		started = time.Now()
+	}
 	switch {
 	case cfg.Live && r.shardable():
 		r.runSharded()
@@ -165,6 +183,9 @@ func Run(g *graph.Graph, msgs []Message, sched Schedule, cfg Config, root *rng.S
 	}
 	if r.err != nil {
 		return nil, r.err
+	}
+	if r.tel != nil {
+		r.tel.EndRun(time.Since(started).Seconds(), r.out.Services)
 	}
 	return r.out, nil
 }

@@ -18,8 +18,10 @@ type Injection struct {
 // is consulted whenever a message leaves the system — its last service
 // finished, delivered or not — and returns the injection that
 // completion unlocks, if any; the returned time must not precede the
-// completion time. Both fields may be consumed only from the
-// single-threaded event loop.
+// completion time. Both fields are consumed only from sequential
+// event-loop code: the sharded live loop consults them at admission
+// and during the barrier's ordered replay, never from a parallel
+// drain.
 type Schedule struct {
 	Initial   []Injection
 	Completed func(msg int, at float64) (Injection, bool)

@@ -103,6 +103,9 @@ func (r *runner) admitWindow(s *shardSet, horizon float64) {
 		if inj.Time > r.out.LastInject {
 			r.out.LastInject = inj.Time
 		}
+		if r.tel != nil {
+			r.tel.Inject(msg, inj.Time, r.msgs[msg].From, r.msgs[msg].Key)
+		}
 		r.injected++
 		w, err := r.router.Walker(r.root.Derive(16+uint64(msg)), r.msgs[msg].From, r.targetsFor(msg))
 		if err != nil {

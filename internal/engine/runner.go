@@ -9,6 +9,7 @@ import (
 	"repro/internal/metric"
 	"repro/internal/rng"
 	"repro/internal/route"
+	"repro/internal/telemetry"
 )
 
 // aggKey identifies a coalescing point: one key's pending service at
@@ -47,6 +48,14 @@ type runner struct {
 	// caching/decay shorthands resolved from cfg.Placement.
 	caching  bool
 	decaying bool
+
+	// tel is the attached telemetry recorder (nil = disabled; every
+	// hook site checks). seenPromos/seenEvicts are the placement churn
+	// counters as of the last poll, so cache events report as deltas
+	// attributed to the virtual time of the triggering engine event.
+	tel        *telemetry.Recorder
+	seenPromos int
+	seenEvicts int
 
 	// Snapshot mode: forwarder paths of routed messages, the routed
 	// frontier, each message's schedule entries (sched.Initial bucketed
@@ -100,6 +109,7 @@ func newRunner(g *graph.Graph, msgs []Message, sched Schedule, cfg Config, root 
 		sched:       sched,
 		cfg:         cfg,
 		root:        root,
+		tel:         cfg.Telemetry,
 		serviceTime: 1 / cfg.Capacity,
 		h:           newEventHeap(n),
 		queues:      make([]nodeQueue, g.Size()),
@@ -174,6 +184,55 @@ func forwarders(res route.Result) []metric.Point {
 	return res.Path
 }
 
+// servedKind classifies a completion for the flight recorder: how the
+// lookup was answered. The cache test reads the placement's current
+// cached set for the key, which is exact for live mode (completions
+// and churn interleave in event order) and a completion-time
+// approximation for snapshot mode.
+func (r *runner) servedKind(msg int, res route.Result) telemetry.Served {
+	if r.merged != nil && r.merged[msg] {
+		return telemetry.ServedAggregated
+	}
+	if !res.Delivered {
+		return telemetry.ServedNone
+	}
+	key := r.msgs[msg].Key
+	if res.Target == key {
+		return telemetry.ServedPrimary
+	}
+	if r.cfg.Placement != nil {
+		for _, c := range r.cfg.Placement.CachedFor(key) {
+			if c == res.Target {
+				return telemetry.ServedCache
+			}
+		}
+	}
+	return telemetry.ServedReplica
+}
+
+// hopDecision maps the walker's last step onto the flight recorder's
+// decision label.
+func hopDecision(w *route.Walker) telemetry.Decision {
+	switch w.LastStep() {
+	case route.StepBacktrack:
+		return telemetry.DecisionBacktrack
+	case route.StepReroute:
+		return telemetry.DecisionReroute
+	default:
+		return telemetry.DecisionGreedy
+	}
+}
+
+// cacheDelta polls the placement's cumulative churn counters and
+// reports what changed since the last poll, attributed to virtual
+// time t. Called (with tel enabled) right after every engine event
+// that can move them: Observe on delivery and Decay on its cadence.
+func (r *runner) cacheDelta(t float64) {
+	p, e := r.cfg.Placement.CacheEvents()
+	r.tel.Cache(t, p-r.seenPromos, e-r.seenEvicts)
+	r.seenPromos, r.seenEvicts = p, e
+}
+
 // ---------------------------------------------------------------------
 // Snapshot mode: the classic route-then-replay pipeline, folded into
 // the shared event loop. Routing happens in congestion-snapshot
@@ -208,6 +267,12 @@ func (r *runner) runSnapshot() {
 			// Snapshot boundary: age cache-on-path popularity before the
 			// next batch consults the placement.
 			cfg.Placement.Decay()
+			if r.tel != nil {
+				// Snapshot churn has no single event instant; attribute it
+				// to the latest admitted injection — the batch boundary's
+				// virtual "now".
+				r.cacheDelta(r.out.LastInject)
+			}
 		}
 		opt := ropt
 		if aware && start > 0 {
@@ -271,6 +336,10 @@ func (r *runner) runSnapshot() {
 		}
 		r.routed = end
 		r.admit(start, end)
+		if r.tel != nil && r.caching {
+			// Promotions triggered by this batch's Observe calls.
+			r.cacheDelta(r.out.LastInject)
+		}
 	}
 	r.drain()
 }
@@ -479,6 +548,10 @@ func (r *runner) unlock(inj Injection) {
 func (r *runner) completeBorn(msg int, at float64) {
 	r.out.Results[msg] = r.walkers[msg].Result()
 	r.doneAt[msg] = at
+	if r.tel != nil {
+		res := r.out.Results[msg]
+		r.tel.Complete(msg, at, res.Delivered, r.servedKind(msg, res))
+	}
 	if r.sched.Completed != nil {
 		if next, ok := r.sched.Completed(msg, at); ok {
 			r.unlock(next)
@@ -503,6 +576,13 @@ func (r *runner) completeLive(msg int, at float64, res route.Result) {
 			// partial path does not end at the key, so observing it
 			// would corrupt the forwarder counts.
 			r.cfg.Placement.Observe(r.msgs[msg].Key, res.Path)
+		}
+	}
+	if r.tel != nil {
+		r.tel.Complete(msg, at, res.Delivered, r.servedKind(msg, res))
+		if r.caching {
+			// An Observe above may have promoted cached copies.
+			r.cacheDelta(at)
 		}
 	}
 	if r.sched.Completed != nil {
@@ -550,6 +630,9 @@ func (r *runner) enqueue(inj Injection) {
 		if inj.Time > r.out.LastInject {
 			r.out.LastInject = inj.Time
 		}
+		if r.tel != nil {
+			r.tel.Inject(msg, inj.Time, r.msgs[msg].From, r.msgs[msg].Key)
+		}
 		if r.cfg.Live {
 			// The walker is created when this event pops — at the
 			// message's virtual injection time, in event order — so its
@@ -562,6 +645,11 @@ func (r *runner) enqueue(inj Injection) {
 		if len(r.paths[msg]) > 0 {
 			r.h.Push(event{time: inj.Time, msg: msg, idx: 0})
 			return
+		}
+		if r.tel != nil {
+			// A path-less snapshot message never enters a queue: it
+			// completes at its injection instant.
+			r.tel.Complete(msg, inj.Time, r.delivered[msg], r.servedKind(msg, r.out.Results[msg]))
 		}
 		if r.sched.Completed == nil {
 			return
@@ -604,6 +692,9 @@ func (r *runner) processOne(a event) {
 				// One half-life every BatchSize injections — the same
 				// staleness knob snapshot mode ties its boundaries to.
 				r.cfg.Placement.Decay()
+				if r.tel != nil {
+					r.cacheDelta(a.time)
+				}
 			}
 			w, err := r.router.Walker(r.root.Derive(16+uint64(a.msg)), r.msgs[a.msg].From, r.targetsFor(a.msg))
 			if err != nil {
@@ -629,6 +720,9 @@ func (r *runner) processOne(a event) {
 			// A same-key lookup is queued or in service here: ride along.
 			r.merged[a.msg] = true
 			r.out.Aggregated++
+			if r.tel != nil {
+				r.tel.Merge(a.msg, a.time)
+			}
 			if r.doneAt[e.leader] >= 0 {
 				// The carrier already completed (its later hops resolved
 				// before this arrival was popped); settle immediately at
@@ -645,7 +739,8 @@ func (r *runner) processOne(a event) {
 		}
 	}
 	q := &r.queues[node]
-	if depth := q.depthAt(a.time) + 1; depth > r.out.MaxQueueDepth {
+	depth := q.depthAt(a.time) + 1
+	if depth > r.out.MaxQueueDepth {
 		r.out.MaxQueueDepth = depth
 	}
 	start := a.time
@@ -657,16 +752,25 @@ func (r *runner) processOne(a event) {
 	q.finish = append(q.finish, finish)
 	r.out.Loads[node]++
 	r.out.Services++
+	if r.tel != nil {
+		r.tel.Service(a.time, depth)
+	}
 	if finish > r.out.Makespan {
 		r.out.Makespan = finish
 	}
 	if !r.cfg.Live {
+		if r.tel != nil {
+			r.tel.Hop(a.msg, node, a.time, start, finish, depth, telemetry.DecisionSnapshot)
+		}
 		if a.idx+1 < len(r.paths[a.msg]) {
 			r.h.Push(event{time: finish, msg: a.msg, idx: a.idx + 1})
 			return
 		}
 		if r.delivered[a.msg] {
 			r.out.Latencies = append(r.out.Latencies, finish-r.inject[a.msg])
+		}
+		if r.tel != nil {
+			r.tel.Complete(a.msg, finish, r.delivered[a.msg], r.servedKind(a.msg, r.out.Results[a.msg]))
 		}
 		if r.sched.Completed != nil {
 			if next, ok := r.sched.Completed(a.msg, finish); ok {
@@ -684,7 +788,11 @@ func (r *runner) processOne(a event) {
 	}
 	w := r.walkers[a.msg]
 	r.now = a.time
-	if w.Step() {
+	stepped := w.Step()
+	if r.tel != nil {
+		r.tel.Hop(a.msg, node, a.time, start, finish, depth, hopDecision(w))
+	}
+	if stepped {
 		r.pos[a.msg] = w.At()
 		r.h.Push(event{time: finish, msg: a.msg, idx: a.idx + 1})
 		return

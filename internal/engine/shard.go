@@ -3,10 +3,12 @@ package engine
 import (
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/mathx"
 	"repro/internal/metric"
 	"repro/internal/route"
+	"repro/internal/telemetry"
 )
 
 // This file is the parallel half of the sharded live loop: the
@@ -87,6 +89,14 @@ type shard struct {
 	maxQueueDepth int
 	makespan      float64
 	arriving      int // handoffs headed here, counted during the merge
+
+	// Telemetry (nil = disabled): the shard's private recorder view,
+	// written only from this shard's drain goroutine, plus scratch for
+	// the window's wall-clock profile, read back at the sequential
+	// window epilogue.
+	telView   *telemetry.View
+	drainSecs float64
+	winEvents int
 }
 
 // shardSet is the whole partitioned loop: the shards plus the
@@ -113,6 +123,16 @@ func newShardSet(r *runner) *shardSet {
 			sh.agg = make(map[aggKey]aggEntry)
 		}
 		s.shards[i] = sh
+	}
+	if r.tel != nil {
+		// Views are handed out here, sequentially, before any window
+		// drains; the occupancy histogram's range bounds events per
+		// shard-window, which a hot window can push into the
+		// hops-per-message regime — 2^20 buckets it log-scale.
+		r.tel.SchedInit(n, 1<<20)
+		for _, sh := range s.shards {
+			sh.telView = r.tel.View(sh.id)
+		}
 	}
 	return s
 }
@@ -163,13 +183,52 @@ func (s *shardSet) drainWindow(r *runner, horizon float64) {
 	}
 	s.active[0].drain(r, s, horizon)
 	wg.Wait()
+	if r.tel != nil {
+		s.profileWindow(r)
+	}
+}
+
+// profileWindow folds one window's wall-clock profile into the
+// recorder, at the sequential point right after the drains joined:
+// each active shard's drain time, its wait for the window's slowest
+// shard (the barrier cannot start before that one), and the events it
+// processed.
+func (s *shardSet) profileWindow(r *runner) {
+	var slowest float64
+	for _, sh := range s.active {
+		if sh.drainSecs > slowest {
+			slowest = sh.drainSecs
+		}
+	}
+	for _, sh := range s.active {
+		r.tel.SchedWindow(sh.id, sh.drainSecs, slowest-sh.drainSecs, sh.winEvents)
+		sh.drainSecs, sh.winEvents = 0, 0
+	}
+	r.tel.SchedWindowDone()
 }
 
 // drain processes the shard's events strictly below the horizon.
 func (sh *shard) drain(r *runner, s *shardSet, horizon float64) {
+	if sh.telView != nil {
+		sh.drainProfiled(r, s, horizon)
+		return
+	}
 	for sh.h.Len() > 0 && sh.h.Peek().time < horizon {
 		sh.process(r, s, sh.h.Pop())
 	}
+}
+
+// drainProfiled is drain with the wall clock running — a separate
+// loop so the disabled path pays no time.Now calls and no counting.
+func (sh *shard) drainProfiled(r *runner, s *shardSet, horizon float64) {
+	started := time.Now()
+	n := 0
+	for sh.h.Len() > 0 && sh.h.Peek().time < horizon {
+		sh.process(r, s, sh.h.Pop())
+		n++
+	}
+	sh.drainSecs = time.Since(started).Seconds()
+	sh.winEvents = n
 }
 
 // process is the sharded twin of runner.processOne's live path. The
@@ -191,7 +250,8 @@ func (sh *shard) process(r *runner, s *shardSet, a event) {
 		}
 	}
 	q := &r.queues[node]
-	if depth := q.depthAt(a.time) + 1; depth > sh.maxQueueDepth {
+	depth := q.depthAt(a.time) + 1
+	if depth > sh.maxQueueDepth {
 		sh.maxQueueDepth = depth
 	}
 	start := a.time
@@ -210,7 +270,15 @@ func (sh *shard) process(r *runner, s *shardSet, a event) {
 		sh.agg[aggKey{node: node, key: r.msgs[a.msg].Key}] = aggEntry{leader: a.msg, finish: finish}
 	}
 	w := r.walkers[a.msg]
-	if w.Step() {
+	stepped := w.Step()
+	if sh.telView != nil {
+		// Window counters go to the shard's private view; the flight
+		// hop append is safe because this shard owns the message for
+		// this event (same ownership argument as r.pos).
+		sh.telView.Service(a.time, depth)
+		sh.telView.Hop(a.msg, node, a.time, start, finish, depth, hopDecision(w))
+	}
+	if stepped {
 		next := w.At()
 		r.pos[a.msg] = next
 		e := event{time: finish, msg: a.msg, idx: a.idx + 1}
@@ -239,9 +307,14 @@ func (s *shardSet) barrier(r *runner) {
 	// order-sensitive, and costs one sort of a small batch.
 	s.moved = s.moved[:0]
 	for _, sh := range s.shards {
+		sent := 0
 		for d := range sh.outbox {
+			sent += len(sh.outbox[d])
 			s.moved = append(s.moved, sh.outbox[d]...)
 			sh.outbox[d] = sh.outbox[d][:0]
+		}
+		if r.tel != nil && sent > 0 {
+			r.tel.SchedHandoffs(sh.id, sent)
 		}
 	}
 	sort.Slice(s.moved, func(i, j int) bool { return eventLess(s.moved[i], s.moved[j]) })
@@ -280,6 +353,9 @@ func (s *shardSet) barrier(r *runner) {
 		}
 		r.merged[msg] = true
 		r.out.Aggregated++
+		if r.tel != nil {
+			r.tel.Merge(msg, rec.at.time)
+		}
 		if r.doneAt[rec.leader] >= 0 {
 			// The carrier already completed; settle immediately at the
 			// carrier's completion time.

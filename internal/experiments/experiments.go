@@ -17,6 +17,7 @@ import (
 	"repro/internal/mathx"
 	"repro/internal/metric"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Params tunes an experiment run. Zero values select per-experiment
@@ -92,6 +93,11 @@ type Params struct {
 	// node's queue (implies the live engine requirement; ftrsim -live
 	// -aggregate).
 	Aggregate bool
+	// Telemetry, when non-nil, attaches the virtual-time observability
+	// recorder to every engine run the experiment performs (ftrsim
+	// -telemetry). Observation only: results are byte-identical with
+	// it nil or set.
+	Telemetry *telemetry.Recorder
 }
 
 func (p Params) withDefaults(n, trials, msgs int) Params {

@@ -77,6 +77,7 @@ func loadConfig(p Params) (load.Config, error) {
 		Live:         p.Live || p.Aggregate,
 		Aggregate:    p.Aggregate,
 		Route:        route.Options{DeadEnd: route.Backtrack},
+		Telemetry:    p.Telemetry,
 	}
 	if p.Replicas > 1 || p.Cache > 0 {
 		cfg.Replication = &replica.Options{K: p.Replicas, CacheThreshold: p.Cache}

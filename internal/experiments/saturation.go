@@ -71,6 +71,7 @@ func sweepConfigFor(p Params, pol saturationPolicy) load.SweepConfig {
 			Live:         p.Live || p.Aggregate,
 			Aggregate:    p.Aggregate,
 			Route:        route.Options{DeadEnd: route.Backtrack},
+			Telemetry:    p.Telemetry,
 		},
 		Model: model,
 		Think: p.Think,

@@ -26,10 +26,12 @@ type Injection = engine.Injection
 // them for open-loop models, one per client for closed-loop). Completed
 // notifies the model that a message left the system — its last service
 // finished, delivered or not — and returns the injection that completion
-// unlocks, if any. Both hooks are consulted only from the
-// single-threaded queue replay and draw randomness only from the Prime
-// stream, so the worker-count independence contract of Run is preserved
-// by construction.
+// unlocks, if any. Both hooks are consulted only from the engine's
+// sequential event-loop code (the sharded live loop calls them from
+// its admission and barrier phases, never from a parallel drain) and
+// draw randomness only from the Prime stream, so the worker- and
+// shard-count independence contracts of Run are preserved by
+// construction.
 type Arrival interface {
 	// Name identifies the model in tables and CLI flags.
 	Name() string

@@ -12,6 +12,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/route"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Config parameterizes one traffic run. The zero value of every field
@@ -104,6 +105,12 @@ type Config struct {
 	// ReplicaSeed seeds the hash-spread placement; zero derives it from
 	// the run seed, so a fixed (cfg, seed) still pins every replica.
 	ReplicaSeed uint64
+	// Telemetry, when non-nil, attaches the virtual-time observability
+	// layer (internal/telemetry) to the engine run: window timeseries,
+	// sampled message flights, and the sharded loop's scheduler
+	// profile. The recorder only observes — results are byte-identical
+	// with it nil or set — and a nil recorder costs nothing.
+	Telemetry *telemetry.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -310,6 +317,9 @@ func Run(g *graph.Graph, gen Generator, cfg Config, seed uint64) (*Result, error
 		}
 	}
 
+	if cfg.Telemetry != nil {
+		cfg.Telemetry.Label(fmt.Sprintf("%s/%s/%s", gen.Name(), arr.Name(), cfg.modeName()))
+	}
 	out, err := engine.Run(g, msgs, engine.Schedule{Initial: primed, Completed: arr.Completed},
 		engine.Config{
 			Capacity:     cfg.Capacity,
@@ -322,6 +332,7 @@ func Run(g *graph.Graph, gen Generator, cfg Config, seed uint64) (*Result, error
 			Live:         cfg.Live,
 			Aggregate:    cfg.Aggregate,
 			Placement:    placement,
+			Telemetry:    cfg.Telemetry,
 		}, root)
 	if err != nil {
 		return nil, err

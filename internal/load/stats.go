@@ -20,22 +20,9 @@ func latencySummary(latencies []float64) (mean, p50, p95, p99 float64) {
 		total += v
 	}
 	return total / float64(len(sorted)),
-		quantile(sorted, 0.50), quantile(sorted, 0.95), quantile(sorted, 0.99)
-}
-
-// quantile returns the nearest-rank q-quantile of a sorted slice.
-func quantile(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	rank := int(q*float64(len(sorted))+0.5) - 1
-	if rank < 0 {
-		rank = 0
-	}
-	if rank >= len(sorted) {
-		rank = len(sorted) - 1
-	}
-	return sorted[rank]
+		mathx.NearestRank(sorted, 0.50),
+		mathx.NearestRank(sorted, 0.95),
+		mathx.NearestRank(sorted, 0.99)
 }
 
 // LoadHistogram buckets the per-node service counts into a power-of-two

@@ -191,6 +191,26 @@ func Percentile(sorted []float64, p float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
 }
 
+// NearestRank returns the nearest-rank q-quantile (0 <= q <= 1) of an
+// ascending-sorted slice: the sample at rank round(q·n), clamped into
+// range, with no interpolation. This is the estimator the traffic
+// pipeline's latency summaries have always pinned in their seeded
+// goldens; Percentile is the interpolating alternative. Returns 0 on
+// empty input.
+func NearestRank(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
 // Mean returns the arithmetic mean of xs, or 0 for an empty slice.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {

@@ -251,3 +251,49 @@ func TestMinMaxAbs(t *testing.T) {
 		t.Error("Mean broken")
 	}
 }
+
+func TestNearestRank(t *testing.T) {
+	if got := NearestRank(nil, 0.5); got != 0 {
+		t.Errorf("empty = %v, want 0", got)
+	}
+	// The pinned contract of the traffic pipeline's latency summaries:
+	// over 1..100, the nearest-rank p50/p95/p99 are exactly 50/95/99.
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0, 1}, {0.50, 50}, {0.95, 95}, {0.99, 99}, {1, 100},
+	} {
+		if got := NearestRank(xs, tc.q); got != tc.want {
+			t.Errorf("NearestRank(1..100, %v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := NearestRank([]float64{7}, 0.9); got != 7 {
+		t.Errorf("single-element = %v, want 7", got)
+	}
+}
+
+func TestNearestRankWithinRange(t *testing.T) {
+	f := func(raw []float64, qr uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		sortFloats(xs)
+		q := float64(qr) / 255
+		v := NearestRank(xs, q)
+		return v >= xs[0] && v <= xs[len(xs)-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

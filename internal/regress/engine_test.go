@@ -11,6 +11,7 @@ import (
 	"repro/internal/replica"
 	"repro/internal/rng"
 	"repro/internal/route"
+	"repro/internal/telemetry"
 )
 
 // runEngineScenario executes the engine-mode acceptance scenario — the
@@ -20,7 +21,10 @@ import (
 // headline lifts over the snapshot baseline. The snapshot row is the
 // same sweep goldenReplica pins as "k4+cache", so any drift there is
 // caught twice.
-func runEngineScenario(t *testing.T, workers, shards int) []string {
+// A non-nil tel attaches the telemetry recorder to every run of the
+// sweep; the recorder only observes, so the returned lines must be
+// byte-identical either way (TestEngineTelemetryShardEquivalence).
+func runEngineScenario(t *testing.T, workers, shards int, tel *telemetry.Recorder) []string {
 	t.Helper()
 	g := buildEngineScenarioGraph(t)
 	var out []string
@@ -41,6 +45,7 @@ func runEngineScenario(t *testing.T, workers, shards int) []string {
 				Live:      tc.live,
 				Aggregate: tc.aggregate,
 				Route:     route.Options{DeadEnd: route.Backtrack},
+				Telemetry: tel,
 			},
 			Model:      "poisson",
 			Bisections: 4,
@@ -96,7 +101,7 @@ func buildEngineScenarioGraph(t *testing.T) *graph.Graph {
 // every shard count, these sweeps take the partitioned loop whenever
 // shards > 1, so the goldens pin the sharded engine's arithmetic
 // itself.
-func runEngineShardScenario(t *testing.T, shards int) []string {
+func runEngineShardScenario(t *testing.T, shards int, tel *telemetry.Recorder) []string {
 	t.Helper()
 	g := buildEngineScenarioGraph(t)
 	var out []string
@@ -114,6 +119,7 @@ func runEngineShardScenario(t *testing.T, shards int) []string {
 				Live:      true,
 				Aggregate: tc.aggregate,
 				Route:     route.Options{DeadEnd: route.Backtrack},
+				Telemetry: tel,
 			},
 			Model:      "poisson",
 			Bisections: 4,
@@ -149,7 +155,7 @@ var goldenEngine = []string{
 }
 
 func TestSeededEngineGolden(t *testing.T) {
-	got := runEngineScenario(t, 1, 1)
+	got := runEngineScenario(t, 1, 1, nil)
 	if len(goldenEngine) == 0 {
 		for _, line := range got {
 			t.Logf("golden: %q,", line)
@@ -172,7 +178,7 @@ func TestSeededEngineGolden(t *testing.T) {
 // above the k = 4 + cache snapshot baseline (13.85 msgs/tick here,
 // 13.58 at the bench scale).
 func TestEngineAggregateKneeLiftAcceptance(t *testing.T) {
-	lines := runEngineScenario(t, 1, 1)
+	lines := runEngineScenario(t, 1, 1, nil)
 	var lift float64
 	if _, err := fmt.Sscanf(lines[len(lines)-1], "live+aggregate lift=%f", &lift); err != nil {
 		t.Fatalf("no lift line: %v (%q)", err, lines[len(lines)-1])
@@ -187,9 +193,9 @@ func TestEngineAggregateKneeLiftAcceptance(t *testing.T) {
 // computation, live modes take their parallelism from Shards instead,
 // and neither may move a byte.
 func TestEngineWorkerCountInvariance(t *testing.T) {
-	one := runEngineScenario(t, 1, 1)
+	one := runEngineScenario(t, 1, 1, nil)
 	for _, workers := range []int{4, 16} {
-		other := runEngineScenario(t, workers, 1)
+		other := runEngineScenario(t, workers, 1, nil)
 		if len(one) != len(other) {
 			t.Fatalf("line counts differ: %d vs %d", len(one), len(other))
 		}
@@ -213,7 +219,7 @@ var goldenEngineSharded = []string{
 // itself, so the sharded goldens fail loudly on semantic drift rather
 // than only relative to each other.
 func TestSeededEngineShardedGolden(t *testing.T) {
-	got := runEngineShardScenario(t, 1)
+	got := runEngineShardScenario(t, 1, nil)
 	if len(goldenEngineSharded) == 0 {
 		for _, line := range got {
 			t.Logf("golden: %q,", line)
@@ -236,17 +242,17 @@ func TestSeededEngineShardedGolden(t *testing.T) {
 // parallel-eligible one (which takes the partitioned loop) — must be
 // byte-identical at shard counts {1, 2, 4, 7}.
 func TestEngineShardCountInvariance(t *testing.T) {
-	cached := runEngineScenario(t, 1, 1)
-	eligible := runEngineShardScenario(t, 1)
+	cached := runEngineScenario(t, 1, 1, nil)
+	eligible := runEngineShardScenario(t, 1, nil)
 	for _, shards := range []int{2, 4, 7} {
-		got := runEngineScenario(t, 1, shards)
+		got := runEngineScenario(t, 1, shards, nil)
 		for i := range cached {
 			if cached[i] != got[i] {
 				t.Errorf("cached scenario shards=%d line %d diverged:\n  got  %s\n  want %s",
 					shards, i, got[i], cached[i])
 			}
 		}
-		got = runEngineShardScenario(t, shards)
+		got = runEngineShardScenario(t, shards, nil)
 		for i := range eligible {
 			if eligible[i] != got[i] {
 				t.Errorf("eligible scenario shards=%d line %d diverged:\n  got  %s\n  want %s",
@@ -276,6 +282,60 @@ func TestSnapshotGoldensWorkerInvariance(t *testing.T) {
 		for i := range replicaBase {
 			if replicaBase[i] != got[i] {
 				t.Errorf("replica workers=%d line %d diverged:\n  got  %s\n  want %s", workers, i, got[i], replicaBase[i])
+			}
+		}
+	}
+}
+
+// TestEngineTelemetryShardEquivalence is the observability layer's
+// acceptance gate: attaching a telemetry recorder must not move a byte
+// of either seeded engine scenario at any shard count — the cached one
+// (sequential fallback, snapshot + live + live+aggregate modes) and
+// the parallel-eligible one (the partitioned loop) — while the
+// recorder itself must come back non-empty. The "Shard" in the name
+// opts the test into CI's race-detector pass, which exercises the
+// per-shard telemetry views under -race.
+func TestEngineTelemetryShardEquivalence(t *testing.T) {
+	cached := runEngineScenario(t, 1, 1, nil)
+	eligible := runEngineShardScenario(t, 1, nil)
+	for _, shards := range []int{1, 2, 4, 7} {
+		tel := telemetry.New(telemetry.Options{})
+		got := runEngineScenario(t, 1, shards, tel)
+		for i := range cached {
+			if cached[i] != got[i] {
+				t.Errorf("telemetry moved cached scenario shards=%d line %d:\n  got  %s\n  want %s",
+					shards, i, got[i], cached[i])
+			}
+		}
+		if len(tel.Runs())+tel.Skipped() == 0 {
+			t.Errorf("shards=%d: cached-scenario recorder saw no runs", shards)
+		}
+		tel = telemetry.New(telemetry.Options{})
+		got = runEngineShardScenario(t, shards, tel)
+		for i := range eligible {
+			if eligible[i] != got[i] {
+				t.Errorf("telemetry moved eligible scenario shards=%d line %d:\n  got  %s\n  want %s",
+					shards, i, got[i], eligible[i])
+			}
+		}
+		if len(tel.Runs())+tel.Skipped() == 0 {
+			t.Errorf("shards=%d: eligible-scenario recorder saw no runs", shards)
+		}
+		if shards > 1 {
+			// The live sweep takes the partitioned loop, so some run must
+			// carry a real shard profile. (The live+aggregate sweep runs
+			// after it and falls back to the sequential loop — its
+			// closed-loop-capable Completed hook makes it ineligible — so
+			// the last-run Scheduler() accessor is not the right probe.)
+			profiled := false
+			for _, run := range tel.Runs() {
+				if sc := run.Sched(); sc.Shards == shards && sc.Windows > 0 {
+					profiled = true
+					break
+				}
+			}
+			if !profiled {
+				t.Errorf("shards=%d: no run carries a %d-shard scheduler profile", shards, shards)
 			}
 		}
 	}

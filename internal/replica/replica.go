@@ -21,10 +21,11 @@
 //     doing the heavy lifting), which is where NDN-style forwarding
 //     strategies put their content stores.
 //
-// A Placement is not safe for concurrent use; the traffic pipeline
-// (package load) consults it only from its single-threaded
-// batch-boundary code, which is what keeps replica-aware runs
-// worker-count independent.
+// A Placement is not safe for concurrent use; the traffic engine
+// consults and mutates it only from sequential code — batch boundaries
+// in snapshot mode, injection and delivery events in live mode (whose
+// sharded loop falls back to sequential when caching is on) — which is
+// what keeps replica-aware runs worker- and shard-count independent.
 package replica
 
 import (
@@ -110,6 +111,12 @@ type Placement struct {
 	hits    map[metric.Point]int                  // observed lookups per key
 	preds   map[metric.Point]map[metric.Point]int // forwarder counts per key
 	cached  map[metric.Point][]metric.Point       // promoted cache nodes per key
+
+	// Cumulative churn counters, for observers (telemetry polls these
+	// and reports deltas). They never feed back into placement
+	// decisions.
+	promotions int // cached copies placed, over the placement's life
+	evictions  int // cached copies dropped by Decay
 }
 
 // NewPlacement returns a Placement over space. The seed drives the
@@ -344,6 +351,7 @@ func (p *Placement) promote(key metric.Point) {
 		}
 	}
 	p.cached[key] = out
+	p.promotions += len(out)
 }
 
 // Caching reports whether popularity-triggered cache-on-path is
@@ -391,6 +399,7 @@ func (p *Placement) Decay() {
 	}
 	for key := range p.cached {
 		if p.hits[key] < p.opt.CacheThreshold {
+			p.evictions += len(p.cached[key])
 			delete(p.cached, key)
 		}
 	}
@@ -411,3 +420,11 @@ func (p *Placement) CachedCopies() int {
 
 // CachedFor returns the cached copies of key (nil when none).
 func (p *Placement) CachedFor(key metric.Point) []metric.Point { return p.cached[key] }
+
+// CacheEvents returns the placement's cumulative cache churn: how many
+// cached copies were ever placed and how many Decay dropped. Observers
+// (the telemetry recorder) poll these at engine events and attribute
+// the deltas to virtual time.
+func (p *Placement) CacheEvents() (promotions, evictions int) {
+	return p.promotions, p.evictions
+}

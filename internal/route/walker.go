@@ -30,6 +30,7 @@ type Walker struct {
 	cur     metric.Point
 	res     Result
 	done    bool
+	last    StepKind
 
 	// RandomReroute state.
 	reroutes int
@@ -94,6 +95,33 @@ func (r *Router) Walker(source *rng.Source, from metric.Point, targets []metric.
 	return w, nil
 }
 
+// StepKind labels the kind of move a Step just made, for observers
+// (the telemetry flight recorder) that tag forwarding decisions.
+// Congestion-penalized detours are not a distinct kind: the scored
+// greedy move preserves strict metric progress, so a detour shows up
+// as a longer greedy path, not as a different step.
+type StepKind uint8
+
+const (
+	// StepNone: no move yet (before the first Step, or a Step that
+	// terminated without moving).
+	StepNone StepKind = iota
+	// StepGreedy is a forward move to the best-scoring neighbour —
+	// the greedy move of both the plain and the backtracking policy.
+	StepGreedy
+	// StepBacktrack is a backward move to the most recently
+	// remembered node.
+	StepBacktrack
+	// StepReroute is a random re-route jump out of a dead end.
+	StepReroute
+)
+
+// LastStep reports the kind of move the most recent Step made. One
+// byte of bookkeeping, written unconditionally — cheaper than a
+// branch, and it keeps the walker oblivious to whether anyone is
+// watching.
+func (w *Walker) LastStep() StepKind { return w.last }
+
 // At returns the node the search currently occupies: the node that
 // would forward the message on the next Step, or — once Done — the
 // node the search ended on (the delivering target, or the node it was
@@ -133,9 +161,11 @@ func (w *Walker) stepGreedy() bool {
 	r := w.r
 	if w.res.Hops >= r.opt.MaxHops {
 		w.done = true
+		w.last = StepNone
 		return false
 	}
 	if next, ok := r.bestNeighbor(w.cur, w.targets, nil); ok {
+		w.last = StepGreedy
 		w.move(next)
 		return !w.done
 	}
@@ -143,15 +173,18 @@ func (w *Walker) stepGreedy() bool {
 	// and budget allow; the hand-off itself costs a hop.
 	if r.opt.DeadEnd != RandomReroute || w.reroutes >= r.opt.MaxReroutes || w.res.Hops >= r.opt.MaxHops {
 		w.done = true
+		w.last = StepNone
 		return false
 	}
 	next, ok := r.g.RandomAlive(w.src)
 	if !ok {
 		w.done = true
+		w.last = StepNone
 		return false
 	}
 	w.reroutes++
 	w.res.Reroutes++
+	w.last = StepReroute
 	w.move(next)
 	return !w.done
 }
@@ -163,11 +196,13 @@ func (w *Walker) stepBacktrack() bool {
 	r := w.r
 	if w.res.Hops >= r.opt.MaxHops {
 		w.done = true
+		w.last = StepNone
 		return false
 	}
 	top := &w.history[len(w.history)-1]
 	if next, ok := r.bestNeighbor(w.cur, w.targets, top.tried); ok {
 		top.tried = append(top.tried, next)
+		w.last = StepGreedy
 		w.move(next)
 		if !w.done {
 			w.push(w.cur)
@@ -180,12 +215,14 @@ func (w *Walker) stepBacktrack() bool {
 	// deliver.
 	if len(w.history) <= 1 {
 		w.done = true
+		w.last = StepNone
 		return false
 	}
 	w.history = w.history[:len(w.history)-1]
 	w.cur = w.history[len(w.history)-1].at
 	w.res.Hops++
 	w.res.Backtracks++
+	w.last = StepBacktrack
 	w.r.trace(&w.res, w.cur)
 	return true
 }

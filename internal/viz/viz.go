@@ -136,6 +136,9 @@ func ThroughputLatency(throughput, latency []float64, width, height int) string 
 	}
 	maxX, maxY := 0.0, 0.0
 	for i := range throughput {
+		if math.IsNaN(throughput[i]) || math.IsNaN(latency[i]) {
+			continue
+		}
 		if throughput[i] > maxX {
 			maxX = throughput[i]
 		}
@@ -154,8 +157,16 @@ func ThroughputLatency(throughput, latency []float64, width, height int) string 
 		}
 	}
 	for i := range throughput {
+		// NaN points are unplottable (int(NaN) is poison); a negative or
+		// overscale coordinate would index out of the grid.
+		if math.IsNaN(throughput[i]) || math.IsNaN(latency[i]) {
+			continue
+		}
 		c := int(throughput[i] / maxX * float64(width-1))
 		r := int(latency[i] / maxY * float64(height-1))
+		if c < 0 || c >= width || r < 0 || r >= height {
+			continue
+		}
 		grid[height-1-r][c] = '*'
 	}
 	var b strings.Builder
@@ -175,6 +186,108 @@ func ThroughputLatency(throughput, latency []float64, width, height int) string 
 	fmt.Fprintf(&b, "          0%*s\n", width-1, fmt.Sprintf("%.1f", maxX))
 	fmt.Fprintf(&b, "          p99 latency (ticks) vs throughput (msgs/tick)\n")
 	return b.String()
+}
+
+// Timeline renders a panel of aligned sparkline rows over a shared
+// virtual-time axis — one row per series, each scaled to its own
+// min/max (annotated in the right margin) — the rendering behind the
+// telemetry window panel (telemetry.Recorder.PanelSeries). Series
+// longer than width are downsampled by taking each bucket's maximum,
+// which keeps spikes visible; NaN cells render as blanks and never
+// contribute to a row's scale. Empty input, zero-length series, or
+// mismatched label/series or series/series lengths yield "".
+func Timeline(labels []string, series [][]float64, width int) string {
+	if len(labels) == 0 || len(labels) != len(series) {
+		return ""
+	}
+	n := len(series[0])
+	if n == 0 {
+		return ""
+	}
+	for _, s := range series {
+		if len(s) != n {
+			return ""
+		}
+	}
+	if width < 8 {
+		width = 64
+	}
+	labelWidth := 0
+	for _, l := range labels {
+		if len(l) > labelWidth {
+			labelWidth = len(l)
+		}
+	}
+	var b strings.Builder
+	for i, s := range series {
+		row := downsampleMax(s, width)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range row {
+			if math.IsNaN(v) {
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		var spark strings.Builder
+		for _, v := range row {
+			if math.IsNaN(v) {
+				spark.WriteByte(' ')
+				continue
+			}
+			idx := 0
+			if hi > lo {
+				idx = int((v - lo) / (hi - lo) * float64(len(sparkLevels)-1))
+			}
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(sparkLevels) {
+				idx = len(sparkLevels) - 1
+			}
+			spark.WriteRune(sparkLevels[idx])
+		}
+		if hi < lo {
+			// Every cell was NaN: no scale to annotate.
+			fmt.Fprintf(&b, "%-*s %s\n", labelWidth, labels[i], spark.String())
+			continue
+		}
+		fmt.Fprintf(&b, "%-*s %s  [%.4g, %.4g]\n", labelWidth, labels[i], spark.String(), lo, hi)
+	}
+	return b.String()
+}
+
+// downsampleMax shrinks s to at most width cells, each the maximum of
+// its contiguous source bucket (NaN entries ignored; an all-NaN bucket
+// stays NaN so Timeline renders it blank).
+func downsampleMax(s []float64, width int) []float64 {
+	if len(s) <= width {
+		return s
+	}
+	out := make([]float64, width)
+	for i := range out {
+		lo := i * len(s) / width
+		hi := (i + 1) * len(s) / width
+		best, any := 0.0, false
+		for _, v := range s[lo:hi] {
+			if math.IsNaN(v) {
+				continue
+			}
+			if !any || v > best {
+				best, any = v, true
+			}
+		}
+		if !any {
+			out[i] = math.NaN()
+			continue
+		}
+		out[i] = best
+	}
+	return out
 }
 
 // ReplicaOverlay renders the delivery fan-out of replicated traffic
