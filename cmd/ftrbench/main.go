@@ -14,12 +14,14 @@
 // BENCH_replica.json (the flood-knee lift of k = 4 hot-key replicas
 // plus cache-on-path over the unreplicated baseline on a 30%-failed
 // torus), and BENCH_engine.json (the same replicated flood scenario
-// swept in the discrete-event engine's three modes — batch-snapshot,
-// live per-hop state, and live with same-key service aggregation —
-// whose headline is the aggregated knee's lift over the snapshot
-// k=4+cache baseline, plus a shard-scaling section timing the live
-// loop sequentially and at -shards shards on a larger torus and
-// recording events_per_sec_per_core).
+// swept in the discrete-event engine's four modes — batch-snapshot,
+// live per-hop state, live with same-key service aggregation, and live
+// with the pending-interest response path — whose headlines are the
+// aggregated knee's lift over the snapshot k=4+cache baseline and the
+// PIT knee rate's lift over the aggregation knee rate, plus a
+// shard-scaling section timing the live loop sequentially and at
+// -shards shards on a larger torus and recording
+// events_per_sec_per_core).
 //
 // -validate checks previously written headline files: they must parse,
 // no headline metric may be NaN, infinite, or zero, every knee
@@ -232,7 +234,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(&index, "%-28s ERROR: %v\n", "BENCH_engine.json", err)
 		} else {
 			fmt.Fprintf(stdout, "wrote BENCH_engine.json\n")
-			fmt.Fprintf(&index, "%-28s ok  %-10s %s\n", "BENCH_engine.json", "", "engine-mode headline (snapshot vs live vs live+aggregate)")
+			fmt.Fprintf(&index, "%-28s ok  %-10s %s\n", "BENCH_engine.json", "", "engine-mode headline (snapshot vs live vs live+aggregate vs live+pit)")
 		}
 	}
 	if err := writeTable(filepath.Join(*out, "INDEX.txt"), index.String()); err != nil {
@@ -568,13 +570,15 @@ func writeReplicaHeadline(path string, n, msgs int, seed uint64) error {
 // engineHeadline is the BENCH_engine.json schema: the replicated flood
 // acceptance scenario (30%-failed 2-D torus, single-target flood,
 // k = 4 hash-spread replicas plus cache-on-path) swept in the
-// discrete-event engine's three modes. KneeLiftLive and
+// discrete-event engine's four modes. KneeLiftLive and
 // KneeLiftAggregate compare the live modes' knee throughput to the
 // snapshot baseline — the snapshot row is the pre-engine pipeline
 // byte-for-byte, so KneeLiftAggregate is the headline claim: same-key
 // service aggregation lifts the flood knee past what replication alone
-// (PR 4's 13.58 msgs/tick at this scale's defaults) buys. Values are
-// deterministic in (n, messages, seed).
+// (PR 4's 13.58 msgs/tick at this scale's defaults) buys. The
+// response-path fields gate the PIT claim on knee rates (see the
+// section comment below). Values are deterministic in (n, messages,
+// seed).
 type engineHeadline struct {
 	Experiment            string  `json:"experiment"`
 	N                     int     `json:"n"`
@@ -598,6 +602,28 @@ type engineHeadline struct {
 	BaselineThroughput    float64 `json:"baseline_throughput"`
 	KneeLiftAggregate     float64 `json:"knee_lift_aggregate"`
 	LiveOverSnapshotRatio float64 `json:"live_over_snapshot_ratio"`
+	// Response-path section: the same sweep in live+pit mode, where
+	// every request service plants a pending interest, later same-key
+	// lookups park on it network-wide, and the answer retraces the
+	// reverse path, multicasting to every recorded waiter. KneeLiftPIT
+	// is the ≥1 acceptance gate, and it compares knee RATES against the
+	// live+aggregate row — not knee throughputs, because aggregation's
+	// merged completions are never charged an answer leg, so its
+	// throughput counts return-trip work the response path actually
+	// performs. PITKneeSaturated records whether the sweep observed
+	// instability above the knee; false means suppression kept every
+	// tested rate stable and the knee ran into the sweep's bracket cap,
+	// a lower bound on capacity. The suppression ledger at the knee
+	// balances: pit_suppressed = pit_multicast_fanout + pit_expired
+	// (expiries can legitimately be zero).
+	KneeRatePIT        float64 `json:"knee_rate_live_pit"`
+	KneeThroughputPIT  float64 `json:"knee_throughput_live_pit"`
+	PITKneeSaturated   bool    `json:"pit_knee_saturated"`
+	PITInterestLife    float64 `json:"pit_interest_lifetime"`
+	PITSuppressed      int     `json:"pit_suppressed"`
+	PITMulticastFanout int     `json:"pit_multicast_fanout"`
+	PITExpired         int     `json:"pit_expired"`
+	KneeLiftPIT        float64 `json:"knee_lift_pit"`
 	// Shard-scaling section: the live engine timed on a larger healthy
 	// torus under uniform open-loop traffic — a parallel-eligible
 	// configuration, so the sharded run's tables are byte-identical to
@@ -747,7 +773,7 @@ func measureScaling(h *engineHeadline, n int, seed uint64, shards int) error {
 	return nil
 }
 
-// writeEngineHeadline sweeps the acceptance scenario in all three
+// writeEngineHeadline sweeps the acceptance scenario in all four
 // engine modes, times the shard-scaling scenario, and writes the JSON
 // headline. Zero n/msgs/seed take the ext.engine.flood defaults (which
 // match ext.replica.flood's, so the snapshot row is comparable to
@@ -797,12 +823,13 @@ func writeEngineHeadline(path string, n, msgs int, seed uint64, shards int) erro
 		CacheThreshold: 16,
 		CacheCopies:    8,
 	}
-	sweep := func(live, aggregate bool) (*load.SweepResult, error) {
+	sweep := func(live, aggregate, pit bool) (*load.SweepResult, error) {
 		cfg := load.SweepConfig{
 			Config: load.Config{
 				Messages:  msgs,
 				Live:      live,
 				Aggregate: aggregate,
+				PIT:       pit,
 				Route:     route.Options{DeadEnd: route.Backtrack},
 			},
 			Model: "poisson",
@@ -823,15 +850,19 @@ func writeEngineHeadline(path string, n, msgs int, seed uint64, shards int) erro
 		}
 		return res, nil
 	}
-	snap, err := sweep(false, false)
+	snap, err := sweep(false, false, false)
 	if err != nil {
 		return err
 	}
-	live, err := sweep(true, false)
+	live, err := sweep(true, false, false)
 	if err != nil {
 		return err
 	}
-	agg, err := sweep(true, true)
+	agg, err := sweep(true, true, false)
+	if err != nil {
+		return err
+	}
+	pit, err := sweep(true, false, true)
 	if err != nil {
 		return err
 	}
@@ -842,6 +873,14 @@ func writeEngineHeadline(path string, n, msgs int, seed uint64, shards int) erro
 	h.BaselineThroughput = snap.Points[0].Result.Throughput
 	h.KneeLiftAggregate = agg.KneeThroughput / snap.KneeThroughput
 	h.LiveOverSnapshotRatio = live.KneeThroughput / snap.KneeThroughput
+	pk := pit.KneePoint().Result
+	h.KneeRatePIT, h.KneeThroughputPIT = pit.Knee, pit.KneeThroughput
+	h.PITKneeSaturated = pit.Saturated
+	h.PITInterestLife = load.Config{PIT: true}.ResolvedPITTimeout()
+	h.PITSuppressed = pk.Suppressed
+	h.PITMulticastFanout = pk.MulticastFanout
+	h.PITExpired = pk.PITExpired
+	h.KneeLiftPIT = pit.Knee / agg.Knee
 	if err := measureScaling(&h, n, seed, shards); err != nil {
 		return err
 	}

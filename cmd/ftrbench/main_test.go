@@ -173,6 +173,9 @@ func TestValidateRejectsBrokenHeadlines(t *testing.T) {
 		// baseline is suffix-matched or file-wide.
 		"sunkknee.json":  `{"experiment":"x","knee_throughput_greedy":1.5,"baseline_throughput_greedy":2.0}`,
 		"sunkknee2.json": `{"experiment":"x","knee_throughput_k4":0.4,"baseline_throughput":0.5}`,
+		// The response-path acceptance gate: a PIT knee-rate lift below 1
+		// means suppression regressed the aggregation baseline.
+		"sunklift.json": `{"experiment":"x","knee_rate_live_pit":90,"knee_lift_pit":0.9}`,
 	}
 	for name, content := range cases {
 		path := filepath.Join(dir, name)
@@ -191,6 +194,10 @@ func TestValidateRejectsBrokenHeadlines(t *testing.T) {
 	okCases := map[string]string{
 		"atbase.json": `{"experiment":"x","knee_throughput_greedy":2.0,"baseline_throughput_greedy":2.0}`,
 		"nobase.json": `{"experiment":"x","knee_throughput_greedy":2.0}`,
+		// pit_knee_saturated is a bool (no numeric gate applies despite
+		// the "knee" in its name) and a zero expiry count is legitimate —
+		// an answer can beat every interest's lifetime.
+		"pitok.json": `{"experiment":"x","knee_rate_live_pit":292,"pit_knee_saturated":false,"pit_expired":0,"knee_lift_pit":3.07}`,
 	}
 	for name, content := range okCases {
 		path := filepath.Join(dir, name)

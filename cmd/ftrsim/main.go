@@ -11,8 +11,9 @@
 //	ftrsim -exp ext.saturation.knee -arrival closed -think 4
 //	ftrsim -exp ext.replica.flood -replicas 8               # hot-key replication ladder
 //	ftrsim -exp ext.load.zipf -replicas 4 -cache 25         # replicate any traffic run
-//	ftrsim -exp ext.engine.flood                            # snapshot vs live vs live+aggregate knees
+//	ftrsim -exp ext.engine.flood                            # snapshot vs live vs live+aggregate vs live+pit knees
 //	ftrsim -exp ext.saturation.knee -live -aggregate        # any sweep on the live engine
+//	ftrsim -exp ext.pit.suppression -pittimeout 16          # the response path's suppression ledger
 //
 // Defaults are scaled for quick runs; the flags restore the paper's
 // scale (Figure 6 used n=2^17, 1000 simulations of 100 messages).
@@ -34,7 +35,14 @@
 // penalties, queue-depth probes, nearest-replica targets — reads live
 // state instead of a batch snapshot. -aggregate additionally coalesces
 // same-key lookups that meet in a node's queue into one aggregated
-// service (it implies -live). Without the flags, the engine runs in
+// service (it implies -live). -pit switches on the pending-interest
+// response path instead: every request service plants a pending
+// interest, later same-key lookups park on it network-wide, and the
+// answer retraces the reverse path, multicasting to every recorded
+// waiter; -pittimeout and -pitwaiters tune the interest lifetime and
+// the waiter-list bound (the ext.pit.* experiments switch the
+// response path on themselves, so the knobs work there without
+// -pit). Without the flags, the engine runs in
 // snapshot mode, which reproduces the historical route-then-replay
 // results byte-for-byte.
 //
@@ -87,6 +95,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cache    = fs.Int("cache", 0, "popularity threshold of cache-on-path replication (0 = experiment default / off)")
 		live     = fs.Bool("live", false, "event-driven engine mode: forwarding decisions read live load/depth/replica state instead of batch snapshots")
 		agg      = fs.Bool("aggregate", false, "coalesce same-key lookups queued at one node into a single aggregated service (implies -live)")
+		pit      = fs.Bool("pit", false, "pending-interest response path: suppress same-key lookups network-wide behind a pending interest and answer along the reverse path (implies -live)")
+		pitTO    = fs.Float64("pittimeout", 0, "interest lifetime in virtual ticks before a suppressed lookup re-forwards (0 = 64 service times)")
+		pitWait  = fs.Int("pitwaiters", 0, "bound on one pending interest's waiter list; arrivals past it forward normally (0 = 16)")
 		shards   = fs.Int("shards", 0, "partition the live event loop across this many cores (0 = 1, the sequential reference; results are identical for every value)")
 		telem    = fs.String("telemetry", "", "record virtual-time telemetry to this file (JSONL, or CSV when the path ends in .csv) and print the window panel; observation only — tables are byte-identical with or without it")
 	)
@@ -143,6 +154,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "ftrsim: -shards must be non-negative")
 		return 2
 	}
+	if *pitTO < 0 || *pitWait < 0 {
+		fmt.Fprintln(stderr, "ftrsim: -pittimeout and -pitwaiters must be non-negative")
+		return 2
+	}
 	var tel *telemetry.Recorder
 	if *telem != "" {
 		tel = telemetry.New(telemetry.Options{})
@@ -152,6 +167,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Workload: *workload, Skew: *skew, Capacity: *capacity, Penalty: *penalty,
 		DepthPenalty: *depth, Arrival: *arrival, Rate: *rate, Clients: *clients, Think: *think,
 		Replicas: *replicas, Cache: *cache, Live: *live, Aggregate: *agg, Shards: *shards,
+		PIT: *pit, PITTimeout: *pitTO, PITWaiters: *pitWait,
 		Telemetry: tel,
 	})
 	if err != nil {

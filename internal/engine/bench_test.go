@@ -80,7 +80,7 @@ func newGreedyLiveRunner(tb testing.TB, nodes int) *runner {
 		tb.Fatal(err)
 	}
 	cfg := baseConfig()
-	cfg.Live = true
+	cfg.Mode = ModeLive
 	cfg.Route = route.Options{MaxHops: nodes} // the walk is nodes/2 hops; don't cap it
 	msgs := []Message{{From: 0, Key: metric.Point(nodes / 2)}}
 	r := newRunner(g, msgs, Schedule{}, cfg, rng.New(1))
@@ -140,7 +140,7 @@ func BenchmarkLiveEngine(b *testing.B) {
 	for _, shards := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
 			cfg := baseConfig()
-			cfg.Live = true
+			cfg.Mode = ModeLive
 			cfg.Shards = shards
 			var events int
 			b.ResetTimer()

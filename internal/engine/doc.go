@@ -68,6 +68,45 @@
 // service load on the victim's in-neighbourhood, which is what moves
 // the flood knee past what replication alone buys.
 //
+// The Mode enum names the four mode combinations (ModeSnapshot,
+// ModeLive, ModeLiveAggregate, ModeLivePIT); Config.Mode() resolves
+// the boolean knobs to one, and Config.Plan reports — ahead of Run —
+// which loop a configuration will take and the pinned reason string.
+//
+// # Response path (Config.PIT)
+//
+// With Config.PIT on (live mode's third variant), a delivered lookup
+// is not the end of the story: the answer travels back. Every request
+// service plants a pending interest for the message's key at the
+// serving node, and the lifecycle of a lookup becomes:
+//
+//	      request leg                       answer leg
+//	inject ─► hop ─► hop ─► deliver ─► answer retraces the visited
+//	    │serve: plant interest │       path in reverse, hop by hop,
+//	    │at each node, FIFO as │       through the same per-node
+//	    │usual                 │       FIFOs; latency is measured to
+//	    │                      │       answer receipt at the origin
+//	    ▼                      ▼
+//	a later same-key lookup    each answer service consumes the
+//	reaching any node with a   node's interest entry and multicasts
+//	pending interest parks     to its waiters: a released waiter
+//	there (network-wide        forks its own answer leg from the
+//	suppression): it occupies  release point back down its own
+//	no queue and spawns no     partial path to its origin
+//	events while parked
+//
+// Each interest entry is bounded: at most Config.PITWaiters lookups
+// park on it (later arrivals forward normally), and a parked lookup
+// waits at most Config.PITTimeout virtual ticks — an interest timeout
+// (a heap event with negative idx; see pit.go) re-forwards the waiter
+// from where it parked, and a lookup whose wait has expired once is
+// never suppressed again, so the protocol adds at most one interest
+// lifetime to any lookup's latency. The suppression ledger balances
+// exactly: Suppressed = MulticastFanout + PITExpired. Under a hot-key
+// flood, suppression collapses duplicate work network-wide — not just
+// per queue as aggregation does — at the price of charging every
+// delivery its answer's return trip.
+//
 // # Sharded live mode (Config.Shards > 1)
 //
 // The live loop partitions across cores as a conservative

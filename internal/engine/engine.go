@@ -49,10 +49,12 @@ type Config struct {
 	// message-local: congestion feedback (Penalty, DepthPenalty, or a
 	// caller-supplied Route.Congestion) and cache-on-path placements
 	// read global live state at every hop, and closed-loop schedules
-	// under Aggregate can unlock past-time injections, so those runs
-	// use the sequential loop whatever Shards says — the same silent
-	// fallback as Workers in live mode. Snapshot mode ignores Shards.
-	// Must be at least 1, and at most the node count in live mode.
+	// under ModeLiveAggregate can unlock past-time injections, so those
+	// runs use the sequential loop whatever Shards says. The resolution
+	// is not silent: Config.Plan reports the loop a run will use and
+	// the pinned reason, and every Outcome carries the pair. Snapshot
+	// mode ignores Shards. Must be at least 1, and at most the node
+	// count in live mode.
 	Shards int
 	// Route configures the routing layer. TracePath is forced on; the
 	// congestion feedback owns Congestion/CongestionWeight whenever
@@ -69,17 +71,21 @@ type Config struct {
 	// cadence of cache-on-path in both modes. In live mode it has no
 	// other effect: every forwarding decision is fresh.
 	BatchSize int
-	// Live selects the event-driven mode: messages advance hop-by-hop
-	// at their service completions and every forwarding decision reads
-	// live load, queue depth, and replica placement. Off, the engine
-	// reproduces the classic route-then-replay pipeline byte-for-byte.
-	Live bool
-	// Aggregate, in live mode, coalesces same-key lookups that meet in
-	// a node's queue: a lookup arriving while another lookup for the
-	// same key is queued or in service at that node rides along with it
-	// — no further service anywhere — and completes when its carrier
-	// completes. Requires Live.
-	Aggregate bool
+	// Mode selects the simulation discipline: ModeSnapshot (the zero
+	// value, the classic route-then-replay pipeline), ModeLive,
+	// ModeLiveAggregate, or ModeLivePIT. See the Mode constants.
+	Mode Mode
+	// PITTimeout is the pending-interest lifetime in virtual ticks
+	// (ModeLivePIT only): a PIT entry planted by a request service
+	// expires PITTimeout after that service finishes, and a suppressed
+	// waiter re-forwards on its own after waiting PITTimeout for an
+	// answer. Must be positive and finite in PIT mode, zero otherwise.
+	PITTimeout float64
+	// PITWaiters bounds one PIT entry's waiter list (ModeLivePIT
+	// only): a request arriving at a full entry is not suppressed and
+	// forwards normally. Must be at least 1 in PIT mode, zero
+	// otherwise.
+	PITWaiters int
 	// Placement, when non-nil, replicates every key: messages route to
 	// the nearest live member of Placement.Targets(key). Cache-on-path
 	// observation and decay are driven from engine events (batch
@@ -116,8 +122,19 @@ func (c Config) validate() error {
 		return fmt.Errorf("engine: congestion penalties %g/%g must be non-negative",
 			c.Penalty, c.DepthPenalty)
 	}
-	if c.Aggregate && !c.Live {
-		return fmt.Errorf("engine: aggregation needs live mode (snapshot routing has no shared queue state)")
+	if c.Mode >= modeEnd {
+		return fmt.Errorf("engine: unknown mode %d", uint8(c.Mode))
+	}
+	if c.Mode.PIT() {
+		if !(c.PITTimeout > 0) || math.IsInf(c.PITTimeout, 0) {
+			return fmt.Errorf("engine: PIT timeout %g must be positive and finite", c.PITTimeout)
+		}
+		if c.PITWaiters < 1 {
+			return fmt.Errorf("engine: PIT waiter bound %d must be at least 1", c.PITWaiters)
+		}
+	} else if c.PITTimeout != 0 || c.PITWaiters != 0 {
+		return fmt.Errorf("engine: PIT knobs (timeout %g, waiters %d) are only meaningful in ModeLivePIT",
+			c.PITTimeout, c.PITWaiters)
 	}
 	return nil
 }
@@ -150,6 +167,21 @@ type Outcome struct {
 	// Aggregated counts the lookups coalesced onto a same-key carrier
 	// (live aggregation only).
 	Aggregated int
+	// Suppressed counts PIT suppressions: request arrivals that parked
+	// as waiters on a pending same-key interest instead of forwarding
+	// (a lookup that times out and re-forwards can be suppressed again,
+	// so this counts events, not messages). ModeLivePIT only.
+	Suppressed int
+	// MulticastFanout counts waiters released by returning answers —
+	// the total fan-out of every PIT multicast. ModeLivePIT only.
+	MulticastFanout int
+	// PITExpired counts waits that ended by timeout rather than by an
+	// answer: the waiter re-forwarded on its own. ModeLivePIT only.
+	PITExpired int
+	// Plan is the execution plan the run resolved to, and PlanReason
+	// the pinned explanation for the choice (see Config.Plan).
+	Plan       ExecutionPlan
+	PlanReason string
 }
 
 // Run simulates msgs over g under cfg and sched. Message i draws its
@@ -164,19 +196,21 @@ func Run(g *graph.Graph, msgs []Message, sched Schedule, cfg Config, root *rng.S
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	if cfg.Live && cfg.Shards > g.Size() {
+	if cfg.Mode.Live() && cfg.Shards > g.Size() {
 		return nil, fmt.Errorf("engine: shards %d exceed the node count %d", cfg.Shards, g.Size())
 	}
 	r := newRunner(g, msgs, sched, cfg, root)
+	plan, reason := cfg.Plan(sched)
+	r.out.Plan, r.out.PlanReason = plan, reason
 	var started time.Time
 	if r.tel != nil {
 		r.tel.BeginRun(cfg.Capacity, len(msgs))
 		started = time.Now()
 	}
-	switch {
-	case cfg.Live && r.shardable():
+	switch plan {
+	case PlanLiveSharded:
 		r.runSharded()
-	case cfg.Live:
+	case PlanLiveSequential:
 		r.runLive()
 	default:
 		r.runSnapshot()

@@ -89,11 +89,13 @@ func TestLiveMatchesSnapshotPlain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg.Live = true
+	cfg.Mode = ModeLive
 	live, err := Run(g, msgs, periodicSchedule(len(msgs), 2), cfg, rng.New(9))
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The resolved plan is the one pair allowed to differ.
+	live.Plan, live.PlanReason = snap.Plan, snap.PlanReason
 	if !reflect.DeepEqual(snap, live) {
 		t.Error("plain live run diverged from plain snapshot run")
 	}
@@ -107,7 +109,7 @@ func TestLiveDepthReactsToBacklog(t *testing.T) {
 	msgs := testMessages(t, g, 800, 6)
 	sched := periodicSchedule(len(msgs), 24) // well past capacity
 	plainCfg := baseConfig()
-	plainCfg.Live = true
+	plainCfg.Mode = ModeLive
 	plain, err := Run(g, msgs, sched, plainCfg, rng.New(7))
 	if err != nil {
 		t.Fatal(err)
@@ -156,12 +158,12 @@ func TestAggregateCoalescesFlood(t *testing.T) {
 	}
 	sched := periodicSchedule(len(msgs), 16)
 	cfg := baseConfig()
-	cfg.Live = true
+	cfg.Mode = ModeLive
 	plain, err := Run(g, msgs, sched, cfg, rng.New(13))
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg.Aggregate = true
+	cfg.Mode = ModeLiveAggregate
 	agg, err := Run(g, msgs, sched, cfg, rng.New(13))
 	if err != nil {
 		t.Fatal(err)
@@ -230,8 +232,7 @@ func TestAggregateClosedLoopConservation(t *testing.T) {
 	}
 	cfg := baseConfig()
 	cfg.Capacity = 0.5
-	cfg.Live = true
-	cfg.Aggregate = true
+	cfg.Mode = ModeLiveAggregate
 	out, err := Run(g, msgs, sched, cfg, rng.New(17))
 	if err != nil {
 		t.Fatal(err)
@@ -261,7 +262,7 @@ func TestLivePlacementResolvesPerInjection(t *testing.T) {
 	}
 	placement := newTestPlacement(t, g, 4, 88)
 	cfg := baseConfig()
-	cfg.Live = true
+	cfg.Mode = ModeLive
 	cfg.Placement = placement
 	out, err := Run(g, msgs, periodicSchedule(len(msgs), 8), cfg, rng.New(21))
 	if err != nil {
@@ -350,11 +351,11 @@ func TestConfigValidation(t *testing.T) {
 		{Capacity: 1},                        // zero workers
 		{Capacity: 1, Workers: 1},            // zero shards
 		{Capacity: 1, Workers: 1, Shards: 1}, // zero batch
-		{Capacity: 1, Workers: 1, Shards: -3, BatchSize: 32},                              // negative shards
-		{Capacity: 1, Workers: 1, Shards: 1, BatchSize: 32, Aggregate: true},              // aggregate without live
-		{Capacity: 1, Workers: 1, Shards: 1, BatchSize: 32, Penalty: -1},                  // negative penalty
-		{Capacity: 1, Workers: 1, Shards: 1, BatchSize: 32, Live: true, DepthPenalty: -1}, // negative depth
-		{Capacity: 1, Workers: 1, Shards: 65, BatchSize: 32, Live: true},                  // shards exceed the 64 nodes
+		{Capacity: 1, Workers: 1, Shards: -3, BatchSize: 32},                                  // negative shards
+		{Capacity: 1, Workers: 1, Shards: 1, BatchSize: 32, Mode: modeEnd},                    // mode out of range
+		{Capacity: 1, Workers: 1, Shards: 1, BatchSize: 32, Penalty: -1},                      // negative penalty
+		{Capacity: 1, Workers: 1, Shards: 1, BatchSize: 32, Mode: ModeLive, DepthPenalty: -1}, // negative depth
+		{Capacity: 1, Workers: 1, Shards: 65, BatchSize: 32, Mode: ModeLive},                  // shards exceed the 64 nodes
 	}
 	for i, cfg := range bad {
 		if _, err := Run(g, msgs, sched, cfg, rng.New(1)); err == nil {

@@ -31,7 +31,11 @@ type Schedule struct {
 // time: the engine's single event type. Events are ordered by
 // (time, msg, idx) — a strict total order, since no message reaches
 // two nodes at the same instant — so the heap's pop sequence, and with
-// it the whole simulation, is independent of push order.
+// it the whole simulation, is independent of push order. The
+// pending-interest response path reuses the type for interest
+// timeouts, marked by a negative idx (the per-message suppression
+// ordinal; see pit.go), which keeps the order total because a hop
+// event's idx is never negative.
 type event struct {
 	time float64
 	msg  int // message index; the deterministic tie-break

@@ -6,36 +6,11 @@ import (
 )
 
 // This file is the sequential half of the sharded live loop (shard.go
-// has the model overview and the parallel half): the eligibility gate,
-// the window coordinator, and the admission pass that turns pending
-// injections into walkers and first-arrival events.
-
-// shardable reports whether this run may use the partitioned loop:
-// more than one shard requested, and every forwarding decision a
-// shard would make in parallel is message-local. Congestion feedback
-// reads globally-accumulated charge and arbitrary nodes' instantaneous
-// queue depths at every hop; cache-on-path placements mutate the
-// shared replica sets on delivery and read them at injection; and a
-// closed-loop schedule under aggregation can unlock an injection at a
-// follower's settle time — inside or before the window being drained.
-// Those configurations take the sequential loop, which is the
-// documented Shards contract (engine.Config), not an error.
-func (r *runner) shardable() bool {
-	cfg := r.cfg
-	if cfg.Shards <= 1 {
-		return false
-	}
-	if cfg.Penalty > 0 || cfg.DepthPenalty > 0 || cfg.Route.Congestion != nil {
-		return false
-	}
-	if r.caching {
-		return false
-	}
-	if cfg.Aggregate && r.sched.Completed != nil {
-		return false
-	}
-	return true
-}
+// has the model overview and the parallel half): the window
+// coordinator and the admission pass that turns pending injections
+// into walkers and first-arrival events. The eligibility gate is
+// Config.Plan (mode.go): Run dispatches here only when the plan
+// resolved to PlanLiveSharded.
 
 // injectionLess orders pending injections by (time, msg) — the order
 // the sequential loop pops their idx-0 events in, since no message is

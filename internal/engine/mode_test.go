@@ -1,0 +1,155 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/metric"
+	"repro/internal/replica"
+)
+
+// TestModeStrings pins the mode and plan names: they appear verbatim
+// in load.Result, the ftrsim banner, and the ftrbench headline.
+func TestModeStrings(t *testing.T) {
+	modes := map[Mode]string{
+		ModeSnapshot:      "snapshot",
+		ModeLive:          "live",
+		ModeLiveAggregate: "live+aggregate",
+		ModeLivePIT:       "live+pit",
+	}
+	for m, want := range modes {
+		if got := m.String(); got != want {
+			t.Errorf("Mode(%d).String() = %q, want %q", uint8(m), got, want)
+		}
+	}
+	plans := map[ExecutionPlan]string{
+		PlanSnapshot:       "snapshot",
+		PlanLiveSequential: "live-sequential",
+		PlanLiveSharded:    "live-sharded",
+	}
+	for p, want := range plans {
+		if got := p.String(); got != want {
+			t.Errorf("ExecutionPlan(%d).String() = %q, want %q", uint8(p), got, want)
+		}
+	}
+}
+
+// TestModePredicates pins the predicate lattice the loops dispatch on.
+func TestModePredicates(t *testing.T) {
+	cases := []struct {
+		mode                 Mode
+		live, aggregate, pit bool
+	}{
+		{ModeSnapshot, false, false, false},
+		{ModeLive, true, false, false},
+		{ModeLiveAggregate, true, true, false},
+		{ModeLivePIT, true, false, true},
+	}
+	for _, tc := range cases {
+		if tc.mode.Live() != tc.live || tc.mode.Aggregate() != tc.aggregate || tc.mode.PIT() != tc.pit {
+			t.Errorf("%v: Live=%v Aggregate=%v PIT=%v, want %v/%v/%v",
+				tc.mode, tc.mode.Live(), tc.mode.Aggregate(), tc.mode.PIT(),
+				tc.live, tc.aggregate, tc.pit)
+		}
+	}
+}
+
+// TestConfigPlanReasons pins every (config, schedule) → (plan, reason)
+// resolution: the reasons are API surface — ftrsim prints them and
+// ftrbench records them — so their wording is part of the contract.
+func TestConfigPlanReasons(t *testing.T) {
+	open := Schedule{Initial: []Injection{{Msg: 0, Time: 0}}}
+	closed := Schedule{
+		Initial:   open.Initial,
+		Completed: func(msg int, at float64) (Injection, bool) { return Injection{}, false },
+	}
+	congested := func() Config {
+		cfg := baseConfig()
+		cfg.Mode = ModeLive
+		cfg.Shards = 4
+		cfg.Penalty = 2
+		return cfg
+	}
+	sharded := func(m Mode) Config {
+		cfg := baseConfig()
+		cfg.Mode = m
+		cfg.Shards = 4
+		if m.PIT() {
+			cfg.PITTimeout = 64
+			cfg.PITWaiters = 16
+		}
+		return cfg
+	}
+	single := sharded(ModeLive)
+	single.Shards = 1
+	depth := sharded(ModeLive)
+	depth.DepthPenalty = 1
+	routed := sharded(ModeLive)
+	routed.Route.Congestion = func(q metric.Point) float64 { return 0 }
+	g := testGraph(t, 64, 6, 3, 0)
+	cached := sharded(ModeLive)
+	p, err := replica.NewPlacement(g.Space(), replica.Options{K: 4, CacheThreshold: 16, CacheCopies: 8}, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached.Placement = p
+	cases := []struct {
+		name   string
+		cfg    Config
+		sched  Schedule
+		plan   ExecutionPlan
+		reason string
+	}{
+		{"snapshot", baseConfig(), open, PlanSnapshot, PlanReasonSnapshot},
+		{"single-shard", single, open, PlanLiveSequential, PlanReasonSingleShard},
+		{"penalty", congested(), open, PlanLiveSequential, PlanReasonCongestion},
+		{"depth-penalty", depth, open, PlanLiveSequential, PlanReasonCongestion},
+		{"route-congestion", routed, open, PlanLiveSequential, PlanReasonCongestion},
+		{"caching", cached, open, PlanLiveSequential, PlanReasonCaching},
+		{"aggregate+closedloop", sharded(ModeLiveAggregate), closed, PlanLiveSequential, PlanReasonClosedLoopAggregate},
+		{"aggregate+openloop", sharded(ModeLiveAggregate), open, PlanLiveSharded, PlanReasonSharded},
+		{"live", sharded(ModeLive), open, PlanLiveSharded, PlanReasonSharded},
+		{"live+closedloop", sharded(ModeLive), closed, PlanLiveSharded, PlanReasonSharded},
+		{"pit+closedloop", sharded(ModeLivePIT), closed, PlanLiveSharded, PlanReasonSharded},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			plan, reason := tc.cfg.Plan(tc.sched)
+			if plan != tc.plan {
+				t.Errorf("plan = %v, want %v", plan, tc.plan)
+			}
+			if reason != tc.reason {
+				t.Errorf("reason = %q, want %q", reason, tc.reason)
+			}
+		})
+	}
+}
+
+// TestConfigValidatePIT pins the PIT knob cross-checks: the knobs are
+// required in ModeLivePIT and rejected anywhere else.
+func TestConfigValidatePIT(t *testing.T) {
+	pitless := func(mutate func(*Config)) Config {
+		cfg := baseConfig()
+		mutate(&cfg)
+		return cfg
+	}
+	bad := []Config{
+		pitless(func(c *Config) { c.Mode = ModeLivePIT }),                                       // knobs unset
+		pitless(func(c *Config) { c.Mode = ModeLivePIT; c.PITTimeout = 64 }),                    // waiters unset
+		pitless(func(c *Config) { c.Mode = ModeLivePIT; c.PITWaiters = 16 }),                    // timeout unset
+		pitless(func(c *Config) { c.Mode = ModeLivePIT; c.PITTimeout = -1; c.PITWaiters = 16 }), // negative
+		pitless(func(c *Config) { c.Mode = ModeLivePIT; c.PITTimeout = math.NaN(); c.PITWaiters = 16 }),
+		pitless(func(c *Config) { c.Mode = ModeLivePIT; c.PITTimeout = math.Inf(1); c.PITWaiters = 16 }),
+		pitless(func(c *Config) { c.Mode = ModeLive; c.PITTimeout = 64 }),     // knobs outside PIT mode
+		pitless(func(c *Config) { c.Mode = ModeSnapshot; c.PITWaiters = 16 }), // knobs outside PIT mode
+		pitless(func(c *Config) { c.Mode = modeEnd }),                         // unknown mode
+	}
+	g := testGraph(t, 64, 6, 3, 0)
+	msgs := testMessages(t, g, 1, 4)
+	for i, cfg := range bad {
+		if _, err := Run(g, msgs, periodicSchedule(1, 1), cfg, nil); err == nil {
+			t.Errorf("bad config %d accepted (mode %v, timeout %g, waiters %d)",
+				i, cfg.Mode, cfg.PITTimeout, cfg.PITWaiters)
+		}
+	}
+}

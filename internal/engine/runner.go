@@ -95,6 +95,31 @@ type runner struct {
 	followers [][]int
 	merged    []bool
 
+	// Live PIT state (ModeLivePIT, sequential loop; shards carry their
+	// own twins — see pit.go). pit maps (node, key) to the pending
+	// interest planted by the last request service there. pitWait maps a
+	// suppressed message to the suppression count its valid timeout
+	// event carries: a popped timeout with a stale count is superseded
+	// and ignored. waits counts suppressions per message (monotone),
+	// waitIdx remembers the event idx the message was suppressed at, so
+	// its release or re-forward continues the idx sequence past every
+	// event already pushed. expiredOnce flips when a message's wait
+	// expires: a lookup that already sat out one interest lifetime is
+	// never suppressed again, so chained strandings cannot stack
+	// timeouts — the protocol's worst lawful wait is one lifetime per
+	// lookup. answering flips when a message starts its answer leg;
+	// ansPath/ansAt/ansTarget hold the reverse path, the index of the
+	// next node to service, and the delivery target the answer reports.
+	pit         map[aggKey]*pitEntry
+	pitWait     map[int]int
+	waits       []int
+	waitIdx     []int
+	expiredOnce []bool
+	answering   []bool
+	ansAt       []int
+	ansPath     [][]metric.Point
+	ansTarget   []metric.Point
+
 	// Sharded live mode: injections waiting for a window to admit them
 	// (nil in the sequential modes — unlock routes around it). See
 	// horizon.go.
@@ -123,7 +148,7 @@ func newRunner(g *graph.Graph, msgs []Message, sched Schedule, cfg Config, root 
 		r.caching = cfg.Placement.Caching()
 		r.decaying = cfg.Placement.Decaying()
 	}
-	if cfg.Live {
+	if cfg.Mode.Live() {
 		r.walkers = make([]*route.Walker, n)
 		r.pos = make([]metric.Point, n)
 		r.doneAt = make([]float64, n)
@@ -132,10 +157,21 @@ func newRunner(g *graph.Graph, msgs []Message, sched Schedule, cfg Config, root 
 		}
 		r.charged = make([]int, g.Size())
 		r.alive = g.AliveCount()
-		if cfg.Aggregate {
+		if cfg.Mode.Aggregate() {
 			r.agg = make(map[aggKey]aggEntry)
 			r.followers = make([][]int, n)
 			r.merged = make([]bool, n)
+		}
+		if cfg.Mode.PIT() {
+			r.pit = make(map[aggKey]*pitEntry)
+			r.pitWait = make(map[int]int)
+			r.waits = make([]int, n)
+			r.waitIdx = make([]int, n)
+			r.expiredOnce = make([]bool, n)
+			r.answering = make([]bool, n)
+			r.ansAt = make([]int, n)
+			r.ansPath = make([][]metric.Point, n)
+			r.ansTarget = make([]metric.Point, n)
 		}
 	} else {
 		r.paths = make([][]metric.Point, n)
@@ -195,6 +231,11 @@ func (r *runner) servedKind(msg int, res route.Result) telemetry.Served {
 	}
 	if !res.Delivered {
 		return telemetry.ServedNone
+	}
+	if r.answering != nil && !r.walkers[msg].Done() {
+		// Delivered but its own walk never reached a target: the lookup
+		// was answered from a PIT point by a returning answer's multicast.
+		return telemetry.ServedPIT
 	}
 	key := r.msgs[msg].Key
 	if res.Target == key {
@@ -571,10 +612,11 @@ func (r *runner) completeLive(msg int, at float64, res route.Result) {
 		// so every delivered completion contributes a queueing latency —
 		// coalesced lookups included (they waited in a queue too).
 		r.out.Latencies = append(r.out.Latencies, at-r.inject[msg])
-		if r.caching && (r.merged == nil || !r.merged[msg]) {
+		if r.caching && r.pit == nil && (r.merged == nil || !r.merged[msg]) {
 			// Only real deliveries feed popularity: a coalesced lookup's
 			// partial path does not end at the key, so observing it
-			// would corrupt the forwarder counts.
+			// would corrupt the forwarder counts. PIT mode observes at
+			// answer spawn instead — the delivery instant, once.
 			r.cfg.Placement.Observe(r.msgs[msg].Key, res.Path)
 		}
 	}
@@ -619,7 +661,7 @@ func (r *runner) completeLive(msg int, at float64, res route.Result) {
 func (r *runner) enqueue(inj Injection) {
 	for {
 		msg := inj.Msg
-		if !r.cfg.Live && msg >= r.routed {
+		if !r.cfg.Mode.Live() && msg >= r.routed {
 			// Unlocked before its batch routed: admitted with the batch.
 			r.pendingAt[msg] = inj.Time
 			r.hasPending[msg] = true
@@ -633,7 +675,7 @@ func (r *runner) enqueue(inj Injection) {
 		if r.tel != nil {
 			r.tel.Inject(msg, inj.Time, r.msgs[msg].From, r.msgs[msg].Key)
 		}
-		if r.cfg.Live {
+		if r.cfg.Mode.Live() {
 			// The walker is created when this event pops — at the
 			// message's virtual injection time, in event order — so its
 			// replica targets and first forwarding decision read the
@@ -676,39 +718,54 @@ func (r *runner) drain() {
 	}
 }
 
+// admitLive performs a live message's virtual injection instant: it
+// ticks the decay cadence and creates the walker against the live
+// placement. It reports false when the loop should not continue with
+// this event — the message was born delivered, or walker creation
+// failed.
+func (r *runner) admitLive(a event) bool {
+	r.injected++
+	if r.decaying && r.injected%r.cfg.BatchSize == 0 {
+		// One half-life every BatchSize injections — the same
+		// staleness knob snapshot mode ties its boundaries to.
+		r.cfg.Placement.Decay()
+		if r.tel != nil {
+			r.cacheDelta(a.time)
+		}
+	}
+	w, err := r.router.Walker(r.root.Derive(16+uint64(a.msg)), r.msgs[a.msg].From, r.targetsFor(a.msg))
+	if err != nil {
+		r.err = err
+		return false
+	}
+	r.walkers[a.msg] = w
+	if w.Done() {
+		// Born delivered: the lookup completes at its injection
+		// instant without entering a queue.
+		r.completeBorn(a.msg, a.time)
+		return false
+	}
+	r.pos[a.msg] = w.At()
+	return true
+}
+
 // processOne handles one arrival: the message joins the node's FIFO,
 // is served for serviceTime ticks, and — in live mode — decides its
 // next hop at that service, reading live congestion state. In
 // aggregate mode the arrival may instead coalesce onto a pending
-// same-key service and never occupy the queue at all.
+// same-key service and never occupy the queue at all; PIT mode has
+// its own arrival discipline (pit.go).
 func (r *runner) processOne(a event) {
+	if r.pit != nil {
+		r.processPIT(a)
+		return
+	}
 	var node metric.Point
-	if r.cfg.Live {
+	if r.cfg.Mode.Live() {
 		if a.idx == 0 {
-			// The message's virtual injection instant: tick the decay
-			// cadence and create its walker against the live placement.
-			r.injected++
-			if r.decaying && r.injected%r.cfg.BatchSize == 0 {
-				// One half-life every BatchSize injections — the same
-				// staleness knob snapshot mode ties its boundaries to.
-				r.cfg.Placement.Decay()
-				if r.tel != nil {
-					r.cacheDelta(a.time)
-				}
-			}
-			w, err := r.router.Walker(r.root.Derive(16+uint64(a.msg)), r.msgs[a.msg].From, r.targetsFor(a.msg))
-			if err != nil {
-				r.err = err
+			if !r.admitLive(a) {
 				return
 			}
-			r.walkers[a.msg] = w
-			if w.Done() {
-				// Born delivered: the lookup completes at its injection
-				// instant without entering a queue.
-				r.completeBorn(a.msg, a.time)
-				return
-			}
-			r.pos[a.msg] = w.At()
 		}
 		node = r.pos[a.msg]
 	} else {
@@ -758,7 +815,7 @@ func (r *runner) processOne(a event) {
 	if finish > r.out.Makespan {
 		r.out.Makespan = finish
 	}
-	if !r.cfg.Live {
+	if !r.cfg.Mode.Live() {
 		if r.tel != nil {
 			r.tel.Hop(a.msg, node, a.time, start, finish, depth, telemetry.DecisionSnapshot)
 		}

@@ -59,10 +59,16 @@ func shardOf(p metric.Point, shards, size int) int {
 
 // doneRec defers one globally-ordered side effect out of the parallel
 // drain. at is the popped event that triggered it — the global replay
-// key. Each pop defers at most one record, so (time, msg, idx) keys
-// records uniquely and per-shard done lists are born sorted.
+// key — and seq the ordinal within that pop: a PIT answer service can
+// complete several messages at once (origin-parked waiters, then
+// possibly the answering lookup itself), so (at, seq) keys records
+// uniquely and in the sequential loop's side-effect order. msg is the
+// message the record completes, which under PIT multicast need not be
+// the popped event's.
 type doneRec struct {
 	at     event
+	seq    int
+	msg    int
 	merge  bool
 	leader int          // merge: the aggregation carrier at that node
 	finish float64      // terminal: the final service's completion time
@@ -84,10 +90,20 @@ type shard struct {
 	// access and the same contents. Nil unless aggregating.
 	agg map[aggKey]aggEntry
 
+	// pit/pitWait are this shard's slice of the PIT state, sharded on
+	// the same argument as agg: a waiter parks at one shard-owned node,
+	// so its suppression, timeout, and release all pop here. Nil unless
+	// ModeLivePIT (pit.go).
+	pit     map[aggKey]*pitEntry
+	pitWait map[int]int
+
 	// Window-local accumulators, folded into Outcome at the barrier.
 	services      int
 	maxQueueDepth int
 	makespan      float64
+	suppressed    int
+	fanout        int
+	expired       int
 	arriving      int // handoffs headed here, counted during the merge
 
 	// Telemetry (nil = disabled): the shard's private recorder view,
@@ -119,8 +135,12 @@ func newShardSet(r *runner) *shardSet {
 	per := len(r.msgs)/n + 1
 	for i := range s.shards {
 		sh := &shard{id: i, h: newEventHeap(per), outbox: make([][]event, n)}
-		if r.cfg.Aggregate {
+		if r.cfg.Mode.Aggregate() {
 			sh.agg = make(map[aggKey]aggEntry)
+		}
+		if r.cfg.Mode.PIT() {
+			sh.pit = make(map[aggKey]*pitEntry)
+			sh.pitWait = make(map[int]int)
 		}
 		s.shards[i] = sh
 	}
@@ -237,6 +257,10 @@ func (sh *shard) drainProfiled(r *runner, s *shardSet, horizon float64) {
 // order another shard could observe becomes a doneRec instead of
 // happening here.
 func (sh *shard) process(r *runner, s *shardSet, a event) {
+	if sh.pit != nil {
+		sh.processPIT(r, s, a)
+		return
+	}
 	node := r.pos[a.msg]
 	if sh.agg != nil {
 		key := aggKey{node: node, key: r.msgs[a.msg].Key}
@@ -245,7 +269,7 @@ func (sh *shard) process(r *runner, s *shardSet, a event) {
 			// Whether it settles now or waits on the carrier depends on
 			// doneAt, which earlier-keyed events elsewhere may still
 			// change — the barrier decides, in event order.
-			sh.done = append(sh.done, doneRec{at: a, merge: true, leader: e.leader})
+			sh.done = append(sh.done, doneRec{at: a, msg: a.msg, merge: true, leader: e.leader})
 			return
 		}
 	}
@@ -289,7 +313,7 @@ func (sh *shard) process(r *runner, s *shardSet, a event) {
 		}
 		return
 	}
-	sh.done = append(sh.done, doneRec{at: a, finish: finish, res: w.Result()})
+	sh.done = append(sh.done, doneRec{at: a, msg: a.msg, finish: finish, res: w.Result()})
 }
 
 // barrier is the window's sequential epilogue: merge cross-shard
@@ -344,9 +368,17 @@ func (s *shardSet) barrier(r *runner) {
 		s.recs = append(s.recs, sh.done...)
 		sh.done = sh.done[:0]
 	}
-	sort.Slice(s.recs, func(i, j int) bool { return eventLess(s.recs[i].at, s.recs[j].at) })
+	sort.Slice(s.recs, func(i, j int) bool {
+		if eventLess(s.recs[i].at, s.recs[j].at) {
+			return true
+		}
+		if eventLess(s.recs[j].at, s.recs[i].at) {
+			return false
+		}
+		return s.recs[i].seq < s.recs[j].seq
+	})
 	for _, rec := range s.recs {
-		msg := rec.at.msg
+		msg := rec.msg
 		if !rec.merge {
 			r.completeLive(msg, rec.finish, rec.res)
 			continue
@@ -373,6 +405,12 @@ func (s *shardSet) barrier(r *runner) {
 	for _, sh := range s.shards {
 		r.out.Services += sh.services
 		sh.services = 0
+		r.out.Suppressed += sh.suppressed
+		sh.suppressed = 0
+		r.out.MulticastFanout += sh.fanout
+		sh.fanout = 0
+		r.out.PITExpired += sh.expired
+		sh.expired = 0
 		if sh.maxQueueDepth > r.out.MaxQueueDepth {
 			r.out.MaxQueueDepth = sh.maxQueueDepth
 		}

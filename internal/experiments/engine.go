@@ -10,22 +10,26 @@ import (
 
 // The ext.engine.* experiments measure what the discrete-event engine
 // buys over the batch-snapshot pipeline: live per-hop congestion state
-// (Config.Live) and per-hop service aggregation of same-key lookups
-// (Config.Aggregate). Aggregation attacks the flood knee directly —
-// the victim's in-neighbourhood serves one aggregated lookup for every
+// (Config.Live), per-hop service aggregation of same-key lookups
+// (Config.Aggregate), and the pending-interest response path
+// (Config.PIT). Aggregation attacks the flood knee directly — the
+// victim's in-neighbourhood serves one aggregated lookup for every
 // queueful of duplicates — which is the lever past the replica ceiling
-// PR 4 established. Like every traffic experiment, results are
-// independent of Params.Workers.
+// PR 4 established; PIT suppression generalizes the collapse
+// network-wide and charges the answer's return trip, the accounting
+// the ext.pit.* experiments break down. Like every traffic experiment,
+// results are independent of Params.Workers.
 
-// engineModes is the snapshot / live / live+aggregate ladder every
-// ext.engine experiment sweeps.
+// engineModes is the snapshot / live / live+aggregate / live+pit
+// ladder every ext.engine experiment sweeps.
 var engineModes = []struct {
-	label           string
-	live, aggregate bool
+	label                string
+	live, aggregate, pit bool
 }{
-	{"snapshot", false, false},
-	{"live", true, false},
-	{"live+aggregate", true, true},
+	{"snapshot", false, false, false},
+	{"live", true, false, false},
+	{"live+aggregate", true, true, false},
+	{"live+pit", true, false, true},
 }
 
 func init() {
@@ -33,10 +37,11 @@ func init() {
 		ID:       "ext.engine.flood",
 		Artifact: "engine extension: live routing & service aggregation vs the flood knee",
 		Description: "single-target flood on 30%-failed torus and ring with k = 4 replicas plus " +
-			"cache-on-path, swept in the engine's three modes — batch-snapshot routing, " +
-			"live per-hop state, and live with same-key service aggregation. The headline " +
-			"is the aggregated knee: duplicates meeting in a queue collapse into one " +
-			"service, lifting the flood knee past the replication-only ceiling",
+			"cache-on-path, swept in the engine's four modes — batch-snapshot routing, " +
+			"live per-hop state, live with same-key service aggregation, and live with " +
+			"the pending-interest response path. The headline is the aggregated knee: " +
+			"duplicates meeting in a queue collapse into one service, lifting the flood " +
+			"knee past the replication-only ceiling",
 		Run: func(p Params) (*sim.Table, error) {
 			p = p.withDefaults(1<<10, 1, 0)
 			t := sim.NewTable(
@@ -69,6 +74,7 @@ func init() {
 					cfg := sweepConfigFor(p, saturationPolicy{name: "greedy"})
 					cfg.Live = mode.live
 					cfg.Aggregate = mode.aggregate
+					cfg.PIT = mode.pit
 					cfg.Replication = &replica.Options{
 						K: k, CacheThreshold: cache, CacheCopies: floodCacheCopies,
 					}
@@ -133,6 +139,7 @@ func init() {
 					}
 					cfg.Live = mode.live
 					cfg.Aggregate = mode.aggregate
+					cfg.PIT = mode.pit
 					cfg.DepthPenalty = 1
 					if cfg.Rate == 0 {
 						// Push past capacity so the live depth signal has

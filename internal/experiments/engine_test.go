@@ -26,7 +26,7 @@ func TestEngineModesTable(t *testing.T) {
 	s := table.String()
 	for _, want := range []string{
 		"ring healthy", "torus 30% failed",
-		"snapshot", "live", "live+aggregate", "aggregated",
+		"snapshot", "live", "live+aggregate", "live+pit", "aggregated",
 	} {
 		if !strings.Contains(s, want) {
 			t.Errorf("engine modes table missing %q:\n%s", want, s)

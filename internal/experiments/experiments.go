@@ -93,6 +93,20 @@ type Params struct {
 	// node's queue (implies the live engine requirement; ftrsim -live
 	// -aggregate).
 	Aggregate bool
+	// PIT switches the live engine to the response-path mode: every
+	// request service plants a pending-interest entry, same-key lookups
+	// arriving behind it are suppressed network-wide, and answers
+	// retrace the reverse path, multicasting to recorded waiters
+	// (implies the live engine requirement; ftrsim -pit).
+	PIT bool
+	// PITTimeout is the interest lifetime in virtual ticks before a
+	// suppressed lookup re-forwards; 0 selects the load layer's default
+	// (64 service times).
+	PITTimeout float64
+	// PITWaiters bounds a pending interest's waiter list; lookups
+	// arriving past the bound forward normally. 0 selects the default
+	// (16).
+	PITWaiters int
 	// Telemetry, when non-nil, attaches the virtual-time observability
 	// recorder to every engine run the experiment performs (ftrsim
 	// -telemetry). Observation only: results are byte-identical with

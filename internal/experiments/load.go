@@ -74,8 +74,11 @@ func loadConfig(p Params) (load.Config, error) {
 		Workers:      p.Workers,
 		Shards:       p.Shards,
 		DepthPenalty: p.DepthPenalty,
-		Live:         p.Live || p.Aggregate,
+		Live:         p.Live || p.Aggregate || p.PIT,
 		Aggregate:    p.Aggregate,
+		PIT:          p.PIT,
+		PITTimeout:   p.PITTimeout,
+		PITWaiters:   p.PITWaiters,
 		Route:        route.Options{DeadEnd: route.Backtrack},
 		Telemetry:    p.Telemetry,
 	}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPITExperimentsRegistered pins the ext.pit.* ids the CLI and
+// bench harness depend on.
+func TestPITExperimentsRegistered(t *testing.T) {
+	for _, id := range []string{"ext.pit.flood", "ext.pit.suppression"} {
+		if _, err := Get(id); err != nil {
+			t.Errorf("missing experiment %s: %v", id, err)
+		}
+	}
+}
+
+// TestPITSuppressionTable runs the ledger experiment at a reduced
+// scale and checks its shape: the rate ladder, the shortened-lifetime
+// rows, and the ledger columns. The experiment itself errors on any
+// ledger imbalance, so a non-nil table is already a correctness check.
+func TestPITSuppressionTable(t *testing.T) {
+	table, err := Run("ext.pit.suppression", Params{N: 256, Msgs: 600, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := table.String()
+	for _, want := range []string{"suppressed", "released", "expired", "lifetime"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("suppression table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestParamsPITThreading checks the flag plumbing: -pit implies live
+// mode and carries both knobs into the load config.
+func TestParamsPITThreading(t *testing.T) {
+	cfg, err := loadConfig(Params{Msgs: 10, PIT: true, PITTimeout: 32, PITWaiters: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Live || !cfg.PIT || cfg.PITTimeout != 32 || cfg.PITWaiters != 8 {
+		t.Errorf("PIT params mis-threaded: %+v", cfg)
+	}
+	cfg, err = loadConfig(Params{Msgs: 10, Live: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.PIT || cfg.PITTimeout != 0 || cfg.PITWaiters != 0 {
+		t.Errorf("PIT knobs leaked into a live-only config: %+v", cfg)
+	}
+}

@@ -68,8 +68,11 @@ func sweepConfigFor(p Params, pol saturationPolicy) load.SweepConfig {
 			Shards:       p.Shards,
 			Penalty:      pol.penalty,
 			DepthPenalty: pol.depth,
-			Live:         p.Live || p.Aggregate,
+			Live:         p.Live || p.Aggregate || p.PIT,
 			Aggregate:    p.Aggregate,
+			PIT:          p.PIT,
+			PITTimeout:   p.PITTimeout,
+			PITWaiters:   p.PITWaiters,
 			Route:        route.Options{DeadEnd: route.Backtrack},
 			Telemetry:    p.Telemetry,
 		},

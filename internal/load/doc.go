@@ -21,8 +21,10 @@
 //     replication, and cache-on-path share a clock. Run injects
 //     Messages lookups under the arrival model and reports per-node
 //     load (hops serviced), max/mean load, peak queue depth,
-//     p50/p95/p99 end-to-end latency, makespan and delivered
-//     throughput alongside the ordinary sim.SearchStats.
+//     p50/p95/p99 end-to-end latency — injection to delivery, or to
+//     answer receipt at the origin when the response path is on —
+//     makespan and delivered throughput alongside the ordinary
+//     sim.SearchStats.
 //
 //   - A saturation sweep (Sweep): repeated runs at stepped-then-bisected
 //     load hunting the capacity knee — the largest offered load at which
@@ -54,6 +56,20 @@
 // aggregated service, the NDN-style batching that breaks the flood
 // knee past what replication alone buys (Result.Aggregated counts the
 // coalesced lookups).
+//
+// Config.PIT instead turns on the pending-interest response path
+// (engine.ModeLivePIT): every request service plants a pending
+// interest at its node, later same-key lookups park on a pending
+// interest anywhere in the network instead of forwarding
+// (Result.Suppressed), and the answer retraces the reverse path
+// through the same per-node FIFOs, multicasting to recorded waiters as
+// it goes (Result.MulticastFanout releases, Result.PITExpired
+// timeouts; the three counters balance exactly). Latencies and
+// percentiles then measure to answer receipt, so PIT results are
+// charged the full round trip — sweeps account for the protocol's
+// fixed strand tail (one interest lifetime) when judging stability,
+// see SweepConfig.P99Bound. Config.PITTimeout and Config.PITWaiters
+// bound an interest's lifetime and waiter list.
 //
 // Determinism: a run is a pure function of (graph, generator, Config
 // minus Workers and Shards, seed). Snapshot mode parallelizes

@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"sort"
 
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/load"
 	"repro/internal/metric"
@@ -351,6 +352,8 @@ func legacyRun(g *graph.Graph, gen load.Generator, cfg load.Config, seed uint64)
 		Workload:      gen.Name(),
 		Arrival:       arr.Name(),
 		Mode:          "snapshot",
+		Plan:          "snapshot",
+		PlanReason:    engine.PlanReasonSnapshot,
 		Injected:      cfg.Messages,
 		Loads:         out.loads,
 		ServedBy:      make([]int, g.Size()),

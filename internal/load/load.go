@@ -93,6 +93,28 @@ type Config struct {
 	// ride along and complete when their carrier completes. Requires
 	// Live; Result.Aggregated counts the coalesced lookups.
 	Aggregate bool
+	// PIT, in live mode, gives every node a pending-interest table and
+	// makes the response leg first-class traffic: a delivered lookup
+	// spawns an answer retracing the reverse path hop by hop through
+	// the same FIFO capacity, every request service plants a pending
+	// interest at its node, a same-key request arriving while one is
+	// pending parks as a waiter instead of forwarding (the network-wide
+	// generalization of Aggregate's per-queue merge), and a returning
+	// answer multicasts to every recorded waiter. Requires Live, and
+	// supersedes Aggregate when both are set (the in-queue merge is a
+	// special case of the in-network suppression). Latencies are then
+	// measured to answer receipt at the origin, not to delivery.
+	PIT bool
+	// PITTimeout is the pending-interest lifetime in virtual ticks:
+	// how long an entry suppresses duplicates after the service that
+	// planted it, and how long a suppressed waiter waits before
+	// re-forwarding on its own. Zero defaults to 64 service times
+	// (64/Capacity). Meaningful only with PIT.
+	PITTimeout float64
+	// PITWaiters bounds one pending interest's waiter list; arrivals
+	// beyond it forward normally. Zero defaults to 16. Meaningful only
+	// with PIT.
+	PITWaiters int
 	// Replication, when non-nil and enabled (K > 1 or a positive
 	// CacheThreshold), replicates every lookup key through
 	// replica.NewPlacement and routes each message to the nearest live
@@ -132,7 +154,24 @@ func (c Config) withDefaults() Config {
 	if c.BatchSize == 0 {
 		c.BatchSize = 32
 	}
+	if c.PIT {
+		// Resolved only under PIT so the zero-value contract holds: a
+		// config without PIT carries zero knobs through to the engine.
+		if c.PITTimeout == 0 {
+			c.PITTimeout = 64 / c.Capacity
+		}
+		if c.PITWaiters == 0 {
+			c.PITWaiters = 16
+		}
+	}
 	return c
+}
+
+// ResolvedPITTimeout reports the interest lifetime the configuration
+// will actually run with, resolving the zero-value default — what the
+// PIT experiments print when the caller left the knob unset.
+func (c Config) ResolvedPITTimeout() float64 {
+	return c.withDefaults().PITTimeout
 }
 
 // Validate rejects nonsensical configurations. It checks a resolved
@@ -169,6 +208,19 @@ func (c Config) Validate() error {
 	if c.Aggregate && !c.Live {
 		return fmt.Errorf("load: aggregation requires live mode (Config.Live)")
 	}
+	if c.PIT && !c.Live {
+		return fmt.Errorf("load: pending-interest tables require live mode (Config.Live)")
+	}
+	if math.IsNaN(c.PITTimeout) || math.IsInf(c.PITTimeout, 0) || c.PITTimeout < 0 {
+		return fmt.Errorf("load: PIT timeout %g must be finite and non-negative", c.PITTimeout)
+	}
+	if c.PITWaiters < 0 {
+		return fmt.Errorf("load: negative PIT waiter bound %d", c.PITWaiters)
+	}
+	if !c.PIT && (c.PITTimeout != 0 || c.PITWaiters != 0) {
+		return fmt.Errorf("load: PIT knobs (timeout %g, waiters %d) are only meaningful with Config.PIT",
+			c.PITTimeout, c.PITWaiters)
+	}
 	if c.Replication != nil {
 		if err := c.Replication.Validate(); err != nil {
 			return err
@@ -187,9 +239,14 @@ type Result struct {
 	Arrival string
 	// Replication names the replica placement ("" when disabled).
 	Replication string
-	// Mode names the engine mode: "snapshot", "live", or
-	// "live+aggregate".
+	// Mode names the engine mode: "snapshot", "live", "live+aggregate",
+	// or "live+pit".
 	Mode string
+	// Plan names the execution plan the engine resolved to
+	// ("snapshot", "live-sequential", or "live-sharded") and PlanReason
+	// the engine's pinned explanation — how a Shards request actually
+	// ran (see engine.Config.Plan).
+	Plan, PlanReason string
 	// Search aggregates the underlying route results exactly as the
 	// single-message experiments do.
 	Search sim.SearchStats
@@ -200,6 +257,11 @@ type Result struct {
 	// (zero outside live+aggregate mode). Aggregated lookups still
 	// count as delivered or failed with their carrier.
 	Aggregated int
+	// Suppressed counts PIT suppression events (request arrivals that
+	// parked on a pending same-key interest), MulticastFanout the
+	// waiters released by returning answers, and PITExpired the waits
+	// that ended by timeout instead. All zero outside live+pit mode.
+	Suppressed, MulticastFanout, PITExpired int
 	// Loads counts message-hop services per grid point (index =
 	// metric.Point; absent or untouched points hold 0).
 	Loads []int
@@ -222,7 +284,9 @@ type Result struct {
 	MaxQueueDepth int
 	// Latency quantiles of delivered messages, in virtual ticks
 	// (nearest-rank on the completion-time distribution). Zero when
-	// nothing was delivered.
+	// nothing was delivered. Under live+pit a lookup completes at
+	// answer receipt — the answer service at its origin — so these
+	// include the response leg, not just the request's delivery.
 	LatencyMean, LatencyP50, LatencyP95, LatencyP99 float64
 	// Makespan is the virtual time at which the last service completed;
 	// LastInject is the time of the final injection. Their difference
@@ -243,15 +307,24 @@ func (r *Result) MaxMeanRatio() float64 {
 	return float64(r.MaxLoad) / r.MeanLoad
 }
 
-// modeName names the engine mode a config selects.
+// modeName names the engine mode a config selects. PIT supersedes
+// Aggregate: with both set the run is live+pit.
 func (c Config) modeName() string {
+	return c.engineMode().String()
+}
+
+// engineMode maps the Live/Aggregate/PIT switches onto the engine's
+// Mode enum.
+func (c Config) engineMode() engine.Mode {
 	switch {
+	case c.Live && c.PIT:
+		return engine.ModeLivePIT
 	case c.Live && c.Aggregate:
-		return "live+aggregate"
+		return engine.ModeLiveAggregate
 	case c.Live:
-		return "live"
+		return engine.ModeLive
 	default:
-		return "snapshot"
+		return engine.ModeSnapshot
 	}
 }
 
@@ -329,8 +402,9 @@ func Run(g *graph.Graph, gen Generator, cfg Config, seed uint64) (*Result, error
 			Penalty:      cfg.Penalty,
 			DepthPenalty: cfg.DepthPenalty,
 			BatchSize:    cfg.BatchSize,
-			Live:         cfg.Live,
-			Aggregate:    cfg.Aggregate,
+			Mode:         cfg.engineMode(),
+			PITTimeout:   cfg.PITTimeout,
+			PITWaiters:   cfg.PITWaiters,
 			Placement:    placement,
 			Telemetry:    cfg.Telemetry,
 		}, root)
@@ -339,16 +413,21 @@ func Run(g *graph.Graph, gen Generator, cfg Config, seed uint64) (*Result, error
 	}
 
 	r := &Result{
-		Workload:      gen.Name(),
-		Arrival:       arr.Name(),
-		Mode:          cfg.modeName(),
-		Injected:      cfg.Messages,
-		Aggregated:    out.Aggregated,
-		Loads:         out.Loads,
-		ServedBy:      make([]int, g.Size()),
-		MaxQueueDepth: out.MaxQueueDepth,
-		Makespan:      out.Makespan,
-		LastInject:    out.LastInject,
+		Workload:        gen.Name(),
+		Arrival:         arr.Name(),
+		Mode:            cfg.modeName(),
+		Plan:            out.Plan.String(),
+		PlanReason:      out.PlanReason,
+		Injected:        cfg.Messages,
+		Aggregated:      out.Aggregated,
+		Suppressed:      out.Suppressed,
+		MulticastFanout: out.MulticastFanout,
+		PITExpired:      out.PITExpired,
+		Loads:           out.Loads,
+		ServedBy:        make([]int, g.Size()),
+		MaxQueueDepth:   out.MaxQueueDepth,
+		Makespan:        out.Makespan,
+		LastInject:      out.LastInject,
 	}
 	if placement != nil {
 		r.Replication = placement.Name()

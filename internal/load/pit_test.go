@@ -1,0 +1,122 @@
+package load
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/route"
+)
+
+// TestPITConfigValidation pins the load-layer PIT contract: PIT
+// requires live mode, the knobs are meaningless without PIT, and a
+// zero-valued PIT config resolves working defaults.
+func TestPITConfigValidation(t *testing.T) {
+	g := buildRing(t, 64, 4, 18)
+	bad := []Config{
+		{Messages: 10, PIT: true},                             // snapshot + PIT
+		{Messages: 10, PITTimeout: 8},                         // knob without PIT
+		{Messages: 10, PITWaiters: 4},                         // knob without PIT
+		{Messages: 10, Live: true, PIT: true, PITTimeout: -1}, // negative lifetime
+		{Messages: 10, Live: true, PIT: true, PITWaiters: -2}, // negative bound
+		{Messages: 10, Live: true, PIT: true, PITTimeout: math.NaN()},
+		{Messages: 10, Live: true, PIT: true, PITTimeout: math.Inf(1)},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(g, Uniform(), cfg, 1); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+	// The zero-value contract: Config{Live, PIT} alone resolves the
+	// default interest lifetime and waiter bound.
+	res, err := Run(g, Uniform(), Config{Messages: 20, Live: true, PIT: true}, 1)
+	if err != nil {
+		t.Fatalf("zero-valued PIT config should use defaults: %v", err)
+	}
+	if res.Mode != "live+pit" {
+		t.Errorf("Mode = %q, want %q", res.Mode, "live+pit")
+	}
+	if res.Plan == "" || res.PlanReason == "" {
+		t.Errorf("plan not recorded: %q / %q", res.Plan, res.PlanReason)
+	}
+}
+
+// TestPITFloodSuppression exercises the response path end to end at
+// the load layer: a flood under PIT suppresses most redundant
+// forwarding, answers everything, balances the suppression ledger, and
+// measures latency to answer receipt — strictly beyond the
+// request-only latency of the same flood without PIT.
+func TestPITFloodSuppression(t *testing.T) {
+	g := buildRing(t, 256, 8, 21)
+	cfg := Config{
+		Messages: 400,
+		Live:     true,
+		Route:    route.Options{DeadEnd: route.Backtrack},
+	}
+	live, err := Run(g, Flood(), cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.PIT = true
+	pit, err := Run(g, Flood(), cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pit.Injected != pit.Delivered+pit.Failed {
+		t.Fatalf("conservation broke: %d != %d + %d", pit.Injected, pit.Delivered, pit.Failed)
+	}
+	if pit.Suppressed == 0 || pit.MulticastFanout == 0 {
+		t.Fatalf("flood exercised no suppression: suppressed %d fanout %d",
+			pit.Suppressed, pit.MulticastFanout)
+	}
+	if pit.Suppressed != pit.MulticastFanout+pit.PITExpired {
+		t.Fatalf("suppression imbalance: %d != %d + %d",
+			pit.Suppressed, pit.MulticastFanout, pit.PITExpired)
+	}
+	if pit.LatencyMean <= 0 {
+		t.Fatal("no answer-receipt latency recorded")
+	}
+	// The request-only regression: with PIT off the counters stay
+	// silent and nothing about the live run changed.
+	if live.Suppressed != 0 || live.MulticastFanout != 0 || live.PITExpired != 0 {
+		t.Fatalf("PIT counters leaked into a non-PIT run: %d/%d/%d",
+			live.Suppressed, live.MulticastFanout, live.PITExpired)
+	}
+	if live.Mode != "live" {
+		t.Errorf("Mode = %q, want %q", live.Mode, "live")
+	}
+}
+
+// TestPITLatencyIsAnswerReceipt pins the accounting on an uncontended
+// run: with every key distinct nothing is suppressed, so each PIT
+// latency is its request latency plus one full answer leg — the mean
+// must strictly exceed the request-only mean, while the request-only
+// run itself is untouched by the PIT code existing.
+func TestPITLatencyIsAnswerReceipt(t *testing.T) {
+	g := buildRing(t, 256, 8, 21)
+	cfg := Config{
+		Messages: 200,
+		Live:     true,
+		Rate:     0.25, // light load: answer legs traverse idle queues
+		Route:    route.Options{DeadEnd: route.Backtrack},
+	}
+	live, err := Run(g, Uniform(), cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.PIT = true
+	pit, err := Run(g, Uniform(), cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pit.Delivered != live.Delivered {
+		t.Fatalf("delivery set changed: %d vs %d", pit.Delivered, live.Delivered)
+	}
+	if pit.LatencyMean <= live.LatencyMean {
+		t.Errorf("answer-receipt mean %g not beyond request-only mean %g",
+			pit.LatencyMean, live.LatencyMean)
+	}
+	if pit.LatencyP99 <= live.LatencyP99 {
+		t.Errorf("answer-receipt p99 %g not beyond request-only p99 %g",
+			pit.LatencyP99, live.LatencyP99)
+	}
+}

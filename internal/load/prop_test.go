@@ -159,7 +159,10 @@ func TestPropLivePlainMatchesSnapshot(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		live.Mode = snap.Mode // the one field allowed to differ
+		// The mode label and the resolved plan are the only fields
+		// allowed to differ.
+		live.Mode = snap.Mode
+		live.Plan, live.PlanReason = snap.Plan, snap.PlanReason
 		if !reflect.DeepEqual(snap, live) {
 			t.Fatalf("iter %d (seed %d, workload %s): plain live diverged from snapshot",
 				iter, 8500+iter, wl.Name())

@@ -211,14 +211,40 @@ func Sweep(g *graph.Graph, gen Generator, cfg SweepConfig, seed uint64) (*SweepR
 	if err != nil {
 		return nil, err
 	}
+	resolved := cfg.Config.withDefaults()
 	res.P99Bound = cfg.P99Bound
 	if res.P99Bound == 0 {
-		serviceTime := 1 / cfg.Config.withDefaults().Capacity
+		serviceTime := 1 / resolved.Capacity
 		res.P99Bound = 8 * math.Max(base.Result.LatencyP99, serviceTime)
+		if cfg.Config.PIT {
+			// A suppressed lookup whose carrier strands lawfully waits
+			// out the full interest lifetime before re-forwarding —
+			// protocol-mandated latency a single strand adds with zero
+			// congestion. The minimum-load calibration rarely sees a
+			// strand (few lookups are concurrent enough to park), so the
+			// self-calibrated bound widens by one lifetime; an explicit
+			// P99Bound is taken verbatim.
+			res.P99Bound += resolved.PITTimeout
+		}
 	}
 	baselineDrain = base.Result.Makespan - base.Result.LastInject
 	if baselineDrain < 0 {
 		baselineDrain = 0
+	}
+	if cfg.Config.PIT && res.P99Bound > baselineDrain {
+		// The strand tail shows up in the makespan too, as a fixed
+		// protocol cost: a waiter parked behind a stranded carrier
+		// lawfully sits out the interest lifetime before its retry walk,
+		// so a run's makespan trails its last injection by up to one full
+		// lawful latency — a constant of the protocol, not backlog
+		// growth. The minimum-load calibration cannot see that tail (few
+		// lookups are concurrent enough to park), so under PIT the drain
+		// discount is the sweep's own latency ceiling: any tail within
+		// the lawful latency of the last injected lookup is protocol.
+		// Genuine saturation still registers twice over — backlog
+		// stretches the makespan past the bound without limit, and the
+		// p99 half of the criterion trips as latencies cross it.
+		baselineDrain = res.P99Bound
 	}
 	base.Stable = judge(base.Load, base.Result)
 	res.Points[0].Stable = base.Stable

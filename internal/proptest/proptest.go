@@ -251,6 +251,10 @@ func CheckShardInvariance(t testing.TB, gr *graph.Graph, gen load.Generator, cfg
 			want = got
 			continue
 		}
+		// The resolved execution plan is *supposed* to differ across
+		// shard counts (one shard is the sequential plan by definition);
+		// the invariance contract covers every simulation output.
+		got.Plan, got.PlanReason = want.Plan, want.PlanReason
 		if !reflect.DeepEqual(want, got) {
 			t.Errorf("shards=%d diverged from shards=1:\n%s", shards, diffSummary(want, got))
 		}

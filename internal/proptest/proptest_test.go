@@ -148,6 +148,65 @@ func TestPropShardInvariance(t *testing.T) {
 	}
 }
 
+// TestPropShardInvariancePIT fuzzes the response path across shard
+// counts: random graphs and workloads (floods included, where
+// suppression is heaviest) under ModeLivePIT, with random interest
+// lifetimes and waiter bounds — short lifetimes make timeouts race
+// answer services, tight bounds overflow waiter lists — and a mix of
+// open- and closed-loop arrivals (PIT, unlike aggregation, stays
+// sharded under closed loops). Results must be byte-identical at
+// 1/2/4/7 shards, with the suppression ledger balanced.
+func TestPropShardInvariancePIT(t *testing.T) {
+	suppressed := 0
+	for iter := 0; iter < 10; iter++ {
+		gen := New(uint64(6600 + iter))
+		g := gen.Graph(t)
+		wl := gen.Workload()
+		cfg := load.Config{
+			Messages: 100 + gen.src.Intn(200),
+			Live:     true,
+			PIT:      true,
+			Route:    route.Options{DeadEnd: route.Backtrack},
+		}
+		switch gen.src.Intn(3) {
+		case 0:
+			cfg.PITTimeout = 0.5 + 4*gen.src.Float64() // races answer services
+		case 1:
+			cfg.PITTimeout = 64
+		}
+		if gen.src.Bool(0.3) {
+			cfg.PITWaiters = 1 + gen.src.Intn(3) // overflows under floods
+		}
+		switch gen.src.Intn(4) {
+		case 1:
+			cfg.Arrival = load.Periodic(1 + 4*gen.src.Float64())
+		case 2:
+			cfg.Arrival = load.Poisson(1 + 4*gen.src.Float64())
+		case 3:
+			cfg.Arrival = load.ClosedLoop(2+gen.src.Intn(15), gen.src.Float64())
+		}
+		if gen.src.Bool(0.3) {
+			cfg.Replication = &replica.Options{K: 2 + gen.src.Intn(3)}
+		}
+		res := CheckShardInvariance(t, g, wl, cfg, uint64(7600+iter))
+		if t.Failed() {
+			t.Fatalf("iter %d failed (seed %d, workload %s)", iter, 6600+iter, wl.Name())
+		}
+		if res.Injected != res.Delivered+res.Failed {
+			t.Fatalf("iter %d: conservation broke: %d != %d + %d",
+				iter, res.Injected, res.Delivered, res.Failed)
+		}
+		if res.Suppressed != res.MulticastFanout+res.PITExpired {
+			t.Fatalf("iter %d: suppression imbalance: %d != %d + %d",
+				iter, res.Suppressed, res.MulticastFanout, res.PITExpired)
+		}
+		suppressed += res.Suppressed
+	}
+	if suppressed == 0 {
+		t.Error("no iteration suppressed anything; the PIT fuzz is vacuous")
+	}
+}
+
 // movingFlood floods victim a for the first half of the run and victim
 // b for the second — the moving-hotspot workload behind internal/load's
 // cache-decay scenario, rebuilt over the public Generator interface.

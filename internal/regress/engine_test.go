@@ -30,12 +30,13 @@ func runEngineScenario(t *testing.T, workers, shards int, tel *telemetry.Recorde
 	var out []string
 	var base float64
 	for _, tc := range []struct {
-		label           string
-		live, aggregate bool
+		label                string
+		live, aggregate, pit bool
 	}{
-		{"snapshot", false, false},
-		{"live", true, false},
-		{"live+aggregate", true, true},
+		{"snapshot", false, false, false},
+		{"live", true, false, false},
+		{"live+aggregate", true, true, false},
+		{"live+pit", true, false, true},
 	} {
 		cfg := load.SweepConfig{
 			Config: load.Config{
@@ -44,6 +45,7 @@ func runEngineScenario(t *testing.T, workers, shards int, tel *telemetry.Recorde
 				Shards:    shards,
 				Live:      tc.live,
 				Aggregate: tc.aggregate,
+				PIT:       tc.pit,
 				Route:     route.Options{DeadEnd: route.Backtrack},
 				Telemetry: tel,
 			},
@@ -59,11 +61,16 @@ func runEngineScenario(t *testing.T, workers, shards int, tel *telemetry.Recorde
 		if kp == nil {
 			t.Fatalf("%s: no knee found", tc.label)
 		}
-		out = append(out, fmt.Sprintf(
+		line := fmt.Sprintf(
 			"%s: knee=%.4f thr=%.4f p99=%.2f serving=%d aggregated=%d fp=%#x",
 			tc.label, res.Knee, res.KneeThroughput, res.KneeP99,
 			kp.Result.ServingPoints(), kp.Result.Aggregated,
-			loadFingerprint(kp.Result.Loads)))
+			loadFingerprint(kp.Result.Loads))
+		if tc.pit {
+			line += fmt.Sprintf(" sup=%d fan=%d exp=%d",
+				kp.Result.Suppressed, kp.Result.MulticastFanout, kp.Result.PITExpired)
+		}
+		out = append(out, line)
 		if !tc.live {
 			base = res.KneeThroughput
 		} else {
@@ -106,11 +113,12 @@ func runEngineShardScenario(t *testing.T, shards int, tel *telemetry.Recorder) [
 	g := buildEngineScenarioGraph(t)
 	var out []string
 	for _, tc := range []struct {
-		label     string
-		aggregate bool
+		label          string
+		aggregate, pit bool
 	}{
-		{"live", false},
-		{"live+aggregate", true},
+		{"live", false, false},
+		{"live+aggregate", true, false},
+		{"live+pit", false, true},
 	} {
 		cfg := load.SweepConfig{
 			Config: load.Config{
@@ -118,6 +126,7 @@ func runEngineShardScenario(t *testing.T, shards int, tel *telemetry.Recorder) [
 				Shards:    shards,
 				Live:      true,
 				Aggregate: tc.aggregate,
+				PIT:       tc.pit,
 				Route:     route.Options{DeadEnd: route.Backtrack},
 				Telemetry: tel,
 			},
@@ -132,11 +141,16 @@ func runEngineShardScenario(t *testing.T, shards int, tel *telemetry.Recorder) [
 		if kp == nil {
 			t.Fatalf("%s: no knee found", tc.label)
 		}
-		out = append(out, fmt.Sprintf(
+		line := fmt.Sprintf(
 			"%s: knee=%.4f thr=%.4f p99=%.2f serving=%d aggregated=%d fp=%#x",
 			tc.label, res.Knee, res.KneeThroughput, res.KneeP99,
 			kp.Result.ServingPoints(), kp.Result.Aggregated,
-			loadFingerprint(kp.Result.Loads)))
+			loadFingerprint(kp.Result.Loads))
+		if tc.pit {
+			line += fmt.Sprintf(" sup=%d fan=%d exp=%d",
+				kp.Result.Suppressed, kp.Result.MulticastFanout, kp.Result.PITExpired)
+		}
+		out = append(out, line)
 	}
 	return out
 }
@@ -152,6 +166,15 @@ var goldenEngine = []string{
 	"live lift=0.6984",
 	"live+aggregate: knee=116.0000 thr=90.6302 p99=5.00 serving=10 aggregated=1426 fp=0xa49891465d1c6287",
 	"live+aggregate lift=6.5435",
+	// The PIT knee runs into the sweep's bracket cap (Min × 2^12)
+	// unsaturated: network-wide suppression collapses the flood at
+	// every tested rate, even though caching is inert under PIT
+	// (answers retrace the recorded path, so there is no cache-on-path
+	// insertion) and every lookup pays the answer round trip. The
+	// throughput lift over snapshot is modest for exactly that reason —
+	// the knee-rate lift is what suppression buys.
+	"live+pit: knee=2048.0000 thr=21.3789 p99=19.72 serving=10 aggregated=0 fp=0x64a2e07b4da25e8c sup=1981 fan=1958 exp=23",
+	"live+pit lift=1.5436",
 }
 
 func TestSeededEngineGolden(t *testing.T) {
@@ -179,12 +202,52 @@ func TestSeededEngineGolden(t *testing.T) {
 // 13.58 at the bench scale).
 func TestEngineAggregateKneeLiftAcceptance(t *testing.T) {
 	lines := runEngineScenario(t, 1, 1, nil)
-	var lift float64
-	if _, err := fmt.Sscanf(lines[len(lines)-1], "live+aggregate lift=%f", &lift); err != nil {
-		t.Fatalf("no lift line: %v (%q)", err, lines[len(lines)-1])
+	lift := 0.0
+	for _, line := range lines {
+		if _, err := fmt.Sscanf(line, "live+aggregate lift=%f", &lift); err == nil {
+			break
+		}
+	}
+	if lift == 0 {
+		t.Fatalf("no live+aggregate lift line in %q", lines)
 	}
 	if lift <= 1 {
 		t.Errorf("live+aggregate knee lift %.4f over the snapshot k=4+cache baseline, want > 1", lift)
+	}
+}
+
+// TestEnginePITKneeLiftAcceptance asserts this PR's acceptance
+// criterion directly, independent of the pinned literals: on the
+// parallel-eligible 30%-failed torus flood, PIT suppression must lift
+// the flood knee — the largest offered rate the network absorbs —
+// above the live+aggregate baseline. Aggregation merges same-queue
+// duplicates but still saturates once distinct queues fill; PIT
+// suppresses network-wide and answers along the reverse path, so every
+// sweep load stays stable and its knee runs into the bracket cap, a
+// lower bound that already clears the aggregate knee severalfold.
+// (Knee rates, not knee throughputs, are compared: aggregation's
+// merged completions are never charged an answer leg, so its
+// throughput counts work PIT actually performs.)
+func TestEnginePITKneeLiftAcceptance(t *testing.T) {
+	lines := runEngineShardScenario(t, 1, nil)
+	knees := map[string]float64{}
+	for _, label := range []string{"live", "live+aggregate", "live+pit"} {
+		for _, line := range lines {
+			var knee float64
+			if _, err := fmt.Sscanf(line, label+": knee=%f", &knee); err == nil {
+				knees[label] = knee
+				break
+			}
+		}
+		if knees[label] == 0 {
+			t.Fatalf("no %s knee line in %q", label, lines)
+		}
+	}
+	if lift := knees["live+pit"] / knees["live+aggregate"]; lift <= 1 {
+		t.Errorf("live+pit knee lift %.4f over the live+aggregate flood knee, want > 1", lift)
+	}
+	if lift := knees["live+pit"] / knees["live"]; lift <= 1 {
+		t.Errorf("live+pit knee lift %.4f over the plain live flood knee, want > 1", lift)
 	}
 }
 
@@ -213,6 +276,13 @@ func TestEngineWorkerCountInvariance(t *testing.T) {
 var goldenEngineSharded = []string{
 	"live: knee=4.0000 thr=3.7302 p99=47.72 serving=1 aggregated=0 fp=0xb23fd3357ac92610",
 	"live+aggregate: knee=176.0000 thr=107.5872 p99=7.00 serving=1 aggregated=1932 fp=0x4695a9fff8b2ff29",
+	// The PIT knee sits at the sweep's bracket cap (Min × 2^12) with the
+	// sweep unsaturated: suppression collapses the single-key flood so
+	// completely that no tested rate builds backlog — even an
+	// instantaneous burst of all 2048 lookups keeps the deepest queue
+	// near twenty entries — so the pinned knee is a lower bound on
+	// capacity, not a measured saturation point.
+	"live+pit: knee=2048.0000 thr=15.5600 p99=109.86 serving=1 aggregated=0 fp=0x9b050fba3d77890b sup=2035 fan=2000 exp=35",
 }
 
 // TestSeededEngineShardedGolden pins the parallel-eligible scenario

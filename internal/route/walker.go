@@ -137,6 +137,14 @@ func (w *Walker) Done() bool { return w.done }
 // (useful for tracing).
 func (w *Walker) Result() Result { return w.res }
 
+// Visited returns the nodes the search has occupied so far, in visit
+// order (backtracking revisits included) — the reverse-path
+// bookkeeping the engine's answer leg retraces. It requires TracePath
+// (the engine forces it on in live modes) and is empty otherwise. The
+// slice aliases the walker's trace: callers must treat it as
+// read-only, and it stays valid only while the walker does not Step.
+func (w *Walker) Visited() []metric.Point { return w.res.Path }
+
 // Step advances the search by at most one hop: a greedy forward move,
 // a random re-route jump, or a backward backtracking move, whichever
 // the configured dead-end policy prescribes at the current node. It

@@ -34,6 +34,9 @@ type jsonlWindow struct {
 	DepthMax    int     `json:"depth_max"`
 	DepthMean   float64 `json:"depth_mean"`
 	Merges      int     `json:"merges"`
+	Suppressed  int     `json:"suppressed"`
+	Multicasts  int     `json:"multicasts"`
+	PITExpiries int     `json:"pit_expiries"`
 	CacheHits   int     `json:"cache_hits"`
 	CachePromos int     `json:"cache_promotions"`
 	CacheEvicts int     `json:"cache_evictions"`
@@ -60,7 +63,9 @@ func windowLine(runIdx int, w Window) jsonlWindow {
 		Injections: w.Injections, Completions: w.Completions,
 		Drops: w.Drops, Services: w.Services,
 		DepthMax: w.DepthMax, DepthMean: depthMean(w.Counters),
-		Merges: w.Merges, CacheHits: w.CacheHits,
+		Merges: w.Merges, Suppressed: w.Suppressions,
+		Multicasts: w.Multicasts, PITExpiries: w.PITExpiries,
+		CacheHits:   w.CacheHits,
 		CachePromos: w.CachePromos, CacheEvicts: w.CacheEvicts,
 	}
 }
@@ -102,16 +107,17 @@ func (r *Recorder) WriteJSONL(w io.Writer) error {
 // WriteCSV writes the window timeseries of every run as one CSV table
 // (flights don't tabulate — use the JSONL export for those).
 func (r *Recorder) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "run,start,end,in_flight,injections,completions,drops,services,depth_max,depth_mean,merges,cache_hits,cache_promotions,cache_evictions"); err != nil {
+	if _, err := fmt.Fprintln(w, "run,start,end,in_flight,injections,completions,drops,services,depth_max,depth_mean,merges,suppressed,multicasts,pit_expiries,cache_hits,cache_promotions,cache_evictions"); err != nil {
 		return err
 	}
 	for i, run := range r.runs {
 		for _, win := range run.Windows() {
-			if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%.4f,%d,%d,%d,%d\n",
+			if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%.4f,%d,%d,%d,%d,%d,%d,%d\n",
 				i, win.Start, win.End, win.InFlight,
 				win.Injections, win.Completions, win.Drops, win.Services,
 				win.DepthMax, depthMean(win.Counters),
-				win.Merges, win.CacheHits, win.CachePromos, win.CacheEvicts); err != nil {
+				win.Merges, win.Suppressions, win.Multicasts, win.PITExpiries,
+				win.CacheHits, win.CachePromos, win.CacheEvicts); err != nil {
 				return err
 			}
 		}

@@ -5,7 +5,8 @@
 //
 //   - A window timeseries: counters and gauges (injections,
 //     completions, drops, services, queue depth max/mean, aggregation
-//     merges, cache hits/promotions/evictions) bucketed by
+//     merges, PIT suppressions/multicasts/expiries, cache
+//     hits/promotions/evictions) bucketed by
 //     virtual-time window — the engine's safe-horizon window of one
 //     service time — in a fixed-capacity series that coalesces
 //     adjacent buckets as the run outgrows it.
@@ -56,6 +57,9 @@ const (
 	DecisionBacktrack
 	// DecisionReroute is a random re-route jump out of a dead end.
 	DecisionReroute
+	// DecisionAnswer is a response-leg hop: the answer to a delivered
+	// lookup retracing the reverse path (ModeLivePIT).
+	DecisionAnswer
 )
 
 func (d Decision) String() string {
@@ -66,6 +70,8 @@ func (d Decision) String() string {
 		return "backtrack"
 	case DecisionReroute:
 		return "reroute"
+	case DecisionAnswer:
+		return "answer"
 	default:
 		return "snapshot"
 	}
@@ -86,6 +92,10 @@ const (
 	// ServedAggregated: answered by riding along with a same-key
 	// carrier at an aggregation point.
 	ServedAggregated
+	// ServedPIT: answered by a pending-interest multicast — the lookup
+	// was suppressed at a PIT entry and a returning answer released it
+	// (ModeLivePIT).
+	ServedPIT
 )
 
 func (s Served) String() string {
@@ -98,6 +108,8 @@ func (s Served) String() string {
 		return "cache"
 	case ServedAggregated:
 		return "aggregated"
+	case ServedPIT:
+		return "pit"
 	default:
 		return "none"
 	}
@@ -107,17 +119,20 @@ func (s Served) String() string {
 // either additive or a max, so buckets merge exactly: the coalesced
 // series is independent of the order increments arrived in.
 type Counters struct {
-	Injections  int
-	Completions int
-	Drops       int // completions that failed (not delivered)
-	Services    int
-	Merges      int // aggregation ride-alongs
-	CacheHits   int // deliveries served by a cache-on-path copy
-	CachePromos int
-	CacheEvicts int
-	DepthSum    int // sum of queue depths seen at arrival
-	DepthCount  int
-	DepthMax    int
+	Injections   int
+	Completions  int
+	Drops        int // completions that failed (not delivered)
+	Services     int
+	Merges       int // aggregation ride-alongs
+	Suppressions int // PIT suppressions: requests parked as waiters
+	Multicasts   int // waiters released by PIT answer multicasts
+	PITExpiries  int // waits ended by timeout instead of an answer
+	CacheHits    int // deliveries served by a cache-on-path copy
+	CachePromos  int
+	CacheEvicts  int
+	DepthSum     int // sum of queue depths seen at arrival
+	DepthCount   int
+	DepthMax     int
 }
 
 func (c *Counters) add(o *Counters) {
@@ -126,6 +141,9 @@ func (c *Counters) add(o *Counters) {
 	c.Drops += o.Drops
 	c.Services += o.Services
 	c.Merges += o.Merges
+	c.Suppressions += o.Suppressions
+	c.Multicasts += o.Multicasts
+	c.PITExpiries += o.PITExpiries
 	c.CacheHits += o.CacheHits
 	c.CachePromos += o.CachePromos
 	c.CacheEvicts += o.CacheEvicts
@@ -138,7 +156,8 @@ func (c *Counters) add(o *Counters) {
 
 func (c *Counters) empty() bool {
 	return c.Injections == 0 && c.Completions == 0 && c.Services == 0 &&
-		c.Merges == 0 && c.CacheHits == 0 && c.CachePromos == 0 &&
+		c.Merges == 0 && c.Suppressions == 0 && c.Multicasts == 0 &&
+		c.PITExpiries == 0 && c.CacheHits == 0 && c.CachePromos == 0 &&
 		c.CacheEvicts == 0 && c.DepthCount == 0
 }
 
@@ -497,6 +516,30 @@ func (r *Recorder) Merge(msg int, t float64) {
 	}
 }
 
+// Suppress records one PIT suppression at virtual time t: a request
+// parked as a waiter on a pending same-key interest instead of
+// forwarding. Sequential-loop form; shard drains use View.Suppress.
+func (r *Recorder) Suppress(t float64) {
+	if run := r.cur; run != nil {
+		run.win.at(run.window(t)).Suppressions++
+	}
+}
+
+// Multicast records one PIT answer multicast at virtual time t
+// releasing fanout waiters.
+func (r *Recorder) Multicast(t float64, fanout int) {
+	if run := r.cur; run != nil {
+		run.win.at(run.window(t)).Multicasts += fanout
+	}
+}
+
+// PITExpire records one wait ending by timeout at virtual time t.
+func (r *Recorder) PITExpire(t float64) {
+	if run := r.cur; run != nil {
+		run.win.at(run.window(t)).PITExpiries++
+	}
+}
+
 // Cache records cache-on-path churn observed at virtual time t:
 // promotions and evictions since the last call (the engine polls the
 // placement's cumulative counters and reports deltas).
@@ -562,6 +605,22 @@ func (v *View) Service(t float64, depth int) {
 	if depth > c.DepthMax {
 		c.DepthMax = depth
 	}
+}
+
+// Suppress is the shard-drain form of Recorder.Suppress: the counter
+// lands in the shard's private series and folds at EndRun.
+func (v *View) Suppress(t float64) {
+	v.s.at(v.run.window(t)).Suppressions++
+}
+
+// Multicast is the shard-drain form of Recorder.Multicast.
+func (v *View) Multicast(t float64, fanout int) {
+	v.s.at(v.run.window(t)).Multicasts += fanout
+}
+
+// PITExpire is the shard-drain form of Recorder.PITExpire.
+func (v *View) PITExpire(t float64) {
+	v.s.at(v.run.window(t)).PITExpiries++
 }
 
 // Hop appends one hop to a sampled message's flight. Safe from the
@@ -753,14 +812,29 @@ func (r *Recorder) PanelSeries() (label string, names []string, values [][]float
 		col(func(w Window) float64 { return float64(w.Services) }),
 		col(func(w Window) float64 { return float64(w.DepthMax) }),
 	}
-	var merges, hits int
+	var merges, suppressed, multicast, expired, hits int
 	for _, w := range ws {
 		merges += w.Merges
+		suppressed += w.Suppressions
+		multicast += w.Multicasts
+		expired += w.PITExpiries
 		hits += w.CacheHits
 	}
 	if merges > 0 {
 		names = append(names, "merges")
 		values = append(values, col(func(w Window) float64 { return float64(w.Merges) }))
+	}
+	if suppressed > 0 {
+		names = append(names, "suppressed")
+		values = append(values, col(func(w Window) float64 { return float64(w.Suppressions) }))
+	}
+	if multicast > 0 {
+		names = append(names, "multicast")
+		values = append(values, col(func(w Window) float64 { return float64(w.Multicasts) }))
+	}
+	if expired > 0 {
+		names = append(names, "pit expired")
+		values = append(values, col(func(w Window) float64 { return float64(w.PITExpiries) }))
 	}
 	if hits > 0 {
 		names = append(names, "cache hits")
