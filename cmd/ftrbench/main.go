@@ -21,13 +21,19 @@
 // PIT knee rate's lift over the aggregation knee rate, plus a
 // shard-scaling section timing the live loop sequentially and at
 // -shards shards on a larger torus and recording
-// events_per_sec_per_core).
+// events_per_sec_per_core, plus a churn-recovery section measuring how
+// fast gossip-membership repair restores flood-knee throughput after a
+// correlated kill of 30% of the network, against the never-repaired
+// baseline).
 //
 // -validate checks previously written headline files: they must parse,
 // no headline metric may be NaN, infinite, or zero, every knee
 // throughput must be at least the minimal-load baseline recorded
-// alongside it, and every knee_lift_* field must be at least 1 (a lift
-// below its own baseline means the feature regressed). The CI
+// alongside it, every knee_lift_* field must be at least 1 (a lift
+// below its own baseline means the feature regressed), and the
+// engine headline's recovery section must show gossip repair actually
+// recovering — recovery_time finite and positive and recovered_frac at
+// least recover_frac. The CI
 // bench-regression job runs ftrbench, then ftrbench -validate, and
 // uploads the headlines as artifacts.
 //
@@ -647,6 +653,15 @@ type engineHeadline struct {
 	// barrier_wait_frac in [0, 1], positive drains, shard-count
 	// consistency — never magnitudes.
 	Scheduler *schedSection `json:"scheduler"`
+	// Recovery is the churn headline: flood traffic at the healthy
+	// knee, a correlated kill of 30% of the ring (the flood target
+	// protected), and gossip-membership repair racing to restore
+	// delivered throughput. -validate gates recovery_time finite and
+	// positive and recovered_frac ≥ recover_frac for the repaired run
+	// — the never-repaired baseline fields are recorded for contrast
+	// (baseline_recovery_time is -1 when the baseline never got back
+	// above the threshold).
+	Recovery *recoverySection `json:"recovery"`
 }
 
 // schedSection is the headline's scheduler profile, filled from
@@ -666,6 +681,61 @@ type schedSection struct {
 	// histogram of those per-shard-window event counts.
 	OccupancyMeanEvents float64          `json:"occupancy_mean_events"`
 	OccupancyWindows    map[string]int64 `json:"occupancy_windows,omitempty"`
+}
+
+// recoverySection is the headline's churn-recovery profile, filled
+// from experiments.MeasureRecovery (the same helper behind
+// ext.churn.recovery, so the table and the headline can never drift
+// apart). All times are virtual ticks; a recovery time of -1 means the
+// run never returned to recover_frac of its pre-kill throughput.
+type recoverySection struct {
+	Nodes                 int     `json:"nodes"`
+	KillFrac              float64 `json:"kill_frac"`
+	KillAt                float64 `json:"kill_at"`
+	RecoverFrac           float64 `json:"recover_frac"`
+	KneeRate              float64 `json:"knee_rate"`
+	PreKillThroughput     float64 `json:"pre_kill_throughput"`
+	FloorThroughput       float64 `json:"floor_throughput"`
+	RecoveryTime          float64 `json:"recovery_time"`
+	RecoveredFrac         float64 `json:"recovered_frac"`
+	BaselineRecoveryTime  float64 `json:"baseline_recovery_time"`
+	BaselineRecoveredFrac float64 `json:"baseline_recovered_frac"`
+	Crashes               int     `json:"crashes"`
+	LinksRebuilt          int     `json:"links_rebuilt"`
+	GossipSends           int     `json:"gossip_sends"`
+	MembershipLag         float64 `json:"membership_lag"`
+}
+
+// measureRecovery fills the headline's recovery section: the repaired
+// run and the never-repaired baseline of the same kill.
+func measureRecovery(h *engineHeadline, n, msgs int, seed uint64) error {
+	p := experiments.Params{N: n, Msgs: msgs, Seed: seed}
+	on, err := experiments.MeasureRecovery(p, true)
+	if err != nil {
+		return err
+	}
+	off, err := experiments.MeasureRecovery(p, false)
+	if err != nil {
+		return err
+	}
+	h.Recovery = &recoverySection{
+		Nodes:                 n,
+		KillFrac:              0.3,
+		KillAt:                on.KillAt,
+		RecoverFrac:           experiments.RecoverFrac,
+		KneeRate:              on.Knee,
+		PreKillThroughput:     on.PreKill,
+		FloorThroughput:       on.Floor,
+		RecoveryTime:          on.RecoveryTime,
+		RecoveredFrac:         on.Recovered,
+		BaselineRecoveryTime:  off.RecoveryTime,
+		BaselineRecoveredFrac: off.Recovered,
+		Crashes:               on.Crashes,
+		LinksRebuilt:          on.LinksRebuilt,
+		GossipSends:           on.GossipSends,
+		MembershipLag:         on.MembershipLag,
+	}
+	return nil
 }
 
 // schedSectionFrom flattens a telemetry scheduler profile into the
@@ -884,6 +954,9 @@ func writeEngineHeadline(path string, n, msgs int, seed uint64, shards int) erro
 	if err := measureScaling(&h, n, seed, shards); err != nil {
 		return err
 	}
+	if err := measureRecovery(&h, n, msgs, seed); err != nil {
+		return err
+	}
 	return writeJSON(path, h)
 }
 
@@ -925,6 +998,15 @@ func validateHeadline(path string) error {
 			return fmt.Errorf("%s: scheduler section is not an object", path)
 		}
 		if err := checkScheduler(sched, fields); err != nil {
+			return fmt.Errorf("%s: %v", path, err)
+		}
+	}
+	if raw, present := fields["recovery"]; present && raw != nil {
+		rec, ok := raw.(map[string]interface{})
+		if !ok {
+			return fmt.Errorf("%s: recovery section is not an object", path)
+		}
+		if err := checkRecovery(rec); err != nil {
 			return fmt.Errorf("%s: %v", path, err)
 		}
 	}
@@ -1008,6 +1090,81 @@ func checkScheduler(sched, fields map[string]interface{}) error {
 				return fmt.Errorf("scheduler.handoffs[%d] = %v must be a non-negative integer", i, h)
 			}
 		}
+	}
+	return nil
+}
+
+// checkRecovery validates the BENCH_engine.json recovery section —
+// the churn acceptance gate. The repaired run must have recovered:
+// recovery_time finite and positive, recovered_frac at least
+// recover_frac, and the repair ledger (crashes, links_rebuilt,
+// gossip_sends) nonzero, over a sane scenario (kill_frac and
+// recover_frac in (0, 1], positive knee and pre-kill throughput). The
+// baseline fields only need to be well-formed: baseline_recovery_time
+// is either positive or the -1 "never recovered" sentinel.
+func checkRecovery(rec map[string]interface{}) error {
+	num := func(key string) (float64, error) {
+		f, ok := rec[key].(float64)
+		if !ok || math.IsNaN(f) || math.IsInf(f, 0) {
+			return 0, fmt.Errorf("recovery.%s %v must be a finite number", key, rec[key])
+		}
+		return f, nil
+	}
+	for _, key := range []string{"kill_frac", "recover_frac"} {
+		f, err := num(key)
+		if err != nil {
+			return err
+		}
+		if f <= 0 || f > 1 {
+			return fmt.Errorf("recovery.%s = %g must lie in (0, 1]", key, f)
+		}
+	}
+	for _, key := range []string{"knee_rate", "pre_kill_throughput", "kill_at"} {
+		f, err := num(key)
+		if err != nil {
+			return err
+		}
+		if f <= 0 {
+			return fmt.Errorf("recovery.%s = %g must be positive", key, f)
+		}
+	}
+	rt, err := num("recovery_time")
+	if err != nil {
+		return err
+	}
+	if rt <= 0 {
+		return fmt.Errorf("recovery.recovery_time = %g: repair never restored %v of the pre-kill throughput",
+			rt, rec["recover_frac"])
+	}
+	frac, err := num("recovered_frac")
+	if err != nil {
+		return err
+	}
+	if want, _ := rec["recover_frac"].(float64); frac < want {
+		return fmt.Errorf("recovery.recovered_frac = %g is below recover_frac %g", frac, want)
+	}
+	for _, key := range []string{"crashes", "links_rebuilt", "gossip_sends"} {
+		f, err := num(key)
+		if err != nil {
+			return err
+		}
+		if f < 1 || f != math.Trunc(f) {
+			return fmt.Errorf("recovery.%s = %v must be a positive integer (the repair machinery must have run)", key, rec[key])
+		}
+	}
+	for _, key := range []string{"floor_throughput", "membership_lag", "baseline_recovered_frac"} {
+		f, err := num(key)
+		if err != nil {
+			return err
+		}
+		if f < 0 {
+			return fmt.Errorf("recovery.%s = %g must be non-negative", key, f)
+		}
+	}
+	if bt, err := num("baseline_recovery_time"); err != nil {
+		return err
+	} else if bt <= 0 && bt != -1 {
+		return fmt.Errorf("recovery.baseline_recovery_time = %g must be positive or the -1 sentinel", bt)
 	}
 	return nil
 }

@@ -270,6 +270,88 @@ func TestRunBadFlag(t *testing.T) {
 	}
 }
 
+func TestValidateRecoverySection(t *testing.T) {
+	dir := t.TempDir()
+	// A complete, healthy recovery section; each bad case below patches
+	// one field of it.
+	good := map[string]interface{}{
+		"nodes": 1024, "kill_frac": 0.3, "kill_at": 642.5, "recover_frac": 0.9,
+		"knee_rate": 2.125, "pre_kill_throughput": 2.174, "floor_throughput": 1.0,
+		"recovery_time": 37.5, "recovered_frac": 1.38,
+		"baseline_recovery_time": -1.0, "baseline_recovered_frac": 0.62,
+		"crashes": 307, "links_rebuilt": 705, "gossip_sends": 9892,
+		"membership_lag": 11.0,
+	}
+	wrap := func(patch map[string]interface{}) string {
+		rec := make(map[string]interface{}, len(good))
+		for k, v := range good {
+			rec[k] = v
+		}
+		for k, v := range patch {
+			if v == nil {
+				delete(rec, k)
+			} else {
+				rec[k] = v
+			}
+		}
+		buf, err := json.Marshal(map[string]interface{}{
+			"experiment": "x", "knee_rate_live": 1.0, "recovery": rec,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(buf)
+	}
+	okCases := map[string]string{
+		"good.json": wrap(nil),
+		// A baseline that also recovered (slower) is legitimate.
+		"baserec.json": wrap(map[string]interface{}{"baseline_recovery_time": 45.5}),
+		// Absent section stays valid (older files).
+		"norec.json": `{"experiment":"x","knee_rate_live":1}`,
+	}
+	for name, content := range okCases {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out, errOut strings.Builder
+		if code := run([]string{"-validate", path}, &out, &errOut); code != 0 {
+			t.Errorf("%s: exit = %d, want 0 (stderr %q)", name, code, errOut.String())
+		}
+	}
+	badCases := map[string]string{
+		"notobj.json": `{"experiment":"x","knee_rate_live":1,"recovery":5}`,
+		// The headline gate: repair must recover, in finite positive time.
+		"neverrec.json":  wrap(map[string]interface{}{"recovery_time": -1}),
+		"zerorec.json":   wrap(map[string]interface{}{"recovery_time": 0}),
+		"norectime.json": wrap(map[string]interface{}{"recovery_time": nil}),
+		"lowfrac.json":   wrap(map[string]interface{}{"recovered_frac": 0.85}),
+		// Scenario sanity.
+		"killhigh.json":  wrap(map[string]interface{}{"kill_frac": 1.5}),
+		"killzero.json":  wrap(map[string]interface{}{"kill_frac": 0}),
+		"zeroknee.json":  wrap(map[string]interface{}{"knee_rate": 0}),
+		"zeropre.json":   wrap(map[string]interface{}{"pre_kill_throughput": 0}),
+		"negfloor.json":  wrap(map[string]interface{}{"floor_throughput": -0.1}),
+		"badbase.json":   wrap(map[string]interface{}{"baseline_recovery_time": -2}),
+		"fracrange.json": wrap(map[string]interface{}{"recover_frac": 0}),
+		// The repair machinery must actually have run.
+		"nocrash.json":   wrap(map[string]interface{}{"crashes": 0}),
+		"norebuild.json": wrap(map[string]interface{}{"links_rebuilt": 0}),
+		"nogossip.json":  wrap(map[string]interface{}{"gossip_sends": 0}),
+		"fraccount.json": wrap(map[string]interface{}{"crashes": 3.5}),
+	}
+	for name, content := range badCases {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out, errOut strings.Builder
+		if code := run([]string{"-validate", path}, &out, &errOut); code != 1 {
+			t.Errorf("%s: exit = %d, want 1 (stderr %q)", name, code, errOut.String())
+		}
+	}
+}
+
 func TestValidateSchedulerSection(t *testing.T) {
 	dir := t.TempDir()
 	// The common prelude keeps each case focused on one scheduler field.

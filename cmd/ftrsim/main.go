@@ -14,6 +14,8 @@
 //	ftrsim -exp ext.engine.flood                            # snapshot vs live vs live+aggregate vs live+pit knees
 //	ftrsim -exp ext.saturation.knee -live -aggregate        # any sweep on the live engine
 //	ftrsim -exp ext.pit.suppression -pittimeout 16          # the response path's suppression ledger
+//	ftrsim -exp ext.load.zipf -live -churn 0.1              # traffic under live node churn
+//	ftrsim -exp ext.churn.recovery -killfrac 0.3            # recovery after a correlated kill
 //
 // Defaults are scaled for quick runs; the flags restore the paper's
 // scale (Figure 6 used n=2^17, 1000 simulations of 100 messages).
@@ -45,6 +47,14 @@
 // -pit). Without the flags, the engine runs in
 // snapshot mode, which reproduces the historical route-then-replay
 // results byte-for-byte.
+//
+// -churn/-killfrac/-killat/-gossipfanout attach node dynamics to any
+// live traffic experiment (internal/failure's ChurnSpec): nodes crash
+// and rejoin as engine events on the same virtual clock as the
+// traffic, failures are detected by probe timeout and disseminated by
+// gossip membership, and repair redraws the §5 long-range links.
+// Churn without -live is rejected by the load layer (snapshot mode
+// routes whole paths against a static graph).
 //
 // All traffic tables are byte-identical for a fixed seed regardless of
 // worker count or machine.
@@ -100,6 +110,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		pitWait  = fs.Int("pitwaiters", 0, "bound on one pending interest's waiter list; arrivals past it forward normally (0 = 16)")
 		shards   = fs.Int("shards", 0, "partition the live event loop across this many cores (0 = 1, the sequential reference; results are identical for every value)")
 		telem    = fs.String("telemetry", "", "record virtual-time telemetry to this file (JSONL, or CSV when the path ends in .csv) and print the window panel; observation only — tables are byte-identical with or without it")
+		churn    = fs.Float64("churn", 0, "background churn rate in node lifecycle events per virtual tick, with gossip membership repair (requires -live; 0 = no background churn)")
+		killFrac = fs.Float64("killfrac", 0, "crash this fraction of the alive nodes in one correlated regional kill (requires -live; 0 = no kill)")
+		killAt   = fs.Float64("killat", 0, "virtual time of the -killfrac kill (0 = one third of the injection horizon)")
+		fanout   = fs.Int("gossipfanout", 0, "membership rumor push fanout of churn repair (0 = 2)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -158,6 +172,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "ftrsim: -pittimeout and -pitwaiters must be non-negative")
 		return 2
 	}
+	if *churn < 0 || *killAt < 0 || *fanout < 0 {
+		fmt.Fprintln(stderr, "ftrsim: -churn, -killat and -gossipfanout must be non-negative")
+		return 2
+	}
+	if *killFrac < 0 || *killFrac > 1 {
+		fmt.Fprintf(stderr, "ftrsim: -killfrac %g must lie in [0, 1]\n", *killFrac)
+		return 2
+	}
 	var tel *telemetry.Recorder
 	if *telem != "" {
 		tel = telemetry.New(telemetry.Options{})
@@ -168,6 +190,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		DepthPenalty: *depth, Arrival: *arrival, Rate: *rate, Clients: *clients, Think: *think,
 		Replicas: *replicas, Cache: *cache, Live: *live, Aggregate: *agg, Shards: *shards,
 		PIT: *pit, PITTimeout: *pitTO, PITWaiters: *pitWait,
+		ChurnRate: *churn, KillFrac: *killFrac, KillAt: *killAt, GossipFanout: *fanout,
 		Telemetry: tel,
 	})
 	if err != nil {

@@ -117,11 +117,65 @@ func TestRunRejectsNegativeLoadFlags(t *testing.T) {
 		{"-exp", "ext.saturation.knee", "-think", "-0.5"},
 		{"-exp", "ext.replica.flood", "-replicas", "-2"},
 		{"-exp", "ext.replica.flood", "-cache", "-1"},
+		{"-exp", "ext.load.zipf", "-live", "-churn", "-0.1"},
+		{"-exp", "ext.load.zipf", "-live", "-killfrac", "-0.3"},
+		{"-exp", "ext.load.zipf", "-live", "-killfrac", "1.5"},
+		{"-exp", "ext.load.zipf", "-live", "-killat", "-10"},
+		{"-exp", "ext.load.zipf", "-live", "-gossipfanout", "-1"},
 	} {
 		var out, errOut strings.Builder
 		if code := run(args, &out, &errOut); code != 2 {
 			t.Errorf("%v: exit = %d, want 2", args, code)
 		}
+	}
+}
+
+func TestRunChurnExperiment(t *testing.T) {
+	// Live traffic with background churn and a correlated kill through
+	// the CLI. The same args must be byte-identical across reruns, and
+	// churn without -live must fail with the load layer's error.
+	args := []string{"-exp", "ext.load.zipf", "-n", "512", "-msgs", "200",
+		"-live", "-churn", "0.05", "-killfrac", "0.2", "-killat", "40", "-gossipfanout", "3"}
+	var out1, out2, errOut strings.Builder
+	if code := run(args, &out1, &errOut); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	for _, col := range []string{"max load", "p99 lat"} {
+		if !strings.Contains(out1.String(), col) {
+			t.Errorf("churn table missing %q:\n%s", col, out1.String())
+		}
+	}
+	if code := run(args, &out2, &errOut); code != 0 {
+		t.Fatalf("second run exit = %d", code)
+	}
+	if out1.String() != out2.String() {
+		t.Error("seeded churn run must be byte-identical across reruns")
+	}
+	errOut.Reset()
+	if code := run([]string{"-exp", "ext.load.zipf", "-churn", "0.05"}, &out1, &errOut); code != 1 {
+		t.Errorf("churn without -live should fail the experiment, got exit %d", code)
+	}
+	if !strings.Contains(errOut.String(), "live") {
+		t.Errorf("stderr should explain the live requirement: %q", errOut.String())
+	}
+}
+
+func TestRunRecoveryExperiment(t *testing.T) {
+	args := []string{"-exp", "ext.churn.recovery", "-n", "512", "-msgs", "1024"}
+	var out1, out2, errOut strings.Builder
+	if code := run(args, &out1, &errOut); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"repair on", "repair off (baseline)", "recovery time", "recovered"} {
+		if !strings.Contains(out1.String(), want) {
+			t.Errorf("recovery table missing %q:\n%s", want, out1.String())
+		}
+	}
+	if code := run(args, &out2, &errOut); code != 0 {
+		t.Fatalf("second run exit = %d", code)
+	}
+	if out1.String() != out2.String() {
+		t.Error("seeded recovery experiment must be byte-identical across reruns")
 	}
 }
 

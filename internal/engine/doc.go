@@ -148,6 +148,28 @@
 // penalties, depth probes, cache churn, closed-loop aggregation) fall
 // back to the sequential loop; see Config.Shards.
 //
+// # Node dynamics (Config.Churn)
+//
+// With Config.Churn enabled (live mode only), nodes crash and join
+// *during* the run: a failure.ChurnSpec expands into a timestamped
+// schedule whose events share the virtual clock with the traffic. The
+// churn op queue — schedule events, probe-timeout detections, gossip
+// rounds, stranded-message resumptions — drains interleaved with the
+// event heap, churn ops first at equal instants, so a message arriving
+// at t sees the world as of t. A crash is die-after-commit: the
+// service the node already committed to completes, every later arrival
+// strands, waits one ProbeTimeout, and re-forwards from the dead node.
+// Repair is gossip membership, not an oracle: neighbours detect the
+// event when their probes go unanswered, rumors push to GossipFanout
+// random alive peers every GossipInterval (each transmission one FIFO
+// service at the sender, so dissemination competes with traffic), and
+// a node redraws its long links into a dead node only once it has
+// *learned* of the crash. A join revives the node, redraws its §5
+// long-range links, and bootstraps its view from alive neighbours.
+// Because churn mutates the shared graph at schedule instants, churn
+// runs always take the sequential loop (PlanReasonChurn); see churn.go
+// for the full mechanics and internal/failure for the schedule model.
+//
 // Determinism: both modes are pure functions of (graph, messages,
 // schedule, config, root source). Snapshot mode parallelizes path
 // computation but keys every message to its own derived rng stream;

@@ -86,6 +86,12 @@ type Config struct {
 	// forwards normally. Must be at least 1 in PIT mode, zero
 	// otherwise.
 	PITWaiters int
+	// Churn attaches node dynamics: a schedule of crash/join events
+	// interleaved with traffic on the virtual clock, detected and
+	// repaired by a gossip membership layer charged to the same per-node
+	// FIFOs (see churn.go). Enabled churn requires a live mode and pins
+	// the run to the sequential loop (Config.Plan, PlanReasonChurn).
+	Churn ChurnConfig
 	// Placement, when non-nil, replicates every key: messages route to
 	// the nearest live member of Placement.Targets(key). Cache-on-path
 	// observation and decay are driven from engine events (batch
@@ -136,6 +142,9 @@ func (c Config) validate() error {
 		return fmt.Errorf("engine: PIT knobs (timeout %g, waiters %d) are only meaningful in ModeLivePIT",
 			c.PITTimeout, c.PITWaiters)
 	}
+	if err := c.Churn.validate(c.Mode); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -178,6 +187,31 @@ type Outcome struct {
 	// PITExpired counts waits that ended by timeout rather than by an
 	// answer: the waiter re-forwarded on its own. ModeLivePIT only.
 	PITExpired int
+	// Churn ledger (Config.Churn enabled only). Crashes/Joins count the
+	// schedule events actually applied. Stranded counts arrivals that
+	// found their node dead; each resolves exactly once as StrandResumed
+	// (the lookup continued — moved on, replayed at the revived node, or
+	// completed delivered) or StrandDropped (it ended undelivered at the
+	// resume), so Stranded == StrandResumed + StrandDropped always.
+	// Reattached counts injections whose dead source was re-homed to the
+	// nearest alive node.
+	Crashes       int
+	Joins         int
+	Stranded      int
+	StrandResumed int
+	StrandDropped int
+	Reattached    int
+	// GossipSends counts membership transmissions (gossip pushes and
+	// join bootstraps), each charged as one FIFO service at its sender;
+	// LinksRebuilt counts long links redrawn by repair and rejoin.
+	GossipSends  int
+	LinksRebuilt int
+	// RumorsConverged/RumorsAbandoned partition the resolved rumors:
+	// known by every alive node, or orphaned (every knower crashed).
+	// MembershipLag is the worst event-to-convergence time observed.
+	RumorsConverged int
+	RumorsAbandoned int
+	MembershipLag   float64
 	// Plan is the execution plan the run resolved to, and PlanReason
 	// the pinned explanation for the choice (see Config.Plan).
 	Plan       ExecutionPlan

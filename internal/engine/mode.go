@@ -102,6 +102,10 @@ const (
 	// PlanReasonSingleShard: one shard is the sequential loop by
 	// definition.
 	PlanReasonSingleShard = "one shard requested: the sequential loop is the single-core plan"
+	// PlanReasonChurn: churn mutates the shared graph and membership
+	// state at schedule instants, which breaks the shards'
+	// window-independence argument.
+	PlanReasonChurn = "churn mutates the shared graph and membership state at schedule instants; the sequential loop is the documented fallback"
 	// PlanReasonCongestion: Penalty/DepthPenalty/Route.Congestion read
 	// globally-accumulated charge and arbitrary nodes' instantaneous
 	// queue depths at every hop.
@@ -137,6 +141,9 @@ func (c Config) Plan(sched Schedule) (ExecutionPlan, string) {
 	}
 	if c.Shards <= 1 {
 		return PlanLiveSequential, PlanReasonSingleShard
+	}
+	if c.Churn.Enabled() {
+		return PlanLiveSequential, PlanReasonChurn
 	}
 	if c.Penalty > 0 || c.DepthPenalty > 0 || c.Route.Congestion != nil {
 		return PlanLiveSequential, PlanReasonCongestion

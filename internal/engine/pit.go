@@ -92,6 +92,13 @@ func (r *runner) processPIT(a event) {
 		if r.tel != nil {
 			r.tel.PITExpire(a.time)
 		}
+		if r.churn != nil && !r.g.Alive(r.pos[m]) {
+			// The wait node died under the waiter: no service can happen
+			// here, so the re-forward goes through the strand discipline —
+			// one more probe window, then a serviceless step out.
+			r.strand(m, r.waitIdx[m], a.time)
+			return
+		}
 		// The wait is over: re-forward from the wait node, skipping the
 		// suppression check — the entry here demonstrably failed to
 		// produce an answer within an interest lifetime.
@@ -99,6 +106,13 @@ func (r *runner) processPIT(a event) {
 		return
 	}
 	if a.idx == 0 && !r.admitLive(a) {
+		return
+	}
+	if r.churn != nil && !r.g.Alive(r.pos[m]) {
+		// Request or answer, the arrival found its node dead: strand.
+		// An interest pending here will never multicast — its waiters
+		// expire on their own timeouts, the waiters-must-expire rule.
+		r.strand(m, a.idx, a.time)
 		return
 	}
 	if r.answering[m] {

@@ -124,6 +124,10 @@ type runner struct {
 	// (nil in the sequential modes — unlock routes around it). See
 	// horizon.go.
 	pend *mathx.Heap[Injection]
+
+	// Node dynamics (Config.Churn enabled; nil otherwise — every churn
+	// site checks). See churn.go.
+	churn *churnState
 }
 
 func newRunner(g *graph.Graph, msgs []Message, sched Schedule, cfg Config, root *rng.Source) *runner {
@@ -147,6 +151,13 @@ func newRunner(g *graph.Graph, msgs []Message, sched Schedule, cfg Config, root 
 	if cfg.Placement != nil {
 		r.caching = cfg.Placement.Caching()
 		r.decaying = cfg.Placement.Decaying()
+	}
+	if cfg.Mode.Live() && cfg.Churn.Enabled() {
+		// Stream 5 of the run's root is the churn layer's randomness
+		// (gossip peer draws, repair link redraws); streams 16+i stay the
+		// per-message routing contract, so a schedule with zero events
+		// consumes nothing and perturbs nothing.
+		r.churn = newChurnState(g, cfg.Churn, root.Derive(5))
 	}
 	if cfg.Mode.Live() {
 		r.walkers = make([]*route.Walker, n)
@@ -711,11 +722,30 @@ func (r *runner) advanceThrough(t float64) {
 	}
 }
 
-// drain processes the loop to exhaustion.
+// drain processes the loop to exhaustion. With churn attached the op
+// queue interleaves on the same clock; ops win ties, so a message
+// event popped at t sees the graph and membership state as of t, and
+// the loop runs until both traffic and gossip quiesce.
 func (r *runner) drain() {
-	for r.err == nil && r.h.Len() > 0 {
+	for r.err == nil {
+		if r.churn.nextOpBefore(peekTime(r.h), r.h.Len() == 0) {
+			r.churnOp(r.churn.ops.Pop())
+			continue
+		}
+		if r.h.Len() == 0 {
+			return
+		}
 		r.processOne(r.h.Pop())
 	}
+}
+
+// peekTime is the heap's next event time (unused when the heap is
+// empty — nextOpBefore checks heapEmpty first).
+func peekTime(h *mathx.Heap[event]) float64 {
+	if h.Len() == 0 {
+		return 0
+	}
+	return h.Peek().time
 }
 
 // admitLive performs a live message's virtual injection instant: it
@@ -733,8 +763,26 @@ func (r *runner) admitLive(a event) bool {
 			r.cacheDelta(a.time)
 		}
 	}
-	w, err := r.router.Walker(r.root.Derive(16+uint64(a.msg)), r.msgs[a.msg].From, r.targetsFor(a.msg))
+	from := r.msgs[a.msg].From
+	if r.churn != nil && !r.g.Alive(from) {
+		// The source died before this lookup was injected: the client
+		// behind the dead portal enters at the nearest alive node.
+		p, ok := r.reattachOrigin(from)
+		if !ok {
+			r.err = errExtinct
+			return false
+		}
+		from = p
+	}
+	w, err := r.router.Walker(r.root.Derive(16+uint64(a.msg)), from, r.targetsFor(a.msg))
 	if err != nil {
+		if r.churn != nil {
+			// Under churn a lookup can be born unroutable — every replica
+			// of its key dead at this instant. That is a failed search,
+			// not a configuration error.
+			r.bornFailed(a.msg, a.time)
+			return false
+		}
 		r.err = err
 		return false
 	}
@@ -768,6 +816,12 @@ func (r *runner) processOne(a event) {
 			}
 		}
 		node = r.pos[a.msg]
+		if r.churn != nil && !r.g.Alive(node) {
+			// The node died since this hop was scheduled: the message
+			// strands here and resumes after the probe window (churn.go).
+			r.strand(a.msg, a.idx, a.time)
+			return
+		}
 	} else {
 		node = r.paths[a.msg][a.idx]
 	}

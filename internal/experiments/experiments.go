@@ -112,6 +112,20 @@ type Params struct {
 	// -telemetry). Observation only: results are byte-identical with
 	// it nil or set.
 	Telemetry *telemetry.Recorder
+	// ChurnRate is the background churn intensity in lifecycle events
+	// per virtual tick (ftrsim -churn): nodes crash and rejoin while
+	// traffic runs, detected by probe timeout and repaired by gossip
+	// membership. Churn requires the live engine (-live); 0 disables
+	// background churn.
+	ChurnRate float64
+	// KillFrac crashes this fraction of the alive nodes in one
+	// correlated regional kill (ftrsim -killfrac) at KillAt virtual
+	// ticks (ftrsim -killat; 0 = one third of the injection horizon).
+	KillFrac float64
+	KillAt   float64
+	// GossipFanout is the membership rumor push fanout (ftrsim
+	// -gossipfanout); 0 selects the load layer's default (2).
+	GossipFanout int
 }
 
 func (p Params) withDefaults(n, trials, msgs int) Params {

@@ -85,6 +85,19 @@ func loadConfig(p Params) (load.Config, error) {
 	if p.Replicas > 1 || p.Cache > 0 {
 		cfg.Replication = &replica.Options{K: p.Replicas, CacheThreshold: p.Cache}
 	}
+	// Any churn knob attaches node dynamics with repair on; the load
+	// layer resolves the gossip defaults and rejects churn without
+	// -live, so a bad combination fails with its error instead of
+	// silently running static.
+	if p.ChurnRate > 0 || p.KillFrac > 0 {
+		cfg.Churn = failure.ChurnSpec{
+			Rate:         p.ChurnRate,
+			KillFrac:     p.KillFrac,
+			KillAt:       p.KillAt,
+			GossipFanout: p.GossipFanout,
+			Repair:       true,
+		}
+	}
 	if p.Arrival != "" {
 		arr, err := load.NewArrival(p.Arrival, p.Rate, p.Clients, p.Think)
 		if err != nil {

@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/failure"
+	"repro/internal/load"
+	"repro/internal/metric"
+	"repro/internal/rng"
+	"repro/internal/route"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// The ext.churn.recovery experiment asks the self-stabilization
+// question at traffic scale: after a correlated kill of a fraction of
+// the network mid-flood, how long until gossip-membership repair
+// restores delivered throughput? The measurement is windowed delivered
+// throughput from the telemetry timeseries — (completions − drops) per
+// virtual tick — compared between the pre-kill steady state and the
+// post-kill windows. Repair on vs repair off is the headline contrast:
+// the repaired network must climb back to ≥ 90% of its pre-kill
+// flood-knee throughput in finite virtual time.
+
+// RecoverFrac is the recovery threshold: the first post-kill window
+// whose delivered throughput reaches this fraction of the pre-kill
+// mean marks the network recovered.
+const RecoverFrac = 0.9
+
+// RecoveryResult is one measured churn-recovery run. ftrbench's
+// BENCH_engine.json recovery section and the ext.churn.recovery table
+// are both filled from it.
+type RecoveryResult struct {
+	// Knee is the healthy network's flood-knee rate (the offered load
+	// the measurement runs at) and PreKill the mean delivered
+	// throughput over the windows wholly before the kill.
+	Knee    float64
+	PreKill float64
+	// KillAt is the kill's virtual time, Floor the worst post-kill
+	// window's delivered throughput.
+	KillAt float64
+	Floor  float64
+	// RecoveryTime is the virtual time from the kill to the end of the
+	// first post-kill window back at ≥ RecoverFrac·PreKill, or -1 if
+	// the run never recovered. Recovered is the best post-kill
+	// window's fraction of PreKill.
+	RecoveryTime float64
+	Recovered    float64
+	// Repair ledger, copied from the run.
+	Crashes, Joins, LinksRebuilt, GossipSends int
+	MembershipLag                             float64
+}
+
+// recoveryScenario resolves the shared scenario parameters from p:
+// a healthy seeded ring under single-target flood traffic.
+func recoveryScenario(p Params) (msgs int, killFrac float64, p2 Params) {
+	p = p.withDefaults(1<<10, 1, 0)
+	msgs = p.Msgs
+	if msgs == 0 {
+		msgs = 4 * p.N
+	}
+	killFrac = p.KillFrac
+	if killFrac == 0 {
+		killFrac = 0.3
+	}
+	return msgs, killFrac, p
+}
+
+// MeasureRecovery runs the churn-recovery scenario once: sweep the
+// healthy flood knee, then rerun at the knee rate with a correlated
+// kill of killFrac at one third of the injection horizon (Params.KillAt
+// overrides), gossip repair on or off, and read the recovery profile
+// out of the telemetry windows. The flood target is protected from the
+// kill — the measurement is about routing repair, not about losing the
+// only copy of the hot key. Deterministic in (Params, repair).
+func MeasureRecovery(p Params, repair bool) (*RecoveryResult, error) {
+	msgs, killFrac, p := recoveryScenario(p)
+
+	// Phase 1: the healthy knee. The sweep attaches no churn, so the
+	// graph comes out untouched and the knee is the pre-kill capacity.
+	g, err := buildLoadGraph(loadScenario{dim: 1}, p, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	sweepCfg := load.SweepConfig{
+		Config: load.Config{
+			Messages: msgs,
+			Capacity: p.Capacity,
+			Workers:  p.Workers,
+			Shards:   p.Shards,
+			Live:     true,
+			Route:    routeOptions(),
+		},
+		Model:      "poisson",
+		Bisections: 4,
+	}
+	runSeed := p.Seed + 6000
+	res, err := load.Sweep(g, load.Flood(), sweepCfg, runSeed)
+	if err != nil {
+		return nil, err
+	}
+	if res.KneePoint() == nil {
+		return nil, fmt.Errorf(
+			"churn recovery: no finite knee (minimum load already unstable at n=%d msgs=%d; raise -msgs)",
+			p.N, msgs)
+	}
+	knee := res.Knee
+
+	// Phase 2: the kill. Pre-bind a probe flood generator with the
+	// stream load.Run will use, so the Protect list names the same
+	// victim Run's own Bind elects.
+	probe := load.Flood()
+	if err := probe.Bind(g, rng.New(runSeed).Derive(0)); err != nil {
+		return nil, err
+	}
+	target, ok := load.FloodTarget(probe)
+	if !ok {
+		return nil, fmt.Errorf("churn recovery: flood generator did not bind a target")
+	}
+	horizon := float64(msgs) / knee
+	killAt := p.KillAt
+	if killAt == 0 {
+		killAt = horizon / 3
+	}
+	tel := telemetry.New(telemetry.Options{})
+	cfg := load.Config{
+		Messages:  msgs,
+		Capacity:  p.Capacity,
+		Workers:   p.Workers,
+		Shards:    p.Shards,
+		Live:      true,
+		Arrival:   load.Poisson(knee),
+		Route:     routeOptions(),
+		Telemetry: tel,
+		Churn: failure.ChurnSpec{
+			Rate:         p.ChurnRate,
+			Horizon:      horizon,
+			KillFrac:     killFrac,
+			KillAt:       killAt,
+			GossipFanout: p.GossipFanout,
+			Repair:       repair,
+			Protect:      []metric.Point{target},
+		},
+	}
+	run, err := load.Run(g, load.Flood(), cfg, runSeed)
+	if err != nil {
+		return nil, err
+	}
+	out := &RecoveryResult{
+		Knee:          knee,
+		KillAt:        killAt,
+		Crashes:       run.Crashes,
+		Joins:         run.Joins,
+		LinksRebuilt:  run.LinksRebuilt,
+		GossipSends:   run.GossipSends,
+		MembershipLag: run.MembershipLag,
+	}
+	if err := out.readWindows(tel, killAt); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// readWindows fills the throughput profile from the run's telemetry
+// timeseries. Windows straddling the kill belong to neither regime; a
+// warm-up prefix (the first quarter of the pre-kill span, while the
+// pipeline fills) is excluded from the pre-kill mean, and trailing
+// empty windows (after the last completion drained) never trigger
+// recovery because their throughput is zero.
+func (r *RecoveryResult) readWindows(tel *telemetry.Recorder, killAt float64) error {
+	runs := tel.Runs()
+	if len(runs) == 0 {
+		return fmt.Errorf("churn recovery: telemetry recorded no run")
+	}
+	run := runs[len(runs)-1]
+	winLen := run.WindowLen()
+	warmup := killAt / 4
+	var preSum float64
+	preN := 0
+	r.Floor = math.Inf(1)
+	r.RecoveryTime = -1
+	for _, w := range run.Windows() {
+		start, end := float64(w.Start)*winLen, float64(w.End)*winLen
+		thr := float64(w.Completions-w.Drops) / (end - start)
+		switch {
+		case end <= killAt:
+			if start >= warmup {
+				preSum += thr
+				preN++
+			}
+		case start >= killAt:
+			if thr < r.Floor {
+				r.Floor = thr
+			}
+			if r.PreKill > 0 {
+				if frac := thr / r.PreKill; frac > r.Recovered {
+					r.Recovered = frac
+				}
+				if r.RecoveryTime < 0 && thr >= RecoverFrac*r.PreKill {
+					r.RecoveryTime = end - killAt
+				}
+			}
+		}
+		if preN > 0 {
+			r.PreKill = preSum / float64(preN)
+		}
+	}
+	if preN == 0 {
+		return fmt.Errorf("churn recovery: no pre-kill windows (kill at %g too early for the window stride)", killAt)
+	}
+	if math.IsInf(r.Floor, 1) {
+		return fmt.Errorf("churn recovery: no post-kill windows (kill at %g past the run)", killAt)
+	}
+	return nil
+}
+
+// routeOptions is the traffic experiments' shared routing policy.
+func routeOptions() route.Options {
+	return route.Options{DeadEnd: route.Backtrack}
+}
+
+// recoveryVerdict summarizes one run for the table.
+func recoveryVerdict(r *RecoveryResult) string {
+	if r.RecoveryTime < 0 {
+		return fmt.Sprintf("never back to %.0f%%", 100*RecoverFrac)
+	}
+	return fmt.Sprintf("recovered ≥%.0f%% in %.0f ticks", 100*RecoverFrac, r.RecoveryTime)
+}
+
+func init() {
+	register(Experiment{
+		ID:       "ext.churn.recovery",
+		Artifact: "churn extension: time to recover flood-knee throughput after a correlated kill",
+		Description: "flood traffic at the healthy knee rate, then a correlated kill of 30% of the " +
+			"ring (the flood target protected): windowed delivered throughput before and " +
+			"after, with gossip membership repair on vs the never-repaired baseline — " +
+			"repair must climb back to ≥90% of the pre-kill knee throughput in finite time",
+		Run: func(p Params) (*sim.Table, error) {
+			_, killFrac, rp := recoveryScenario(p)
+			t := sim.NewTable(
+				fmt.Sprintf("Churn recovery under flood (ring n=%d, l=%d, kill %.0f%% @ 1/3 horizon, seed=%d)",
+					rp.N, rp.lgLinks(), 100*killFrac, rp.Seed),
+				"variant", "knee", "pre-kill thr", "floor thr", "recovery time",
+				"recovered frac", "crashes", "links rebuilt", "gossip sends", "verdict")
+			for _, repair := range []bool{true, false} {
+				r, err := MeasureRecovery(p, repair)
+				if err != nil {
+					return nil, err
+				}
+				label := "repair on"
+				if !repair {
+					label = "repair off (baseline)"
+				}
+				t.AddValues(label, r.Knee, r.PreKill, r.Floor, r.RecoveryTime,
+					r.Recovered, r.Crashes, r.LinksRebuilt, r.GossipSends, recoveryVerdict(r))
+			}
+			return t, nil
+		},
+	})
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestChurnRecoveryRepairWins pins the ext.churn.recovery claim at the
+// default scale: with gossip repair on, the network must climb back to
+// ≥ RecoverFrac of its pre-kill flood-knee throughput in finite
+// positive virtual time, faster than the never-repaired baseline, and
+// the repair ledger must show the machinery actually ran.
+func TestChurnRecoveryRepairWins(t *testing.T) {
+	on, err := MeasureRecovery(Params{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := MeasureRecovery(Params{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.RecoveryTime <= 0 {
+		t.Errorf("repair on: recovery time %g, want finite positive", on.RecoveryTime)
+	}
+	if on.Recovered < RecoverFrac {
+		t.Errorf("repair on: recovered fraction %g < %g", on.Recovered, RecoverFrac)
+	}
+	if on.Crashes == 0 || on.LinksRebuilt == 0 || on.GossipSends == 0 {
+		t.Errorf("repair on: empty repair ledger (crashes=%d rebuilt=%d gossip=%d)",
+			on.Crashes, on.LinksRebuilt, on.GossipSends)
+	}
+	if !(on.PreKill > 0) || !(on.Knee > 0) {
+		t.Errorf("repair on: degenerate throughput profile (knee=%g preKill=%g)", on.Knee, on.PreKill)
+	}
+	if off.LinksRebuilt != 0 {
+		t.Errorf("repair off rebuilt %d links; the baseline must stay broken", off.LinksRebuilt)
+	}
+	if off.RecoveryTime > 0 && on.RecoveryTime > off.RecoveryTime {
+		t.Errorf("repair on recovered in %g ticks, slower than the unrepaired baseline's %g",
+			on.RecoveryTime, off.RecoveryTime)
+	}
+	if off.Recovered > 0 && on.Recovered < off.Recovered {
+		t.Errorf("repair on peaked at %g of pre-kill, below the baseline's %g",
+			on.Recovered, off.Recovered)
+	}
+	// Same Params, same result: the measurement is deterministic.
+	again, err := MeasureRecovery(Params{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(on, again) {
+		t.Errorf("MeasureRecovery is not deterministic: %+v vs %+v", on, again)
+	}
+}
+
+// TestChurnRecoveryExperimentTable runs the registered experiment and
+// checks the table's shape and verdicts.
+func TestChurnRecoveryExperimentTable(t *testing.T) {
+	tbl, err := Run("ext.churn.recovery", Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("want 2 rows (repair on / off), got %d", len(tbl.Rows))
+	}
+	if !strings.Contains(tbl.Rows[0][0], "repair on") {
+		t.Errorf("first row should be the repaired run: %v", tbl.Rows[0])
+	}
+	verdict := tbl.Rows[0][len(tbl.Rows[0])-1]
+	if !strings.Contains(verdict, "recovered") {
+		t.Errorf("repair-on verdict %q should report recovery", verdict)
+	}
+}

@@ -1,0 +1,352 @@
+package failure
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/metric"
+	"repro/internal/rng"
+)
+
+// This file is the dynamic side of the package: where the injectors
+// above apply a failure pattern to a graph once, before traffic starts,
+// a ChurnSpec describes node dynamics *over virtual time* — crashes and
+// joins as timestamped events the discrete-event engine interleaves
+// with traffic (engine.Config.Churn). The spec is the validated,
+// fuzzable schedule description; Generate expands it into the concrete
+// event list; AliveView replays that list to answer "who was alive at
+// time t", the dynamic counterpart of graph.Alive.
+
+// ChurnKind is the kind of one churn event.
+type ChurnKind uint8
+
+const (
+	// ChurnCrash: the node at Node fails at Time.
+	ChurnCrash ChurnKind = iota
+	// ChurnJoin: the (previously failed) node at Node revives at Time.
+	ChurnJoin
+)
+
+func (k ChurnKind) String() string {
+	if k == ChurnJoin {
+		return "join"
+	}
+	return "crash"
+}
+
+// ChurnEvent is one node-dynamics event on the engine's virtual clock.
+type ChurnEvent struct {
+	Time float64
+	Kind ChurnKind
+	Node metric.Point
+}
+
+// ChurnSpec describes a churn schedule: background Poisson churn, an
+// optional correlated regional kill, an optional flash-crowd join, and
+// the knobs of the gossip membership layer that detects and repairs the
+// damage. The zero value is fully disabled; setting any field enables
+// the engine's churn machinery (an event-less spec with only gossip
+// knobs set attaches the machinery without scheduling any dynamics —
+// the differential-test configuration).
+type ChurnSpec struct {
+	// Rate is the background churn rate: crash/join events arrive as a
+	// Poisson process at Rate events per virtual tick over [0, Horizon).
+	// Each event crashes a random alive node or revives a random dead
+	// one (an even coin when both pools are non-empty).
+	Rate float64
+	// Horizon bounds the background Poisson stream. Required positive
+	// when Rate is positive.
+	Horizon float64
+	// KillFrac, when positive, schedules a correlated regional kill at
+	// KillAt: a contiguous interval of round(KillFrac·n) grid points in
+	// the space's point order crashes at one instant — the adversarial
+	// counterpart of FailInterval, on the clock.
+	KillFrac float64
+	// KillAt is the virtual time of the regional kill.
+	KillAt float64
+	// FlashJoin, when positive, schedules a flash crowd: FlashJoin dead
+	// nodes revive simultaneously at FlashAt.
+	FlashJoin int
+	// FlashAt is the virtual time of the flash-crowd join.
+	FlashAt float64
+	// ProbeTimeout is the failure-detection delay in virtual ticks: how
+	// long after a crash the dead node's neighbours notice (probes stop
+	// being answered), and how long an in-flight message stranded at a
+	// dying node waits before re-forwarding. Resolved by the caller
+	// (package load defaults it to 4 service times).
+	ProbeTimeout float64
+	// GossipInterval is the cadence of gossip rounds in virtual ticks.
+	GossipInterval float64
+	// GossipFanout is how many random alive peers a node pushes its hot
+	// rumors to per round; each transmission charges one FIFO service at
+	// the sender, so dissemination competes with traffic for capacity.
+	GossipFanout int
+	// Repair turns on gossip-driven link repair: a node that *learns* of
+	// a crash (not an oracle) redraws its long links into the dead node
+	// from the paper's §5 power-law distribution, resolved to the
+	// nearest alive node.
+	Repair bool
+	// Protect lists points the schedule never crashes (experiment
+	// targets and their replicas).
+	Protect []metric.Point
+}
+
+// Enabled reports whether the spec engages the engine's churn
+// machinery at all.
+func (s ChurnSpec) Enabled() bool {
+	return s.Rate > 0 || s.KillFrac > 0 || s.FlashJoin > 0 ||
+		s.ProbeTimeout > 0 || s.GossipInterval > 0 || s.GossipFanout > 0 || s.Repair
+}
+
+// Validate rejects a malformed spec. It is the fuzzed entry point: any
+// input the fuzzer produces must either pass here or fail here — never
+// panic downstream.
+func (s ChurnSpec) Validate() error {
+	for name, v := range map[string]float64{
+		"rate": s.Rate, "horizon": s.Horizon, "kill time": s.KillAt,
+		"flash time": s.FlashAt, "probe timeout": s.ProbeTimeout,
+		"gossip interval": s.GossipInterval, "kill fraction": s.KillFrac,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("failure: churn %s %g is not finite", name, v)
+		}
+		if v < 0 {
+			return fmt.Errorf("failure: churn %s %g must be non-negative", name, v)
+		}
+	}
+	if s.KillFrac > 1 {
+		return fmt.Errorf("failure: churn kill fraction %g outside [0,1]", s.KillFrac)
+	}
+	if s.Rate > 0 && s.Horizon == 0 {
+		return fmt.Errorf("failure: churn rate %g needs a positive horizon", s.Rate)
+	}
+	if s.FlashJoin < 0 {
+		return fmt.Errorf("failure: churn flash-join count %d must be non-negative", s.FlashJoin)
+	}
+	if s.GossipFanout < 0 {
+		return fmt.Errorf("failure: churn gossip fanout %d must be non-negative", s.GossipFanout)
+	}
+	return nil
+}
+
+// Generate expands the spec into a concrete event list over g's current
+// alive set, sorted by (Time, order drawn). The draw simulates the
+// alive set forward as it goes — a crash only picks a node that is
+// alive at that instant, a join only a dead one — so applying the
+// events in order to g is always a sequence of valid transitions. The
+// graph is not mutated.
+func (s ChurnSpec) Generate(g *graph.Graph, src *rng.Source) ([]ChurnEvent, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	protected := make(map[metric.Point]bool, len(s.Protect))
+	for _, p := range s.Protect {
+		protected[p] = true
+	}
+	view := NewAliveView(g)
+
+	// The fixed instants (regional kill, flash crowd) and the Poisson
+	// stream interleave; draws must happen in time order because each
+	// consults the alive set its predecessors left behind.
+	type instant struct {
+		at   float64
+		kind int // 0 = poisson, 1 = kill, 2 = flash
+	}
+	var times []instant
+	if s.Rate > 0 {
+		t := 0.0
+		for {
+			u := src.Float64()
+			for u == 0 {
+				u = src.Float64()
+			}
+			t += -math.Log(u) / s.Rate
+			if t >= s.Horizon {
+				break
+			}
+			times = append(times, instant{at: t, kind: 0})
+		}
+	}
+	if s.KillFrac > 0 {
+		times = append(times, instant{at: s.KillAt, kind: 1})
+	}
+	if s.FlashJoin > 0 {
+		times = append(times, instant{at: s.FlashAt, kind: 2})
+	}
+	// Stable insertion sort by time (the Poisson times are already
+	// sorted; at most two fixed instants move).
+	for i := 1; i < len(times); i++ {
+		for j := i; j > 0 && times[j].at < times[j-1].at; j-- {
+			times[j], times[j-1] = times[j-1], times[j]
+		}
+	}
+
+	var events []ChurnEvent
+	emit := func(ev ChurnEvent) {
+		if view.Apply(ev) {
+			events = append(events, ev)
+		}
+	}
+	for _, in := range times {
+		switch in.kind {
+		case 1:
+			// Contiguous interval in point order, like FailInterval.
+			width := int(math.Round(s.KillFrac * float64(g.Size())))
+			cur := metric.Point(src.Intn(g.Size()))
+			for i := 0; i < width; i++ {
+				if view.Alive(cur) && !protected[cur] {
+					emit(ChurnEvent{Time: in.at, Kind: ChurnCrash, Node: cur})
+				}
+				next, ok := g.Space().Step(cur, +1)
+				if !ok {
+					break
+				}
+				cur = next
+			}
+		case 2:
+			for i := 0; i < s.FlashJoin; i++ {
+				p, ok := view.randomDead(g, src)
+				if !ok {
+					break
+				}
+				emit(ChurnEvent{Time: in.at, Kind: ChurnJoin, Node: p})
+			}
+		default:
+			crash := true
+			if view.Count() <= 1 {
+				crash = false // never extinguish the network
+			} else if view.deadCount(g) > 0 {
+				crash = src.Bool(0.5)
+			}
+			if crash {
+				p, ok := view.randomAliveExcept(g, src, protected)
+				if !ok {
+					continue
+				}
+				emit(ChurnEvent{Time: in.at, Kind: ChurnCrash, Node: p})
+			} else {
+				p, ok := view.randomDead(g, src)
+				if !ok {
+					continue
+				}
+				emit(ChurnEvent{Time: in.at, Kind: ChurnJoin, Node: p})
+			}
+		}
+	}
+	return events, nil
+}
+
+// AliveView is a dynamic alive set: a snapshot of a graph's liveness
+// that replays churn events without touching the graph. The engine
+// mutates the real graph as events fire; tests and the schedule
+// generator use an AliveView to know the truth at any point of the
+// timeline.
+type AliveView struct {
+	exists []bool
+	alive  []bool
+	count  int
+}
+
+// NewAliveView snapshots g's current liveness.
+func NewAliveView(g *graph.Graph) *AliveView {
+	v := &AliveView{
+		exists: make([]bool, g.Size()),
+		alive:  make([]bool, g.Size()),
+	}
+	for i := 0; i < g.Size(); i++ {
+		p := metric.Point(i)
+		v.exists[i] = g.Exists(p)
+		if g.Alive(p) {
+			v.alive[i] = true
+			v.count++
+		}
+	}
+	return v
+}
+
+// Apply replays one event, reporting whether it changed the view (a
+// crash of a dead node or a join of an alive/absent one is a no-op).
+func (v *AliveView) Apply(ev ChurnEvent) bool {
+	i := int(ev.Node)
+	if i < 0 || i >= len(v.alive) || !v.exists[i] {
+		return false
+	}
+	switch ev.Kind {
+	case ChurnCrash:
+		if !v.alive[i] {
+			return false
+		}
+		v.alive[i] = false
+		v.count--
+	case ChurnJoin:
+		if v.alive[i] {
+			return false
+		}
+		v.alive[i] = true
+		v.count++
+	default:
+		return false
+	}
+	return true
+}
+
+// Alive reports whether p is alive in the view.
+func (v *AliveView) Alive(p metric.Point) bool {
+	return p >= 0 && int(p) < len(v.alive) && v.alive[p]
+}
+
+// Count returns the number of alive nodes in the view.
+func (v *AliveView) Count() int { return v.count }
+
+func (v *AliveView) deadCount(g *graph.Graph) int {
+	dead := 0
+	for i := range v.alive {
+		if v.exists[i] && !v.alive[i] {
+			dead++
+		}
+	}
+	return dead
+}
+
+// randomDead draws a uniformly random dead-but-existing node.
+func (v *AliveView) randomDead(g *graph.Graph, src *rng.Source) (metric.Point, bool) {
+	dead := v.deadCount(g)
+	if dead == 0 {
+		return 0, false
+	}
+	k := src.Intn(dead)
+	for i := range v.alive {
+		if v.exists[i] && !v.alive[i] {
+			if k == 0 {
+				return metric.Point(i), true
+			}
+			k--
+		}
+	}
+	return 0, false
+}
+
+// randomAliveExcept draws a uniformly random alive node outside the
+// protected set.
+func (v *AliveView) randomAliveExcept(g *graph.Graph, src *rng.Source, protected map[metric.Point]bool) (metric.Point, bool) {
+	n := 0
+	for i := range v.alive {
+		if v.alive[i] && !protected[metric.Point(i)] {
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	k := src.Intn(n)
+	for i := range v.alive {
+		if v.alive[i] && !protected[metric.Point(i)] {
+			if k == 0 {
+				return metric.Point(i), true
+			}
+			k--
+		}
+	}
+	return 0, false
+}

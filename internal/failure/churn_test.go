@@ -1,0 +1,299 @@
+package failure
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/metric"
+	"repro/internal/rng"
+)
+
+func TestChurnSpecEnabled(t *testing.T) {
+	if (ChurnSpec{}).Enabled() {
+		t.Error("zero spec must be disabled")
+	}
+	cases := []ChurnSpec{
+		{Rate: 0.1},
+		{KillFrac: 0.3},
+		{FlashJoin: 5},
+		{ProbeTimeout: 1},
+		{GossipInterval: 1},
+		{GossipFanout: 2},
+		{Repair: true},
+	}
+	for i, s := range cases {
+		if !s.Enabled() {
+			t.Errorf("case %d: %+v should be enabled", i, s)
+		}
+	}
+}
+
+func TestChurnSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec ChurnSpec
+		want string // error substring, "" = valid
+	}{
+		{"zero", ChurnSpec{}, ""},
+		{"full", ChurnSpec{Rate: 0.5, Horizon: 100, KillFrac: 0.3, KillAt: 40,
+			FlashJoin: 8, FlashAt: 60, ProbeTimeout: 2, GossipInterval: 1,
+			GossipFanout: 2, Repair: true}, ""},
+		{"nan rate", ChurnSpec{Rate: math.NaN(), Horizon: 1}, "is not finite"},
+		{"inf horizon", ChurnSpec{Rate: 1, Horizon: math.Inf(1)}, "is not finite"},
+		{"negative rate", ChurnSpec{Rate: -1, Horizon: 1}, "must be non-negative"},
+		{"negative kill time", ChurnSpec{KillFrac: 0.1, KillAt: -3}, "must be non-negative"},
+		{"nan kill fraction", ChurnSpec{KillFrac: math.NaN()}, "is not finite"},
+		{"kill fraction above one", ChurnSpec{KillFrac: 1.5}, "outside [0,1]"},
+		{"rate without horizon", ChurnSpec{Rate: 0.5}, "needs a positive horizon"},
+		{"negative flash join", ChurnSpec{FlashJoin: -2}, "must be non-negative"},
+		{"negative fanout", ChurnSpec{GossipFanout: -1}, "must be non-negative"},
+		{"negative probe", ChurnSpec{ProbeTimeout: -0.5}, "must be non-negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.spec.Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestChurnGenerateDeterministic(t *testing.T) {
+	g := ringGraph(t, 256, 4, 20)
+	spec := ChurnSpec{Rate: 0.2, Horizon: 200, KillFrac: 0.25, KillAt: 80,
+		ProbeTimeout: 1, GossipInterval: 1, GossipFanout: 2}
+	a, err := spec.Generate(g, rng.New(21).Derive(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spec.Generate(g, rng.New(21).Derive(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("schedule should not be empty")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("reruns differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c, err := spec.Generate(g, rng.New(99).Derive(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seed produced an identical schedule")
+	}
+}
+
+// TestChurnGenerateValidTransitions replays the generated schedule
+// through an AliveView: every event must be a valid transition (crash
+// of an alive node, join of a dead one), times must be nondecreasing,
+// protected nodes must never crash, and the network never goes
+// extinct.
+func TestChurnGenerateValidTransitions(t *testing.T) {
+	g := ringGraph(t, 128, 4, 22)
+	protect := []metric.Point{7, 42, 100}
+	spec := ChurnSpec{Rate: 1, Horizon: 300, KillFrac: 0.4, KillAt: 100,
+		FlashJoin: 10, FlashAt: 180, ProbeTimeout: 1, GossipInterval: 1,
+		GossipFanout: 2, Protect: protect}
+	events, err := spec.Generate(g, rng.New(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("schedule should not be empty")
+	}
+	view := NewAliveView(g)
+	last := math.Inf(-1)
+	for i, ev := range events {
+		if ev.Time < last {
+			t.Fatalf("event %d out of order: %g after %g", i, ev.Time, last)
+		}
+		last = ev.Time
+		if ev.Kind == ChurnCrash {
+			for _, p := range protect {
+				if ev.Node == p {
+					t.Fatalf("event %d crashes protected node %d", i, p)
+				}
+			}
+		}
+		if !view.Apply(ev) {
+			t.Fatalf("event %d (%s node %d at %g) is not a valid transition",
+				i, ev.Kind, ev.Node, ev.Time)
+		}
+		if view.Count() == 0 {
+			t.Fatalf("event %d extinguished the network", i)
+		}
+	}
+	// The graph itself must be untouched: Generate only simulates.
+	if g.AliveCount() != g.Size() {
+		t.Errorf("Generate mutated the graph: alive %d of %d", g.AliveCount(), g.Size())
+	}
+}
+
+// TestChurnGenerateKill pins the regional kill's exact shape: on a
+// fully-alive ring with no protection, the kill crashes exactly
+// round(frac·n) contiguous points in point order at KillAt.
+func TestChurnGenerateKill(t *testing.T) {
+	const n = 100
+	g := ringGraph(t, n, 2, 24)
+	spec := ChurnSpec{KillFrac: 0.3, KillAt: 10, ProbeTimeout: 1,
+		GossipInterval: 1, GossipFanout: 1}
+	events, err := spec.Generate(g, rng.New(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 30 {
+		t.Fatalf("kill emitted %d events, want 30", len(events))
+	}
+	for i, ev := range events {
+		if ev.Kind != ChurnCrash || ev.Time != 10 {
+			t.Fatalf("event %d = %+v, want a crash at t=10", i, ev)
+		}
+		if i > 0 {
+			next, ok := g.Space().Step(events[i-1].Node, +1)
+			if !ok || next != ev.Node {
+				t.Fatalf("kill interval not contiguous at %d: %d then %d",
+					i, events[i-1].Node, ev.Node)
+			}
+		}
+	}
+}
+
+func TestChurnGenerateFlash(t *testing.T) {
+	g := ringGraph(t, 64, 2, 26)
+	for p := 0; p < 20; p++ {
+		g.Fail(metric.Point(p))
+	}
+	spec := ChurnSpec{FlashJoin: 12, FlashAt: 5, ProbeTimeout: 1,
+		GossipInterval: 1, GossipFanout: 1}
+	events, err := spec.Generate(g, rng.New(27))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 12 {
+		t.Fatalf("flash emitted %d events, want 12", len(events))
+	}
+	seen := map[metric.Point]bool{}
+	for i, ev := range events {
+		if ev.Kind != ChurnJoin || ev.Time != 5 {
+			t.Fatalf("event %d = %+v, want a join at t=5", i, ev)
+		}
+		if g.Alive(ev.Node) {
+			t.Fatalf("event %d joins node %d, which is alive", i, ev.Node)
+		}
+		if seen[ev.Node] {
+			t.Fatalf("event %d joins node %d twice", i, ev.Node)
+		}
+		seen[ev.Node] = true
+	}
+	// A flash bigger than the dead pool clips to the pool.
+	spec.FlashJoin = 100
+	events, err = spec.Generate(g, rng.New(27))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 20 {
+		t.Fatalf("oversized flash emitted %d events, want the dead pool of 20", len(events))
+	}
+}
+
+func TestAliveViewApply(t *testing.T) {
+	g := ringGraph(t, 16, 1, 28)
+	g.Fail(3)
+	v := NewAliveView(g)
+	if v.Count() != 15 {
+		t.Fatalf("count = %d, want 15", v.Count())
+	}
+	if v.Alive(3) || !v.Alive(4) {
+		t.Fatal("view does not match graph liveness")
+	}
+	if v.Apply(ChurnEvent{Kind: ChurnCrash, Node: 3}) {
+		t.Error("crashing a dead node must be a no-op")
+	}
+	if !v.Apply(ChurnEvent{Kind: ChurnJoin, Node: 3}) {
+		t.Error("joining a dead node must apply")
+	}
+	if v.Apply(ChurnEvent{Kind: ChurnJoin, Node: 3}) {
+		t.Error("joining an alive node must be a no-op")
+	}
+	if v.Apply(ChurnEvent{Kind: ChurnCrash, Node: 999}) {
+		t.Error("out-of-range node must be a no-op")
+	}
+	if !v.Apply(ChurnEvent{Kind: ChurnCrash, Node: 5}) {
+		t.Error("crashing an alive node must apply")
+	}
+	if v.Count() != 15 {
+		t.Fatalf("count after join+crash = %d, want 15", v.Count())
+	}
+}
+
+// FuzzChurnSpecValidate is the schedule validator's fuzz target: any
+// input must either pass Validate or fail it with an error — never
+// panic, in Validate or downstream in Generate. A spec that validates
+// must expand into a schedule that replays as valid transitions.
+func FuzzChurnSpecValidate(f *testing.F) {
+	f.Add(0.5, 100.0, 0.3, 40.0, 8, 60.0, 2.0, 1.0, 2)
+	f.Add(math.NaN(), 1.0, 0.0, 0.0, 0, 0.0, 0.0, 0.0, 0)
+	f.Add(-1.0, 10.0, 0.0, 0.0, 0, 0.0, 1.0, 1.0, 1)
+	f.Add(0.0, 0.0, 1.5, 5.0, 0, 0.0, 1.0, 1.0, 1)
+	f.Add(0.0, 0.0, -0.25, 0.0, -3, -1.0, 0.0, 0.0, -2)
+	f.Add(1e300, 1e300, 1.0, 0.0, 1<<20, 0.0, 1e-9, 1e-9, 64)
+	g := ringGraph(f, 32, 2, 1)
+	f.Fuzz(func(t *testing.T, rate, horizon, killFrac, killAt float64,
+		flash int, flashAt, probe, interval float64, fanout int) {
+		spec := ChurnSpec{
+			Rate: rate, Horizon: horizon,
+			KillFrac: killFrac, KillAt: killAt,
+			FlashJoin: flash, FlashAt: flashAt,
+			ProbeTimeout: probe, GossipInterval: interval,
+			GossipFanout: fanout,
+		}
+		if err := spec.Validate(); err != nil {
+			return // rejected: the contract is "no panic", satisfied
+		}
+		if horizon > 1e6 {
+			return // valid but enormous Poisson stream; skip expansion
+		}
+		events, err := spec.Generate(g, rng.New(1))
+		if err != nil {
+			t.Fatalf("Validate passed but Generate failed: %v", err)
+		}
+		view := NewAliveView(g)
+		last := math.Inf(-1)
+		for i, ev := range events {
+			if ev.Time < last {
+				t.Fatalf("event %d out of order", i)
+			}
+			last = ev.Time
+			if !view.Apply(ev) {
+				t.Fatalf("event %d invalid transition", i)
+			}
+		}
+	})
+}

@@ -3,8 +3,17 @@
 // binomially-present node model, and an adversarial contiguous-interval
 // model used for robustness testing beyond the paper.
 //
-// All injectors mutate a graph.Graph in place and are deterministic
-// given an rng.Source, so experiments remain reproducible.
+// The models come in two kinds. The static injectors (FailLinks,
+// FailNodes, and friends) mutate a graph.Graph in place before an
+// experiment starts. ChurnSpec is the dynamic side: it describes node
+// lifecycle behaviour over virtual time — background crash/join churn,
+// a correlated regional kill, a flash-crowd join — and Generate
+// expands it into a timestamped ChurnEvent schedule without touching
+// the graph; the discrete-event engine applies those events on the
+// same clock as the traffic (see internal/load's Config.Churn).
+// AliveView replays a schedule over a graph's initial alive set for
+// validation. Everything is deterministic given an rng.Source, so
+// experiments remain reproducible.
 package failure
 
 import (

@@ -3,7 +3,7 @@
 // which nodes melt first, at what offered load does the network stop
 // keeping up, and does fault-tolerant greedy routing also balance load?
 //
-// The subsystem has four parts:
+// The subsystem has five parts:
 //
 //   - Workload generators (Generator): seeded, dimension-generic sources
 //     of (from, to) lookup pairs — uniform traffic, Zipf-popular hotspot
@@ -25,6 +25,18 @@
 //     answer receipt at the origin when the response path is on —
 //     makespan and delivered throughput alongside the ordinary
 //     sim.SearchStats.
+//
+//   - Node dynamics (Config.Churn, a failure.ChurnSpec): background
+//     crash/join churn, correlated regional kills, and flash-crowd
+//     joins, expanded into a seeded event schedule and applied inside
+//     the engine's event loop on the same virtual clock as the
+//     traffic. Failures are detected by probe timeout, disseminated by
+//     gossip membership (each send a service on the sender's FIFO),
+//     and repaired by redrawing the §5 long-range links; in-flight
+//     messages at a dying node strand and re-forward. Churn requires
+//     Live — snapshot mode routes whole paths against a static graph —
+//     and the Result churn ledger (Crashes through MembershipLag)
+//     accounts exactly for every event, strand, and rumor.
 //
 //   - A saturation sweep (Sweep): repeated runs at stepped-then-bisected
 //     load hunting the capacity knee — the largest offered load at which

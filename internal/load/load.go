@@ -6,6 +6,7 @@ import (
 	"runtime"
 
 	"repro/internal/engine"
+	"repro/internal/failure"
 	"repro/internal/graph"
 	"repro/internal/metric"
 	"repro/internal/replica"
@@ -115,6 +116,19 @@ type Config struct {
 	// beyond it forward normally. Zero defaults to 16. Meaningful only
 	// with PIT.
 	PITWaiters int
+	// Churn, when enabled (any field set — see failure.ChurnSpec),
+	// schedules node dynamics on the run's virtual clock: background
+	// Poisson crash/join churn, an optional correlated regional kill,
+	// and an optional flash-crowd join, detected and repaired by the
+	// engine's gossip membership layer. Requires Live. The concrete
+	// event list is drawn from the run seed (stream 4) before traffic
+	// starts, so a fixed (cfg, seed) pins the whole timeline. Note that
+	// the engine applies the events to the caller's graph as they fire:
+	// after Run returns, g reflects the post-churn world. ProbeTimeout
+	// defaults to 4 service times, GossipInterval to 1 service time,
+	// GossipFanout to 2, and Horizon (needed by a positive Rate) to the
+	// injection span Messages/Rate.
+	Churn failure.ChurnSpec
 	// Replication, when non-nil and enabled (K > 1 or a positive
 	// CacheThreshold), replicates every lookup key through
 	// replica.NewPlacement and routes each message to the nearest live
@@ -162,6 +176,22 @@ func (c Config) withDefaults() Config {
 		}
 		if c.PITWaiters == 0 {
 			c.PITWaiters = 16
+		}
+	}
+	if c.Churn.Enabled() {
+		// Same discipline as the PIT knobs: resolved only when churn is
+		// on, so a churn-free config carries a zero spec to the engine.
+		if c.Churn.ProbeTimeout == 0 {
+			c.Churn.ProbeTimeout = 4 / c.Capacity
+		}
+		if c.Churn.GossipInterval == 0 {
+			c.Churn.GossipInterval = 1 / c.Capacity
+		}
+		if c.Churn.GossipFanout == 0 {
+			c.Churn.GossipFanout = 2
+		}
+		if c.Churn.Rate > 0 && c.Churn.Horizon == 0 {
+			c.Churn.Horizon = float64(c.Messages) / c.Rate
 		}
 	}
 	return c
@@ -221,6 +251,14 @@ func (c Config) Validate() error {
 		return fmt.Errorf("load: PIT knobs (timeout %g, waiters %d) are only meaningful with Config.PIT",
 			c.PITTimeout, c.PITWaiters)
 	}
+	if c.Churn.Enabled() {
+		if !c.Live {
+			return fmt.Errorf("load: churn requires live mode (Config.Live)")
+		}
+		if err := c.Churn.Validate(); err != nil {
+			return err
+		}
+	}
 	if c.Replication != nil {
 		if err := c.Replication.Validate(); err != nil {
 			return err
@@ -262,6 +300,19 @@ type Result struct {
 	// waiters released by returning answers, and PITExpired the waits
 	// that ended by timeout instead. All zero outside live+pit mode.
 	Suppressed, MulticastFanout, PITExpired int
+	// Churn ledger (all zero without Config.Churn). Crashes/Joins count
+	// applied schedule events; Stranded counts arrivals that found
+	// their node dead, partitioned exactly into StrandResumed +
+	// StrandDropped; Reattached counts injections re-homed from a dead
+	// source; GossipSends counts membership transmissions (each also a
+	// FIFO service); LinksRebuilt counts long links redrawn by repair
+	// and rejoin; RumorsConverged/RumorsAbandoned partition the resolved
+	// rumors and MembershipLag is the worst event-to-convergence time.
+	Crashes, Joins                         int
+	Stranded, StrandResumed, StrandDropped int
+	Reattached, GossipSends, LinksRebuilt  int
+	RumorsConverged, RumorsAbandoned       int
+	MembershipLag                          float64
 	// Loads counts message-hop services per grid point (index =
 	// metric.Point; absent or untouched points hold 0).
 	Loads []int
@@ -390,6 +441,27 @@ func Run(g *graph.Graph, gen Generator, cfg Config, seed uint64) (*Result, error
 		}
 	}
 
+	// Expand the churn spec into its concrete event list from stream 4,
+	// over the graph's pre-traffic alive set. A knobs-only spec (no
+	// rate, kill, or flash) attaches the machinery with zero events —
+	// byte-identical to a churn-free run (the differential-test
+	// configuration) — and consumes no randomness beyond the unused
+	// Derive.
+	var churn engine.ChurnConfig
+	if cfg.Churn.Enabled() {
+		events, err := cfg.Churn.Generate(g, root.Derive(4))
+		if err != nil {
+			return nil, err
+		}
+		churn = engine.ChurnConfig{
+			Events:         events,
+			ProbeTimeout:   cfg.Churn.ProbeTimeout,
+			GossipInterval: cfg.Churn.GossipInterval,
+			GossipFanout:   cfg.Churn.GossipFanout,
+			Repair:         cfg.Churn.Repair,
+		}
+	}
+
 	if cfg.Telemetry != nil {
 		cfg.Telemetry.Label(fmt.Sprintf("%s/%s/%s", gen.Name(), arr.Name(), cfg.modeName()))
 	}
@@ -405,6 +477,7 @@ func Run(g *graph.Graph, gen Generator, cfg Config, seed uint64) (*Result, error
 			Mode:         cfg.engineMode(),
 			PITTimeout:   cfg.PITTimeout,
 			PITWaiters:   cfg.PITWaiters,
+			Churn:        churn,
 			Placement:    placement,
 			Telemetry:    cfg.Telemetry,
 		}, root)
@@ -423,6 +496,17 @@ func Run(g *graph.Graph, gen Generator, cfg Config, seed uint64) (*Result, error
 		Suppressed:      out.Suppressed,
 		MulticastFanout: out.MulticastFanout,
 		PITExpired:      out.PITExpired,
+		Crashes:         out.Crashes,
+		Joins:           out.Joins,
+		Stranded:        out.Stranded,
+		StrandResumed:   out.StrandResumed,
+		StrandDropped:   out.StrandDropped,
+		Reattached:      out.Reattached,
+		GossipSends:     out.GossipSends,
+		LinksRebuilt:    out.LinksRebuilt,
+		RumorsConverged: out.RumorsConverged,
+		RumorsAbandoned: out.RumorsAbandoned,
+		MembershipLag:   out.MembershipLag,
 		Loads:           out.Loads,
 		ServedBy:        make([]int, g.Size()),
 		MaxQueueDepth:   out.MaxQueueDepth,

@@ -182,6 +182,21 @@ func (f *floodGen) Pair(src *rng.Source) (metric.Point, metric.Point, error) {
 	return from, f.target, err
 }
 
+// FloodTarget reports the flood generator's elected victim; ok is
+// false for any other workload or before Bind. Churn experiments use
+// it to protect the target from a correlated kill, so a recovery
+// measurement observes routing repair rather than the loss of the only
+// copy of the hot key. Bind is deterministic in (graph, stream), so a
+// caller that pre-binds with the stream Run will use (rng.New(seed)
+// .Derive(0)) learns the same target Run elects.
+func FloodTarget(gen Generator) (metric.Point, bool) {
+	f, ok := gen.(*floodGen)
+	if !ok || len(f.pop.alive) == 0 {
+		return 0, false
+	}
+	return f.target, true
+}
+
 // NewGenerator resolves a workload by CLI name: "uniform", "zipf",
 // "sources" (skewed source population) or "flood". skew parameterizes
 // the Zipf-based workloads; 0 selects the P2P-typical 1.0.

@@ -1,0 +1,179 @@
+package regress
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/failure"
+	"repro/internal/load"
+	"repro/internal/replica"
+	"repro/internal/route"
+	"repro/internal/telemetry"
+)
+
+// appendEngineLine formats one sweep's knee line exactly as the golden
+// runners in engine_test.go do, so churn-variant lines are comparable
+// byte-for-byte against goldenEngine/goldenEngineSharded.
+func appendEngineLine(t *testing.T, out []string, label string, pit bool, res *load.SweepResult) []string {
+	t.Helper()
+	kp := res.KneePoint()
+	if kp == nil {
+		t.Fatalf("%s: no knee found", label)
+	}
+	line := fmt.Sprintf(
+		"%s: knee=%.4f thr=%.4f p99=%.2f serving=%d aggregated=%d fp=%#x",
+		label, res.Knee, res.KneeThroughput, res.KneeP99,
+		kp.Result.ServingPoints(), kp.Result.Aggregated,
+		loadFingerprint(kp.Result.Loads))
+	if pit {
+		line += fmt.Sprintf(" sup=%d fan=%d exp=%d",
+			kp.Result.Suppressed, kp.Result.MulticastFanout, kp.Result.PITExpired)
+	}
+	return append(out, line)
+}
+
+func liftLine(label string, lift float64) string {
+	return fmt.Sprintf("%s lift=%.4f", label, lift)
+}
+
+// This file is the churn layer's differential gate: a churn spec with
+// gossip knobs but zero rate, no kill, and no flash attaches the
+// engine's whole churn machinery — the op queue, the membership state,
+// the stream-5 rng derivation — without scheduling a single dynamics
+// event, and against the same statically pre-applied failure mask the
+// goldens were captured under, every scenario line must stay
+// byte-identical to the churn-free goldens. The knobs-only spec is
+// attached to the live rows only (churn requires the live loop; the
+// snapshot row keeps its static mask semantics by definition).
+
+// knobsOnlyChurn is the differential-test spec: machinery, no events.
+var knobsOnlyChurn = failure.ChurnSpec{
+	ProbeTimeout: 4, GossipInterval: 1, GossipFanout: 2,
+}
+
+// runEngineScenarioChurn is runEngineScenario with the knobs-only
+// churn spec attached to every live row.
+func runEngineScenarioChurn(t *testing.T, workers, shards int, tel *telemetry.Recorder) []string {
+	t.Helper()
+	g := buildEngineScenarioGraph(t)
+	var out []string
+	var base float64
+	for _, tc := range []struct {
+		label                string
+		live, aggregate, pit bool
+	}{
+		{"snapshot", false, false, false},
+		{"live", true, false, false},
+		{"live+aggregate", true, true, false},
+		{"live+pit", true, false, true},
+	} {
+		cfg := load.SweepConfig{
+			Config: load.Config{
+				Messages:  2048,
+				Workers:   workers,
+				Shards:    shards,
+				Live:      tc.live,
+				Aggregate: tc.aggregate,
+				PIT:       tc.pit,
+				Route:     route.Options{DeadEnd: route.Backtrack},
+				Telemetry: tel,
+			},
+			Model:      "poisson",
+			Bisections: 4,
+		}
+		if tc.live {
+			cfg.Churn = knobsOnlyChurn
+		}
+		cfg.Replication = &replica.Options{K: 4, CacheThreshold: 16, CacheCopies: 8}
+		res, err := load.Sweep(g, load.Flood(), cfg, 302)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = appendEngineLine(t, out, tc.label, tc.pit, res)
+		if !tc.live {
+			base = res.KneeThroughput
+		} else {
+			out = append(out, liftLine(tc.label, res.KneeThroughput/base))
+		}
+	}
+	return out
+}
+
+// runEngineShardScenarioChurn is runEngineShardScenario with the
+// knobs-only churn spec attached to every row (all are live).
+func runEngineShardScenarioChurn(t *testing.T, shards int, tel *telemetry.Recorder) []string {
+	t.Helper()
+	g := buildEngineScenarioGraph(t)
+	var out []string
+	for _, tc := range []struct {
+		label          string
+		aggregate, pit bool
+	}{
+		{"live", false, false},
+		{"live+aggregate", true, false},
+		{"live+pit", false, true},
+	} {
+		cfg := load.SweepConfig{
+			Config: load.Config{
+				Messages:  2048,
+				Shards:    shards,
+				Live:      true,
+				Aggregate: tc.aggregate,
+				PIT:       tc.pit,
+				Route:     route.Options{DeadEnd: route.Backtrack},
+				Telemetry: tel,
+			},
+			Model:      "poisson",
+			Bisections: 4,
+		}
+		cfg.Churn = knobsOnlyChurn
+		res, err := load.Sweep(g, load.Flood(), cfg, 302)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = appendEngineLine(t, out, tc.label, tc.pit, res)
+	}
+	return out
+}
+
+// TestEngineChurnKnobsDifferential holds the knobs-only churn variant
+// of both seeded engine scenarios to the churn-free goldens, at the
+// acceptance shard counts and with the telemetry recorder both absent
+// and attached. Any byte of drift means the churn machinery perturbs
+// event-free runs — the machinery must be attachable for free. The
+// "Churn" in the name opts the test into CI's race-detector pass.
+func TestEngineChurnKnobsDifferential(t *testing.T) {
+	for _, shards := range []int{1, 2, 4, 7} {
+		for _, withTel := range []bool{false, true} {
+			var tel *telemetry.Recorder
+			if withTel {
+				tel = telemetry.New(telemetry.Options{})
+			}
+			got := runEngineScenarioChurn(t, 1, shards, tel)
+			if len(got) != len(goldenEngine) {
+				t.Fatalf("shards=%d tel=%v: cached line count %d, want %d",
+					shards, withTel, len(got), len(goldenEngine))
+			}
+			for i := range got {
+				if got[i] != goldenEngine[i] {
+					t.Errorf("shards=%d tel=%v: cached scenario line %d diverged:\n  got  %s\n  want %s",
+						shards, withTel, i, got[i], goldenEngine[i])
+				}
+			}
+			if withTel {
+				tel = telemetry.New(telemetry.Options{})
+			}
+			got = runEngineShardScenarioChurn(t, shards, tel)
+			if len(got) != len(goldenEngineSharded) {
+				t.Fatalf("shards=%d tel=%v: eligible line count %d, want %d",
+					shards, withTel, len(got), len(goldenEngineSharded))
+			}
+			for i := range got {
+				if got[i] != goldenEngineSharded[i] {
+					t.Errorf("shards=%d tel=%v: eligible scenario line %d diverged:\n  got  %s\n  want %s",
+						shards, withTel, i, got[i], goldenEngineSharded[i])
+				}
+			}
+		}
+	}
+}

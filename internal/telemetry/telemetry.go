@@ -133,6 +133,10 @@ type Counters struct {
 	DepthSum     int // sum of queue depths seen at arrival
 	DepthCount   int
 	DepthMax     int
+	Crashes      int // churn crash events applied
+	Joins        int // churn join events applied
+	GossipSends  int // membership transmissions (gossip pushes + bootstraps)
+	Strands      int // arrivals stranded at a dead node
 }
 
 func (c *Counters) add(o *Counters) {
@@ -152,13 +156,18 @@ func (c *Counters) add(o *Counters) {
 	if o.DepthMax > c.DepthMax {
 		c.DepthMax = o.DepthMax
 	}
+	c.Crashes += o.Crashes
+	c.Joins += o.Joins
+	c.GossipSends += o.GossipSends
+	c.Strands += o.Strands
 }
 
 func (c *Counters) empty() bool {
 	return c.Injections == 0 && c.Completions == 0 && c.Services == 0 &&
 		c.Merges == 0 && c.Suppressions == 0 && c.Multicasts == 0 &&
 		c.PITExpiries == 0 && c.CacheHits == 0 && c.CachePromos == 0 &&
-		c.CacheEvicts == 0 && c.DepthCount == 0
+		c.CacheEvicts == 0 && c.DepthCount == 0 &&
+		c.Crashes == 0 && c.Joins == 0 && c.GossipSends == 0 && c.Strands == 0
 }
 
 // series is a fixed-capacity window timeseries anchored at window 0.
@@ -540,6 +549,36 @@ func (r *Recorder) PITExpire(t float64) {
 	}
 }
 
+// Churn records one applied churn event at virtual time t: a node
+// crash or a join. Sequential-loop only — churn runs never shard.
+func (r *Recorder) Churn(t float64, crash bool) {
+	if run := r.cur; run != nil {
+		c := run.win.at(run.window(t))
+		if crash {
+			c.Crashes++
+		} else {
+			c.Joins++
+		}
+	}
+}
+
+// Gossip records membership transmissions at virtual time t — the
+// membership-convergence traffic counter (each send was also charged
+// as a FIFO service, so it appears in Services too).
+func (r *Recorder) Gossip(t float64, sends int) {
+	if run := r.cur; run != nil {
+		run.win.at(run.window(t)).GossipSends += sends
+	}
+}
+
+// Strand records one arrival stranded at a dead node at virtual
+// time t.
+func (r *Recorder) Strand(t float64) {
+	if run := r.cur; run != nil {
+		run.win.at(run.window(t)).Strands++
+	}
+}
+
 // Cache records cache-on-path churn observed at virtual time t:
 // promotions and evictions since the last call (the engine polls the
 // placement's cumulative counters and reports deltas).
@@ -812,13 +851,15 @@ func (r *Recorder) PanelSeries() (label string, names []string, values [][]float
 		col(func(w Window) float64 { return float64(w.Services) }),
 		col(func(w Window) float64 { return float64(w.DepthMax) }),
 	}
-	var merges, suppressed, multicast, expired, hits int
+	var merges, suppressed, multicast, expired, hits, churn, gossip int
 	for _, w := range ws {
 		merges += w.Merges
 		suppressed += w.Suppressions
 		multicast += w.Multicasts
 		expired += w.PITExpiries
 		hits += w.CacheHits
+		churn += w.Crashes + w.Joins
+		gossip += w.GossipSends
 	}
 	if merges > 0 {
 		names = append(names, "merges")
@@ -839,6 +880,14 @@ func (r *Recorder) PanelSeries() (label string, names []string, values [][]float
 	if hits > 0 {
 		names = append(names, "cache hits")
 		values = append(values, col(func(w Window) float64 { return float64(w.CacheHits) }))
+	}
+	if churn > 0 {
+		names = append(names, "churn")
+		values = append(values, col(func(w Window) float64 { return float64(w.Crashes + w.Joins) }))
+	}
+	if gossip > 0 {
+		names = append(names, "gossip")
+		values = append(values, col(func(w Window) float64 { return float64(w.GossipSends) }))
 	}
 	return run.Label, names, values
 }
