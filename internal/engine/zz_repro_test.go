@@ -1,0 +1,31 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/failure"
+	"repro/internal/metric"
+	"repro/internal/rng"
+)
+
+// Crash B is born while crash A's gossip rounds are still running:
+// B should converge after its own detection, not be abandoned.
+func TestZZStaggeredCrashRumor(t *testing.T) {
+	g := testGraph(t, 64, 8, 31, 0)
+	cfg := baseConfig()
+	cfg.Mode = ModeLive
+	cfg.Churn = churnKnobs(
+		failure.ChurnEvent{Time: 0, Kind: failure.ChurnCrash, Node: metric.Point(10)},
+		failure.ChurnEvent{Time: 3.5, Kind: failure.ChurnCrash, Node: metric.Point(40)},
+	)
+	out, err := Run(g, []Message{{From: 0, Key: 32}},
+		Schedule{Initial: []Injection{{Msg: 0, Time: 0}}}, cfg, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("converged=%d abandoned=%d lag=%g", out.RumorsConverged, out.RumorsAbandoned, out.MembershipLag)
+	if out.RumorsAbandoned != 0 {
+		t.Errorf("second rumor abandoned before detection: converged=%d abandoned=%d",
+			out.RumorsConverged, out.RumorsAbandoned)
+	}
+}
