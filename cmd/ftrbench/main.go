@@ -21,7 +21,11 @@
 // PIT knee rate's lift over the aggregation knee rate, plus a
 // shard-scaling section timing the live loop sequentially and at
 // -shards shards on a larger torus and recording
-// events_per_sec_per_core, plus a churn-recovery section measuring how
+// events_per_sec_per_core — with a churn-scaling subsection repeating
+// the timed contrast under background churn, a correlated kill, a
+// flash-crowd join, gossip, and link repair (churn ops are window
+// barriers, so the run shards; events_per_sec_churn_sharded records
+// the multi-core churn rate) — plus a churn-recovery section measuring how
 // fast gossip-membership repair restores flood-knee throughput after a
 // correlated kill of 30% of the network, against the never-repaired
 // baseline).
@@ -62,6 +66,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/failure"
 	"repro/internal/graph"
@@ -646,6 +651,26 @@ type engineHeadline struct {
 	EventsPerSecSharded float64 `json:"events_per_sec_sharded"`
 	ShardSpeedup        float64 `json:"shard_speedup"`
 	EventsPerSecPerCore float64 `json:"events_per_sec_per_core"`
+	// Churn-scaling subsection: the same timed contrast with the full
+	// membership layer engaged — background Poisson churn, a correlated
+	// regional kill, a flash-crowd join, gossip dissemination, and link
+	// repair. Churn ops run as window barriers, so the run stays
+	// shard-eligible as long as the probe timeout covers one service
+	// time (the load default, 4 service times, does); the headline
+	// writer fails the run if the sharded timing fell back to the
+	// sequential plan or diverged from the sequential reference. Events
+	// here include gossip transmissions — each is a FIFO service the
+	// shard drains process — and -validate gates both
+	// events_per_sec_churn_* rates nonzero via the events_per_sec
+	// headline-key rule.
+	ChurnScalingNodes        int     `json:"churn_scaling_nodes"`
+	ChurnScalingMessages     int     `json:"churn_scaling_messages"`
+	ChurnScalingCrashes      int     `json:"churn_scaling_crashes"`
+	ChurnScalingJoins        int     `json:"churn_scaling_joins"`
+	ChurnScalingGossipSends  int     `json:"churn_scaling_gossip_sends"`
+	EventsPerSecChurnShards1 float64 `json:"events_per_sec_churn_shards1"`
+	EventsPerSecChurnSharded float64 `json:"events_per_sec_churn_sharded"`
+	ChurnShardSpeedup        float64 `json:"churn_shard_speedup"`
 	// Scheduler is the telemetry profile of the timed sharded run:
 	// per-shard drain wall time, barrier wait, cross-shard handoff
 	// volume, and the window-occupancy histogram. Wall-clock dependent
@@ -843,6 +868,112 @@ func measureScaling(h *engineHeadline, n int, seed uint64, shards int) error {
 	return nil
 }
 
+// measureChurnScaling times the live engine with the membership layer
+// live — background churn, a correlated regional kill, a flash-crowd
+// join, gossip dissemination, and link repair — on a healthy torus
+// under uniform open-loop traffic, once sequential and once at the
+// given shard count, and fills the headline's churn-scaling fields.
+// Churn ops are window barriers, and the load default probe timeout
+// (4 service times) covers the 1-service-time window horizon, so the
+// run is parallel-eligible; the function errors if the sharded run
+// fell back to the sequential plan or diverged from the sequential
+// reference in tables or churn ledger, turning an eligibility or
+// determinism regression into a failed bench run. Each timed run
+// rebuilds the graph from the same seed because churn mutates it.
+func measureChurnScaling(h *engineHeadline, n int, seed uint64, shards int) error {
+	if shards == 0 {
+		shards = runtime.NumCPU()
+	}
+	side := 2 * int(math.Round(math.Sqrt(float64(n))))
+	if side < 32 {
+		side = 32
+	}
+	nodes := side * side
+	msgs := 4 * nodes
+	links := mathx.ILog2(nodes)
+	rate := float64(nodes) / 8
+	horizon := float64(msgs) / rate
+	churn := failure.ChurnSpec{
+		Rate:           4 / horizon,
+		Horizon:        horizon,
+		KillFrac:       0.15,
+		KillAt:         horizon / 4,
+		FlashJoin:      nodes / 64,
+		FlashAt:        horizon / 2,
+		GossipInterval: 1,
+		GossipFanout:   2,
+		Repair:         true,
+	}
+	timed := func(s int) (*load.Result, float64, error) {
+		torus, err := metric.NewTorus(side, 2)
+		if err != nil {
+			return nil, 0, err
+		}
+		g, err := graph.BuildIdeal(torus, graph.PaperConfigFor(torus, links), rng.New(seed+7000))
+		if err != nil {
+			return nil, 0, err
+		}
+		cfg := load.Config{
+			Messages: msgs,
+			Shards:   s,
+			Live:     true,
+			Arrival:  load.Poisson(rate),
+			Route:    route.Options{DeadEnd: route.Backtrack},
+			Churn:    churn,
+		}
+		start := time.Now()
+		res, err := load.Run(g, load.Uniform(), cfg, seed+7000)
+		if err != nil {
+			return nil, 0, err
+		}
+		return res, time.Since(start).Seconds(), nil
+	}
+	seq, seqSecs, err := timed(1)
+	if err != nil {
+		return err
+	}
+	par, parSecs, err := timed(shards)
+	if err != nil {
+		return err
+	}
+	// On a single-core runner the "sharded" timing is legitimately the
+	// sequential plan; everywhere else a fallback means the scenario
+	// lost its shard eligibility — fail loudly instead of recording two
+	// sequential timings as a speedup of 1.
+	if shards > 1 && par.Plan != engine.PlanLiveSharded.String() {
+		return fmt.Errorf(
+			"engine headline: churn scaling run fell back to plan %q (%s); the default probe timeout must keep churn shard-eligible",
+			par.Plan, par.PlanReason)
+	}
+	if seq.Delivered != par.Delivered || seq.Makespan != par.Makespan ||
+		seq.MaxLoad != par.MaxLoad || seq.LatencyP99 != par.LatencyP99 ||
+		seq.Crashes != par.Crashes || seq.Joins != par.Joins ||
+		seq.GossipSends != par.GossipSends || seq.LinksRebuilt != par.LinksRebuilt ||
+		seq.MembershipLag != par.MembershipLag {
+		return fmt.Errorf(
+			"engine headline: sharded churn run diverged from the sequential reference (shards=%d: delivered %d vs %d, crashes %d vs %d, gossip %d vs %d)",
+			shards, par.Delivered, seq.Delivered, par.Crashes, seq.Crashes, par.GossipSends, seq.GossipSends)
+	}
+	if seq.Crashes == 0 || seq.Joins == 0 || seq.GossipSends == 0 || seq.LinksRebuilt == 0 {
+		return fmt.Errorf(
+			"engine headline: churn scaling scenario was vacuous (crashes=%d joins=%d gossip=%d links=%d); every churn mechanism must exercise",
+			seq.Crashes, seq.Joins, seq.GossipSends, seq.LinksRebuilt)
+	}
+	events := seq.GossipSends
+	for _, l := range seq.Loads {
+		events += l
+	}
+	h.ChurnScalingNodes = nodes
+	h.ChurnScalingMessages = msgs
+	h.ChurnScalingCrashes = seq.Crashes
+	h.ChurnScalingJoins = seq.Joins
+	h.ChurnScalingGossipSends = seq.GossipSends
+	h.EventsPerSecChurnShards1 = float64(events) / seqSecs
+	h.EventsPerSecChurnSharded = float64(events) / parSecs
+	h.ChurnShardSpeedup = seqSecs / parSecs
+	return nil
+}
+
 // writeEngineHeadline sweeps the acceptance scenario in all four
 // engine modes, times the shard-scaling scenario, and writes the JSON
 // headline. Zero n/msgs/seed take the ext.engine.flood defaults (which
@@ -952,6 +1083,9 @@ func writeEngineHeadline(path string, n, msgs int, seed uint64, shards int) erro
 	h.PITExpired = pk.PITExpired
 	h.KneeLiftPIT = pit.Knee / agg.Knee
 	if err := measureScaling(&h, n, seed, shards); err != nil {
+		return err
+	}
+	if err := measureChurnScaling(&h, n, seed, shards); err != nil {
 		return err
 	}
 	if err := measureRecovery(&h, n, msgs, seed); err != nil {

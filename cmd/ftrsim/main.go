@@ -54,7 +54,17 @@
 // traffic, failures are detected by probe timeout and disseminated by
 // gossip membership, and repair redraws the §5 long-range links.
 // Churn without -live is rejected by the load layer (snapshot mode
-// routes whole paths against a static graph).
+// routes whole paths against a static graph). Churn combines with
+// -shards: membership mutations apply at the window barriers of the
+// partitioned loop, which stays byte-identical to the sequential
+// reference as long as the probe timeout covers one service time
+// (faster probes fall back to the sequential loop).
+//
+// The engine experiments annotate their tables with the execution
+// plan each run resolved to ("note: plan=... — ..."), so a -shards
+// request that fell back to the sequential loop — caching, congestion
+// feedback, or a fast churn probe — says so instead of silently
+// running single-core.
 //
 // All traffic tables are byte-identical for a fixed seed regardless of
 // worker count or machine.

@@ -15,7 +15,10 @@
 // a larger torus under uniform open-loop traffic, run at 1, 2, 4, and
 // NumCPU shards, printing the measured events/sec and speedup per
 // shard count (identical results at every count — sharding is a
-// wall-clock optimization only).
+// wall-clock optimization only). Each shard count is timed twice: once
+// under plain traffic and once with churn live (a correlated kill, a
+// flash-crowd join, gossip membership repair) — churn ops apply at
+// window barriers, so churn runs shard too.
 //
 //	go run ./examples/knee
 package main
@@ -27,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/failure"
 	"repro/internal/graph"
 	"repro/internal/load"
 	"repro/internal/metric"
@@ -114,16 +118,18 @@ func main() {
 	}
 	fmt.Print(indent(viz.KneeLadder(labels, knees, 40)))
 
-	// Core scaling: the live loop partitioned across shards. A 64x64
+	// Core scaling: the live loop partitioned across shards, once under
+	// plain traffic and once with the membership layer live. A 64x64
 	// torus under uniform open-loop traffic is parallel-eligible (no
 	// penalties, no caching), so every shard count reproduces the
 	// sequential results byte for byte and only the wall clock moves.
+	// Churn rides the same contract: membership mutations (a correlated
+	// kill, a flash-crowd join, background crash/join events, gossip
+	// repair) apply at window barriers, so churn runs shard too — the
+	// churn columns time the identical scenario with crashes, gossip,
+	// and link repair in flight.
 	fmt.Println("\nsharded live loop scaling (64x64 torus, uniform open-loop traffic):")
 	torus, err := metric.NewTorus(64, 2)
-	if err != nil {
-		log.Fatal(err)
-	}
-	tg, err := graph.BuildIdeal(torus, graph.PaperConfigFor(torus, 12), rng.New(42))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -131,10 +137,21 @@ func main() {
 	if ncpu := runtime.NumCPU(); ncpu > 4 {
 		counts = append(counts, ncpu)
 	}
-	var baseSecs float64
-	var baseDelivered int
-	fmt.Printf("  %-8s %12s %10s\n", "shards", "events/sec", "speedup")
-	for _, shards := range counts {
+	// ~32 virtual ticks of injection at 1024 msgs/tick; the kill lands a
+	// quarter in, the flash crowd halfway. The default probe timeout (4
+	// service times) covers the window horizon, so the run stays
+	// shard-eligible.
+	churn := failure.ChurnSpec{
+		Rate: 0.125, Horizon: 32, KillFrac: 0.1, KillAt: 8,
+		FlashJoin: 64, FlashAt: 16, GossipInterval: 1, GossipFanout: 2,
+		Repair: true,
+	}
+	timed := func(shards int, withChurn bool) (delivered, events int, secs float64) {
+		// Fresh graph per run: churn mutates it (crashes, redrawn links).
+		tg, err := graph.BuildIdeal(torus, graph.PaperConfigFor(torus, 12), rng.New(42))
+		if err != nil {
+			log.Fatal(err)
+		}
 		cfg := load.Config{
 			Messages: 1 << 15,
 			Shards:   shards,
@@ -142,23 +159,41 @@ func main() {
 			Arrival:  load.Periodic(1024),
 			Route:    route.Options{DeadEnd: route.Backtrack},
 		}
+		if withChurn {
+			cfg.Churn = churn
+		}
 		start := time.Now()
 		res, err := load.Run(tg, load.Uniform(), cfg, 7)
 		if err != nil {
 			log.Fatal(err)
 		}
-		secs := time.Since(start).Seconds()
-		events := 0
+		secs = time.Since(start).Seconds()
+		events = res.GossipSends
 		for _, l := range res.Loads {
 			events += l
 		}
-		if shards == 1 {
-			baseSecs, baseDelivered = secs, res.Delivered
-		} else if res.Delivered != baseDelivered {
-			log.Fatalf("shards=%d delivered %d, sequential reference delivered %d",
-				shards, res.Delivered, baseDelivered)
+		return res.Delivered, events, secs
+	}
+	var baseSecs [2]float64
+	var baseDelivered [2]int
+	fmt.Printf("  %-8s %12s %9s %14s %9s\n",
+		"shards", "events/sec", "speedup", "churn ev/sec", "speedup")
+	for _, shards := range counts {
+		var row [2]float64
+		var speed [2]float64
+		for i, withChurn := range []bool{false, true} {
+			delivered, events, secs := timed(shards, withChurn)
+			if shards == 1 {
+				baseSecs[i], baseDelivered[i] = secs, delivered
+			} else if delivered != baseDelivered[i] {
+				log.Fatalf("shards=%d churn=%v delivered %d, sequential reference delivered %d",
+					shards, withChurn, delivered, baseDelivered[i])
+			}
+			row[i] = float64(events) / secs
+			speed[i] = baseSecs[i] / secs
 		}
-		fmt.Printf("  %-8d %12.0f %9.2fx\n", shards, float64(events)/secs, baseSecs/secs)
+		fmt.Printf("  %-8d %12.0f %8.2fx %14.0f %8.2fx\n",
+			shards, row[0], speed[0], row[1], speed[1])
 	}
 }
 

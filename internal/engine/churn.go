@@ -49,10 +49,25 @@ import (
 // node *learns* of a crash does it redraw its long links into the dead
 // node.
 //
-// Sharding. Churn mutates the shared graph and the global membership
-// state at schedule instants, which breaks the shards' window-
-// independence argument; Config.Plan therefore pins every churn run to
-// the sequential loop (PlanReasonChurn) — the documented fallback.
+// Sharding. Churn runs scale across cores: the schedule is fully
+// materialized before the run, so the sharded loop clips every safe-
+// horizon window at the next churn-op instant, drains the shards in
+// parallel up to the clip, and applies membership mutations (crashes,
+// joins, link redraws, rumor rounds) sequentially at the barrier under
+// the same ops-before-messages tie rule — byte-identical to the
+// sequential reference at every shard count. Within a window the graph
+// is immutable; the only churn artifact a parallel drain produces is a
+// strand park, deferred as a doneRec and replayed at the barrier in
+// global event order so op sequence numbers match the sequential
+// loop's. The eligibility condition is ProbeTimeout ≥ 1/Capacity (a
+// resume must land at or beyond the window horizon); faster probes
+// fall back to the sequential loop (Config.Plan, PlanReasonChurn).
+//
+// Hot paths. Strand handling, gossip rounds, and link redraws run
+// allocation-free in steady state, pinned at 0 allocs/op by
+// bench_churn_test.go: detection dedups monitors through reusable
+// scratch, nearest-alive resolution uses a stamped BFS instead of a
+// per-call map, and retired rumors recycle their known bitmaps.
 
 // ChurnConfig attaches node dynamics to a live engine run. The zero
 // value is disabled. A config with knobs but no events attaches the
@@ -148,11 +163,12 @@ func churnOpLess(a, b churnOp) bool {
 // rumor is one membership fact in flight: "node crashed" or "node
 // joined", spreading epidemically until every alive node knows it.
 type rumor struct {
-	node  metric.Point
-	crash bool
-	born  float64
-	known []bool // per grid point: has this node heard the rumor
-	done  bool   // converged (all alive know) or abandoned (no alive knower)
+	node     metric.Point
+	crash    bool
+	born     float64
+	known    []bool // per grid point: has this node heard the rumor
+	detected bool   // the ProbeTimeout detection has fired
+	done     bool   // converged (all alive know) or abandoned (no alive knower)
 }
 
 // churnState is the runner's node-dynamics state: the op queue, the
@@ -167,6 +183,15 @@ type churnState struct {
 	pending int     // rumors not yet done; rounds self-schedule while > 0
 	rounds  bool    // a churnOpRound is already queued
 	sampler metric.LinkSampler
+
+	// Reusable scratch keeping the churn hot paths at 0 allocs/op
+	// (bench_churn_test.go pins the contract).
+	mon        []metric.Point     // detect: this call's deduped monitor set
+	collectMon func(metric.Point) // detect: the ForEachNeighbor visitor, built once
+	visited    []uint32           // nearestAlive: BFS visit stamps, one per grid point
+	stamp      uint32             // current BFS generation
+	bfs        []metric.Point     // nearestAlive: BFS queue
+	freeKnown  [][]bool           // retired rumors' known bitmaps, recycled by born
 }
 
 func newChurnState(g *graph.Graph, cfg ChurnConfig, src *rng.Source) *churnState {
@@ -175,6 +200,12 @@ func newChurnState(g *graph.Graph, cfg ChurnConfig, src *rng.Source) *churnState
 		src: src,
 		ops: mathx.NewHeap(churnOpLess, len(cfg.Events)+16),
 		hot: make([][]int, g.Size()),
+	}
+	// Built once so detect's neighbour sweep costs no per-call closure.
+	c.collectMon = func(q metric.Point) {
+		if g.Alive(q) {
+			c.addMonitor(q)
+		}
 	}
 	for i, ev := range cfg.Events {
 		c.push(churnOp{time: ev.Time, kind: churnOpEvent, ref: i})
@@ -255,14 +286,27 @@ func (r *runner) applyChurnEvent(ev failure.ChurnEvent) {
 }
 
 // born creates the event's rumor and schedules its detection one
-// ProbeTimeout later, returning the rumor's index.
+// ProbeTimeout later, returning the rumor's index. Retired rumors'
+// known bitmaps are recycled, so sustained churn grows the rumor set
+// without growing the heap.
 func (c *churnState) born(r *runner, ev failure.ChurnEvent, crash bool) int {
 	ri := len(c.rumors)
+	var known []bool
+	if n := len(c.freeKnown); n > 0 {
+		known = c.freeKnown[n-1]
+		c.freeKnown[n-1] = nil
+		c.freeKnown = c.freeKnown[:n-1]
+		for i := range known {
+			known[i] = false
+		}
+	} else {
+		known = make([]bool, r.g.Size())
+	}
 	c.rumors = append(c.rumors, rumor{
 		node:  ev.Node,
 		crash: crash,
 		born:  ev.Time,
-		known: make([]bool, r.g.Size()),
+		known: known,
 	})
 	c.pending++
 	c.push(churnOp{time: ev.Time + c.cfg.ProbeTimeout, kind: churnOpDetect, ref: ri})
@@ -280,25 +324,31 @@ func (c *churnState) detect(r *runner, ri int, t float64) {
 	if ru.done {
 		return
 	}
-	seen := make(map[metric.Point]bool, 8)
-	var monitors []metric.Point
-	r.g.ForEachNeighbor(ru.node, func(q metric.Point) {
-		if r.g.Alive(q) && !seen[q] {
-			seen[q] = true
-			monitors = append(monitors, q)
-		}
-	})
+	ru.detected = true
+	c.mon = c.mon[:0]
+	r.g.ForEachNeighbor(ru.node, c.collectMon)
 	for _, dir := range [2]int{+1, -1} {
-		if q, ok := nearestAliveDir(r.g, ru.node, dir); ok && !seen[q] {
-			seen[q] = true
-			monitors = append(monitors, q)
+		if q, ok := nearestAliveDir(r.g, ru.node, dir); ok {
+			c.addMonitor(q)
 		}
 	}
-	for _, q := range monitors {
+	for _, q := range c.mon {
 		c.teach(r, ri, q, t)
 	}
 	c.checkDone(r, ri, t)
 	c.ensureRound(r, t)
+}
+
+// addMonitor dedups one node into the scratch monitor set. Monitor
+// sets are a handful of nodes (link holders plus two probe
+// successors), so the linear scan beats a map and allocates nothing.
+func (c *churnState) addMonitor(q metric.Point) {
+	for _, m := range c.mon {
+		if m == q {
+			return
+		}
+	}
+	c.mon = append(c.mon, q)
 }
 
 // teach marks one node as knowing one rumor: it joins the rumor's
@@ -374,7 +424,10 @@ func (c *churnState) round(r *runner, t float64) {
 // checkDone resolves a rumor that has finished spreading: converged
 // when every alive node knows it (the membership lag is recorded), or
 // abandoned when no alive node knows it any more (all its knowers
-// crashed; nothing can revive it).
+// crashed; nothing can revive it). A rumor born but not yet detected
+// has no knowers by construction — abandonment only applies once its
+// detection has fired (a gossip round between birth and detection must
+// not orphan it; the staggered-crash repro pins this).
 func (c *churnState) checkDone(r *runner, ri int, t float64) {
 	ru := &c.rumors[ri]
 	if ru.done {
@@ -398,10 +451,16 @@ func (c *churnState) checkDone(r *runner, ri int, t float64) {
 		if lag := t - ru.born; lag > r.out.MembershipLag {
 			r.out.MembershipLag = lag
 		}
-	case aliveKnow == 0:
+	case ru.detected && aliveKnow == 0:
 		ru.done = true
 		c.pending--
 		r.out.RumorsAbandoned++
+	}
+	if ru.done {
+		// A done rumor is never read again (teach and round both gate on
+		// done first): recycle its bitmap for the next born.
+		c.freeKnown = append(c.freeKnown, ru.known)
+		ru.known = nil
 	}
 }
 
@@ -482,7 +541,7 @@ func (c *churnState) drawLink(r *runner, p metric.Point) (metric.Point, bool) {
 		if !ok {
 			continue
 		}
-		if v, ok := nearestAlive(r.g, q); ok && v != p {
+		if v, ok := c.nearestAlive(r.g, q); ok && v != p {
 			return v, true
 		}
 	}
@@ -492,6 +551,19 @@ func (c *churnState) drawLink(r *runner, p metric.Point) (metric.Point, bool) {
 // ---------------------------------------------------------------------
 // Stranding: in-flight messages at a dying node.
 // ---------------------------------------------------------------------
+
+// pushEvent routes a churn-path event to the live loop: the single
+// sequential heap, or — from barrier-time op application in sharded
+// mode — the owning shard's heap. Always called from sequential code;
+// the destination is the message's current node, which every caller
+// sets before pushing.
+func (r *runner) pushEvent(e event) {
+	if r.sharded != nil {
+		r.sharded.owner(r.pos[e.msg]).h.Push(e)
+		return
+	}
+	r.h.Push(e)
+}
 
 // strand parks a message whose arrival found its node dead: no service
 // happens (the node cannot serve), and one ProbeTimeout later — the
@@ -517,7 +589,7 @@ func (r *runner) resumeStranded(m, idx int, t float64) {
 	node := r.pos[m]
 	if r.g.Alive(node) {
 		r.out.StrandResumed++
-		r.h.Push(event{time: t, msg: m, idx: idx})
+		r.pushEvent(event{time: t, msg: m, idx: idx})
 		return
 	}
 	if r.answering != nil && r.answering[m] {
@@ -532,7 +604,7 @@ func (r *runner) resumeStranded(m, idx int, t float64) {
 			return
 		}
 		r.pos[m] = r.ansPath[m][r.ansAt[m]]
-		r.h.Push(event{time: t, msg: m, idx: idx + 1})
+		r.pushEvent(event{time: t, msg: m, idx: idx + 1})
 		return
 	}
 	r.stepWithoutService(m, idx, t)
@@ -553,7 +625,7 @@ func (r *runner) stepWithoutService(m, idx int, t float64) {
 	if stepped {
 		r.out.StrandResumed++
 		r.pos[m] = w.At()
-		r.h.Push(event{time: t, msg: m, idx: idx + 1})
+		r.pushEvent(event{time: t, msg: m, idx: idx + 1})
 		return
 	}
 	res := w.Result()
@@ -567,7 +639,7 @@ func (r *runner) stepWithoutService(m, idx int, t float64) {
 		// Delivered from the strand: the answer leg spawns as usual, its
 		// generation service at the target.
 		r.spawnAnswer(m, t, res)
-		r.h.Push(event{time: t, msg: m, idx: idx + 1})
+		r.pushEvent(event{time: t, msg: m, idx: idx + 1})
 		return
 	}
 	r.completeLive(m, t, res)
@@ -596,7 +668,7 @@ func (r *runner) bornFailed(m int, at float64) {
 // client behind the dead portal retries via the next one). Reports
 // ok=false only when the whole network is dead.
 func (r *runner) reattachOrigin(from metric.Point) (metric.Point, bool) {
-	p, ok := nearestAlive(r.g, from)
+	p, ok := r.churn.nearestAlive(r.g, from)
 	if ok {
 		r.out.Reattached++
 	}
@@ -606,27 +678,42 @@ func (r *runner) reattachOrigin(from metric.Point) (metric.Point, bool) {
 // nearestAlive returns the alive node nearest to target: breadth-first
 // over unit grid steps, so level k is the L1 sphere of radius k and the
 // first alive point found is nearest (the alive-filtered sibling of
-// graph.NearestExisting, allocating per call — churn repair is rare
-// next to routing).
-func nearestAlive(g *graph.Graph, target metric.Point) (metric.Point, bool) {
+// graph.NearestExisting). The visit set is a reusable stamp array and
+// the queue a reusable slice, so the link-redraw hot path allocates
+// nothing once warm; the expansion order (−axis before +axis, axes
+// ascending) matches the old map-based walk exactly.
+func (c *churnState) nearestAlive(g *graph.Graph, target metric.Point) (metric.Point, bool) {
 	if g.Alive(target) {
 		return target, true
 	}
 	if g.AliveCount() == 0 {
 		return 0, false
 	}
-	seen := map[metric.Point]bool{target: true}
-	queue := []metric.Point{target}
-	for head := 0; head < len(queue); head++ {
-		p := queue[head]
+	if len(c.visited) < g.Size() {
+		c.visited = make([]uint32, g.Size())
+		c.stamp = 0
+	}
+	c.stamp++
+	if c.stamp == 0 {
+		// Stamp wrapped (2^32 searches): clear and restart the epoch.
+		for i := range c.visited {
+			c.visited[i] = 0
+		}
+		c.stamp = 1
+	}
+	c.bfs = c.bfs[:0]
+	c.visited[target] = c.stamp
+	c.bfs = append(c.bfs, target)
+	for head := 0; head < len(c.bfs); head++ {
+		p := c.bfs[head]
 		if g.Alive(p) {
 			return p, true
 		}
 		for axis := 1; axis <= g.Space().Dim(); axis++ {
 			for _, dir := range [2]int{-axis, +axis} {
-				if q, ok := g.Space().Step(p, dir); ok && !seen[q] {
-					seen[q] = true
-					queue = append(queue, q)
+				if q, ok := g.Space().Step(p, dir); ok && c.visited[q] != c.stamp {
+					c.visited[q] = c.stamp
+					c.bfs = append(c.bfs, q)
 				}
 			}
 		}

@@ -54,18 +54,30 @@ func TestChurnConfigValidate(t *testing.T) {
 	}
 }
 
-// TestPlanChurnSequential pins churn's execution plan: enabled churn on
-// a multi-shard live config resolves to the sequential loop with the
-// pinned PlanReasonChurn — the documented fallback from the sharded
-// twin. A single shard keeps its own (earlier) reason.
-func TestPlanChurnSequential(t *testing.T) {
+// TestPlanChurnEligibility pins churn's execution plan: churn on a
+// multi-shard live config shards whenever the probe timeout covers the
+// one-service-time lookahead (a strand resume then lands at or beyond
+// the window horizon); a faster probe falls back to the sequential
+// loop with the pinned PlanReasonChurn. A single shard keeps its own
+// (earlier) reason.
+func TestPlanChurnEligibility(t *testing.T) {
 	cfg := baseConfig()
 	cfg.Mode = ModeLive
 	cfg.Shards = 4
-	cfg.Churn = churnKnobs()
+	cfg.Churn = churnKnobs() // ProbeTimeout 2 ≥ 1/Capacity 1: eligible
 	plan, reason := cfg.Plan(Schedule{})
+	if plan != PlanLiveSharded || reason != PlanReasonSharded {
+		t.Errorf("eligible churn: plan = %v (%q), want live-sharded", plan, reason)
+	}
+	cfg.Churn.ProbeTimeout = 0.5 // shorter than the service time: fallback
+	plan, reason = cfg.Plan(Schedule{})
 	if plan != PlanLiveSequential || reason != PlanReasonChurn {
-		t.Errorf("plan = %v (%q), want live-sequential with PlanReasonChurn", plan, reason)
+		t.Errorf("fast probe: plan = %v (%q), want live-sequential with PlanReasonChurn", plan, reason)
+	}
+	cfg.Churn.ProbeTimeout = 1 // exactly the service time: eligible
+	plan, reason = cfg.Plan(Schedule{})
+	if plan != PlanLiveSharded || reason != PlanReasonSharded {
+		t.Errorf("boundary probe: plan = %v (%q), want live-sharded", plan, reason)
 	}
 	cfg.Shards = 1
 	plan, reason = cfg.Plan(Schedule{})

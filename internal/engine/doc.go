@@ -148,6 +148,38 @@
 // penalties, depth probes, cache churn, closed-loop aggregation) fall
 // back to the sequential loop; see Config.Shards.
 //
+// Churn rides the same window machinery by becoming part of the
+// barrier: the churn schedule is materialized before the run, so each
+// window's horizon is clipped at the next churn-op instant and the
+// membership mutation applies between drains, where one goroutine owns
+// everything:
+//
+//	  churn ops due at the window start W apply sequentially
+//	  (crash/join, link redraws, rumor rounds, strand resumes)
+//	                       │
+//	                       ▼
+//	  horizon = min(W + 1/Capacity, next churn-op instant)
+//	                       │
+//	                       ▼
+//	┌─ shard 0 ─┐   ┌─ shard 1 ─┐   ┌─ shard k ─┐   graph and
+//	│ drain to  │   │ drain to  │…  │ drain to  │   membership
+//	│ horizon   │   │ horizon   │   │ horizon   │   frozen
+//	└─────┬─────┘   └─────┬─────┘   └─────┬─────┘
+//	      │  arrivals at dead nodes defer │
+//	      │  as strand records            │
+//	      └───────────────┬───────────────┘
+//	                       ▼
+//	  barrier: replay completions and strand parks in
+//	           (time, msg, idx) order — op seq numbers
+//	           assigned exactly as the sequential loop's
+//	                       │
+//	                       ▼  next window
+//
+// Gossip sends and rumor-round events route to the owning shard's
+// heap, and a strand's probe-timeout resume lands at or beyond the
+// horizon because eligibility requires ProbeTimeout ≥ 1/Capacity
+// (Config.Plan; faster probes fall back with PlanReasonChurn).
+//
 // # Node dynamics (Config.Churn)
 //
 // With Config.Churn enabled (live mode only), nodes crash and join
@@ -166,9 +198,11 @@
 // a node redraws its long links into a dead node only once it has
 // *learned* of the crash. A join revives the node, redraws its §5
 // long-range links, and bootstraps its view from alive neighbours.
-// Because churn mutates the shared graph at schedule instants, churn
-// runs always take the sequential loop (PlanReasonChurn); see churn.go
-// for the full mechanics and internal/failure for the schedule model.
+// Churn runs shard like any other live run — mutations apply at
+// window barriers, windows clip at churn-op instants (see the diagram
+// above) — as long as ProbeTimeout covers the one-service-time
+// lookahead; see churn.go for the full mechanics and internal/failure
+// for the schedule model.
 //
 // Determinism: both modes are pure functions of (graph, messages,
 // schedule, config, root source). Snapshot mode parallelizes path

@@ -89,8 +89,12 @@ type Config struct {
 	// Churn attaches node dynamics: a schedule of crash/join events
 	// interleaved with traffic on the virtual clock, detected and
 	// repaired by a gossip membership layer charged to the same per-node
-	// FIFOs (see churn.go). Enabled churn requires a live mode and pins
-	// the run to the sequential loop (Config.Plan, PlanReasonChurn).
+	// FIFOs (see churn.go). Enabled churn requires a live mode. Churn
+	// runs shard: membership mutations apply only at window barriers,
+	// with each window clipped at the next churn-op instant — provided
+	// ProbeTimeout is at least the service time 1/Capacity, so strand
+	// resumptions land beyond the window horizon; faster probes fall
+	// back to the sequential loop (Config.Plan, PlanReasonChurn).
 	Churn ChurnConfig
 	// Placement, when non-nil, replicates every key: messages route to
 	// the nearest live member of Placement.Targets(key). Cache-on-path

@@ -30,6 +30,18 @@ func injectionLess(a, b Injection) bool {
 // time later, so nothing processed this window can add same-window
 // work anywhere, and every injection a completion unlocks belongs to
 // a later window too (completion times are successor finish times).
+//
+// With churn attached the membership layer becomes a window barrier:
+// churn ops due at or before the window start apply here, sequentially,
+// before any admission or drain (ops win ties, so an event at w sees
+// the world as of w — the same tie rule the sequential drain pins), and
+// the horizon is clipped at the next pending op instant, so the graph
+// and membership state are immutable while the shards drain. The one
+// op kind born during a drain — a strand's probe-timeout resumption —
+// is deferred as a doneRec and replayed at the barrier in global event
+// order, and lands at t + ProbeTimeout ≥ horizon by the eligibility
+// gate (Config.Plan requires ProbeTimeout ≥ the lookahead), so it
+// never belongs to the window that created it.
 func (r *runner) runSharded() {
 	cfg := r.cfg
 	ropt := cfg.Route
@@ -40,12 +52,32 @@ func (r *runner) runSharded() {
 		r.pend.Push(inj)
 	}
 	s := newShardSet(r)
+	r.sharded = s
 	for r.err == nil {
 		w, ok := s.nextTime(r)
 		if !ok {
 			return
 		}
+		if r.churn != nil {
+			// Barrier-time membership mutation: crashes, joins, link
+			// redraws, rumor rounds, and strand resumptions due at or
+			// before the window start run now, on one goroutine, against
+			// quiescent shard heaps. Events they push route to the owning
+			// shard (runner.pushEvent) and carry time ≥ w.
+			for r.churn.ops.Len() > 0 && r.churn.ops.Peek().time <= w {
+				r.churnOp(r.churn.ops.Pop())
+				if r.err != nil {
+					return
+				}
+			}
+		}
 		horizon := w + r.serviceTime
+		if r.churn != nil && r.churn.ops.Len() > 0 && r.churn.ops.Peek().time < horizon {
+			// Clip the window at the next churn-op instant: nothing may
+			// mutate membership while the shards drain, and the op applies
+			// at the next window's start under the ops-first tie rule.
+			horizon = r.churn.ops.Peek().time
+		}
 		if r.admitWindow(s, horizon); r.err != nil {
 			return
 		}
@@ -68,7 +100,11 @@ func (r *runner) runSharded() {
 // unobservable: for a shardable configuration walker creation is a
 // pure function of the graph, the placement, and the message (no
 // congestion signal, no cache churn), consumes no rng, and touches no
-// queue state.
+// queue state. That argument survives churn because membership only
+// mutates between windows — every churn op at or below the window
+// start has applied before admission, and none is pending below the
+// horizon — so the graph an admitted walker reads is exactly the graph
+// the sequential loop's pop would have read.
 func (r *runner) admitWindow(s *shardSet, horizon float64) {
 	for r.pend.Len() > 0 && r.pend.Peek().Time < horizon {
 		inj := r.pend.Pop()
@@ -82,8 +118,27 @@ func (r *runner) admitWindow(s *shardSet, horizon float64) {
 			r.tel.Inject(msg, inj.Time, r.msgs[msg].From, r.msgs[msg].Key)
 		}
 		r.injected++
-		w, err := r.router.Walker(r.root.Derive(16+uint64(msg)), r.msgs[msg].From, r.targetsFor(msg))
+		from := r.msgs[msg].From
+		if r.churn != nil && !r.g.Alive(from) {
+			// The source died before this lookup was injected: the client
+			// behind the dead portal enters at the nearest alive node.
+			// Membership is frozen for the whole window, so resolving this
+			// at admission matches the sequential loop's pop-time answer.
+			p, ok := r.reattachOrigin(from)
+			if !ok {
+				r.err = errExtinct
+				return
+			}
+			from = p
+		}
+		w, err := r.router.Walker(r.root.Derive(16+uint64(msg)), from, r.targetsFor(msg))
 		if err != nil {
+			if r.churn != nil {
+				// Born unroutable — every replica of its key dead at this
+				// instant. A failed search, not a configuration error.
+				r.bornFailed(msg, inj.Time)
+				continue
+			}
 			r.err = err
 			return
 		}

@@ -102,10 +102,14 @@ const (
 	// PlanReasonSingleShard: one shard is the sequential loop by
 	// definition.
 	PlanReasonSingleShard = "one shard requested: the sequential loop is the single-core plan"
-	// PlanReasonChurn: churn mutates the shared graph and membership
-	// state at schedule instants, which breaks the shards'
-	// window-independence argument.
-	PlanReasonChurn = "churn mutates the shared graph and membership state at schedule instants; the sequential loop is the documented fallback"
+	// PlanReasonChurn: churn itself is shard-eligible — membership
+	// mutations apply only at window barriers, with the safe horizon
+	// clipped at the next churn-op instant — but that argument needs
+	// every strand resumption to land at or beyond the window horizon,
+	// which holds exactly when ProbeTimeout covers the lookahead
+	// (one service time). A faster probe could resume a stranded
+	// message inside the window being drained.
+	PlanReasonChurn = "churn probe timeout is shorter than the service time, so a stranded message could resume inside a window; the sequential loop is the fallback"
 	// PlanReasonCongestion: Penalty/DepthPenalty/Route.Congestion read
 	// globally-accumulated charge and arbitrary nodes' instantaneous
 	// queue depths at every hop.
@@ -135,6 +139,14 @@ const (
 // time, which lies at or beyond the window horizon by the lookahead
 // argument, so the injections it unlocks always belong to a later
 // window.
+//
+// Churn runs are shard-eligible too: the schedule is materialized
+// before the run, so the sharded loop clips each window at the next
+// churn-op instant and applies membership mutations only at barriers
+// (see horizon.go). The one knob that can break the window argument is
+// a probe timeout shorter than the lookahead — a stranded message
+// would resume before the horizon — so exactly those configurations
+// fall back (PlanReasonChurn).
 func (c Config) Plan(sched Schedule) (ExecutionPlan, string) {
 	if !c.Mode.Live() {
 		return PlanSnapshot, PlanReasonSnapshot
@@ -142,7 +154,7 @@ func (c Config) Plan(sched Schedule) (ExecutionPlan, string) {
 	if c.Shards <= 1 {
 		return PlanLiveSequential, PlanReasonSingleShard
 	}
-	if c.Churn.Enabled() {
+	if c.Churn.Enabled() && c.Churn.ProbeTimeout < 1/c.Capacity {
 		return PlanLiveSequential, PlanReasonChurn
 	}
 	if c.Penalty > 0 || c.DepthPenalty > 0 || c.Route.Congestion != nil {

@@ -93,6 +93,11 @@ func TestConfigPlanReasons(t *testing.T) {
 		t.Fatal(err)
 	}
 	cached.Placement = p
+	churned := sharded(ModeLive)
+	churned.Churn = churnKnobs() // ProbeTimeout 2 ≥ 1/Capacity: eligible
+	fastProbe := sharded(ModeLive)
+	fastProbe.Churn = churnKnobs()
+	fastProbe.Churn.ProbeTimeout = 0.25 // under the service time: fallback
 	cases := []struct {
 		name   string
 		cfg    Config
@@ -111,6 +116,8 @@ func TestConfigPlanReasons(t *testing.T) {
 		{"live", sharded(ModeLive), open, PlanLiveSharded, PlanReasonSharded},
 		{"live+closedloop", sharded(ModeLive), closed, PlanLiveSharded, PlanReasonSharded},
 		{"pit+closedloop", sharded(ModeLivePIT), closed, PlanLiveSharded, PlanReasonSharded},
+		{"churn", churned, open, PlanLiveSharded, PlanReasonSharded},
+		{"churn+fast-probe", fastProbe, open, PlanLiveSequential, PlanReasonChurn},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

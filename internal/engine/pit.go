@@ -333,7 +333,20 @@ func (sh *shard) processPIT(r *runner, s *shardSet, a event) {
 		if sh.telView != nil {
 			sh.telView.PITExpire(a.time)
 		}
+		if r.churn != nil && !r.g.Alive(r.pos[m]) {
+			// The wait node died under the waiter: no service can happen
+			// here, so the re-forward goes through the strand discipline,
+			// parked at the barrier (see shard.process).
+			sh.done = append(sh.done, doneRec{at: a, msg: m, strand: true, leader: r.waitIdx[m]})
+			return
+		}
 		sh.servePIT(r, s, a, r.waitIdx[m])
+		return
+	}
+	if r.churn != nil && !r.g.Alive(r.pos[m]) {
+		// Request or answer, the arrival found its node dead: strand,
+		// deferred to the barrier in global event order.
+		sh.done = append(sh.done, doneRec{at: a, msg: m, strand: true, leader: a.idx})
 		return
 	}
 	if r.answering[m] {

@@ -121,9 +121,11 @@ type runner struct {
 	ansTarget   []metric.Point
 
 	// Sharded live mode: injections waiting for a window to admit them
-	// (nil in the sequential modes — unlock routes around it). See
-	// horizon.go.
-	pend *mathx.Heap[Injection]
+	// (nil in the sequential modes — unlock routes around it), and the
+	// shard set itself, so barrier-time churn code can push events to
+	// the owning shard's heap (runner.pushEvent). See horizon.go.
+	pend    *mathx.Heap[Injection]
+	sharded *shardSet
 
 	// Node dynamics (Config.Churn enabled; nil otherwise — every churn
 	// site checks). See churn.go.

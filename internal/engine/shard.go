@@ -32,12 +32,21 @@ import (
 //     it lands in a per-destination outbox and is merged at the
 //     barrier in (time, msg, idx) order.
 //   - Side effects whose order is globally visible — completions,
-//     aggregation merges, latency records, closed-loop unlocks — are
-//     deferred as doneRecs keyed by the triggering event and replayed
-//     sequentially at the barrier in (time, msg, idx) order, which is
-//     exactly the order the sequential loop produced them in. That
-//     replay, not luck, is what makes every Shards value byte-
-//     identical.
+//     aggregation merges, latency records, closed-loop unlocks, and
+//     churn strand parks — are deferred as doneRecs keyed by the
+//     triggering event and replayed sequentially at the barrier in
+//     (time, msg, idx) order, which is exactly the order the
+//     sequential loop produced them in. That replay, not luck, is what
+//     makes every Shards value byte-identical.
+//
+// Churn extends the model without touching the drains: membership
+// mutations (crashes, joins, link redraws, gossip rounds) apply only
+// between windows — horizon.go clips every window at the next churn-op
+// instant — so within a drain the graph is as immutable as ever. The
+// one churn artifact a drain can produce is a strand (an arrival at a
+// node that died at an earlier barrier); its park is deferred like a
+// completion, and its resume op lands at or beyond the horizon because
+// eligibility requires ProbeTimeout ≥ the lookahead.
 //
 // Node-indexed state (queues, Loads) needs no deferral: a message
 // occupies exactly one node per event, so within a window each slot is
@@ -70,7 +79,8 @@ type doneRec struct {
 	seq    int
 	msg    int
 	merge  bool
-	leader int          // merge: the aggregation carrier at that node
+	strand bool         // churn: the arrival found its node dead; park at the barrier
+	leader int          // merge: the aggregation carrier; strand: the idx to resume from
 	finish float64      // terminal: the final service's completion time
 	res    route.Result // terminal: the walker's final result
 }
@@ -163,12 +173,20 @@ func (s *shardSet) owner(p metric.Point) *shard {
 }
 
 // nextTime returns the earliest pending instant across every shard
-// heap and the pending injection set — the next window's start — or
-// false when the simulation is drained.
+// heap, the pending injection set, and the churn op queue — the next
+// window's start — or false when the simulation is drained. Churn ops
+// count because gossip rounds outlive traffic: the loop must keep
+// opening (possibly event-free) windows until membership quiesces,
+// exactly as the sequential drain does.
 func (s *shardSet) nextTime(r *runner) (float64, bool) {
 	t, ok := 0.0, false
 	if r.pend.Len() > 0 {
 		t, ok = r.pend.Peek().Time, true
+	}
+	if r.churn != nil && r.churn.ops.Len() > 0 {
+		if ot := r.churn.ops.Peek().time; !ok || ot < t {
+			t, ok = ot, true
+		}
 	}
 	for _, sh := range s.shards {
 		if sh.h.Len() > 0 && (!ok || sh.h.Peek().time < t) {
@@ -262,6 +280,15 @@ func (sh *shard) process(r *runner, s *shardSet, a event) {
 		return
 	}
 	node := r.pos[a.msg]
+	if r.churn != nil && !r.g.Alive(node) {
+		// The node died at a barrier since this hop was scheduled: the
+		// message strands here. The park itself (counter, telemetry, the
+		// probe-timeout resume op) is a globally-ordered side effect —
+		// its op seq must match the sequential loop's assignment order —
+		// so it defers to the barrier like a completion.
+		sh.done = append(sh.done, doneRec{at: a, msg: a.msg, strand: true, leader: a.idx})
+		return
+	}
 	if sh.agg != nil {
 		key := aggKey{node: node, key: r.msgs[a.msg].Key}
 		if e, ok := sh.agg[key]; ok && a.time < e.finish {
@@ -377,8 +404,29 @@ func (s *shardSet) barrier(r *runner) {
 		}
 		return s.recs[i].seq < s.recs[j].seq
 	})
+	if r.churn != nil {
+		// One ops-heap growth for the whole batch of strand parks, not
+		// one per push; the replay loop below then runs allocation-free
+		// on the op-queue side.
+		strands := 0
+		for i := range s.recs {
+			if s.recs[i].strand {
+				strands++
+			}
+		}
+		if strands > 0 {
+			r.churn.ops.Reserve(r.churn.ops.Len() + strands)
+		}
+	}
 	for _, rec := range s.recs {
 		msg := rec.msg
+		if rec.strand {
+			// Replaying strands here, in (at, seq) order, assigns churn-op
+			// sequence numbers in exactly the order the sequential loop's
+			// pops would have — the op queue's deterministic tie-break.
+			r.strand(msg, rec.leader, rec.at.time)
+			continue
+		}
 		if !rec.merge {
 			r.completeLive(msg, rec.finish, rec.res)
 			continue

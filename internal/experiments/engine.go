@@ -99,6 +99,7 @@ func init() {
 					}
 					t.AddValues(sc.label, mode.label, res.Knee, res.KneeThroughput, res.KneeP99,
 						kp.Result.Aggregated, lift, capMark(res.Saturated))
+					t.Note("%s: plan=%s — %s", mode.label, kp.Result.Plan, kp.Result.PlanReason)
 				}
 			}
 			return t, nil
@@ -152,6 +153,7 @@ func init() {
 					}
 					t.AddValues(sc.label, r.Mode, r.MaxLoad, r.MaxMeanRatio(), r.LatencyP99,
 						r.MaxQueueDepth, r.Aggregated, r.Search.MeanHops())
+					t.Note("%s: plan=%s — %s", mode.label, r.Plan, r.PlanReason)
 				}
 			}
 			return t, nil

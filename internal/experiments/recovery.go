@@ -50,6 +50,10 @@ type RecoveryResult struct {
 	// Repair ledger, copied from the run.
 	Crashes, Joins, LinksRebuilt, GossipSends int
 	MembershipLag                             float64
+	// Plan and PlanReason name the execution plan the measurement run
+	// resolved to and why — surfaced so a multi-shard request that fell
+	// back to the sequential loop is visible, not silent.
+	Plan, PlanReason string
 }
 
 // recoveryScenario resolves the shared scenario parameters from p:
@@ -155,6 +159,8 @@ func MeasureRecovery(p Params, repair bool) (*RecoveryResult, error) {
 		LinksRebuilt:  run.LinksRebuilt,
 		GossipSends:   run.GossipSends,
 		MembershipLag: run.MembershipLag,
+		Plan:          run.Plan,
+		PlanReason:    run.PlanReason,
 	}
 	if err := out.readWindows(tel, killAt); err != nil {
 		return nil, err
@@ -254,6 +260,7 @@ func init() {
 				}
 				t.AddValues(label, r.Knee, r.PreKill, r.Floor, r.RecoveryTime,
 					r.Recovered, r.Crashes, r.LinksRebuilt, r.GossipSends, recoveryVerdict(r))
+				t.Note("plan=%s — %s", r.Plan, r.PlanReason)
 			}
 			return t, nil
 		},

@@ -44,10 +44,12 @@ func (g *Gen) ChurnSpec(t testing.TB) failure.ChurnSpec {
 // mutate their graph: churn applies crashes, joins, and link repairs
 // to the graph in place, so the shard counts cannot share one graph —
 // each run gets a fresh, deterministically rebuilt copy from build.
-// Results must still be deeply equal at 1, 2, 4 and 7 shards (enabled
-// churn pins every count to the sequential loop — the documented
-// fallback — so this also pins that the fallback gate resolves
-// identically at every count). Returns the single-shard result.
+// Results must still be deeply equal at 1, 2, 4 and 7 shards: churn
+// runs shard whenever ProbeTimeout covers the service time (membership
+// mutations apply at window barriers, windows clip at churn-op
+// instants), so this fuzzes the sharded churn loop against its
+// sequential reference byte-for-byte; fast-probe draws exercise the
+// sequential fallback gate instead. Returns the single-shard result.
 func CheckShardInvarianceChurn(t testing.TB, build func(testing.TB) *graph.Graph,
 	gen load.Generator, cfg load.Config, seed uint64) *load.Result {
 	t.Helper()
@@ -64,8 +66,8 @@ func CheckShardInvarianceChurn(t testing.TB, build func(testing.TB) *graph.Graph
 			continue
 		}
 		// One shard resolves via the single-shard reason, several via the
-		// churn fallback; the invariance contract covers every simulation
-		// output, not the resolved plan's label.
+		// sharded plan (or the fast-probe fallback); the invariance
+		// contract covers every simulation output, not the plan's label.
 		got.Plan, got.PlanReason = want.Plan, want.PlanReason
 		if !reflect.DeepEqual(want, got) {
 			t.Errorf("shards=%d diverged from shards=1:\n%s", shards, diffSummary(want, got))

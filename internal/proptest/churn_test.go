@@ -15,9 +15,11 @@ import (
 // TestPropShardInvarianceChurn fuzzes the churn layer across shard
 // counts: random universes under random churn schedules — background
 // Poisson churn, regional kills, flash crowds, gossip repair — must
-// produce deeply-equal results at 1/2/4/7 shards (all resolve to the
-// sequential loop, the documented fallback), with every conservation
-// ledger balancing exactly. Each shard count rebuilds its own graph:
+// produce deeply-equal results at 1/2/4/7 shards (every generated
+// probe timeout covers the service time, so multi-shard draws run the
+// sharded churn loop against the sequential reference), with every
+// conservation ledger balancing exactly. Each shard count rebuilds its
+// own graph:
 // churn mutates the graph in place, which is exactly why the shared-
 // graph CheckShardInvariance cannot be used here.
 func TestPropShardInvarianceChurn(t *testing.T) {
@@ -132,9 +134,9 @@ func TestPropChurnMembershipConverges(t *testing.T) {
 // TestPropChurnJoinDuringMovingHotspot extends the moving-hotspot
 // cache-decay scenario with node dynamics: a regional kill while the
 // first victim is hot, then a flash-crowd join while the hotspot is
-// moving to the second victim, with gossip repair on. Caching and
-// churn both force the sequential fallback; the invariance run pins
-// that cache churn, decay cadence, and membership repair stay
+// moving to the second victim, with gossip repair on. Caching forces
+// the sequential fallback (churn alone no longer does); the invariance
+// run pins that cache churn, decay cadence, and membership repair stay
 // deterministic at every requested shard count — and that the
 // scenario actually exercises caching, crashes, and joins at once.
 func TestPropChurnJoinDuringMovingHotspot(t *testing.T) {

@@ -136,6 +136,143 @@ func runEngineShardScenarioChurn(t *testing.T, shards int, tel *telemetry.Record
 	return out
 }
 
+// eventfulChurn is the golden dynamics schedule: background Poisson
+// churn with a regional kill mid-flood and a flash-crowd join, gossip
+// repair on. ProbeTimeout 4 ≥ the service time (Capacity defaults to
+// 1), so every shard count > 1 takes the partitioned loop — these
+// goldens pin the sharded churn barrier's arithmetic itself.
+var eventfulChurn = failure.ChurnSpec{
+	Rate: 0.2, Horizon: 60,
+	KillFrac: 0.25, KillAt: 8,
+	FlashJoin: 12, FlashAt: 30,
+	ProbeTimeout: 4, GossipInterval: 1, GossipFanout: 2,
+	Repair: true,
+}
+
+// runEngineChurnEventsScenario runs the eventful-churn acceptance
+// scenario — the engine-scenario torus under the eventfulChurn
+// schedule, flooded at a fixed Poisson rate — in the three live modes
+// at the given shard count, one line per mode. Each row rebuilds the
+// graph: churn mutates it in place.
+func runEngineChurnEventsScenario(t *testing.T, shards int, tel *telemetry.Recorder) []string {
+	t.Helper()
+	var out []string
+	for _, tc := range []struct {
+		label          string
+		aggregate, pit bool
+	}{
+		{"live", false, false},
+		{"live+aggregate", true, false},
+		{"live+pit", false, true},
+	} {
+		g := buildEngineScenarioGraph(t)
+		cfg := load.Config{
+			Messages:  1024,
+			Shards:    shards,
+			Live:      true,
+			Aggregate: tc.aggregate,
+			PIT:       tc.pit,
+			Arrival:   load.Poisson(24),
+			Route:     route.Options{DeadEnd: route.Backtrack},
+			Telemetry: tel,
+			Churn:     eventfulChurn,
+		}
+		res, err := load.Run(g, load.Flood(), cfg, 302)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, fmt.Sprintf(
+			"%s: del=%d crash=%d join=%d str=%d/%d/%d gos=%d links=%d rum=%d/%d lag=%.2f fp=%#x",
+			tc.label, res.Delivered, res.Crashes, res.Joins,
+			res.Stranded, res.StrandResumed, res.StrandDropped,
+			res.GossipSends, res.LinksRebuilt,
+			res.RumorsConverged, res.RumorsAbandoned,
+			res.MembershipLag, loadFingerprint(res.Loads)))
+	}
+	return out
+}
+
+// goldenEngineChurn pins the eventful-churn scenario, captured at
+// shards = 1 (the sequential reference loop). Strands appear on the
+// PIT row only: request legs pick their next hop among alive nodes at
+// decision time, so a request strands only on an exact crash-instant
+// tie, while answer legs retrace their recorded path through whatever
+// churn has since killed.
+var goldenEngineChurn = []string{
+	"live: del=1020 crash=28 join=18 str=0/0/0 gos=58150 links=359 rum=46/0 lag=11.16 fp=0x91f58e67ed78b042",
+	"live+aggregate: del=1010 crash=28 join=18 str=0/0/0 gos=58150 links=359 rum=46/0 lag=11.16 fp=0x87dd6c89e07becc3",
+	"live+pit: del=1020 crash=28 join=18 str=13/13/0 gos=58150 links=359 rum=46/0 lag=11.16 fp=0x1573b6bb0abc4e15",
+}
+
+// TestSeededEngineChurnGolden pins the eventful-churn scenario itself,
+// and asserts it actually exercises the dynamics: crashes, joins,
+// strands, gossip, and repair must all be non-zero or the golden is
+// vacuous.
+func TestSeededEngineChurnGolden(t *testing.T) {
+	got := runEngineChurnEventsScenario(t, 1, nil)
+	if len(goldenEngineChurn) == 0 {
+		for _, line := range got {
+			t.Logf("golden: %q,", line)
+		}
+		t.Fatal("goldenEngineChurn is empty; paste the logged lines above")
+	}
+	if len(got) != len(goldenEngineChurn) {
+		t.Fatalf("scenario line count changed: got %d, want %d", len(got), len(goldenEngineChurn))
+	}
+	for i := range got {
+		if got[i] != goldenEngineChurn[i] {
+			t.Errorf("line %d diverged:\n  got  %s\n  want %s", i, got[i], goldenEngineChurn[i])
+		}
+	}
+	var crashes, joins, strands, gossip, links int
+	for _, line := range got {
+		var label string
+		var del, cr, jo, st, re, dr, gs, lk, rc, ra int
+		var lag float64
+		var fp uint64
+		if _, err := fmt.Sscanf(line,
+			"%s del=%d crash=%d join=%d str=%d/%d/%d gos=%d links=%d rum=%d/%d lag=%f fp=0x%x",
+			&label, &del, &cr, &jo, &st, &re, &dr, &gs, &lk, &rc, &ra, &lag, &fp); err != nil {
+			t.Fatalf("unparseable scenario line %q: %v", line, err)
+		}
+		crashes, joins, strands, gossip, links = crashes+cr, joins+jo, strands+st, gossip+gs, links+lk
+	}
+	if crashes == 0 || joins == 0 || strands == 0 || gossip == 0 || links == 0 {
+		t.Errorf("vacuous golden: crashes=%d joins=%d strands=%d gossip=%d links=%d — every dynamics path must fire",
+			crashes, joins, strands, gossip, links)
+	}
+}
+
+// TestEngineChurnEventsShardInvariance is the sharded-churn acceptance
+// matrix: the eventful-churn scenario must be byte-identical to the
+// sequential reference at shard counts {1, 2, 4, 7}, with the
+// telemetry recorder both absent and attached. Shard counts > 1 take
+// the partitioned loop (eventfulChurn's probe timeout covers the
+// lookahead), so this holds the window-clipping, barrier-mutation, and
+// strand-deferral machinery to the sequential loop's exact bytes. The
+// "Churn" in the name opts the test into CI's race-detector pass.
+func TestEngineChurnEventsShardInvariance(t *testing.T) {
+	want := runEngineChurnEventsScenario(t, 1, nil)
+	for _, shards := range []int{1, 2, 4, 7} {
+		for _, withTel := range []bool{false, true} {
+			var tel *telemetry.Recorder
+			if withTel {
+				tel = telemetry.New(telemetry.Options{})
+			}
+			got := runEngineChurnEventsScenario(t, shards, tel)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("shards=%d tel=%v line %d diverged:\n  got  %s\n  want %s",
+						shards, withTel, i, got[i], want[i])
+				}
+			}
+			if withTel && len(tel.Runs())+tel.Skipped() == 0 {
+				t.Errorf("shards=%d: recorder saw no runs", shards)
+			}
+		}
+	}
+}
+
 // TestEngineChurnKnobsDifferential holds the knobs-only churn variant
 // of both seeded engine scenarios to the churn-free goldens, at the
 // acceptance shard counts and with the telemetry recorder both absent

@@ -14,6 +14,12 @@ type Table struct {
 	Title   string
 	Columns []string
 	Rows    [][]string
+	// Notes are free-form annotations rendered after the rows — the
+	// text renderer prints each as a "note: " line, the CSV renderer as
+	// a trailing "# " comment — used for run metadata that applies to
+	// the table as a whole, like the engine execution plan a sweep
+	// resolved to and why.
+	Notes []string
 }
 
 // NewTable returns a table with the given title and column headers.
@@ -39,6 +45,19 @@ func (t *Table) AddValues(values ...interface{}) {
 		cells[i] = F(v)
 	}
 	t.Add(cells...)
+}
+
+// Note appends one formatted annotation line, skipping exact
+// duplicates (a sweep resolving every row to the same plan notes it
+// once).
+func (t *Table) Note(format string, args ...interface{}) {
+	note := fmt.Sprintf(format, args...)
+	for _, n := range t.Notes {
+		if n == note {
+			return
+		}
+	}
+	t.Notes = append(t.Notes, note)
 }
 
 // F formats a value for table output: floats get four significant
@@ -106,12 +125,16 @@ func (t *Table) WriteText(w io.Writer) error {
 	for _, row := range t.Rows {
 		writeRow(row)
 	}
+	for _, note := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", note)
+	}
 	_, err := io.WriteString(w, b.String())
 	return err
 }
 
 // WriteCSV renders the table as RFC-4180-ish CSV (quotes only when
-// needed).
+// needed). Notes become trailing "# " comment lines — outside the
+// rectangular data, but preserved for a human reading the file.
 func (t *Table) WriteCSV(w io.Writer) error {
 	var b strings.Builder
 	writeRow := func(cells []string) {
@@ -132,6 +155,11 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	writeRow(t.Columns)
 	for _, row := range t.Rows {
 		writeRow(row)
+	}
+	for _, note := range t.Notes {
+		b.WriteString("# ")
+		b.WriteString(note)
+		b.WriteByte('\n')
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
